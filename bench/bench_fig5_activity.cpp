@@ -1,0 +1,68 @@
+// Reproduces Figure 5: the distribution of per-cycle activity factors for
+// every design x workload pair.
+//
+// Paper finding: across all configurations, typically only a few percent of
+// signals change per cycle, and the workload's IPC has a visible relative
+// effect (pchase lowest) but modest absolute effect.
+//
+// Method: the full-cycle engine in activity-tracking mode records the exact
+// number of changed (named) signals per cycle; we print the distribution as
+// mean / percentiles plus a coarse log-bucket histogram, which is the
+// text-mode equivalent of the paper's per-pair histograms.
+#include <algorithm>
+
+#include "bench_util.h"
+
+using namespace essent;
+
+namespace {
+
+void printDistribution(const std::vector<uint32_t>& perCycle, size_t totalSignals) {
+  std::vector<double> f(perCycle.size());
+  for (size_t i = 0; i < perCycle.size(); i++)
+    f[i] = static_cast<double>(perCycle[i]) / static_cast<double>(totalSignals);
+  std::sort(f.begin(), f.end());
+  auto pct = [&](double p) { return f[static_cast<size_t>(p * (f.size() - 1))]; };
+  double mean = 0;
+  for (double v : f) mean += v;
+  mean /= static_cast<double>(f.size());
+  std::printf("mean %6.3f%%  p10 %6.3f%%  p50 %6.3f%%  p90 %6.3f%%  max %6.3f%%  | ",
+              mean * 100, pct(0.10) * 100, pct(0.50) * 100, pct(0.90) * 100, f.back() * 100);
+  // Log-bucket histogram: <0.5%, 0.5-1, 1-2, 2-4, 4-8, 8-16, >16% of signals.
+  const double edges[] = {0.005, 0.01, 0.02, 0.04, 0.08, 0.16};
+  size_t buckets[7] = {0};
+  for (double v : f) {
+    size_t b = 0;
+    while (b < 6 && v >= edges[b]) b++;
+    buckets[b]++;
+  }
+  const char* labels[] = {"<.5", "<1", "<2", "<4", "<8", "<16", ">16"};
+  for (int b = 0; b < 7; b++)
+    std::printf("%s%%:%4.0f%% ", labels[b],
+                100.0 * static_cast<double>(buckets[b]) / static_cast<double>(f.size()));
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 5 — per-cycle activity factor distributions\n");
+  std::printf("(fraction of named signals changing per cycle; histogram buckets show\n"
+              " what share of cycles fall in each activity range)\n\n");
+  for (const auto& cfg : bench::evalDesigns()) {
+    auto d = bench::buildDesign(cfg);
+    for (const auto& prog : bench::evalWorkloads()) {
+      sim::FullCycleEngine eng(d.optimized);
+      eng.setTrackActivity(true);
+      workloads::loadProgram(eng, prog);
+      // Bound the boom runs; the distribution converges quickly.
+      workloads::runWorkload(eng, cfg.name == "boom" ? 6000 : 12000);
+      std::printf("%-5s %-10s ", d.name.c_str(), prog.name.c_str());
+      printDistribution(eng.stats().changedPerCycle, eng.designSignalCount());
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\npaper finding reproduced if: activities are typically a few percent,\n"
+              "and pchase sits lower than dhrystone/matmul on every design.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Google-benchmark microkernels for the substrate itself: op-evaluation
+// throughput per engine, partitioner runtime scaling, and FIRRTL frontend
+// throughput. These are not paper exhibits; they guard the constants the
+// table/figure benches depend on.
+#include <benchmark/benchmark.h>
+
+#include "core/activity_engine.h"
+#include "core/netlist.h"
+#include "core/partitioner.h"
+#include "designs/blocks.h"
+#include "designs/tinysoc.h"
+#include "sim/builder.h"
+#include "sim/event_driven.h"
+#include "sim/full_cycle.h"
+
+using namespace essent;
+
+namespace {
+
+const sim::SimIR& aluIr() {
+  static sim::SimIR ir = sim::buildFromFirrtl(designs::aluArrayFirrtl(64, 32));
+  return ir;
+}
+
+void BM_FullCycleTick(benchmark::State& state) {
+  sim::FullCycleEngine eng(aluIr());
+  eng.poke("reset", 0);
+  uint64_t v = 0;
+  for (auto _ : state) {
+    eng.poke("opa", v++);
+    eng.tick();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(eng.stats().opsEvaluated));
+}
+BENCHMARK(BM_FullCycleTick);
+
+void BM_EventDrivenTick(benchmark::State& state) {
+  sim::EventDrivenEngine eng(aluIr());
+  eng.poke("reset", 0);
+  uint64_t v = 0;
+  for (auto _ : state) {
+    eng.poke("opa", v++);
+    eng.tick();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(eng.stats().opsEvaluated));
+}
+BENCHMARK(BM_EventDrivenTick);
+
+void BM_CcssTick(benchmark::State& state) {
+  core::ActivityEngine eng(aluIr(), core::ScheduleOptions{});
+  eng.poke("reset", 0);
+  uint64_t v = 0;
+  for (auto _ : state) {
+    eng.poke("opa", v++);
+    eng.tick();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(eng.stats().opsEvaluated));
+}
+BENCHMARK(BM_CcssTick);
+
+void BM_CcssTickIdle(benchmark::State& state) {
+  // Inputs never change: measures the pure static overhead floor.
+  core::ActivityEngine eng(aluIr(), core::ScheduleOptions{});
+  eng.poke("reset", 0);
+  eng.tick();
+  for (auto _ : state) eng.tick();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CcssTickIdle);
+
+void BM_Partitioner(benchmark::State& state) {
+  designs::SoCConfig cfg = designs::socTiny();
+  cfg.numAccels = static_cast<uint32_t>(state.range(0));
+  cfg.accelLanes = 32;
+  sim::SimIR ir = sim::buildFromFirrtl(designs::tinySoCFirrtl(cfg));
+  core::Netlist nl = core::Netlist::build(ir);
+  for (auto _ : state) {
+    auto p = core::partitionNetlist(nl, core::PartitionOptions{});
+    benchmark::DoNotOptimize(p.numPartitions());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * nl.g.numNodes());
+}
+BENCHMARK(BM_Partitioner)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_FirrtlFrontend(benchmark::State& state) {
+  std::string text = designs::tinySoCFirrtl(designs::socTiny());
+  for (auto _ : state) {
+    sim::SimIR ir = sim::buildFromFirrtl(text);
+    benchmark::DoNotOptimize(ir.ops.size());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_FirrtlFrontend);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// GCD circuit testbench: runs a batch of operand pairs through the GCD
+// design on the CCSS engine, checks results against std::gcd, and dumps a
+// VCD waveform for the first transaction.
+//
+// Build and run:  ./build/examples/gcd_waves [out.vcd]
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+
+#include "core/activity_engine.h"
+#include "designs/gcd.h"
+#include "sim/builder.h"
+#include "sim/vcd.h"
+
+using namespace essent;
+
+int main(int argc, char** argv) {
+  sim::SimIR ir = sim::buildFromFirrtl(designs::gcdFirrtl(16));
+  core::ActivityEngine eng(ir, core::ScheduleOptions{});
+
+  const char* vcdPath = argc > 1 ? argv[1] : "gcd.vcd";
+  std::ofstream vcdFile(vcdPath);
+  sim::VcdWriter vcd(vcdFile, eng);
+
+  struct Case {
+    uint64_t a, b;
+  };
+  Case cases[] = {{1071, 462}, {48, 36}, {17, 5}, {270, 192}, {65535, 4369}, {7, 7}};
+
+  uint64_t time = 0;
+  int failures = 0;
+  eng.poke("reset", 0);
+  for (const Case& c : cases) {
+    eng.poke("a", c.a);
+    eng.poke("b", c.b);
+    eng.poke("load", 1);
+    eng.tick();
+    if (time < 60) vcd.sample(++time);
+    eng.poke("load", 0);
+    eng.tick();
+    if (time < 60) vcd.sample(++time);
+    int iters = 0;
+    while (eng.peek("valid") == 0 && iters++ < 1000) {
+      eng.tick();
+      if (time < 60) vcd.sample(++time);
+    }
+    uint64_t got = eng.peek("result");
+    uint64_t want = std::gcd(c.a, c.b);
+    std::printf("gcd(%5llu, %5llu) = %5llu  [%s]\n", static_cast<unsigned long long>(c.a),
+                static_cast<unsigned long long>(c.b), static_cast<unsigned long long>(got),
+                got == want ? "ok" : "WRONG");
+    failures += got != want;
+  }
+  std::printf("waveform written to %s (VCD itself only records changes — the\n"
+              "same inactivity ESSENT exploits)\n", vcdPath);
+  return failures == 0 ? 0 : 1;
+}

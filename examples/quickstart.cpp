@@ -1,0 +1,56 @@
+// Quickstart: the end-to-end flow in one page.
+//
+//   FIRRTL text -> parse -> lower -> SimIR -> acyclic partitioning ->
+//   CCSS activity engine -> simulate.
+//
+// Build and run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/activity_engine.h"
+#include "sim/builder.h"
+
+int main() {
+  // A small en-gated counter, written directly in FIRRTL.
+  const char* firrtl = R"(
+circuit Counter :
+  module Counter :
+    input clock : Clock
+    input reset : UInt<1>
+    input en : UInt<1>
+    output count : UInt<8>
+    reg r : UInt<8>, clock with : (reset => (reset, UInt<8>(0)))
+    when en :
+      r <= tail(add(r, UInt<8>(1)), 1)
+    count <= r
+)";
+
+  // Parse + lower + build the simulation IR (optimizations on by default).
+  essent::sim::SimIR ir = essent::sim::buildFromFirrtl(firrtl);
+  std::printf("design '%s': %zu ops, %zu registers, %zu inputs\n", ir.name.c_str(),
+              ir.ops.size(), ir.regs.size(), ir.inputs.size());
+
+  // Build the ESSENT-style conditional/coarsened/singular/static schedule
+  // and instantiate the activity engine.
+  essent::core::ActivityEngine sim(ir, essent::core::ScheduleOptions{});
+  std::printf("partitions: %zu (elided registers: %zu)\n", sim.schedule().numPartitions(),
+              sim.schedule().elidedRegs);
+
+  // Drive it: reset two cycles, count for ten, pause for five.
+  sim.poke("reset", 1);
+  sim.tick();
+  sim.tick();
+  sim.poke("reset", 0);
+  sim.poke("en", 1);
+  for (int i = 0; i < 10; i++) sim.tick();
+  std::printf("after 10 enabled cycles: count = %llu\n",
+              static_cast<unsigned long long>(sim.peek("count")));
+
+  sim.poke("en", 0);
+  for (int i = 0; i < 5; i++) sim.tick();
+  std::printf("after 5 idle cycles:     count = %llu\n",
+              static_cast<unsigned long long>(sim.peek("count")));
+
+  // The point of the paper: idle cycles cost almost nothing.
+  std::printf("effective activity factor over the run: %.3f\n", sim.effectiveActivity());
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Systolic-array matrix multiplication: feeds two matrices through the
+// output-stationary PE grid with the classic skewed schedule, reads the
+// products back through the selector port, and shows how the CCSS engine
+// sleeps the whole grid between bursts.
+//
+// Usage:  ./build/examples/systolic_matmul [N]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/activity_engine.h"
+#include "designs/systolic.h"
+#include "sim/builder.h"
+#include "support/strutil.h"
+
+using namespace essent;
+
+int main(int argc, char** argv) {
+  uint32_t n = argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 4;
+  designs::SystolicConfig cfg;
+  cfg.rows = n;
+  cfg.cols = n;
+
+  sim::SimIR ir = sim::buildFromFirrtl(designs::systolicFirrtl(cfg));
+  core::ActivityEngine eng(ir, core::ScheduleOptions{});
+  std::printf("%ux%u systolic array: %zu IR ops, %zu partitions\n", n, n, ir.ops.size(),
+              eng.schedule().numPartitions());
+
+  // A[i][k] = i + k + 1, B[k][j] = (k+1)*(j+1).
+  auto A = [&](uint32_t i, uint32_t k) { return static_cast<uint64_t>(i + k + 1); };
+  auto B = [&](uint32_t k, uint32_t j) { return static_cast<uint64_t>((k + 1) * (j + 1)); };
+
+  eng.poke("reset", 1);
+  eng.tick();
+  eng.poke("reset", 0);
+  eng.poke("en", 1);
+  // Skewed feed: row i delayed i cycles, column j delayed j cycles.
+  for (uint32_t t = 0; t < 3 * n; t++) {
+    for (uint32_t i = 0; i < n; i++)
+      eng.poke(strfmt("a%u", i), (t >= i && t - i < n) ? A(i, t - i) : 0);
+    for (uint32_t j = 0; j < n; j++)
+      eng.poke(strfmt("b%u", j), (t >= j && t - j < n) ? B(t - j, j) : 0);
+    eng.tick();
+  }
+  eng.poke("en", 0);
+  for (uint32_t i = 0; i < n; i++) eng.poke(strfmt("a%u", i), 0);
+  for (uint32_t j = 0; j < n; j++) eng.poke(strfmt("b%u", j), 0);
+
+  std::printf("C = A x B read back through the selector port:\n");
+  int errors = 0;
+  for (uint32_t i = 0; i < n; i++) {
+    std::printf("  ");
+    for (uint32_t j = 0; j < n; j++) {
+      eng.poke("rowSel", i);
+      eng.poke("colSel", j);
+      eng.tick();
+      eng.tick();  // output lags the selector poke by one cycle
+      uint64_t got = eng.peek("acc_sel");
+      uint64_t want = 0;
+      for (uint32_t k = 0; k < n; k++) want += A(i, k) * B(k, j);
+      errors += got != want;
+      std::printf("%6llu%s", static_cast<unsigned long long>(got), got == want ? "" : "!");
+    }
+    std::printf("\n");
+  }
+  std::printf("%s; effective activity over the run: %.3f\n",
+              errors ? "MISMATCHES PRESENT" : "all entries correct", eng.effectiveActivity());
+
+  // Idle demonstration: the whole grid sleeps once inputs stop changing.
+  uint64_t ops = eng.stats().opsEvaluated;
+  for (int k = 0; k < 100; k++) eng.tick();
+  std::printf("100 idle cycles cost %llu op evaluations\n",
+              static_cast<unsigned long long>(eng.stats().opsEvaluated - ops));
+  return errors ? 1 : 0;
+}

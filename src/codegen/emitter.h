@@ -1,0 +1,56 @@
+// C++ code generation backend: the analogue of ESSENT's output. Given a
+// SimIR (and, for CCSS mode, a CondPartSchedule), emits a self-contained
+// C++17 translation unit defining a `struct <className>` with one public
+// member per named signal, backdoor-accessible memories, and an eval()
+// advancing one clock cycle.
+//
+// Two modes, mirroring the paper's evaluation configurations:
+//  * baseline  — straight-line full-cycle evaluation (static schedule, no
+//    conditioning);
+//  * CCSS      — one function per partition with activity flags, old-value
+//    saves, branchless OR-reduced output triggers, in-place elided state
+//    updates, and a main eval() that checks input changes and sweeps the
+//    static schedule.
+//
+// Branch hints (§III-B2): reset-selected mux ways, printf bodies and
+// stop/assertion handling are annotated unlikely so the compiler moves the
+// cold code out of the hot instruction working set.
+//
+// Limitation (documented in DESIGN.md): generated code uses plain uint64_t
+// storage, so every signal must be at most 64 bits wide; emitCpp throws
+// CodegenError otherwise. The in-process engines have no such limit.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "core/schedule.h"
+#include "sim/sim_ir.h"
+
+namespace essent::codegen {
+
+struct CodegenOptions {
+  std::string className = "Simulator";
+  bool ccss = true;         // false = baseline full-cycle
+  bool branchHints = true;  // cold-path annotations
+  // Conditional evaluation of multiplexor ways (§III-B): ops whose only
+  // consumer is one arm of a mux are sunk into that arm's if/else branch,
+  // so the untaken way is never computed. Only compiler temporaries are
+  // sunk (named signals stay observable).
+  bool muxShadow = true;
+};
+
+class CodegenError : public std::runtime_error {
+ public:
+  explicit CodegenError(const std::string& m) : std::runtime_error("codegen error: " + m) {}
+};
+
+// `schedule` may be null when opts.ccss is false.
+std::string emitCpp(const sim::SimIR& ir, const core::CondPartSchedule* schedule,
+                    const CodegenOptions& opts = {});
+
+// The C identifier used for a signal in generated code (stable mapping,
+// collision-free); exposed so harnesses can address generated members.
+std::string memberName(const sim::SimIR& ir, int32_t sig);
+
+}  // namespace essent::codegen

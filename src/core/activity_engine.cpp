@@ -1,0 +1,172 @@
+#include "core/activity_engine.h"
+
+#include "sim/op_eval.h"
+
+namespace essent::core {
+
+using sim::ExecOp;
+using sim::MemInfo;
+using sim::RegInfo;
+
+ActivityEngine::ActivityEngine(const sim::SimIR& ir, CondPartSchedule schedule)
+    : Engine(ir), sched_(std::move(schedule)) {
+  active_.assign(sched_.parts.size(), 1);
+  prevInputs_.assign(layout_.totalWords, 0);
+  // Lay out the flat old-value save area, one slot span per output.
+  uint32_t off = 0;
+  partOutBase_.reserve(sched_.parts.size());
+  for (const auto& part : sched_.parts) {
+    partOutBase_.push_back(outputSaveOff_.size());
+    for (const auto& o : part.outputs) {
+      outputSaveOff_.push_back(off);
+      off += layout_.nwords[o.sig];
+    }
+  }
+  outputSave_.assign(off, 0);
+  firstCycle_ = true;
+}
+
+ActivityEngine::ActivityEngine(const sim::SimIR& ir, const ScheduleOptions& opts)
+    : ActivityEngine(ir, buildSchedule(Netlist::build(ir), opts)) {}
+
+void ActivityEngine::resetState() {
+  Engine::resetState();
+  std::fill(active_.begin(), active_.end(), uint8_t{1});
+  std::fill(prevInputs_.begin(), prevInputs_.end(), 0);
+  std::fill(outputSave_.begin(), outputSave_.end(), 0);
+  firstCycle_ = true;
+}
+
+void ActivityEngine::wake(const std::vector<int32_t>& parts) {
+  for (int32_t p : parts) active_[static_cast<size_t>(p)] = 1;
+  stats_.triggerSets += parts.size();
+}
+
+void ActivityEngine::applyRegWrite(const SchedRegWrite& rw) {
+  const RegInfo& r = ir_->regs[static_cast<size_t>(rw.regIdx)];
+  stats_.outputComparisons++;
+  if (sigValsEqual(r.sig, r.next)) return;
+  copySigWords(r.sig, r.next);
+  // All readers already ran this cycle (ordering edges), so these flags
+  // take effect next cycle — the paper's immediate-wakeup insight.
+  wake(rw.wakeParts);
+}
+
+void ActivityEngine::applyMemWrite(const SchedMemWrite& mw) {
+  const MemInfo& mem = ir_->mems[static_cast<size_t>(mw.memIdx)];
+  const sim::MemWriter& w = mem.writers[static_cast<size_t>(mw.writerIdx)];
+  if (state_.vals[layout_.offset[w.en]] == 0) return;
+  if (state_.vals[layout_.offset[w.mask]] == 0) return;
+  uint64_t addr = state_.vals[layout_.offset[w.addr]];
+  if (addr >= mem.depth) return;
+  uint32_t rw = state_.memRowWords[static_cast<size_t>(mw.memIdx)];
+  uint32_t off = layout_.offset[w.data];
+  auto& words = state_.memWords[static_cast<size_t>(mw.memIdx)];
+  bool changed = false;
+  stats_.outputComparisons++;
+  for (uint32_t i = 0; i < rw; i++) {
+    if (words[addr * rw + i] != state_.vals[off + i]) {
+      words[addr * rw + i] = state_.vals[off + i];
+      changed = true;
+    }
+  }
+  if (changed) wake(mw.wakeParts);
+}
+
+void ActivityEngine::runPartition(size_t pos, const CondPart& part) {
+  stats_.partitionActivations++;
+
+  // Save old output values.
+  size_t outBase = partOutBase_[pos];
+  for (size_t oi = 0; oi < part.outputs.size(); oi++) {
+    const PartOutput& o = part.outputs[oi];
+    uint32_t so = outputSaveOff_[outBase + oi];
+    uint32_t vo = layout_.offset[o.sig];
+    for (uint32_t i = 0; i < layout_.nwords[o.sig]; i++)
+      outputSave_[so + i] = state_.vals[vo + i];
+  }
+
+  // Full-cycle style straight-line evaluation of the partition's ops;
+  // combinational-loop supernodes (always wholly contained in one
+  // partition) iterate to convergence.
+  if (!ir_->hasCombLoops()) {
+    for (int32_t opIdx : part.ops)
+      sim::evalExecOp(*ir_, layout_, state_, exec_[static_cast<size_t>(opIdx)]);
+  } else {
+    for (size_t k = 0; k < part.ops.size();) {
+      int32_t opIdx = part.ops[k];
+      int32_t super = ir_->superOf(static_cast<size_t>(opIdx));
+      if (super < 0) {
+        sim::evalExecOp(*ir_, layout_, state_, exec_[static_cast<size_t>(opIdx)]);
+        k++;
+        continue;
+      }
+      size_t j = k;
+      while (j < part.ops.size() &&
+             ir_->superOf(static_cast<size_t>(part.ops[j])) == super)
+        j++;
+      sim::evalSuperRange(*ir_, layout_, state_, exec_.data() + opIdx, j - k);
+      k = j;
+    }
+  }
+  stats_.opsEvaluated += part.ops.size();
+
+  // Elided state updates (end of partition: every internal reader op has
+  // already evaluated with the old value).
+  for (const auto& rw : part.regWrites) applyRegWrite(rw);
+  for (const auto& mw : part.memWrites) applyMemWrite(mw);
+
+  // Push-direction triggering: wake consumers of changed outputs. The
+  // change test is a branchless OR-reduction over the output's words.
+  for (size_t oi = 0; oi < part.outputs.size(); oi++) {
+    const PartOutput& o = part.outputs[oi];
+    uint32_t so = outputSaveOff_[outBase + oi];
+    uint32_t vo = layout_.offset[o.sig];
+    uint64_t diff = 0;
+    for (uint32_t i = 0; i < layout_.nwords[o.sig]; i++)
+      diff |= outputSave_[so + i] ^ state_.vals[vo + i];
+    stats_.outputComparisons++;
+    if (diff != 0) wake(o.consumers);
+  }
+}
+
+void ActivityEngine::tick() {
+  // 1. External input change detection.
+  if (!firstCycle_) {
+    for (size_t i = 0; i < ir_->inputs.size(); i++) {
+      int32_t in = ir_->inputs[i];
+      if (!sigWordsEqual(in, prevInputs_.data() + layout_.offset[in]))
+        wake(sched_.inputConsumers[i]);
+    }
+  }
+  for (int32_t in : ir_->inputs) {
+    uint32_t off = layout_.offset[in];
+    for (uint32_t i = 0; i < layout_.nwords[in]; i++) prevInputs_[off + i] = state_.vals[off + i];
+  }
+  firstCycle_ = false;
+
+  // 2. Partition sweep (static schedule; the per-partition flag check is
+  //    the static overhead).
+  stats_.partitionChecks += sched_.parts.size();
+  for (size_t pos = 0; pos < sched_.parts.size(); pos++) {
+    if (!active_[pos]) continue;
+    active_[pos] = 0;  // deactivate for the next cycle first (Figure 1)
+    runPartition(pos, sched_.parts[pos]);
+  }
+
+  // 3. Side effects from stale-but-correct enables.
+  firePrintsAndStops();
+
+  // 4. Phase 2: non-elided state elements.
+  for (const auto& rw : sched_.deferredRegs) applyRegWrite(rw);
+  for (const auto& mw : sched_.deferredMemWrites) applyMemWrite(mw);
+
+  stats_.cycles++;
+}
+
+double ActivityEngine::effectiveActivity() const {
+  uint64_t total = static_cast<uint64_t>(ir_->ops.size()) * stats_.cycles;
+  return total == 0 ? 0.0 : static_cast<double>(stats_.opsEvaluated) / static_cast<double>(total);
+}
+
+}  // namespace essent::core

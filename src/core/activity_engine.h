@@ -1,0 +1,72 @@
+// The ESSENT-style CCSS activity engine (paper §III, Figure 1).
+//
+// Executes a CondPartSchedule: per cycle it
+//   1. compares external inputs against their previous values and wakes the
+//      consumer partitions of any that changed;
+//   2. sweeps the partitions in the singular static schedule order; an
+//      active partition first deactivates itself, saves the old values of
+//      its outputs, evaluates its ops with full-cycle style straight-line
+//      code, applies its elided state-element updates (waking state
+//      consumers on change — effective next cycle, since ordering edges put
+//      every reader before the writer), then compares its outputs and wakes
+//      the consumers of those that changed (push-direction triggering,
+//      branchless OR-reduction of the change flags per output);
+//   3. fires printf/stop side effects from the (stale-but-correct) enable
+//      signals;
+//   4. runs phase 2: non-elided registers copy next->current and memory
+//      writes commit, waking consumers on change.
+//
+// Overhead counters map onto Figure 7's decomposition: partitionChecks is
+// the static overhead, outputComparisons/triggerSets the dynamic overhead,
+// and opsEvaluated the base work (effective activity = opsEvaluated /
+// (totalOps * cycles)).
+#pragma once
+
+#include <memory>
+
+#include "core/schedule.h"
+#include "sim/engine.h"
+
+namespace essent::core {
+
+class ActivityEngine : public sim::Engine {
+ public:
+  // The schedule must have been built from a Netlist over the same SimIR.
+  ActivityEngine(const sim::SimIR& ir, CondPartSchedule schedule);
+
+  // Convenience: build netlist + partitioning + schedule with the options.
+  ActivityEngine(const sim::SimIR& ir, const ScheduleOptions& opts);
+
+  void tick() override;
+  void resetState() override;
+  const char* name() const override { return "essent-ccss"; }
+
+  const CondPartSchedule& schedule() const { return sched_; }
+
+  // Fraction of ops evaluated over all cycles so far (Figure 7's
+  // "effective activity factor").
+  double effectiveActivity() const;
+
+ protected:
+  void onStateClobbered() override {
+    std::fill(active_.begin(), active_.end(), uint8_t{1});
+    firstCycle_ = true;
+  }
+
+ private:
+  CondPartSchedule sched_;
+  std::vector<uint8_t> active_;
+  std::vector<uint64_t> prevInputs_;
+  // Flat old-value buffer for all partition outputs.
+  std::vector<uint64_t> outputSave_;
+  std::vector<uint32_t> outputSaveOff_;  // parallel to flattened outputs
+  std::vector<size_t> partOutBase_;      // partition -> first flattened output
+  bool firstCycle_ = true;
+
+  void runPartition(size_t pos, const CondPart& part);
+  void applyRegWrite(const SchedRegWrite& rw);
+  void applyMemWrite(const SchedMemWrite& mw);
+  void wake(const std::vector<int32_t>& parts);
+};
+
+}  // namespace essent::core

@@ -1,0 +1,91 @@
+#include "core/elision.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace essent::core {
+
+size_t ElisionResult::elidedRegCount() const {
+  size_t n = 0;
+  for (bool b : regElided) n += b;
+  return n;
+}
+
+size_t ElisionResult::elidedMemWriteCount() const {
+  size_t n = 0;
+  for (const auto& m : memWriteElided)
+    for (bool b : m) n += b;
+  return n;
+}
+
+namespace {
+
+// True when any partition in `targets` is reachable from `from` in `g`.
+bool reachesAny(const graph::DiGraph& g, int32_t from,
+                const std::unordered_set<int32_t>& targets) {
+  if (targets.empty()) return false;
+  if (targets.count(from)) return true;
+  std::vector<bool> seen(static_cast<size_t>(g.numNodes()), false);
+  std::vector<int32_t> stack = {from};
+  seen[static_cast<size_t>(from)] = true;
+  while (!stack.empty()) {
+    int32_t v = stack.back();
+    stack.pop_back();
+    for (int32_t w : g.outNeighbors(v)) {
+      if (targets.count(w)) return true;
+      if (!seen[static_cast<size_t>(w)]) {
+        seen[static_cast<size_t>(w)] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+ElisionResult analyzeElision(const Netlist& nl, const Partitioning& parts, bool enable) {
+  const sim::SimIR& ir = *nl.ir;
+  ElisionResult res;
+  res.regElided.assign(ir.regs.size(), false);
+  res.memWriteElided.resize(ir.mems.size());
+  for (size_t m = 0; m < ir.mems.size(); m++)
+    res.memWriteElided[m].assign(ir.mems[m].writers.size(), false);
+
+  // Work on a copy so ordering edges accumulate.
+  res.orderedPartGraph = parts.partGraph;
+  graph::DiGraph& g = res.orderedPartGraph;
+
+  auto tryElide = [&](int32_t writerNode, const std::vector<int32_t>& readerNodes) -> bool {
+    if (!enable) return false;
+    int32_t wp = parts.partOf[static_cast<size_t>(writerNode)];
+    std::unordered_set<int32_t> readerParts;
+    for (int32_t rn : readerNodes) {
+      int32_t rp = parts.partOf[static_cast<size_t>(rn)];
+      if (rp != wp) readerParts.insert(rp);
+    }
+    // A path writer ->* reader means some reader consumes values the writer
+    // partition produces this cycle, so the reader cannot be forced before
+    // the writer: in-place update would clobber the old value it must read.
+    if (reachesAny(g, wp, readerParts)) return false;
+    for (int32_t rp : readerParts) g.addEdge(rp, wp);
+    return true;
+  };
+
+  for (size_t r = 0; r < ir.regs.size(); r++)
+    res.regElided[r] = tryElide(nl.nodeOfRegWrite[r], nl.regReaders[r]);
+
+  for (size_t m = 0; m < ir.mems.size(); m++) {
+    for (size_t w = 0; w < ir.mems[m].writers.size(); w++) {
+      res.memWriteElided[m][w] = tryElide(nl.nodeOfMemWrite[m][w], nl.memReaders[m]);
+    }
+  }
+
+  auto order = g.topoSort();
+  if (!order)
+    throw std::logic_error("elision invariant violated: ordering edges created a cycle");
+  res.schedule = std::move(*order);
+  return res;
+}
+
+}  // namespace essent::core

@@ -1,0 +1,125 @@
+#include "core/netlist.h"
+
+#include <algorithm>
+
+namespace essent::core {
+
+using sim::MemInfo;
+using sim::Op;
+using sim::OpCode;
+using sim::SigKind;
+using sim::SimIR;
+
+std::vector<int32_t> Netlist::sinks() const {
+  std::vector<int32_t> out;
+  for (graph::NodeId n = 0; n < g.numNodes(); n++)
+    if (g.outNeighbors(n).empty()) out.push_back(n);
+  return out;
+}
+
+Netlist Netlist::build(const SimIR& ir) {
+  Netlist nl;
+  nl.ir = &ir;
+
+  auto addNode = [&](NodeKind kind, int32_t index, int32_t index2 = -1) {
+    nl.nodes.push_back(NetNode{kind, index, index2});
+    nl.g.addNode();
+    nl.nodeReads.emplace_back();
+    return static_cast<int32_t>(nl.nodes.size()) - 1;
+  };
+
+  // One node per op; a combinational-loop supernode's members share one
+  // node (index = first member op, index2 = supernode id), so partitioning
+  // always keeps the loop together and the partition graph stays acyclic.
+  nl.nodeOfOp.assign(ir.ops.size(), -1);
+  for (size_t i = 0; i < ir.ops.size(); i++) {
+    if (nl.nodeOfOp[i] != -1) continue;
+    int32_t super = ir.superOf(i);
+    if (super < 0) {
+      nl.nodeOfOp[i] = addNode(NodeKind::Op, static_cast<int32_t>(i));
+    } else {
+      int32_t node = addNode(NodeKind::Op, static_cast<int32_t>(i), super);
+      for (int32_t m : ir.supers[static_cast<size_t>(super)])
+        nl.nodeOfOp[static_cast<size_t>(m)] = node;
+    }
+  }
+
+  nl.nodeOfRegWrite.assign(ir.regs.size(), -1);
+  for (size_t r = 0; r < ir.regs.size(); r++)
+    nl.nodeOfRegWrite[r] = addNode(NodeKind::RegWrite, static_cast<int32_t>(r));
+
+  nl.nodeOfMemWrite.resize(ir.mems.size());
+  for (size_t m = 0; m < ir.mems.size(); m++) {
+    for (size_t w = 0; w < ir.mems[m].writers.size(); w++)
+      nl.nodeOfMemWrite[m].push_back(
+          addNode(NodeKind::MemWrite, static_cast<int32_t>(m), static_cast<int32_t>(w)));
+  }
+
+  std::vector<int32_t> printNodes, stopNodes, assertNodes;
+  for (size_t p = 0; p < ir.prints.size(); p++)
+    printNodes.push_back(addNode(NodeKind::Print, static_cast<int32_t>(p)));
+  for (size_t s = 0; s < ir.stops.size(); s++)
+    stopNodes.push_back(addNode(NodeKind::Stop, static_cast<int32_t>(s)));
+  for (size_t a = 0; a < ir.asserts.size(); a++)
+    assertNodes.push_back(addNode(NodeKind::Assert, static_cast<int32_t>(a)));
+
+  // Producer of each signal: the node of its defining op; sources have -1.
+  nl.producerOf.assign(ir.signals.size(), -1);
+  for (size_t i = 0; i < ir.ops.size(); i++) nl.producerOf[ir.ops[i].dest] = nl.nodeOfOp[i];
+
+  nl.sourceConsumers.resize(ir.signals.size());
+  nl.regReaders.resize(ir.regs.size());
+  nl.memReaders.resize(ir.mems.size());
+
+  std::vector<int32_t> regIndexOfSig(ir.signals.size(), -1);
+  for (size_t r = 0; r < ir.regs.size(); r++) regIndexOfSig[ir.regs[r].sig] = static_cast<int32_t>(r);
+
+  // Records that `node` reads `sig`, creating a graph edge when the signal
+  // is combinationally produced, or source bookkeeping otherwise.
+  auto addRead = [&](int32_t node, int32_t sig) {
+    auto& reads = nl.nodeReads[static_cast<size_t>(node)];
+    if (std::find(reads.begin(), reads.end(), sig) != reads.end()) return;
+    reads.push_back(sig);
+    int32_t producer = nl.producerOf[static_cast<size_t>(sig)];
+    if (producer >= 0) {
+      nl.g.addEdge(producer, node);
+    } else {
+      nl.sourceConsumers[static_cast<size_t>(sig)].push_back(node);
+      int32_t regIdx = regIndexOfSig[static_cast<size_t>(sig)];
+      if (regIdx >= 0) nl.regReaders[static_cast<size_t>(regIdx)].push_back(node);
+    }
+  };
+
+  for (size_t i = 0; i < ir.ops.size(); i++) {
+    const Op& op = ir.ops[i];
+    int32_t node = nl.nodeOfOp[i];
+    int n = op.numArgs();
+    for (int k = 0; k < n; k++) addRead(node, op.args[k]);
+    if (op.code == OpCode::MemRead)
+      nl.memReaders[static_cast<size_t>(op.imm0)].push_back(node);
+  }
+  for (size_t r = 0; r < ir.regs.size(); r++) addRead(nl.nodeOfRegWrite[r], ir.regs[r].next);
+  for (size_t m = 0; m < ir.mems.size(); m++) {
+    for (size_t w = 0; w < ir.mems[m].writers.size(); w++) {
+      int32_t node = nl.nodeOfMemWrite[m][w];
+      const auto& wr = ir.mems[m].writers[w];
+      addRead(node, wr.addr);
+      addRead(node, wr.en);
+      addRead(node, wr.data);
+      addRead(node, wr.mask);
+    }
+  }
+  for (size_t p = 0; p < ir.prints.size(); p++) {
+    addRead(printNodes[p], ir.prints[p].en);
+    for (int32_t a : ir.prints[p].args) addRead(printNodes[p], a);
+  }
+  for (size_t s = 0; s < ir.stops.size(); s++) addRead(stopNodes[s], ir.stops[s].en);
+  for (size_t a = 0; a < ir.asserts.size(); a++) {
+    addRead(assertNodes[a], ir.asserts[a].pred);
+    addRead(assertNodes[a], ir.asserts[a].en);
+  }
+
+  return nl;
+}
+
+}  // namespace essent::core

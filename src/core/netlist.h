@@ -1,0 +1,69 @@
+// Computation-node netlist over a SimIR.
+//
+// This is the graph the acyclic partitioner operates on (paper §IV). Nodes
+// are units of work: combinational ops (including memory reads), state
+// element update actions (register writes, memory writes), and side-effect
+// sinks (printf/stop). State elements are *split* (§II): a register's
+// current value is an external source (no node) while its update is a sink
+// node, so feedback through state never creates graph cycles. Edges are
+// combinational dataflow only.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/sim_ir.h"
+
+namespace essent::core {
+
+enum class NodeKind : uint8_t {
+  Op,        // index = op index in SimIR::ops (index2 = supernode id or -1)
+  RegWrite,  // index = register index in SimIR::regs
+  MemWrite,  // index = mem index, index2 = writer index
+  Print,     // index = print index
+  Stop,      // index = stop index
+  Assert,    // index = assert index
+};
+
+struct NetNode {
+  NodeKind kind = NodeKind::Op;
+  int32_t index = -1;
+  int32_t index2 = -1;
+};
+
+struct Netlist {
+  const sim::SimIR* ir = nullptr;
+  std::vector<NetNode> nodes;
+  graph::DiGraph g;  // acyclic by construction (ops are topo-ordered)
+
+  // Reverse maps.
+  std::vector<int32_t> nodeOfOp;        // op index -> node id
+  std::vector<int32_t> nodeOfRegWrite;  // reg index -> node id
+  std::vector<std::vector<int32_t>> nodeOfMemWrite;  // [mem][writer] -> node id
+
+  // External source signals: per signal id, the consumer node ids. Only
+  // populated for Input and Register signals (the sources of the split
+  // graph); combinational signals are covered by graph edges instead.
+  std::vector<std::vector<int32_t>> sourceConsumers;
+
+  // For each register index: node ids of ops that read the register's
+  // output signal (its "readers" for the update-elision analysis).
+  std::vector<std::vector<int32_t>> regReaders;
+  // For each mem index: node ids of its MemRead ops.
+  std::vector<std::vector<int32_t>> memReaders;
+
+  // Signals read by each node (deduplicated), used by the partitioner to
+  // track per-partition input-signal sets.
+  std::vector<std::vector<int32_t>> nodeReads;
+  // Producing node of each signal (-1 for sources: inputs and registers).
+  std::vector<int32_t> producerOf;
+
+  // Sinks of the graph (out-degree 0): state updates, side effects, and
+  // output-port copies; the MFFC decomposition crawls up from these.
+  std::vector<int32_t> sinks() const;
+
+  static Netlist build(const sim::SimIR& ir);
+};
+
+}  // namespace essent::core

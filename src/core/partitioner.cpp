@@ -1,0 +1,426 @@
+#include "core/partitioner.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/mffc.h"
+
+namespace essent::core {
+
+namespace {
+
+// Incremental partition merger.
+//
+// Maintains the contracted partition graph (with edge multiplicities),
+// per-partition input-signal sets, and — crucially — an exact topological
+// order of the live partitions, updated on every merge with a
+// Pearce/Kelly-style local reorder. The exact order makes the external-path
+// legality test both cheap and one-directional: with pos[A] < pos[B] no
+// path B ->* A can exist, and any path A ->* B stays strictly inside the
+// position window (pos[A], pos[B]), so the search is a window-bounded BFS.
+// The nodes that BFS discovers are exactly the ones that must slide after
+// the merged partition to keep the order valid.
+class Merger {
+ public:
+  Merger(const Netlist& nl, std::vector<int32_t> partOf, int32_t numParts)
+      : nl_(nl), partOf_(std::move(partOf)) {
+    members_.resize(static_cast<size_t>(numParts));
+    for (size_t n = 0; n < partOf_.size(); n++)
+      members_[static_cast<size_t>(partOf_[n])].push_back(static_cast<int32_t>(n));
+    alive_.assign(static_cast<size_t>(numParts), true);
+    out_.resize(static_cast<size_t>(numParts));
+    in_.resize(static_cast<size_t>(numParts));
+    for (graph::NodeId v = 0; v < nl.g.numNodes(); v++) {
+      for (graph::NodeId w : nl.g.outNeighbors(v)) {
+        int32_t pv = partOf_[static_cast<size_t>(v)], pw = partOf_[static_cast<size_t>(w)];
+        if (pv != pw) {
+          out_[static_cast<size_t>(pv)][pw]++;
+          in_[static_cast<size_t>(pw)][pv]++;
+        }
+      }
+    }
+    inputSigs_.resize(static_cast<size_t>(numParts));
+    for (size_t n = 0; n < partOf_.size(); n++) {
+      int32_t p = partOf_[n];
+      for (int32_t sig : nl.nodeReads[n]) {
+        int32_t prod = producerPart(sig);
+        if (prod != p) inputSigs_[static_cast<size_t>(p)].insert(sig);
+      }
+    }
+    initTopoOrder(numParts);
+    visitStamp_.assign(static_cast<size_t>(numParts), 0);
+  }
+
+  int32_t producerPart(int32_t sig) const {
+    int32_t node = nl_.producerOf[static_cast<size_t>(sig)];
+    return node < 0 ? -1 : partOf_[static_cast<size_t>(node)];
+  }
+
+  bool alive(int32_t p) const { return alive_[static_cast<size_t>(p)]; }
+  size_t size(int32_t p) const { return members_[static_cast<size_t>(p)].size(); }
+  const std::unordered_map<int32_t, int32_t>& outNbrs(int32_t p) const {
+    return out_[static_cast<size_t>(p)];
+  }
+  const std::unordered_map<int32_t, int32_t>& inNbrs(int32_t p) const {
+    return in_[static_cast<size_t>(p)];
+  }
+  const std::unordered_set<int32_t>& inputs(int32_t p) const {
+    return inputSigs_[static_cast<size_t>(p)];
+  }
+  size_t numAlive() const {
+    size_t n = 0;
+    for (bool a : alive_) n += a;
+    return n;
+  }
+  std::vector<int32_t> alivePartitions() const {
+    std::vector<int32_t> out;
+    for (int32_t p : order_)
+      if (p >= 0 && alive_[static_cast<size_t>(p)]) out.push_back(p);
+    return out;
+  }
+
+  // Merges a and b if legal (no external path between them); returns false
+  // when the merge would create a cycle. On success the surviving partition
+  // is `a` (by id) regardless of order.
+  bool tryMerge(int32_t a, int32_t b) {
+    if (a == b || !alive(a) || !alive(b)) return false;
+    int32_t low = pos_[static_cast<size_t>(a)] < pos_[static_cast<size_t>(b)] ? a : b;
+    int32_t high = low == a ? b : a;
+    // Window-bounded BFS from low. Any discovered intermediate with an edge
+    // into high is an external path (the direct low->high edge is fine).
+    int32_t hiPos = pos_[static_cast<size_t>(high)];
+    stamp_++;
+    std::vector<int32_t> forward;  // visited, excluding low, in BFS order
+    std::vector<int32_t> stack;
+    visitStamp_[static_cast<size_t>(low)] = stamp_;
+    stack.push_back(low);
+    while (!stack.empty()) {
+      int32_t v = stack.back();
+      stack.pop_back();
+      for (const auto& [succ, cnt] : out_[static_cast<size_t>(v)]) {
+        (void)cnt;
+        if (succ == high) {
+          if (v != low) return false;  // external path
+          continue;
+        }
+        if (pos_[static_cast<size_t>(succ)] > hiPos) continue;  // exact pruning
+        if (visitStamp_[static_cast<size_t>(succ)] == stamp_) continue;
+        visitStamp_[static_cast<size_t>(succ)] = stamp_;
+        forward.push_back(succ);
+        stack.push_back(succ);
+      }
+    }
+    mergeInternal(a, b, low, high, forward);
+    return true;
+  }
+
+  // Finalizes into a compact Partitioning.
+  Partitioning finalize() const {
+    Partitioning out;
+    std::vector<int32_t> compact(alive_.size(), -1);
+    // Compact ids in topological order so downstream consumers get a
+    // schedule-friendly numbering.
+    for (int32_t p : order_) {
+      if (p < 0 || !alive_[static_cast<size_t>(p)]) continue;
+      compact[static_cast<size_t>(p)] = static_cast<int32_t>(out.members.size());
+      out.members.push_back(members_[static_cast<size_t>(p)]);
+    }
+    out.partOf.resize(partOf_.size());
+    for (size_t n = 0; n < partOf_.size(); n++)
+      out.partOf[n] = compact[static_cast<size_t>(partOf_[n])];
+    out.partGraph =
+        graph::condense(nl_.g, out.partOf, static_cast<int32_t>(out.members.size()));
+    auto order = out.partGraph.topoSort();
+    if (!order)
+      throw std::logic_error("partitioner invariant violated: partition graph is cyclic");
+    out.schedule = std::move(*order);
+    return out;
+  }
+
+  int64_t countCutEdges() const {
+    int64_t cut = 0;
+    for (graph::NodeId v = 0; v < nl_.g.numNodes(); v++)
+      for (graph::NodeId w : nl_.g.outNeighbors(v))
+        if (partOf_[static_cast<size_t>(v)] != partOf_[static_cast<size_t>(w)]) cut++;
+    return cut;
+  }
+
+ private:
+  const Netlist& nl_;
+  std::vector<int32_t> partOf_;
+  std::vector<std::vector<int32_t>> members_;
+  std::vector<bool> alive_;
+  std::vector<std::unordered_map<int32_t, int32_t>> out_, in_;
+  std::vector<std::unordered_set<int32_t>> inputSigs_;
+  // Exact topological order: order_[i] is the partition at position i (or -1
+  // for a hole left by a merge); pos_ is its inverse.
+  std::vector<int32_t> order_;
+  std::vector<int32_t> pos_;
+  std::vector<uint32_t> visitStamp_;
+  uint32_t stamp_ = 0;
+
+  void initTopoOrder(int32_t numParts) {
+    pos_.assign(static_cast<size_t>(numParts), 0);
+    order_.clear();
+    order_.reserve(static_cast<size_t>(numParts));
+    std::vector<int32_t> indeg(static_cast<size_t>(numParts), 0);
+    for (int32_t p = 0; p < numParts; p++)
+      indeg[static_cast<size_t>(p)] = static_cast<int32_t>(in_[static_cast<size_t>(p)].size());
+    std::vector<int32_t> ready;
+    for (int32_t p = 0; p < numParts; p++)
+      if (indeg[static_cast<size_t>(p)] == 0) ready.push_back(p);
+    while (!ready.empty()) {
+      int32_t v = ready.back();
+      ready.pop_back();
+      pos_[static_cast<size_t>(v)] = static_cast<int32_t>(order_.size());
+      order_.push_back(v);
+      for (const auto& [w, cnt] : out_[static_cast<size_t>(v)]) {
+        (void)cnt;
+        if (--indeg[static_cast<size_t>(w)] == 0) ready.push_back(w);
+      }
+    }
+    if (order_.size() != static_cast<size_t>(numParts))
+      throw std::logic_error("initial partitioning is cyclic");
+  }
+
+  // Contracts b into a, placing the merged partition at high's position and
+  // sliding `forward` (everything reachable from low inside the window)
+  // directly after it. See the class comment for the validity argument.
+  void mergeInternal(int32_t a, int32_t b, int32_t low, int32_t high,
+                     const std::vector<int32_t>& forward) {
+    auto& ma = members_[static_cast<size_t>(a)];
+    auto& mb = members_[static_cast<size_t>(b)];
+    for (int32_t n : mb) partOf_[static_cast<size_t>(n)] = a;
+    ma.insert(ma.end(), mb.begin(), mb.end());
+    mb.clear();
+    mb.shrink_to_fit();
+
+    auto relink = [&](std::vector<std::unordered_map<int32_t, int32_t>>& fwd,
+                      std::vector<std::unordered_map<int32_t, int32_t>>& rev) {
+      for (const auto& [nbr, cnt] : fwd[static_cast<size_t>(b)]) {
+        rev[static_cast<size_t>(nbr)].erase(b);
+        if (nbr == a) continue;
+        fwd[static_cast<size_t>(a)][nbr] += cnt;
+        rev[static_cast<size_t>(nbr)][a] += cnt;
+      }
+      fwd[static_cast<size_t>(b)].clear();
+    };
+    out_[static_cast<size_t>(a)].erase(b);
+    in_[static_cast<size_t>(a)].erase(b);
+    out_[static_cast<size_t>(b)].erase(a);
+    in_[static_cast<size_t>(b)].erase(a);
+    relink(out_, in_);
+    relink(in_, out_);
+
+    auto& ia = inputSigs_[static_cast<size_t>(a)];
+    auto& ib = inputSigs_[static_cast<size_t>(b)];
+    ia.insert(ib.begin(), ib.end());
+    ib.clear();
+    for (auto it = ia.begin(); it != ia.end();) {
+      if (producerPart(*it) == a) it = ia.erase(it);
+      else ++it;
+    }
+    alive_[static_cast<size_t>(b)] = false;
+
+    // --- order maintenance ---
+    int32_t loPos = pos_[static_cast<size_t>(low)];
+    int32_t hiPos = pos_[static_cast<size_t>(high)];
+    // Partition the window [loPos, hiPos] into: untouched entries (keep
+    // relative order), then the merged partition, then the forward set
+    // (keep relative order), then one hole for the consumed slot.
+    stamp_++;
+    for (int32_t f : forward) visitStamp_[static_cast<size_t>(f)] = stamp_;
+    std::vector<int32_t> untouched, movedForward;
+    for (int32_t i = loPos; i <= hiPos; i++) {
+      int32_t p = order_[static_cast<size_t>(i)];
+      if (p < 0 || p == low || p == high) continue;
+      if (visitStamp_[static_cast<size_t>(p)] == stamp_) movedForward.push_back(p);
+      else untouched.push_back(p);
+    }
+    int32_t idx = loPos;
+    auto place = [&](int32_t p) {
+      order_[static_cast<size_t>(idx)] = p;
+      if (p >= 0) pos_[static_cast<size_t>(p)] = idx;
+      idx++;
+    };
+    for (int32_t p : untouched) place(p);
+    place(a);  // merged partition sits at (what becomes) high's slot region
+    for (int32_t p : movedForward) place(p);
+    while (idx <= hiPos) place(-1);  // holes
+  }
+};
+
+}  // namespace
+
+Partitioning partitionNetlist(const Netlist& nl, const PartitionOptions& opts) {
+  PartitionStats stats;
+
+  int32_t numParts = 0;
+  std::vector<int32_t> initial = mffcDecompose(nl.g, &numParts);
+  stats.initialParts = static_cast<size_t>(numParts);
+
+  Merger merger(nl, std::move(initial), numParts);
+
+  // --- Phase A: merge single-parent partitions into their parents. ---
+  if (opts.phaseSingleParent) {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (int32_t p : merger.alivePartitions()) {
+        if (!merger.alive(p)) continue;
+        if (merger.inNbrs(p).size() != 1) continue;
+        // All signals must come from the single parent: no source signals
+        // (external inputs / register outputs) may feed p.
+        bool pureSingleParent = true;
+        for (int32_t sig : merger.inputs(p)) {
+          if (merger.producerPart(sig) == -1) {
+            pureSingleParent = false;
+            break;
+          }
+        }
+        if (!pureSingleParent) continue;
+        int32_t parent = merger.inNbrs(p).begin()->first;
+        // Single-parent merges cannot create cycles (an external path
+        // parent->C->p would require a second in-neighbor of p), but they
+        // still go through tryMerge for order maintenance.
+        if (merger.tryMerge(parent, p)) {
+          stats.mergesA++;
+          progress = true;
+        }
+      }
+    }
+  }
+  stats.afterSingleParent = merger.numAlive();
+
+  const uint32_t cp = opts.smallThreshold;
+  auto isSmall = [&](int32_t p) { return merger.alive(p) && merger.size(p) < cp; };
+
+  // --- Phase B: merge small partitions with small siblings, prioritizing
+  // shared signals with the most small consumers (each such merge removes
+  // the most cut edges at once, per the paper's heuristic). ---
+  if (opts.phaseSmallSiblings && cp > 0) {
+    for (uint32_t pass = 0; pass < opts.maxPasses; pass++) {
+      // sig -> small partitions consuming it.
+      std::unordered_map<int32_t, std::vector<int32_t>> consumersBySig;
+      for (int32_t p : merger.alivePartitions()) {
+        if (!isSmall(p)) continue;
+        for (int32_t sig : merger.inputs(p)) consumersBySig[sig].push_back(p);
+      }
+      std::vector<std::pair<int32_t, std::vector<int32_t>>> groups;
+      for (auto& [sig, parts] : consumersBySig)
+        if (parts.size() > 1) groups.emplace_back(sig, std::move(parts));
+      std::sort(groups.begin(), groups.end(), [](const auto& a, const auto& b) {
+        if (a.second.size() != b.second.size()) return a.second.size() > b.second.size();
+        return a.first < b.first;  // deterministic tie-break
+      });
+
+      size_t mergesThisPass = 0;
+      for (auto& [sig, parts] : groups) {
+        (void)sig;
+        int32_t acc = -1;
+        for (int32_t p : parts) {
+          if (!isSmall(p)) continue;  // may have grown or died this pass
+          if (acc == -1 || acc == p || !merger.alive(acc)) {
+            acc = p;
+            continue;
+          }
+          if (merger.tryMerge(acc, p)) {
+            stats.mergesB++;
+            mergesThisPass++;
+            // Small-with-small only: once the group stops being small it
+            // stops absorbing (keeps coarsening gradual in C_p).
+            if (!isSmall(acc)) acc = -1;
+          } else {
+            stats.rejectedMerges++;
+          }
+        }
+      }
+      if (mergesThisPass == 0) break;
+    }
+  }
+  stats.afterSmallSiblings = merger.numAlive();
+
+  // --- Phase C: merge remaining small partitions with any sibling,
+  // maximizing the fraction of input signals in common. ---
+  if (opts.phaseAnySibling && cp > 0) {
+    for (uint32_t pass = 0; pass < opts.maxPasses; pass++) {
+      // sig -> all partitions consuming it (any size).
+      std::unordered_map<int32_t, std::vector<int32_t>> consumersBySig;
+      for (int32_t p : merger.alivePartitions())
+        for (int32_t sig : merger.inputs(p)) consumersBySig[sig].push_back(p);
+
+      size_t mergesThisPass = 0;
+      for (int32_t p : merger.alivePartitions()) {
+        if (!isSmall(p)) continue;
+        // Score candidate siblings by shared input fraction (Jaccard).
+        std::unordered_map<int32_t, uint32_t> shared;
+        for (int32_t sig : merger.inputs(p)) {
+          auto it = consumersBySig.find(sig);
+          if (it == consumersBySig.end()) continue;
+          for (int32_t c : it->second)
+            if (c != p && merger.alive(c)) shared[c]++;
+        }
+        std::vector<std::pair<double, int32_t>> ranked;
+        for (const auto& [c, cnt] : shared) {
+          double uni =
+              static_cast<double>(merger.inputs(p).size() + merger.inputs(c).size() - cnt);
+          ranked.emplace_back(uni > 0 ? cnt / uni : 1.0, c);
+        }
+        std::sort(ranked.begin(), ranked.end(), [](const auto& x, const auto& y) {
+          if (x.first != y.first) return x.first > y.first;
+          return x.second < y.second;
+        });
+        for (const auto& [score, c] : ranked) {
+          (void)score;
+          if (merger.tryMerge(c, p)) {
+            stats.mergesC++;
+            mergesThisPass++;
+            break;
+          }
+          stats.rejectedMerges++;
+        }
+      }
+      if (mergesThisPass == 0) break;
+    }
+  }
+
+  stats.cutEdges = merger.countCutEdges();
+  for (int32_t p : merger.alivePartitions())
+    if (merger.size(p) < cp) stats.smallRemaining++;
+
+  Partitioning out = merger.finalize();
+  stats.finalParts = out.numPartitions();
+  out.stats = stats;
+  return out;
+}
+
+Partitioning finePartitioning(const Netlist& nl) {
+  Partitioning out;
+  int32_t n = nl.g.numNodes();
+  out.partOf.resize(static_cast<size_t>(n));
+  out.members.resize(static_cast<size_t>(n));
+  for (int32_t i = 0; i < n; i++) {
+    out.partOf[static_cast<size_t>(i)] = i;
+    out.members[static_cast<size_t>(i)] = {i};
+  }
+  out.partGraph = graph::condense(nl.g, out.partOf, n);
+  out.schedule = *out.partGraph.topoSort();
+  out.stats.initialParts = out.stats.finalParts = static_cast<size_t>(n);
+  return out;
+}
+
+Partitioning monolithicPartitioning(const Netlist& nl) {
+  Partitioning out;
+  int32_t n = nl.g.numNodes();
+  out.partOf.assign(static_cast<size_t>(n), 0);
+  out.members.resize(1);
+  for (int32_t i = 0; i < n; i++) out.members[0].push_back(i);
+  out.partGraph = graph::condense(nl.g, out.partOf, 1);
+  out.schedule = {0};
+  out.stats.initialParts = out.stats.finalParts = 1;
+  return out;
+}
+
+}  // namespace essent::core

@@ -1,0 +1,404 @@
+#include "designs/blocks.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/rng.h"
+#include "support/strutil.h"
+
+namespace essent::designs {
+
+std::string counterFirrtl(uint32_t width) {
+  return strfmt(R"(
+circuit Counter :
+  module Counter :
+    input clock : Clock
+    input reset : UInt<1>
+    input en : UInt<1>
+    output count : UInt<%u>
+    reg r : UInt<%u>, clock with : (reset => (reset, UInt<%u>(0)))
+    when en :
+      r <= tail(add(r, UInt<%u>(1)), 1)
+    count <= r
+)",
+                width, width, width, width);
+}
+
+std::string aluArrayFirrtl(uint32_t lanes, uint32_t width) {
+  std::string s = "circuit AluArray :\n  module AluArray :\n";
+  s += "    input clock : Clock\n    input reset : UInt<1>\n";
+  s += strfmt("    input opa : UInt<%u>\n    input opb : UInt<%u>\n", width, width);
+  s += "    input sel : UInt<3>\n";
+  s += strfmt("    output acc : UInt<%u>\n", width);
+  for (uint32_t l = 0; l < lanes; l++) {
+    s += strfmt("    reg lane%u : UInt<%u>, clock with : (reset => (reset, UInt<%u>(0)))\n",
+                l, width, width);
+  }
+  // Each lane computes a different function of the shared operands and
+  // registers it; the structure repeats across lanes with shared inputs.
+  for (uint32_t l = 0; l < lanes; l++) {
+    const char* fn;
+    switch (l % 5) {
+      case 0: fn = "tail(add(opa, opb), 1)"; break;
+      case 1: fn = "tail(sub(opa, opb), 1)"; break;
+      case 2: fn = "and(opa, opb)"; break;
+      case 3: fn = "xor(opa, opb)"; break;
+      default: fn = "or(opa, opb)"; break;
+    }
+    s += strfmt("    node fn%u = %s\n", l, fn);
+    s += strfmt("    when eq(sel, UInt<3>(%u)) :\n      lane%u <= fn%u\n", l % 8, l, l);
+  }
+  // Reduction tree over the lanes.
+  std::vector<std::string> layer;
+  for (uint32_t l = 0; l < lanes; l++) layer.push_back(strfmt("lane%u", l));
+  uint32_t tmp = 0;
+  while (layer.size() > 1) {
+    std::vector<std::string> next;
+    for (size_t i = 0; i + 1 < layer.size(); i += 2) {
+      std::string name = strfmt("red%u", tmp++);
+      s += strfmt("    node %s = xor(%s, %s)\n", name.c_str(), layer[i].c_str(),
+                  layer[i + 1].c_str());
+      next.push_back(name);
+    }
+    if (layer.size() % 2) next.push_back(layer.back());
+    layer = std::move(next);
+  }
+  s += strfmt("    acc <= %s\n", layer[0].c_str());
+  return s;
+}
+
+std::string pipelineFirrtl(uint32_t depth, uint32_t width) {
+  std::string s = "circuit Pipeline :\n  module Pipeline :\n";
+  s += "    input clock : Clock\n    input reset : UInt<1>\n";
+  s += strfmt("    input din : UInt<%u>\n    input valid : UInt<1>\n", width);
+  s += strfmt("    output dout : UInt<%u>\n", width);
+  for (uint32_t d = 0; d < depth; d++)
+    s += strfmt("    reg st%u : UInt<%u>, clock with : (reset => (reset, UInt<%u>(0)))\n", d,
+                width, width);
+  s += "    when valid :\n";
+  for (uint32_t d = 0; d < depth; d++) {
+    std::string prev = d == 0 ? "din" : strfmt("st%u", d - 1);
+    // Alternate a rotate-ish transform and an increment per stage.
+    if (d % 2 == 0) {
+      s += strfmt("      st%u <= cat(bits(%s, 0, 0), bits(%s, %u, 1))\n", d, prev.c_str(),
+                  prev.c_str(), width - 1);
+    } else {
+      s += strfmt("      st%u <= tail(add(%s, UInt<%u>(%u)), 1)\n", d, prev.c_str(), width,
+                  d % 7 + 1);
+    }
+  }
+  s += strfmt("    dout <= st%u\n", depth - 1);
+  return s;
+}
+
+std::string gatedBanksFirrtl(uint32_t banks, uint32_t width) {
+  std::string s = "circuit GatedBanks :\n  module GatedBanks :\n";
+  s += "    input clock : Clock\n    input reset : UInt<1>\n";
+  s += strfmt("    input bankSel : UInt<16>\n    input wdata : UInt<%u>\n", width);
+  s += strfmt("    output sum : UInt<%u>\n", width);
+  for (uint32_t b = 0; b < banks; b++) {
+    s += strfmt("    reg bank%u : UInt<%u>, clock with : (reset => (reset, UInt<%u>(0)))\n", b,
+                width, width);
+    // Each bank updates only when selected: idle almost always.
+    s += strfmt("    when eq(bankSel, UInt<16>(%u)) :\n", b);
+    s += strfmt("      bank%u <= tail(add(bank%u, wdata), 1)\n", b, b);
+  }
+  std::vector<std::string> layer;
+  for (uint32_t b = 0; b < banks; b++) layer.push_back(strfmt("bank%u", b));
+  uint32_t tmp = 0;
+  while (layer.size() > 1) {
+    std::vector<std::string> next;
+    for (size_t i = 0; i + 1 < layer.size(); i += 2) {
+      std::string name = strfmt("bsum%u", tmp++);
+      s += strfmt("    node %s = xor(%s, %s)\n", name.c_str(), layer[i].c_str(),
+                  layer[i + 1].c_str());
+      next.push_back(name);
+    }
+    if (layer.size() % 2) next.push_back(layer.back());
+    layer = std::move(next);
+  }
+  s += strfmt("    sum <= %s\n", layer[0].c_str());
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Random design generator
+
+namespace {
+
+struct Val {
+  std::string ref;  // node/port name
+  uint32_t width;
+  bool sgn;
+};
+
+struct RandGen {
+  Rng rng;
+  const RandomDesignConfig& cfg;
+  std::string body;
+  std::vector<Val> pool;
+  uint32_t nextId = 0;
+  uint32_t widthCap;
+
+  RandGen(uint64_t seed, const RandomDesignConfig& c)
+      : rng(seed), cfg(c), widthCap(c.useWide ? 150 : 60) {}
+
+  Val pick() { return pool[rng.nextBelow(pool.size())]; }
+
+  Val pickOneBit() {
+    // Find or make a 1-bit value.
+    for (int tries = 0; tries < 8; tries++) {
+      Val v = pick();
+      if (v.width == 1 && !v.sgn) return v;
+    }
+    Val v = pick();
+    return emitNode(strfmt("orr(%s)", v.ref.c_str()), 1, false);
+  }
+
+  Val emitNode(const std::string& expr, uint32_t width, bool sgn) {
+    std::string name = strfmt("n%u", nextId++);
+    body += strfmt("    node %s = %s\n", name.c_str(), expr.c_str());
+    Val v{name, width, sgn};
+    pool.push_back(v);
+    return v;
+  }
+
+  // Reinterprets v as the wanted signedness (free cast).
+  Val coerce(Val v, bool wantSigned) {
+    if (v.sgn == wantSigned) return v;
+    return Val{strfmt("%s(%s)", wantSigned ? "asSInt" : "asUInt", v.ref.c_str()), v.width,
+               wantSigned};
+  }
+
+  // Narrows oversized results to keep widths bounded.
+  Val clamp(Val v) {
+    if (v.width <= widthCap) return v;
+    uint32_t w = 1 + static_cast<uint32_t>(rng.nextBelow(widthCap));
+    return emitNode(strfmt("bits(%s, %u, 0)", v.ref.c_str(), w - 1), w, false);
+  }
+
+  Val randomLiteral() {
+    uint32_t w = 1 + static_cast<uint32_t>(rng.nextBelow(cfg.maxWidth));
+    uint64_t mag = rng.next() & ((w >= 64) ? ~0ull : ((1ull << w) - 1));
+    bool sgn = cfg.useSigned && rng.nextBool();
+    if (sgn)
+      return Val{strfmt("asSInt(UInt<%u>(\"h%llx\"))", w, static_cast<unsigned long long>(mag)),
+                 w, true};
+    return Val{strfmt("UInt<%u>(\"h%llx\")", w, static_cast<unsigned long long>(mag)), w, false};
+  }
+
+  Val makeExpr() {
+    int kind = static_cast<int>(rng.nextBelow(20));
+    Val a = pick();
+    switch (kind) {
+      case 0: {  // add/sub
+        Val b = coerce(pick(), a.sgn);
+        const char* op = rng.nextBool() ? "add" : "sub";
+        uint32_t w = std::max(a.width, b.width) + 1;
+        return clamp(Val{strfmt("%s(%s, %s)", op, a.ref.c_str(), b.ref.c_str()), w, a.sgn});
+      }
+      case 1: {  // mul
+        if (!cfg.useMul) return makeExpr();
+        Val b = coerce(pick(), a.sgn);
+        if (a.width + b.width > widthCap) {
+          a = clamp(a);
+          b = coerce(clamp(coerce(b, false)), a.sgn);
+        }
+        if (a.width + b.width > widthCap) return makeExpr();
+        return Val{strfmt("mul(%s, %s)", a.ref.c_str(), b.ref.c_str()), a.width + b.width, a.sgn};
+      }
+      case 2: {  // div/rem
+        if (!cfg.useDiv) return makeExpr();
+        Val b = coerce(pick(), a.sgn);
+        if (rng.nextBool())
+          return Val{strfmt("div(%s, %s)", a.ref.c_str(), b.ref.c_str()),
+                     a.sgn ? a.width + 1 : a.width, a.sgn};
+        return Val{strfmt("rem(%s, %s)", a.ref.c_str(), b.ref.c_str()),
+                   std::min(a.width, b.width), a.sgn};
+      }
+      case 3: {  // comparison
+        Val b = coerce(pick(), a.sgn);
+        static const char* cmps[] = {"lt", "leq", "gt", "geq", "eq", "neq"};
+        return Val{strfmt("%s(%s, %s)", cmps[rng.nextBelow(6)], a.ref.c_str(), b.ref.c_str()), 1,
+                   false};
+      }
+      case 4: {  // bitwise
+        Val b = coerce(pick(), a.sgn);
+        static const char* ops[] = {"and", "or", "xor"};
+        return Val{strfmt("%s(%s, %s)", ops[rng.nextBelow(3)], a.ref.c_str(), b.ref.c_str()),
+                   std::max(a.width, b.width), false};
+      }
+      case 5:  // not
+        return Val{strfmt("not(%s)", a.ref.c_str()), a.width, false};
+      case 6: {  // reductions
+        static const char* ops[] = {"andr", "orr", "xorr"};
+        return Val{strfmt("%s(%s)", ops[rng.nextBelow(3)], a.ref.c_str()), 1, false};
+      }
+      case 7: {  // cat
+        Val b = pick();
+        if (a.width + b.width > widthCap) return makeExpr();
+        return Val{strfmt("cat(%s, %s)", a.ref.c_str(), b.ref.c_str()), a.width + b.width, false};
+      }
+      case 8: {  // bits
+        uint32_t lo = static_cast<uint32_t>(rng.nextBelow(a.width));
+        uint32_t hi = lo + static_cast<uint32_t>(rng.nextBelow(a.width - lo));
+        return Val{strfmt("bits(%s, %u, %u)", a.ref.c_str(), hi, lo), hi - lo + 1, false};
+      }
+      case 9: {  // pad
+        uint32_t n = 1 + static_cast<uint32_t>(rng.nextBelow(widthCap));
+        return Val{strfmt("pad(%s, %u)", a.ref.c_str(), n), std::max(a.width, n), a.sgn};
+      }
+      case 10: {  // shl/shr static
+        uint32_t n = static_cast<uint32_t>(rng.nextBelow(12));
+        if (rng.nextBool() && a.width + n <= widthCap)
+          return Val{strfmt("shl(%s, %u)", a.ref.c_str(), n), a.width + n, a.sgn};
+        n = std::min(n, a.width);
+        return Val{strfmt("shr(%s, %u)", a.ref.c_str(), n), std::max(a.width - n, 1u), a.sgn};
+      }
+      case 11: {  // dynamic shifts (shift amount kept narrow)
+        Val b = coerce(pick(), false);
+        if (b.width > 4) b = emitNode(strfmt("bits(%s, 3, 0)", b.ref.c_str()), 4, false);
+        uint32_t extra = (1u << b.width) - 1;  // dshl widens by 2^wb - 1
+        if (rng.nextBool() && a.width + extra <= widthCap)
+          return Val{strfmt("dshl(%s, %s)", a.ref.c_str(), b.ref.c_str()), a.width + extra,
+                     a.sgn};
+        return Val{strfmt("dshr(%s, %s)", a.ref.c_str(), b.ref.c_str()), a.width, a.sgn};
+      }
+      case 12:  // cvt
+        return Val{strfmt("cvt(%s)", a.ref.c_str()), a.sgn ? a.width : a.width + 1, true};
+      case 13:  // neg
+        if (a.width + 1 > widthCap) a = clamp(a);
+        return Val{strfmt("neg(%s)", a.ref.c_str()), a.width + 1, true};
+      case 14: {  // mux
+        Val sel = pickOneBit();
+        Val t = pick();
+        Val f = coerce(pick(), t.sgn);
+        return Val{strfmt("mux(%s, %s, %s)", sel.ref.c_str(), t.ref.c_str(), f.ref.c_str()),
+                   std::max(t.width, f.width), t.sgn};
+      }
+      case 15: {  // validif
+        Val c = pickOneBit();
+        return Val{strfmt("validif(%s, %s)", c.ref.c_str(), a.ref.c_str()), a.width, a.sgn};
+      }
+      case 16: {  // head/tail
+        if (a.width < 2) return makeExpr();
+        uint32_t n = 1 + static_cast<uint32_t>(rng.nextBelow(a.width - 1));
+        if (rng.nextBool()) return Val{strfmt("head(%s, %u)", a.ref.c_str(), n), n, false};
+        return Val{strfmt("tail(%s, %u)", a.ref.c_str(), n), a.width - n, false};
+      }
+      case 17:
+        return randomLiteral();
+      default: {  // plain reuse through a unary op to add depth
+        return Val{strfmt("asUInt(%s)", a.ref.c_str()), a.width, false};
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::string randomDesignFirrtl(uint64_t seed, const RandomDesignConfig& cfg) {
+  RandGen g(seed, cfg);
+  std::string ports = "    input clock : Clock\n    input reset : UInt<1>\n";
+
+  for (uint32_t i = 0; i < cfg.numInputs; i++) {
+    uint32_t w = 1 + static_cast<uint32_t>(g.rng.nextBelow(cfg.maxWidth));
+    bool sgn = cfg.useSigned && g.rng.nextChance(0.3);
+    ports += strfmt("    input in%u : %s<%u>\n", i, sgn ? "SInt" : "UInt", w);
+    g.pool.push_back(Val{strfmt("in%u", i), w, sgn});
+  }
+
+  // Registers: declared up front so combinational logic can read them.
+  struct RegDecl {
+    std::string name;
+    uint32_t width;
+    bool sgn;
+    bool hasReset;
+    bool gated;
+  };
+  std::vector<RegDecl> regs;
+  for (uint32_t r = 0; r < cfg.numRegs; r++) {
+    RegDecl rd;
+    rd.name = strfmt("r%u", r);
+    rd.width = 1 + static_cast<uint32_t>(g.rng.nextBelow(cfg.maxWidth));
+    rd.sgn = cfg.useSigned && g.rng.nextChance(0.3);
+    rd.hasReset = g.rng.nextChance(0.7);
+    rd.gated = cfg.useWhens && g.rng.nextChance(0.5);
+    const char* ty = rd.sgn ? "SInt" : "UInt";
+    if (rd.hasReset) {
+      g.body += strfmt("    reg %s : %s<%u>, clock with : (reset => (reset, %s<%u>(0)))\n",
+                       rd.name.c_str(), ty, rd.width, ty, rd.width);
+    } else {
+      g.body += strfmt("    reg %s : %s<%u>, clock\n", rd.name.c_str(), ty, rd.width);
+    }
+    g.pool.push_back(Val{rd.name, rd.width, rd.sgn});
+    regs.push_back(rd);
+  }
+
+  // Combinational nodes.
+  for (uint32_t n = 0; n < cfg.numNodes; n++) {
+    Val v = g.makeExpr();
+    g.emitNode(v.ref, v.width, v.sgn);
+  }
+
+  // Optional memory.
+  if (cfg.useMem) {
+    g.body +=
+        "    mem scratch :\n"
+        "      data-type => UInt<16>\n"
+        "      depth => 16\n"
+        "      read-latency => 0\n"
+        "      write-latency => 1\n"
+        "      read-under-write => undefined\n"
+        "      reader => r\n"
+        "      writer => w\n";
+    Val raddr = g.pick(), waddr = g.pick(), wdata = g.pick();
+    Val wen = g.pickOneBit();
+    g.body += strfmt("    scratch.r.addr <= bits(pad(asUInt(%s), 4), 3, 0)\n", raddr.ref.c_str());
+    g.body += "    scratch.r.en <= UInt<1>(1)\n    scratch.r.clk <= clock\n";
+    g.body += strfmt("    scratch.w.addr <= bits(pad(asUInt(%s), 4), 3, 0)\n", waddr.ref.c_str());
+    g.body += strfmt("    scratch.w.en <= %s\n", wen.ref.c_str());
+    g.body += "    scratch.w.clk <= clock\n";
+    g.body += strfmt("    scratch.w.data <= bits(pad(asUInt(%s), 16), 15, 0)\n", wdata.ref.c_str());
+    g.body += "    scratch.w.mask <= UInt<1>(1)\n";
+    g.pool.push_back(Val{"scratch.r.data", 16, false});
+    // A couple more nodes consuming the read port.
+    for (int n = 0; n < 4; n++) {
+      Val v = g.makeExpr();
+      g.emitNode(v.ref, v.width, v.sgn);
+    }
+  }
+
+  // Register next-value connects (possibly when-gated). Connect sources are
+  // coerced to the register's signedness: FIRRTL requires matching
+  // signedness, and when-expansion turns gated connects into muxes whose
+  // arms must agree.
+  for (const auto& rd : regs) {
+    Val next = g.coerce(g.pick(), rd.sgn);
+    if (rd.gated) {
+      Val en = g.pickOneBit();
+      g.body += strfmt("    when %s :\n      %s <= %s\n", en.ref.c_str(), rd.name.c_str(),
+                       next.ref.c_str());
+      if (g.rng.nextBool()) {
+        Val alt = g.coerce(g.pick(), rd.sgn);
+        g.body += strfmt("    else :\n      %s <= %s\n", rd.name.c_str(), alt.ref.c_str());
+      }
+    } else {
+      g.body += strfmt("    %s <= %s\n", rd.name.c_str(), next.ref.c_str());
+    }
+  }
+
+  // Outputs: several random picks plus every register (ensures liveness and
+  // gives the equivalence checker plenty of observable state).
+  std::string outPorts, outConnects;
+  for (int o = 0; o < 5; o++) {
+    Val v = g.pick();
+    outPorts += strfmt("    output out%d : %s<%u>\n", o, v.sgn ? "SInt" : "UInt", v.width);
+    outConnects += strfmt("    out%d <= %s\n", o, v.ref.c_str());
+  }
+
+  return "circuit RandomDesign :\n  module RandomDesign :\n" + ports + outPorts + g.body +
+         outConnects;
+}
+
+}  // namespace essent::designs

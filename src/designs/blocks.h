@@ -1,0 +1,52 @@
+// FIRRTL text generators for synthetic design blocks.
+//
+// These stand in for the paper's open-source processor designs (DESIGN.md
+// §2): they produce genuine FIRRTL consumed through the identical
+// parse -> lower -> build -> partition -> simulate pipeline, with the graph
+// shapes that matter to the partitioner — fanout-free cones, repeated
+// bit-vector structures (Figure 4B), shared-input siblings (Figure 4C), and
+// clock-gated mostly-idle regions (the source of low activity factors).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace essent::designs {
+
+// en-gated wrapping counter (the quickstart design).
+std::string counterFirrtl(uint32_t width = 8);
+
+// Array of `lanes` identical ALU lanes sharing two operand inputs, each
+// selected by a per-lane opcode register: repeated structure with high
+// shared fanout (exercises partitioner phase B).
+std::string aluArrayFirrtl(uint32_t lanes, uint32_t width);
+
+// `depth`-stage register pipeline; each stage applies a small combinational
+// transform. Long fanout-free chains (exercises MFFC + phase A).
+std::string pipelineFirrtl(uint32_t depth, uint32_t width);
+
+// `banks` independent register banks, each updated only when its one-hot
+// enable matches the bank select input: mostly idle by construction, the
+// canonical low-activity-factor block.
+std::string gatedBanksFirrtl(uint32_t banks, uint32_t width);
+
+struct RandomDesignConfig {
+  uint32_t numInputs = 4;
+  uint32_t numRegs = 6;
+  uint32_t numNodes = 60;     // combinational expression nodes
+  uint32_t maxWidth = 24;     // signal widths drawn from [1, maxWidth]
+  bool useSigned = true;
+  bool useWhens = true;
+  bool useMem = true;
+  bool useWide = false;       // widths beyond 64 bits (slow-path coverage)
+  bool useMul = true;
+  bool useDiv = true;
+};
+
+// Structured random closed design: random combinational DAG over inputs and
+// registers, registers with random resets/enables, optional memory and when
+// blocks. Always builds and simulates; drives the cross-engine equivalence
+// property tests.
+std::string randomDesignFirrtl(uint64_t seed, const RandomDesignConfig& cfg = {});
+
+}  // namespace essent::designs

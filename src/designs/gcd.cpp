@@ -1,0 +1,35 @@
+#include "designs/gcd.h"
+
+#include "support/strutil.h"
+
+namespace essent::designs {
+
+std::string gcdFirrtl(uint32_t w) {
+  return strfmt(R"(
+circuit GCD :
+  module GCD :
+    input clock : Clock
+    input reset : UInt<1>
+    input a : UInt<%u>
+    input b : UInt<%u>
+    input load : UInt<1>
+    output result : UInt<%u>
+    output valid : UInt<1>
+    reg x : UInt<%u>, clock with : (reset => (reset, UInt<%u>(0)))
+    reg y : UInt<%u>, clock with : (reset => (reset, UInt<%u>(0)))
+    when load :
+      x <= a
+      y <= b
+    else :
+      when gt(x, y) :
+        x <= tail(sub(x, y), 1)
+      else :
+        when neq(y, UInt<%u>(0)) :
+          y <= tail(sub(y, x), 1)
+    result <= x
+    valid <= eq(y, UInt<%u>(0))
+)",
+                w, w, w, w, w, w, w, w, w);
+}
+
+}  // namespace essent::designs

@@ -1,0 +1,12 @@
+// Classic load/iterate GCD circuit (the canonical Chisel example), used by
+// the gcd example program and several tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace essent::designs {
+
+std::string gcdFirrtl(uint32_t width = 16);
+
+}  // namespace essent::designs

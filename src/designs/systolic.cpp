@@ -1,0 +1,87 @@
+#include "designs/systolic.h"
+
+#include <vector>
+
+#include "firrtl/widths.h"
+#include "support/strutil.h"
+
+namespace essent::designs {
+
+std::string systolicFirrtl(const SystolicConfig& cfg) {
+  uint32_t dw = cfg.dataWidth;
+  uint32_t aw = dw * 2;
+  uint32_t rsW = firrtl::memAddrWidth(cfg.rows);
+  uint32_t csW = firrtl::memAddrWidth(cfg.cols);
+
+  std::string s = "circuit Systolic :\n";
+
+  // --- PE module ---
+  s += "  module PE :\n";
+  s += "    input clock : Clock\n    input reset : UInt<1>\n";
+  s += "    input en : UInt<1>\n    input clear : UInt<1>\n";
+  s += strfmt("    input a_in : UInt<%u>\n    input b_in : UInt<%u>\n", dw, dw);
+  s += strfmt("    output a_out : UInt<%u>\n    output b_out : UInt<%u>\n", dw, dw);
+  s += strfmt("    output acc : UInt<%u>\n", aw);
+  s += strfmt("    reg ar : UInt<%u>, clock with : (reset => (reset, UInt<%u>(0)))\n", dw, dw);
+  s += strfmt("    reg br : UInt<%u>, clock with : (reset => (reset, UInt<%u>(0)))\n", dw, dw);
+  s += strfmt("    reg accr : UInt<%u>, clock with : (reset => (reset, UInt<%u>(0)))\n", aw, aw);
+  s += "    when en :\n";
+  s += "      ar <= a_in\n      br <= b_in\n";
+  s += "      accr <= tail(add(accr, mul(a_in, b_in)), 1)\n";
+  s += "    when clear :\n";
+  s += strfmt("      accr <= UInt<%u>(0)\n", aw);
+  s += "    a_out <= ar\n    b_out <= br\n    acc <= accr\n";
+
+  // --- top ---
+  s += "  module Systolic :\n";
+  s += "    input clock : Clock\n    input reset : UInt<1>\n";
+  s += "    input en : UInt<1>\n    input clear : UInt<1>\n";
+  for (uint32_t i = 0; i < cfg.rows; i++) s += strfmt("    input a%u : UInt<%u>\n", i, dw);
+  for (uint32_t j = 0; j < cfg.cols; j++) s += strfmt("    input b%u : UInt<%u>\n", j, dw);
+  s += strfmt("    input rowSel : UInt<%u>\n    input colSel : UInt<%u>\n", rsW, csW);
+  s += strfmt("    output acc_sel : UInt<%u>\n", aw);
+  s += strfmt("    output checksum : UInt<%u>\n", aw);
+
+  for (uint32_t i = 0; i < cfg.rows; i++) {
+    for (uint32_t j = 0; j < cfg.cols; j++) {
+      s += strfmt("    inst pe_%u_%u of PE\n", i, j);
+      s += strfmt("    pe_%u_%u.clock <= clock\n", i, j);
+      s += strfmt("    pe_%u_%u.reset <= reset\n", i, j);
+      s += strfmt("    pe_%u_%u.en <= en\n", i, j);
+      s += strfmt("    pe_%u_%u.clear <= clear\n", i, j);
+      if (j == 0) s += strfmt("    pe_%u_%u.a_in <= a%u\n", i, j, i);
+      else s += strfmt("    pe_%u_%u.a_in <= pe_%u_%u.a_out\n", i, j, i, j - 1);
+      if (i == 0) s += strfmt("    pe_%u_%u.b_in <= b%u\n", i, j, j);
+      else s += strfmt("    pe_%u_%u.b_in <= pe_%u_%u.b_out\n", i, j, i - 1, j);
+    }
+  }
+
+  // Selected-accumulator mux and checksum tree.
+  std::string sel = strfmt("UInt<%u>(0)", aw);
+  for (uint32_t i = 0; i < cfg.rows; i++)
+    for (uint32_t j = 0; j < cfg.cols; j++)
+      sel = strfmt("mux(and(eq(rowSel, UInt<%u>(%u)), eq(colSel, UInt<%u>(%u))), "
+                   "pe_%u_%u.acc, %s)",
+                   rsW, i, csW, j, i, j, sel.c_str());
+  s += "    acc_sel <= " + sel + "\n";
+
+  std::vector<std::string> layer;
+  for (uint32_t i = 0; i < cfg.rows; i++)
+    for (uint32_t j = 0; j < cfg.cols; j++) layer.push_back(strfmt("pe_%u_%u.acc", i, j));
+  uint32_t tmp = 0;
+  while (layer.size() > 1) {
+    std::vector<std::string> next;
+    for (size_t k = 0; k + 1 < layer.size(); k += 2) {
+      std::string name = strfmt("cx%u", tmp++);
+      s += strfmt("    node %s = xor(%s, %s)\n", name.c_str(), layer[k].c_str(),
+                  layer[k + 1].c_str());
+      next.push_back(name);
+    }
+    if (layer.size() % 2) next.push_back(layer.back());
+    layer = std::move(next);
+  }
+  s += "    checksum <= " + layer[0] + "\n";
+  return s;
+}
+
+}  // namespace essent::designs

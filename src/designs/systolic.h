@@ -1,0 +1,23 @@
+// Output-stationary 2D systolic array (weights stream from the left,
+// activations from the top, each PE accumulates a_in * b_in and forwards
+// both operands). Emitted as a PE module instantiated rows x cols times —
+// a stress test for instance flattening and a classic regular structure
+// for the partitioner (every PE is an identical sibling).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace essent::designs {
+
+struct SystolicConfig {
+  uint32_t rows = 4;
+  uint32_t cols = 4;
+  uint32_t dataWidth = 16;  // accumulators are 2x wide
+};
+
+// Ports: a<i> per row, b<j> per column, en, clear, rowSel/colSel selecting
+// the acc output, plus an XOR checksum over every accumulator.
+std::string systolicFirrtl(const SystolicConfig& cfg = {});
+
+}  // namespace essent::designs

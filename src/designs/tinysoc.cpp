@@ -1,0 +1,349 @@
+#include "designs/tinysoc.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/strutil.h"
+
+namespace essent::designs {
+
+namespace {
+
+uint32_t log2ceil(uint64_t depth) {
+  uint32_t w = 1;
+  while ((uint64_t{1} << w) < depth) w++;
+  return w;
+}
+
+// Nested-mux read of the 8-entry register file (x0 reads as zero).
+std::string regMux(const char* sel) {
+  std::string e = "UInt<16>(0)";
+  for (int i = 7; i >= 1; i--) {
+    // Build inside-out so x1..x7 test in ascending priority; any order is
+    // equivalent since the selectors are mutually exclusive.
+    e = strfmt("mux(eq(%s, UInt<3>(%d)), x%d, %s)", sel, i, i, e.c_str());
+  }
+  return e;
+}
+
+std::string cpuModule(const SoCConfig& cfg) {
+  uint32_t aw = log2ceil(cfg.imemDepth);
+  uint32_t dw = log2ceil(cfg.dmemDepth);
+  std::string s;
+  s += "  module TinyCPU :\n";
+  s += "    input clock : Clock\n    input reset : UInt<1>\n";
+  s += strfmt("    output imem_addr : UInt<%u>\n", aw);
+  s += "    input imem_data : UInt<16>\n";
+  s += strfmt("    output dmem_raddr : UInt<%u>\n", dw);
+  s += "    input dmem_rdata : UInt<16>\n";
+  s += "    output dmem_wen : UInt<1>\n";
+  s += strfmt("    output dmem_waddr : UInt<%u>\n", dw);
+  s += "    output dmem_wdata : UInt<16>\n";
+  s += "    output mmio_wen : UInt<1>\n";
+  s += "    output mmio_addr : UInt<16>\n";
+  s += "    output mmio_wdata : UInt<16>\n";
+  s += "    input mmio_rdata : UInt<16>\n";
+  s += "    output halted : UInt<1>\n";
+  s += "    output pc_out : UInt<16>\n";
+  s += "    output instret : UInt<32>\n";
+
+  auto reg = [&](const char* name, uint32_t w) {
+    s += strfmt("    reg %s : UInt<%u>, clock with : (reset => (reset, UInt<%u>(0)))\n", name, w,
+                w);
+  };
+  reg("pc", 16);
+  reg("state", 2);
+  reg("cnt", 8);
+  reg("pendAddr", 16);
+  reg("pendData", 16);
+  reg("pendRd", 3);
+  reg("pendLoad", 1);
+  reg("pendMmio", 1);
+  reg("icount", 32);
+  for (int i = 1; i <= 7; i++) reg(strfmt("x%d", i).c_str(), 16);
+
+  s += "    node instr = imem_data\n";
+  s += "    node opc = bits(instr, 15, 12)\n";
+  s += "    node rd = bits(instr, 11, 9)\n";
+  s += "    node rs = bits(instr, 8, 6)\n";
+  s += "    node rt = bits(instr, 5, 3)\n";
+  s += "    node imm6 = bits(instr, 5, 0)\n";
+  s += "    node imm16 = asUInt(pad(asSInt(imm6), 16))\n";
+  s += "    node imm12 = bits(instr, 11, 0)\n";
+  s += strfmt("    node rsVal = %s\n", regMux("rs").c_str());
+  s += strfmt("    node rtVal = %s\n", regMux("rt").c_str());
+  s += strfmt("    node rdVal = %s\n", regMux("rd").c_str());
+
+  s += "    node aluAddi = tail(add(rsVal, imm16), 1)\n";
+  s += "    node aluAdd = tail(add(rsVal, rtVal), 1)\n";
+  s += "    node aluSub = tail(sub(rsVal, rtVal), 1)\n";
+  s += "    node aluAnd = and(rsVal, rtVal)\n";
+  s += "    node aluOr = or(rsVal, rtVal)\n";
+  s += "    node aluXor = xor(rsVal, rtVal)\n";
+  s += "    node aluMul = bits(mul(rsVal, rtVal), 15, 0)\n";
+  s += "    node sh = bits(instr, 5, 3)\n";  // shift amount rides in the rt field
+  s += "    node aluShl = bits(dshl(rsVal, sh), 15, 0)\n";
+  s += "    node aluShr = dshr(rsVal, sh)\n";
+  s += "    node ea = aluAddi\n";
+  s += "    node isMmio = bits(ea, 15, 15)\n";
+
+  static const char* opNames[16] = {"Nop",  "Addi", "Add", "Sub", "And", "Or",
+                                    "Xor",  "Mul",  "Lw",  "Sw",  "Beq", "Bne",
+                                    "Jmp",  "Shl",  "Shr", "Halt"};
+  for (int o = 1; o < 16; o++)
+    s += strfmt("    node is%s = eq(opc, UInt<4>(%d))\n", opNames[o], o);
+  s += "    node isMem = or(isLw, isSw)\n";
+  s += "    node isBr = or(isBeq, isBne)\n";
+  s += "    node aluWen = and(or(isAddi, or(isAdd, or(isSub, or(isAnd, or(isOr, or(isXor, "
+       "or(isMul, or(isShl, isShr)))))))), neq(rd, UInt<3>(0)))\n";
+  s += "    node wdata = mux(isAddi, aluAddi, mux(isAdd, aluAdd, mux(isSub, aluSub, mux(isAnd, "
+       "aluAnd, mux(isOr, aluOr, mux(isXor, aluXor, mux(isMul, aluMul, mux(isShl, aluShl, "
+       "aluShr))))))))\n";
+
+  s += "    node inRun = eq(state, UInt<2>(0))\n";
+  s += "    node inWait = eq(state, UInt<2>(1))\n";
+  s += "    node commit = and(inWait, eq(cnt, UInt<8>(1)))\n";
+  s += "    node loadCommit = and(commit, pendLoad)\n";
+  s += "    node loadData = mux(pendMmio, mmio_rdata, dmem_rdata)\n";
+  s += "    node rfWen = or(and(inRun, aluWen), loadCommit)\n";
+  s += "    node rfDest = mux(loadCommit, pendRd, rd)\n";
+  s += "    node rfData = mux(loadCommit, loadData, wdata)\n";
+  for (int i = 1; i <= 7; i++) {
+    s += strfmt("    when and(rfWen, eq(rfDest, UInt<3>(%d))) :\n      x%d <= rfData\n", i, i);
+  }
+
+  s += "    node pcPlus1 = tail(add(pc, UInt<16>(1)), 1)\n";
+  s += "    node brTarget = tail(add(pc, imm16), 1)\n";
+  s += "    node takeBeq = and(isBeq, eq(rdVal, rsVal))\n";
+  s += "    node takeBne = and(isBne, neq(rdVal, rsVal))\n";
+  s += "    node brTaken = or(takeBeq, takeBne)\n";
+
+  s += "    when inRun :\n";
+  s += "      icount <= tail(add(icount, UInt<32>(1)), 1)\n";
+  s += "      when isHalt :\n";
+  s += "        state <= UInt<2>(2)\n";
+  s += "        icount <= icount\n";
+  s += "        printf(clock, UInt<1>(1), \"halt pc=%d instret=%d\\n\", pc, icount)\n";
+  s += "      else when isMem :\n";
+  s += strfmt("        state <= UInt<2>(1)\n        cnt <= UInt<8>(%u)\n", cfg.memLatency);
+  s += "        pendAddr <= ea\n        pendData <= rdVal\n        pendRd <= rd\n";
+  s += "        pendLoad <= isLw\n        pendMmio <= isMmio\n        pc <= pcPlus1\n";
+  s += "      else when isJmp :\n        pc <= pad(imm12, 16)\n";
+  s += "      else when brTaken :\n        pc <= brTarget\n";
+  s += "      else :\n        pc <= pcPlus1\n";
+  s += "    else when inWait :\n";
+  s += "      cnt <= tail(sub(cnt, UInt<8>(1)), 1)\n";
+  s += "      when commit :\n        state <= UInt<2>(0)\n";
+
+  s += strfmt("    imem_addr <= bits(pc, %u, 0)\n", aw - 1);
+  s += strfmt("    dmem_raddr <= bits(pendAddr, %u, 0)\n", dw - 1);
+  s += "    node storeCommit = and(commit, and(not(pendLoad), not(pendMmio)))\n";
+  s += "    dmem_wen <= storeCommit\n";
+  s += strfmt("    dmem_waddr <= bits(pendAddr, %u, 0)\n", dw - 1);
+  s += "    dmem_wdata <= pendData\n";
+  s += "    mmio_wen <= and(commit, and(not(pendLoad), pendMmio))\n";
+  s += "    mmio_addr <= pendAddr\n";
+  s += "    mmio_wdata <= pendData\n";
+  s += "    halted <= eq(state, UInt<2>(2))\n";
+  s += "    pc_out <= pc\n";
+  s += "    instret <= icount\n";
+  s += "    stop(clock, eq(state, UInt<2>(2)), 0)\n";
+  return s;
+}
+
+std::string accelModule(const SoCConfig& cfg) {
+  uint32_t lanes = cfg.accelLanes;
+  std::string s;
+  s += "  module Accel :\n";
+  s += "    input clock : Clock\n    input reset : UInt<1>\n";
+  s += "    input start : UInt<1>\n    input operand : UInt<16>\n";
+  s += "    output busy : UInt<1>\n    output result : UInt<16>\n";
+  s += "    reg busyR : UInt<1>, clock with : (reset => (reset, UInt<1>(0)))\n";
+  s += "    reg dcnt : UInt<8>, clock with : (reset => (reset, UInt<8>(0)))\n";
+  s += "    reg opnd : UInt<16>, clock with : (reset => (reset, UInt<16>(0)))\n";
+  for (uint32_t l = 0; l < lanes; l++)
+    s += strfmt("    reg lane%u : UInt<16>, clock with : (reset => (reset, UInt<16>(0)))\n", l);
+  s += "    when start :\n";
+  s += "      busyR <= UInt<1>(1)\n";
+  s += strfmt("      dcnt <= UInt<8>(%u)\n", cfg.accelDuration);
+  s += "      opnd <= operand\n";
+  s += "    else when busyR :\n";
+  s += "      dcnt <= tail(sub(dcnt, UInt<8>(1)), 1)\n";
+  s += "      when eq(dcnt, UInt<8>(1)) :\n        busyR <= UInt<1>(0)\n";
+  // Lane datapath: a circular mix network; each lane reads its predecessor.
+  s += strfmt("      lane0 <= tail(add(xor(lane0, lane%u), opnd), 1)\n", lanes - 1);
+  for (uint32_t l = 1; l < lanes; l++)
+    s += strfmt("      lane%u <= tail(add(xor(lane%u, lane%u), UInt<16>(%u)), 1)\n", l, l, l - 1,
+                (l * 7 + 1) & 0xffff);
+  s += "    busy <= busyR\n";
+  // XOR reduction tree over the lanes.
+  std::vector<std::string> layer;
+  for (uint32_t l = 0; l < lanes; l++) layer.push_back(strfmt("lane%u", l));
+  uint32_t tmp = 0;
+  while (layer.size() > 1) {
+    std::vector<std::string> next;
+    for (size_t i = 0; i + 1 < layer.size(); i += 2) {
+      std::string name = strfmt("rx%u", tmp++);
+      s += strfmt("    node %s = xor(%s, %s)\n", name.c_str(), layer[i].c_str(),
+                  layer[i + 1].c_str());
+      next.push_back(name);
+    }
+    if (layer.size() % 2) next.push_back(layer.back());
+    layer = std::move(next);
+  }
+  s += strfmt("    result <= %s\n", layer[0].c_str());
+  return s;
+}
+
+std::string memBlock(const std::string& name, uint32_t depth) {
+  std::string s;
+  s += strfmt("    mem %s :\n", name.c_str());
+  s += "      data-type => UInt<16>\n";
+  s += strfmt("      depth => %u\n", depth);
+  s += "      read-latency => 0\n      write-latency => 1\n";
+  s += "      read-under-write => undefined\n";
+  s += "      reader => r\n      writer => w\n";
+  return s;
+}
+
+}  // namespace
+
+std::string tinySoCFirrtl(const SoCConfig& cfg) {
+  uint32_t aw = log2ceil(cfg.imemDepth);
+  uint32_t addressable = std::min(cfg.numAccels, 15u);
+
+  std::string s = strfmt("circuit %s :\n", cfg.name.c_str());
+  s += cpuModule(cfg);
+  s += accelModule(cfg);
+  s += strfmt("  module %s :\n", cfg.name.c_str());
+  s += "    input clock : Clock\n    input reset : UInt<1>\n";
+  s += "    output halted : UInt<1>\n";
+  s += "    output pc : UInt<16>\n";
+  s += "    output instret : UInt<32>\n";
+  s += "    output status : UInt<16>\n";
+
+  s += "    inst cpu of TinyCPU\n";
+  s += "    cpu.clock <= clock\n    cpu.reset <= reset\n";
+
+  s += memBlock("imem", cfg.imemDepth);
+  s += "    imem.r.addr <= cpu.imem_addr\n";
+  s += "    imem.r.en <= UInt<1>(1)\n    imem.r.clk <= clock\n";
+  s += strfmt("    imem.w.addr <= UInt<%u>(0)\n", aw);
+  s += "    imem.w.en <= UInt<1>(0)\n    imem.w.clk <= clock\n";
+  s += "    imem.w.data <= UInt<16>(0)\n    imem.w.mask <= UInt<1>(0)\n";
+  s += "    cpu.imem_data <= imem.r.data\n";
+
+  s += memBlock("dmem", cfg.dmemDepth);
+  s += "    dmem.r.addr <= cpu.dmem_raddr\n";
+  s += "    dmem.r.en <= UInt<1>(1)\n    dmem.r.clk <= clock\n";
+  s += "    dmem.w.addr <= cpu.dmem_waddr\n";
+  s += "    dmem.w.en <= cpu.dmem_wen\n    dmem.w.clk <= clock\n";
+  s += "    dmem.w.data <= cpu.dmem_wdata\n    dmem.w.mask <= UInt<1>(1)\n";
+  s += "    cpu.dmem_rdata <= dmem.r.data\n";
+
+  s += "    node mmioIdx = bits(cpu.mmio_addr, 11, 8)\n";
+  s += "    node mmioSel = bits(cpu.mmio_addr, 3, 0)\n";
+
+  for (uint32_t k = 0; k < cfg.numAccels; k++) {
+    s += strfmt("    inst acc%u of Accel\n", k);
+    s += strfmt("    acc%u.clock <= clock\n    acc%u.reset <= reset\n", k, k);
+    if (k < addressable) {
+      s += strfmt(
+          "    acc%u.start <= and(cpu.mmio_wen, and(eq(mmioIdx, UInt<4>(%u)), eq(mmioSel, "
+          "UInt<4>(0))))\n",
+          k, k);
+    } else {
+      // Idle mass: present in the netlist, never started (clock-gated block).
+      s += strfmt("    acc%u.start <= UInt<1>(0)\n", k);
+    }
+    s += strfmt("    acc%u.operand <= cpu.mmio_wdata\n", k);
+  }
+
+  // Free-running cycle counter peripheral (MMIO index 15).
+  s += "    reg cycles : UInt<32>, clock with : (reset => (reset, UInt<32>(0)))\n";
+  s += "    cycles <= tail(add(cycles, UInt<32>(1)), 1)\n";
+
+  // MMIO read mux: busy/result of the addressable accels, or the counter.
+  std::string busySel = "UInt<1>(0)", resSel = "UInt<16>(0)";
+  for (uint32_t k = 0; k < addressable; k++) {
+    busySel = strfmt("mux(eq(mmioIdx, UInt<4>(%u)), acc%u.busy, %s)", k, k, busySel.c_str());
+    resSel = strfmt("mux(eq(mmioIdx, UInt<4>(%u)), acc%u.result, %s)", k, k, resSel.c_str());
+  }
+  s += strfmt("    node busySel = %s\n", busySel.c_str());
+  s += strfmt("    node resSel = %s\n", resSel.c_str());
+  s += "    node counterRead = bits(cycles, 15, 0)\n";
+  s += "    cpu.mmio_rdata <= mux(eq(mmioIdx, UInt<4>(15)), counterRead, mux(eq(mmioSel, "
+       "UInt<4>(1)), pad(busySel, 16), resSel))\n";
+
+  // Status: XOR over every accelerator result (keeps the idle mass live).
+  std::vector<std::string> layer;
+  for (uint32_t k = 0; k < cfg.numAccels; k++) layer.push_back(strfmt("acc%u.result", k));
+  uint32_t tmp = 0;
+  while (layer.size() > 1) {
+    std::vector<std::string> next;
+    for (size_t i = 0; i + 1 < layer.size(); i += 2) {
+      std::string name = strfmt("sx%u", tmp++);
+      s += strfmt("    node %s = xor(%s, %s)\n", name.c_str(), layer[i].c_str(),
+                  layer[i + 1].c_str());
+      next.push_back(name);
+    }
+    if (layer.size() % 2) next.push_back(layer.back());
+    layer = std::move(next);
+  }
+  s += strfmt("    status <= %s\n", layer.empty() ? "UInt<16>(0)" : layer[0].c_str());
+
+  s += "    halted <= cpu.halted\n";
+  s += "    pc <= cpu.pc_out\n";
+  s += "    instret <= cpu.instret\n";
+  return s;
+}
+
+SoCConfig socTiny() {
+  SoCConfig cfg;
+  cfg.name = "TinySoC";
+  cfg.imemDepth = 256;
+  cfg.dmemDepth = 1024;  // program data lives at 256..768+n*n
+  cfg.memLatency = 2;
+  cfg.numAccels = 2;
+  cfg.accelLanes = 4;
+  cfg.accelDuration = 8;
+  return cfg;
+}
+
+SoCConfig socR16() {
+  SoCConfig cfg;
+  cfg.name = "r16";
+  cfg.imemDepth = 1024;
+  cfg.dmemDepth = 2048;
+  cfg.memLatency = 3;
+  cfg.numAccels = 53;
+  cfg.accelLanes = 64;
+  cfg.accelDuration = 48;
+  return cfg;
+}
+
+SoCConfig socR18() {
+  SoCConfig cfg;
+  cfg.name = "r18";
+  cfg.imemDepth = 1024;
+  cfg.dmemDepth = 2048;
+  cfg.memLatency = 3;
+  cfg.numAccels = 105;
+  cfg.accelLanes = 64;
+  cfg.accelDuration = 48;
+  return cfg;
+}
+
+SoCConfig socBoom() {
+  SoCConfig cfg;
+  cfg.name = "boom";
+  cfg.imemDepth = 1024;
+  cfg.dmemDepth = 2048;
+  cfg.memLatency = 3;
+  cfg.numAccels = 101;
+  cfg.accelLanes = 128;
+  cfg.accelDuration = 64;
+  return cfg;
+}
+
+}  // namespace essent::designs

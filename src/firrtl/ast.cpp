@@ -1,0 +1,315 @@
+#include "firrtl/ast.h"
+
+#include <unordered_map>
+
+#include "support/bvops.h"
+#include "support/strutil.h"
+
+namespace essent::firrtl {
+
+Type Type::bundle(std::vector<Field> fs) {
+  Type t;
+  t.kind = TypeKind::Bundle;
+  t.fields = std::make_shared<std::vector<Field>>(std::move(fs));
+  return t;
+}
+
+Type Type::vector(Type elemType, uint32_t n) {
+  Type t;
+  t.kind = TypeKind::Vector;
+  t.elem = std::make_shared<Type>(std::move(elemType));
+  t.size = n;
+  return t;
+}
+
+bool Type::operator==(const Type& o) const {
+  if (kind != o.kind) return false;
+  switch (kind) {
+    case TypeKind::Bundle: {
+      if (fields->size() != o.fields->size()) return false;
+      for (size_t i = 0; i < fields->size(); i++) {
+        const Field& a = (*fields)[i];
+        const Field& b = (*o.fields)[i];
+        if (a.name != b.name || a.flip != b.flip || !(a.type == b.type)) return false;
+      }
+      return true;
+    }
+    case TypeKind::Vector:
+      return size == o.size && *elem == *o.elem;
+    default:
+      return width == o.width && widthKnown == o.widthKnown;
+  }
+}
+
+std::string Type::toString() const {
+  switch (kind) {
+    case TypeKind::UInt: return widthKnown ? strfmt("UInt<%u>", width) : "UInt";
+    case TypeKind::SInt: return widthKnown ? strfmt("SInt<%u>", width) : "SInt";
+    case TypeKind::Clock: return "Clock";
+    case TypeKind::Reset: return "Reset";
+    case TypeKind::AsyncReset: return "AsyncReset";
+    case TypeKind::Bundle: {
+      std::string out = "{ ";
+      for (size_t i = 0; i < fields->size(); i++) {
+        if (i) out += ", ";
+        const Field& f = (*fields)[i];
+        if (f.flip) out += "flip ";
+        out += f.name + " : " + f.type.toString();
+      }
+      return out + " }";
+    }
+    case TypeKind::Vector:
+      return elem->toString() + strfmt("[%u]", size);
+  }
+  return "?";
+}
+
+namespace {
+
+struct PrimOpInfo {
+  const char* name;
+  int exprArity;
+  int constArity;
+};
+
+const std::unordered_map<PrimOpKind, PrimOpInfo>& primOpTable() {
+  static const std::unordered_map<PrimOpKind, PrimOpInfo> table = {
+      {PrimOpKind::Add, {"add", 2, 0}},
+      {PrimOpKind::Sub, {"sub", 2, 0}},
+      {PrimOpKind::Mul, {"mul", 2, 0}},
+      {PrimOpKind::Div, {"div", 2, 0}},
+      {PrimOpKind::Rem, {"rem", 2, 0}},
+      {PrimOpKind::Lt, {"lt", 2, 0}},
+      {PrimOpKind::Leq, {"leq", 2, 0}},
+      {PrimOpKind::Gt, {"gt", 2, 0}},
+      {PrimOpKind::Geq, {"geq", 2, 0}},
+      {PrimOpKind::Eq, {"eq", 2, 0}},
+      {PrimOpKind::Neq, {"neq", 2, 0}},
+      {PrimOpKind::Pad, {"pad", 1, 1}},
+      {PrimOpKind::AsUInt, {"asUInt", 1, 0}},
+      {PrimOpKind::AsSInt, {"asSInt", 1, 0}},
+      {PrimOpKind::AsClock, {"asClock", 1, 0}},
+      {PrimOpKind::AsAsyncReset, {"asAsyncReset", 1, 0}},
+      {PrimOpKind::Shl, {"shl", 1, 1}},
+      {PrimOpKind::Shr, {"shr", 1, 1}},
+      {PrimOpKind::Dshl, {"dshl", 2, 0}},
+      {PrimOpKind::Dshr, {"dshr", 2, 0}},
+      {PrimOpKind::Cvt, {"cvt", 1, 0}},
+      {PrimOpKind::Neg, {"neg", 1, 0}},
+      {PrimOpKind::Not, {"not", 1, 0}},
+      {PrimOpKind::And, {"and", 2, 0}},
+      {PrimOpKind::Or, {"or", 2, 0}},
+      {PrimOpKind::Xor, {"xor", 2, 0}},
+      {PrimOpKind::Andr, {"andr", 1, 0}},
+      {PrimOpKind::Orr, {"orr", 1, 0}},
+      {PrimOpKind::Xorr, {"xorr", 1, 0}},
+      {PrimOpKind::Cat, {"cat", 2, 0}},
+      {PrimOpKind::Bits, {"bits", 1, 2}},
+      {PrimOpKind::Head, {"head", 1, 1}},
+      {PrimOpKind::Tail, {"tail", 1, 1}},
+  };
+  return table;
+}
+
+}  // namespace
+
+const char* primOpName(PrimOpKind op) { return primOpTable().at(op).name; }
+
+bool primOpFromName(const std::string& name, PrimOpKind* out) {
+  for (const auto& [kind, info] : primOpTable()) {
+    if (name == info.name) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+int primOpExprArity(PrimOpKind op) { return primOpTable().at(op).exprArity; }
+int primOpConstArity(PrimOpKind op) { return primOpTable().at(op).constArity; }
+
+ExprPtr Expr::ref(std::string n) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::Ref;
+  e->name = std::move(n);
+  return e;
+}
+
+ExprPtr Expr::uintLit(uint32_t width, BitVec v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::UIntLit;
+  e->litWidth = width;
+  e->value = std::move(v);
+  e->type = Type::uint_(width);
+  return e;
+}
+
+ExprPtr Expr::sintLit(uint32_t width, BitVec v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::SIntLit;
+  e->litWidth = width;
+  e->value = std::move(v);
+  e->type = Type::sint(width);
+  return e;
+}
+
+ExprPtr Expr::mux(ExprPtr sel, ExprPtr tval, ExprPtr fval) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::Mux;
+  e->args.push_back(std::move(sel));
+  e->args.push_back(std::move(tval));
+  e->args.push_back(std::move(fval));
+  return e;
+}
+
+ExprPtr Expr::validIf(ExprPtr cond, ExprPtr value) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::ValidIf;
+  e->args.push_back(std::move(cond));
+  e->args.push_back(std::move(value));
+  return e;
+}
+
+ExprPtr Expr::prim(PrimOpKind op, std::vector<ExprPtr> args, std::vector<int64_t> consts) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::Prim;
+  e->op = op;
+  e->args = std::move(args);
+  e->consts = std::move(consts);
+  return e;
+}
+
+ExprPtr Expr::clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->name = name;
+  e->value = value;
+  e->litWidth = litWidth;
+  e->op = op;
+  e->consts = consts;
+  e->type = type;
+  for (const auto& a : args) e->args.push_back(a->clone());
+  return e;
+}
+
+std::string Expr::toString() const {
+  switch (kind) {
+    case ExprKind::Ref:
+      return name;
+    case ExprKind::UIntLit:
+      return strfmt("UInt<%u>(\"h%s\")", litWidth, value.toHexString().c_str());
+    case ExprKind::SIntLit:
+      return strfmt("SInt<%u>(%s)", litWidth,
+                    bvops::extend(value, true, litWidth).toSignedDecString().c_str());
+    case ExprKind::Mux:
+      return "mux(" + args[0]->toString() + ", " + args[1]->toString() + ", " +
+             args[2]->toString() + ")";
+    case ExprKind::ValidIf:
+      return "validif(" + args[0]->toString() + ", " + args[1]->toString() + ")";
+    case ExprKind::Prim: {
+      std::string out = std::string(primOpName(op)) + "(";
+      bool first = true;
+      for (const auto& a : args) {
+        if (!first) out += ", ";
+        out += a->toString();
+        first = false;
+      }
+      for (int64_t c : consts) {
+        if (!first) out += ", ";
+        out += std::to_string(c);
+        first = false;
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+StmtPtr Stmt::clone() const {
+  auto s = std::make_unique<Stmt>();
+  s->kind = kind;
+  s->name = name;
+  s->type = type;
+  if (expr) s->expr = expr->clone();
+  if (clock) s->clock = clock->clone();
+  if (pred) s->pred = pred->clone();
+  if (resetCond) s->resetCond = resetCond->clone();
+  if (resetInit) s->resetInit = resetInit->clone();
+  s->depth = depth;
+  s->readLatency = readLatency;
+  s->writeLatency = writeLatency;
+  s->readers = readers;
+  s->writers = writers;
+  s->moduleName = moduleName;
+  for (const auto& t : thenBody) s->thenBody.push_back(t->clone());
+  for (const auto& t : elseBody) s->elseBody.push_back(t->clone());
+  s->format = format;
+  for (const auto& a : printArgs) s->printArgs.push_back(a->clone());
+  s->exitCode = exitCode;
+  return s;
+}
+
+StmtPtr makeWire(std::string name, Type t) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::Wire;
+  s->name = std::move(name);
+  s->type = t;
+  return s;
+}
+
+StmtPtr makeNode(std::string name, ExprPtr value) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::Node;
+  s->name = std::move(name);
+  s->expr = std::move(value);
+  return s;
+}
+
+StmtPtr makeReg(std::string name, Type t, ExprPtr clock, ExprPtr resetCond, ExprPtr resetInit) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::Reg;
+  s->name = std::move(name);
+  s->type = t;
+  s->clock = std::move(clock);
+  s->resetCond = std::move(resetCond);
+  s->resetInit = std::move(resetInit);
+  return s;
+}
+
+StmtPtr makeConnect(std::string target, ExprPtr value) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::Connect;
+  s->name = std::move(target);
+  s->expr = std::move(value);
+  return s;
+}
+
+StmtPtr makeInvalidate(std::string target) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::Invalidate;
+  s->name = std::move(target);
+  return s;
+}
+
+StmtPtr makeWhen(ExprPtr cond, std::vector<StmtPtr> thenBody, std::vector<StmtPtr> elseBody) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::When;
+  s->expr = std::move(cond);
+  s->thenBody = std::move(thenBody);
+  s->elseBody = std::move(elseBody);
+  return s;
+}
+
+const Port* Module::findPort(const std::string& n) const {
+  for (const auto& p : ports)
+    if (p.name == n) return &p;
+  return nullptr;
+}
+
+Module* Circuit::findModule(const std::string& n) const {
+  for (const auto& m : modules)
+    if (m->name == n) return m.get();
+  return nullptr;
+}
+
+}  // namespace essent::firrtl

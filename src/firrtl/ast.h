@@ -1,0 +1,197 @@
+// AST for the FIRRTL subset consumed by this ESSENT reproduction.
+//
+// The subset is "lowered" (scalar) FIRRTL plus the structured features the
+// tool flow itself removes: module instances (flattened by a pass),
+// when/else blocks (expanded to muxes), registers with reset, and `mem`
+// blocks. Aggregate types are out of scope except for the implicit bundles
+// of memory and instance ports, which appear as dotted reference names
+// ("m.r.addr", "core.out") and are resolved by the flattening passes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/bitvec.h"
+
+namespace essent::firrtl {
+
+// ---------------------------------------------------------------------------
+// Types
+
+enum class TypeKind { UInt, SInt, Clock, Reset, AsyncReset, Bundle, Vector };
+
+struct Field;
+
+struct Type {
+  TypeKind kind = TypeKind::UInt;
+  uint32_t width = 0;
+  bool widthKnown = false;
+  // Bundle fields / vector element (aggregates are removed by the
+  // lowerAggregates pass before anything downstream of the parser sees
+  // them; see passes.h).
+  std::shared_ptr<std::vector<Field>> fields;  // TypeKind::Bundle
+  std::shared_ptr<Type> elem;                  // TypeKind::Vector
+  uint32_t size = 0;                           // TypeKind::Vector
+
+  static Type uint_(uint32_t w) { return {TypeKind::UInt, w, true, nullptr, nullptr, 0}; }
+  static Type sint(uint32_t w) { return {TypeKind::SInt, w, true, nullptr, nullptr, 0}; }
+  static Type clock() { return {TypeKind::Clock, 1, true, nullptr, nullptr, 0}; }
+  static Type reset() { return {TypeKind::Reset, 1, true, nullptr, nullptr, 0}; }
+  static Type bundle(std::vector<Field> fs);
+  static Type vector(Type elemType, uint32_t n);
+
+  bool isGround() const { return kind != TypeKind::Bundle && kind != TypeKind::Vector; }
+  bool isSigned() const { return kind == TypeKind::SInt; }
+  // Clock/Reset behave as UInt<1> for simulation purposes.
+  uint32_t simWidth() const { return kind == TypeKind::UInt || kind == TypeKind::SInt ? width : 1; }
+  bool operator==(const Type& o) const;
+  std::string toString() const;
+};
+
+struct Field {
+  std::string name;
+  bool flip = false;
+  Type type;
+};
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+enum class PrimOpKind {
+  Add, Sub, Mul, Div, Rem,
+  Lt, Leq, Gt, Geq, Eq, Neq,
+  Pad, AsUInt, AsSInt, AsClock, AsAsyncReset,
+  Shl, Shr, Dshl, Dshr,
+  Cvt, Neg, Not,
+  And, Or, Xor,
+  Andr, Orr, Xorr,
+  Cat, Bits, Head, Tail,
+};
+
+const char* primOpName(PrimOpKind op);
+// Looks up a primop by its FIRRTL spelling; returns false if unknown.
+bool primOpFromName(const std::string& name, PrimOpKind* out);
+// Number of expression operands (1 or 2) for the op.
+int primOpExprArity(PrimOpKind op);
+// Number of constant (integer literal) parameters for the op.
+int primOpConstArity(PrimOpKind op);
+
+enum class ExprKind { Ref, UIntLit, SIntLit, Mux, ValidIf, Prim };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind;
+
+  // Ref: possibly dotted ("inst.port", "mem.r.data").
+  std::string name;
+
+  // Literals.
+  BitVec value;
+  uint32_t litWidth = 0;
+
+  // Mux / ValidIf / Prim operands.
+  PrimOpKind op = PrimOpKind::Add;
+  std::vector<ExprPtr> args;
+  std::vector<int64_t> consts;
+
+  // Filled in by width inference.
+  Type type;
+
+  static ExprPtr ref(std::string n);
+  static ExprPtr uintLit(uint32_t width, BitVec v);
+  static ExprPtr sintLit(uint32_t width, BitVec v);
+  static ExprPtr mux(ExprPtr sel, ExprPtr tval, ExprPtr fval);
+  static ExprPtr validIf(ExprPtr cond, ExprPtr value);
+  static ExprPtr prim(PrimOpKind op, std::vector<ExprPtr> args, std::vector<int64_t> consts);
+
+  ExprPtr clone() const;
+  std::string toString() const;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+
+enum class StmtKind {
+  Wire, Node, Reg, Mem, Inst, Connect, Invalidate, When, Printf, Stop, Assert, Skip,
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct MemPort {
+  std::string name;
+};
+
+struct Stmt {
+  StmtKind kind = StmtKind::Skip;
+
+  std::string name;   // declared name / connect target / invalidate target
+  Type type;          // wire/reg type, mem data type
+
+  ExprPtr expr;       // node value, connect rhs, when/assert enable condition
+  ExprPtr clock;      // reg/printf/stop/assert clock
+  ExprPtr pred;       // assert predicate
+  ExprPtr resetCond;  // reg reset condition (null when no reset)
+  ExprPtr resetInit;  // reg reset value
+
+  // Mem fields.
+  uint64_t depth = 0;
+  uint32_t readLatency = 0;
+  uint32_t writeLatency = 1;
+  std::vector<MemPort> readers;
+  std::vector<MemPort> writers;
+
+  // Inst.
+  std::string moduleName;
+
+  // When.
+  std::vector<StmtPtr> thenBody;
+  std::vector<StmtPtr> elseBody;
+
+  // Printf / Stop / Assert (format doubles as the assert message).
+  std::string format;
+  std::vector<ExprPtr> printArgs;
+  int exitCode = 0;
+
+  StmtPtr clone() const;
+};
+
+StmtPtr makeWire(std::string name, Type t);
+StmtPtr makeNode(std::string name, ExprPtr value);
+StmtPtr makeReg(std::string name, Type t, ExprPtr clock, ExprPtr resetCond, ExprPtr resetInit);
+StmtPtr makeConnect(std::string target, ExprPtr value);
+StmtPtr makeInvalidate(std::string target);
+StmtPtr makeWhen(ExprPtr cond, std::vector<StmtPtr> thenBody, std::vector<StmtPtr> elseBody);
+
+// ---------------------------------------------------------------------------
+// Modules and circuits
+
+enum class PortDir { Input, Output };
+
+struct Port {
+  std::string name;
+  PortDir dir = PortDir::Input;
+  Type type;
+};
+
+struct Module {
+  std::string name;
+  std::vector<Port> ports;
+  std::vector<StmtPtr> body;
+
+  const Port* findPort(const std::string& n) const;
+};
+
+struct Circuit {
+  std::string name;  // must match the name of the main module
+  std::vector<std::unique_ptr<Module>> modules;
+
+  Module* findModule(const std::string& n) const;
+  Module* mainModule() const { return findModule(name); }
+};
+
+}  // namespace essent::firrtl

@@ -1,0 +1,164 @@
+#include "firrtl/lexer.h"
+
+namespace essent::firrtl {
+
+namespace {
+
+bool isIdentStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == '$';
+}
+
+bool isIdentChar(char c) {
+  return isIdentStart(c) || (c >= '0' && c <= '9');
+}
+
+bool isDigit(char c) { return c >= '0' && c <= '9'; }
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& src) {
+  std::vector<Token> toks;
+  std::vector<int> indents = {0};
+  size_t i = 0;
+  int line = 1;
+  size_t n = src.size();
+
+  auto push = [&](TokKind k, std::string text, int col, int64_t val = 0) {
+    toks.push_back(Token{k, std::move(text), val, line, col});
+  };
+
+  while (i < n) {
+    // --- start of a line: measure indentation ---
+    size_t lineStart = i;
+    int indent = 0;
+    while (i < n && (src[i] == ' ' || src[i] == '\t')) {
+      indent += src[i] == '\t' ? 8 - (indent % 8) : 1;
+      i++;
+    }
+    // Blank line or comment-only line: skip without indentation effects.
+    if (i < n && (src[i] == '\n' || src[i] == '\r' || src[i] == ';')) {
+      while (i < n && src[i] != '\n') i++;
+      if (i < n) i++;
+      line++;
+      continue;
+    }
+    if (i >= n) break;
+
+    if (indent > indents.back()) {
+      indents.push_back(indent);
+      push(TokKind::Indent, "", indent);
+    } else {
+      while (indent < indents.back()) {
+        indents.pop_back();
+        push(TokKind::Dedent, "", indent);
+      }
+      if (indent != indents.back())
+        throw LexError("inconsistent dedent", line);
+    }
+
+    // --- tokens within the line ---
+    bool sawToken = false;
+    while (i < n && src[i] != '\n') {
+      char c = src[i];
+      int col = static_cast<int>(i - lineStart) + 1;
+      if (c == ' ' || c == '\t' || c == '\r') {
+        i++;
+        continue;
+      }
+      if (c == ';') {  // comment to end of line
+        while (i < n && src[i] != '\n') i++;
+        break;
+      }
+      if (c == '@') {  // @[fileinfo] — consume and drop
+        while (i < n && src[i] != ']' && src[i] != '\n') i++;
+        if (i < n && src[i] == ']') i++;
+        continue;
+      }
+      sawToken = true;
+      if (isIdentStart(c)) {
+        size_t start = i;
+        while (i < n) {
+          if (isIdentChar(src[i])) {
+            i++;
+          } else if (src[i] == '-' && i + 1 < n && isIdentStart(src[i + 1])) {
+            // Hyphenated keywords like read-latency; FIRRTL has no infix
+            // minus so this is unambiguous.
+            i += 2;
+          } else {
+            break;
+          }
+        }
+        push(TokKind::Ident, src.substr(start, i - start), col);
+        continue;
+      }
+      if (isDigit(c) || (c == '-' && i + 1 < n && isDigit(src[i + 1])) ||
+          (c == '+' && i + 1 < n && isDigit(src[i + 1]))) {
+        size_t start = i;
+        if (c == '-' || c == '+') i++;
+        while (i < n && (isDigit(src[i]) || src[i] == '_')) i++;
+        std::string text = src.substr(start, i - start);
+        std::string digits;
+        for (char d : text)
+          if (d != '_') digits += d;
+        push(TokKind::IntLit, text, col, std::stoll(digits));
+        continue;
+      }
+      if (c == '"') {
+        i++;
+        std::string val;
+        while (i < n && src[i] != '"') {
+          if (src[i] == '\\' && i + 1 < n) {
+            i++;
+            switch (src[i]) {
+              case 'n': val += '\n'; break;
+              case 't': val += '\t'; break;
+              case '\\': val += '\\'; break;
+              case '"': val += '"'; break;
+              case '%': val += '%'; break;  // printf literal percent
+              default: val += src[i]; break;
+            }
+            i++;
+          } else if (src[i] == '\n') {
+            throw LexError("unterminated string literal", line);
+          } else {
+            val += src[i++];
+          }
+        }
+        if (i >= n) throw LexError("unterminated string literal", line);
+        i++;  // closing quote
+        push(TokKind::StringLit, val, col);
+        continue;
+      }
+      // Digraphs first.
+      if (i + 1 < n) {
+        std::string two = src.substr(i, 2);
+        if (two == "<=" || two == "=>" || two == "<-") {
+          push(TokKind::Punct, two, col);
+          i += 2;
+          continue;
+        }
+      }
+      switch (c) {
+        case '(': case ')': case '<': case '>': case '[': case ']':
+        case '{': case '}': case ',': case '.': case ':': case '=':
+          push(TokKind::Punct, std::string(1, c), col);
+          i++;
+          continue;
+        default:
+          throw LexError(std::string("unexpected character '") + c + "'", line);
+      }
+    }
+    if (i < n) i++;  // consume '\n'
+    if (sawToken) push(TokKind::Newline, "", 0);
+    line++;
+  }
+
+  while (indents.size() > 1) {
+    indents.pop_back();
+    toks.push_back(Token{TokKind::Dedent, "", 0, line, 0});
+  }
+  toks.push_back(Token{TokKind::Eof, "", 0, line, 0});
+  return toks;
+}
+
+}  // namespace essent::firrtl

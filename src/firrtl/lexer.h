@@ -1,0 +1,45 @@
+// Indentation-aware lexer for FIRRTL source text.
+//
+// FIRRTL delimits blocks by indentation (like Python). The lexer emits
+// synthetic Indent/Dedent tokens at indentation changes and a Newline token
+// at the end of every non-empty line, which lets the parser be a plain
+// recursive-descent parser. `;` starts a line comment; `@[...]` source
+// locators are consumed and dropped.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace essent::firrtl {
+
+enum class TokKind {
+  Ident,      // identifiers and keywords (keywords resolved by the parser)
+  IntLit,     // decimal integer, possibly negative
+  StringLit,  // double-quoted, escapes resolved
+  Punct,      // one of ( ) < > [ ] { } , . : = and the digraphs <= => <-
+  Indent,
+  Dedent,
+  Newline,
+  Eof,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;  // ident spelling / punct spelling / string contents
+  int64_t intValue = 0;
+  int line = 0;
+  int col = 0;
+};
+
+class LexError : public std::runtime_error {
+ public:
+  LexError(const std::string& msg, int line)
+      : std::runtime_error("firrtl lex error (line " + std::to_string(line) + "): " + msg) {}
+};
+
+// Tokenizes the whole input; throws LexError on malformed text.
+std::vector<Token> lex(const std::string& source);
+
+}  // namespace essent::firrtl

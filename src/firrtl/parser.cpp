@@ -1,0 +1,557 @@
+#include "firrtl/parser.h"
+
+#include "firrtl/lexer.h"
+#include "support/bvops.h"
+
+namespace essent::firrtl {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  std::unique_ptr<Circuit> parseCircuit() {
+    expectIdent("circuit");
+    auto circuit = std::make_unique<Circuit>();
+    circuit->name = expectAnyIdent();
+    expectPunct(":");
+    expectNewline();
+    expectIndent();
+    while (!atDedent()) circuit->modules.push_back(parseModule());
+    expectDedent();
+    if (!circuit->mainModule())
+      throw err("no module named '" + circuit->name + "' (the circuit name) found");
+    return circuit;
+  }
+
+ private:
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+
+  const Token& cur() const { return toks_[pos_]; }
+  const Token& peekTok(size_t ahead = 1) const {
+    size_t p = pos_ + ahead;
+    return p < toks_.size() ? toks_[p] : toks_.back();
+  }
+  void advance() {
+    if (pos_ + 1 < toks_.size()) pos_++;
+  }
+
+  ParseError err(const std::string& msg) const { return ParseError(msg, cur().line); }
+
+  bool atIdent(const std::string& text) const {
+    return cur().kind == TokKind::Ident && cur().text == text;
+  }
+  bool atPunct(const std::string& text) const {
+    return cur().kind == TokKind::Punct && cur().text == text;
+  }
+  bool atDedent() const { return cur().kind == TokKind::Dedent || cur().kind == TokKind::Eof; }
+
+  bool acceptIdent(const std::string& text) {
+    if (!atIdent(text)) return false;
+    advance();
+    return true;
+  }
+  bool acceptPunct(const std::string& text) {
+    if (!atPunct(text)) return false;
+    advance();
+    return true;
+  }
+
+  void expectIdent(const std::string& text) {
+    if (!acceptIdent(text)) throw err("expected '" + text + "', got '" + cur().text + "'");
+  }
+  void expectPunct(const std::string& text) {
+    if (!acceptPunct(text)) throw err("expected '" + text + "', got '" + cur().text + "'");
+  }
+  std::string expectAnyIdent() {
+    if (cur().kind != TokKind::Ident) throw err("expected identifier, got '" + cur().text + "'");
+    std::string t = cur().text;
+    advance();
+    return t;
+  }
+  int64_t expectInt() {
+    if (cur().kind != TokKind::IntLit) throw err("expected integer, got '" + cur().text + "'");
+    int64_t v = cur().intValue;
+    advance();
+    return v;
+  }
+  std::string expectString() {
+    if (cur().kind != TokKind::StringLit) throw err("expected string literal");
+    std::string t = cur().text;
+    advance();
+    return t;
+  }
+  void expectNewline() {
+    if (cur().kind != TokKind::Newline) throw err("expected end of line, got '" + cur().text + "'");
+    advance();
+  }
+  void expectIndent() {
+    if (cur().kind != TokKind::Indent) throw err("expected indented block");
+    advance();
+  }
+  void expectDedent() {
+    if (cur().kind != TokKind::Dedent) throw err("expected dedent");
+    advance();
+  }
+
+  // --- grammar productions ---
+
+  std::unique_ptr<Module> parseModule() {
+    expectIdent("module");
+    auto mod = std::make_unique<Module>();
+    mod->name = expectAnyIdent();
+    expectPunct(":");
+    expectNewline();
+    expectIndent();
+    while (atIdent("input") || atIdent("output")) {
+      Port p;
+      p.dir = acceptIdent("input") ? PortDir::Input : (expectIdent("output"), PortDir::Output);
+      p.name = expectAnyIdent();
+      expectPunct(":");
+      p.type = parseType();
+      expectNewline();
+      mod->ports.push_back(std::move(p));
+    }
+    while (!atDedent()) mod->body.push_back(parseStmt());
+    expectDedent();
+    return mod;
+  }
+
+  Type parseType() {
+    Type t = parseBaseType();
+    // Vector suffixes bind left-to-right: UInt<8>[4][2] is a 2-vector of
+    // 4-vectors of UInt<8>.
+    while (atPunct("[")) {
+      advance();
+      int64_t n = expectInt();
+      if (n < 0) throw err("negative vector size");
+      expectPunct("]");
+      t = Type::vector(std::move(t), static_cast<uint32_t>(n));
+    }
+    return t;
+  }
+
+  Type parseBaseType() {
+    if (acceptIdent("Clock")) return Type::clock();
+    if (acceptIdent("Reset")) return Type::reset();
+    if (acceptIdent("AsyncReset")) return {TypeKind::AsyncReset, 1, true, nullptr, nullptr, 0};
+    if (acceptPunct("{")) {
+      std::vector<Field> fields;
+      if (!atPunct("}")) {
+        while (true) {
+          Field f;
+          f.flip = acceptIdent("flip");
+          f.name = expectAnyIdent();
+          expectPunct(":");
+          f.type = parseType();
+          fields.push_back(std::move(f));
+          if (!acceptPunct(",")) break;
+        }
+      }
+      expectPunct("}");
+      return Type::bundle(std::move(fields));
+    }
+    bool isSigned;
+    if (acceptIdent("UInt")) isSigned = false;
+    else if (acceptIdent("SInt")) isSigned = true;
+    else throw err("expected type, got '" + cur().text + "'");
+    Type t;
+    t.kind = isSigned ? TypeKind::SInt : TypeKind::UInt;
+    if (acceptPunct("<")) {
+      int64_t w = expectInt();
+      if (w < 0) throw err("negative width");
+      t.width = static_cast<uint32_t>(w);
+      t.widthKnown = true;
+      expectPunct(">");
+    }
+    return t;
+  }
+
+  StmtPtr parseStmt() {
+    if (atIdent("wire") && peekTok().kind == TokKind::Ident) return parseWire();
+    if (atIdent("node") && peekTok().kind == TokKind::Ident) return parseNode();
+    if (atIdent("reg") && peekTok().kind == TokKind::Ident) return parseReg();
+    if (atIdent("mem") && peekTok().kind == TokKind::Ident) return parseMem();
+    if (atIdent("inst") && peekTok().kind == TokKind::Ident) return parseInst();
+    if (atIdent("when")) return parseWhen();
+    if (atIdent("printf") && peekTok().kind == TokKind::Punct && peekTok().text == "(")
+      return parsePrintf();
+    if (atIdent("stop") && peekTok().kind == TokKind::Punct && peekTok().text == "(")
+      return parseStop();
+    if (atIdent("assert") && peekTok().kind == TokKind::Punct && peekTok().text == "(")
+      return parseAssert();
+    if (atIdent("skip")) {
+      advance();
+      expectNewline();
+      auto s = std::make_unique<Stmt>();
+      s->kind = StmtKind::Skip;
+      return s;
+    }
+    // Otherwise: connect or invalidate, both starting with a reference path.
+    std::string target = parseRefPath();
+    if (acceptIdent("is")) {
+      expectIdent("invalid");
+      expectNewline();
+      return makeInvalidate(std::move(target));
+    }
+    if (!acceptPunct("<=") && !acceptPunct("<-"))
+      throw err("expected '<=' in connect to '" + target + "'");
+    ExprPtr rhs = parseExpr();
+    expectNewline();
+    return makeConnect(std::move(target), std::move(rhs));
+  }
+
+  StmtPtr parseWire() {
+    expectIdent("wire");
+    std::string name = expectAnyIdent();
+    expectPunct(":");
+    Type t = parseType();
+    expectNewline();
+    return makeWire(std::move(name), t);
+  }
+
+  StmtPtr parseNode() {
+    expectIdent("node");
+    std::string name = expectAnyIdent();
+    expectPunct("=");
+    ExprPtr value = parseExpr();
+    expectNewline();
+    return makeNode(std::move(name), std::move(value));
+  }
+
+  StmtPtr parseReg() {
+    expectIdent("reg");
+    std::string name = expectAnyIdent();
+    expectPunct(":");
+    Type t = parseType();
+    expectPunct(",");
+    ExprPtr clock = parseExpr();
+    ExprPtr resetCond, resetInit;
+    if (acceptIdent("with")) {
+      expectPunct(":");
+      auto parseResetClause = [&] {
+        expectIdent("reset");
+        expectPunct("=>");
+        expectPunct("(");
+        resetCond = parseExpr();
+        expectPunct(",");
+        resetInit = parseExpr();
+        expectPunct(")");
+      };
+      if (acceptPunct("(")) {
+        // Inline form: with : (reset => (cond, init))
+        parseResetClause();
+        expectPunct(")");
+        expectNewline();
+      } else {
+        // Block form (as emitted by Chisel):
+        //   reg x : UInt<8>, clock with :
+        //     reset => (reset, UInt<8>(0))
+        expectNewline();
+        expectIndent();
+        if (acceptPunct("(")) {
+          parseResetClause();
+          expectPunct(")");
+        } else {
+          parseResetClause();
+        }
+        expectNewline();
+        expectDedent();
+      }
+      return makeReg(std::move(name), t, std::move(clock), std::move(resetCond),
+                     std::move(resetInit));
+    }
+    expectNewline();
+    return makeReg(std::move(name), t, std::move(clock), std::move(resetCond),
+                   std::move(resetInit));
+  }
+
+  StmtPtr parseMem() {
+    expectIdent("mem");
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::Mem;
+    s->name = expectAnyIdent();
+    expectPunct(":");
+    expectNewline();
+    expectIndent();
+    bool sawType = false, sawDepth = false;
+    while (!atDedent()) {
+      std::string field = expectAnyIdent();
+      expectPunct("=>");
+      if (field == "data-type") {
+        s->type = parseType();
+        if ((s->type.kind == TypeKind::UInt || s->type.kind == TypeKind::SInt) &&
+            !s->type.widthKnown)
+          throw err("mem data-type must have an explicit width");
+        sawType = true;
+      } else if (field == "depth") {
+        s->depth = static_cast<uint64_t>(expectInt());
+        sawDepth = true;
+      } else if (field == "read-latency") {
+        s->readLatency = static_cast<uint32_t>(expectInt());
+        if (s->readLatency > 1) throw err("read-latency > 1 unsupported");
+      } else if (field == "write-latency") {
+        s->writeLatency = static_cast<uint32_t>(expectInt());
+        if (s->writeLatency != 1) throw err("write-latency must be 1");
+      } else if (field == "read-under-write") {
+        expectAnyIdent();  // undefined/old/new — all treated as 'old'
+      } else if (field == "reader") {
+        s->readers.push_back(MemPort{expectAnyIdent()});
+      } else if (field == "writer") {
+        s->writers.push_back(MemPort{expectAnyIdent()});
+      } else {
+        throw err("unknown mem field '" + field + "'");
+      }
+      expectNewline();
+    }
+    expectDedent();
+    if (!sawType || !sawDepth) throw err("mem '" + s->name + "' missing data-type or depth");
+    return s;
+  }
+
+  StmtPtr parseInst() {
+    expectIdent("inst");
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::Inst;
+    s->name = expectAnyIdent();
+    expectIdent("of");
+    s->moduleName = expectAnyIdent();
+    expectNewline();
+    return s;
+  }
+
+  StmtPtr parseWhen() {
+    expectIdent("when");
+    ExprPtr cond = parseExpr();
+    expectPunct(":");
+    expectNewline();
+    expectIndent();
+    std::vector<StmtPtr> thenBody;
+    while (!atDedent()) thenBody.push_back(parseStmt());
+    expectDedent();
+    std::vector<StmtPtr> elseBody;
+    if (atIdent("else")) {
+      advance();
+      if (atIdent("when")) {
+        // `else when ...` chains as a nested when in the else body.
+        elseBody.push_back(parseWhen());
+      } else {
+        expectPunct(":");
+        expectNewline();
+        expectIndent();
+        while (!atDedent()) elseBody.push_back(parseStmt());
+        expectDedent();
+      }
+    }
+    return makeWhen(std::move(cond), std::move(thenBody), std::move(elseBody));
+  }
+
+  StmtPtr parsePrintf() {
+    expectIdent("printf");
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::Printf;
+    expectPunct("(");
+    s->clock = parseExpr();
+    expectPunct(",");
+    s->expr = parseExpr();  // enable condition
+    expectPunct(",");
+    s->format = expectString();
+    while (acceptPunct(",")) s->printArgs.push_back(parseExpr());
+    expectPunct(")");
+    expectNewline();
+    return s;
+  }
+
+  StmtPtr parseStop() {
+    expectIdent("stop");
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::Stop;
+    expectPunct("(");
+    s->clock = parseExpr();
+    expectPunct(",");
+    s->expr = parseExpr();  // enable condition
+    expectPunct(",");
+    s->exitCode = static_cast<int>(expectInt());
+    expectPunct(")");
+    expectNewline();
+    return s;
+  }
+
+  StmtPtr parseAssert() {
+    // assert(clock, predicate, enable, "message")
+    expectIdent("assert");
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::Assert;
+    expectPunct("(");
+    s->clock = parseExpr();
+    expectPunct(",");
+    s->pred = parseExpr();
+    expectPunct(",");
+    s->expr = parseExpr();  // enable
+    expectPunct(",");
+    s->format = expectString();
+    expectPunct(")");
+    expectNewline();
+    return s;
+  }
+
+  std::string parseRefPath() {
+    std::string path = expectAnyIdent();
+    while (atPunct(".") || atPunct("[")) {
+      if (acceptPunct(".")) {
+        if (cur().kind == TokKind::Ident) {
+          path += ".";
+          path += expectAnyIdent();
+        } else if (cur().kind == TokKind::IntLit) {
+          path += ".";
+          path += std::to_string(expectInt());
+        } else {
+          throw err("expected field name after '.'");
+        }
+      } else {
+        // Constant vector subindex: x[3] is canonicalized to x.3. Dynamic
+        // subaccess (x[expr]) is out of scope and rejected here.
+        advance();
+        if (cur().kind != TokKind::IntLit)
+          throw err("dynamic subaccess (x[expr]) is unsupported; use a mux tree");
+        path += ".";
+        path += std::to_string(expectInt());
+        expectPunct("]");
+      }
+    }
+    return path;
+  }
+
+  ExprPtr parseExpr() {
+    if (atIdent("UInt") || atIdent("SInt")) return parseLiteral();
+    if (atIdent("mux") && peekTok().kind == TokKind::Punct && peekTok().text == "(") {
+      advance();
+      advance();
+      ExprPtr sel = parseExpr();
+      expectPunct(",");
+      ExprPtr tval = parseExpr();
+      expectPunct(",");
+      ExprPtr fval = parseExpr();
+      expectPunct(")");
+      return Expr::mux(std::move(sel), std::move(tval), std::move(fval));
+    }
+    if (atIdent("validif") && peekTok().kind == TokKind::Punct && peekTok().text == "(") {
+      advance();
+      advance();
+      ExprPtr cond = parseExpr();
+      expectPunct(",");
+      ExprPtr value = parseExpr();
+      expectPunct(")");
+      return Expr::validIf(std::move(cond), std::move(value));
+    }
+    if (cur().kind == TokKind::Ident && peekTok().kind == TokKind::Punct &&
+        peekTok().text == "(") {
+      PrimOpKind op;
+      if (primOpFromName(cur().text, &op)) {
+        advance();
+        advance();
+        std::vector<ExprPtr> args;
+        std::vector<int64_t> consts;
+        int wantExprs = primOpExprArity(op);
+        int wantConsts = primOpConstArity(op);
+        for (int k = 0; k < wantExprs; k++) {
+          if (k) expectPunct(",");
+          args.push_back(parseExpr());
+        }
+        for (int k = 0; k < wantConsts; k++) {
+          expectPunct(",");
+          consts.push_back(expectInt());
+        }
+        expectPunct(")");
+        return Expr::prim(op, std::move(args), std::move(consts));
+      }
+    }
+    if (cur().kind == TokKind::Ident) return Expr::ref(parseRefPath());
+    throw err("expected expression, got '" + cur().text + "'");
+  }
+
+  ExprPtr parseLiteral() {
+    bool isSigned = atIdent("SInt");
+    advance();
+    bool widthKnown = false;
+    uint32_t width = 0;
+    if (acceptPunct("<")) {
+      width = static_cast<uint32_t>(expectInt());
+      widthKnown = true;
+      expectPunct(">");
+    }
+    expectPunct("(");
+    BitVec value;
+    if (cur().kind == TokKind::StringLit) {
+      std::string s = expectString();
+      if (s.empty()) throw err("empty literal string");
+      char base = s[0];
+      std::string digits = s.substr(1);
+      bool negate = false;
+      if (!digits.empty() && (digits[0] == '-' || digits[0] == '+')) {
+        negate = digits[0] == '-';
+        digits = digits.substr(1);
+      }
+      uint32_t w = widthKnown ? width : 1024;  // parse wide, size below
+      if (base == 'h') value = BitVec::fromHexString(w, digits);
+      else if (base == 'b') {
+        value = BitVec(w);
+        uint32_t pos = 0;
+        for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+          if (*it == '_') continue;
+          if (*it != '0' && *it != '1') throw err("bad binary digit");
+          value.setBit(pos++, *it == '1');
+        }
+      } else if (base == 'o') {
+        value = BitVec(w);
+        uint32_t pos = 0;
+        for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+          if (*it == '_') continue;
+          if (*it < '0' || *it > '7') throw err("bad octal digit");
+          uint64_t oct = static_cast<uint64_t>(*it - '0');
+          for (int b = 0; b < 3; b++) value.setBit(pos + b, (oct >> b) & 1);
+          pos += 3;
+        }
+      } else if (base == 'd' || (base >= '0' && base <= '9')) {
+        std::string dec = base == 'd' ? digits : s;
+        value = BitVec::fromDecString(w, dec);
+      } else {
+        throw err(std::string("unknown literal base '") + base + "'");
+      }
+      if (negate) {
+        value = bvops::extend(bvops::sub(BitVec(w), value, false), false, w);
+      }
+      if (!widthKnown) {
+        width = value.bitLength();
+        if (isSigned) width += 1;
+        if (width == 0) width = 1;
+        value = bvops::extend(value, false, width);
+      } else {
+        value = bvops::extend(value, false, width);
+      }
+    } else {
+      int64_t v = expectInt();
+      if (!widthKnown) {
+        uint64_t mag = v < 0 ? static_cast<uint64_t>(-v) : static_cast<uint64_t>(v);
+        uint32_t bits = 0;
+        while (mag >> bits) bits++;
+        width = isSigned ? bits + 1 : (bits == 0 ? 1 : bits);
+      }
+      value = BitVec::fromI64(width, v);
+    }
+    expectPunct(")");
+    return isSigned ? Expr::sintLit(width, std::move(value))
+                    : Expr::uintLit(width, std::move(value));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Circuit> parseCircuit(const std::string& source) {
+  Parser p(lex(source));
+  return p.parseCircuit();
+}
+
+}  // namespace essent::firrtl

@@ -1,0 +1,21 @@
+// Recursive-descent parser producing the AST in ast.h from FIRRTL text.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "firrtl/ast.h"
+
+namespace essent::firrtl {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& msg, int line)
+      : std::runtime_error("firrtl parse error (line " + std::to_string(line) + "): " + msg) {}
+};
+
+// Parses a full circuit; throws ParseError / LexError on malformed input.
+std::unique_ptr<Circuit> parseCircuit(const std::string& source);
+
+}  // namespace essent::firrtl

@@ -1,0 +1,506 @@
+#include "firrtl/passes.h"
+
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "firrtl/widths.h"
+#include "support/strutil.h"
+
+namespace essent::firrtl {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// flattenInstances
+
+void prefixExpr(Expr& e, const std::string& prefix) {
+  if (e.kind == ExprKind::Ref) {
+    e.name = prefix + e.name;
+    return;
+  }
+  for (auto& a : e.args) prefixExpr(*a, prefix);
+}
+
+void inlineBody(const Module& mod, const Circuit& circuit, const std::string& prefix,
+                std::vector<StmtPtr>& out, std::unordered_set<std::string>& onPath);
+
+// Clones `s` with all declared names and references prefixed, expanding
+// nested instances recursively.
+void inlineStmt(const Stmt& s, const Circuit& circuit, const std::string& prefix,
+                std::vector<StmtPtr>& out, std::unordered_set<std::string>& onPath) {
+  if (s.kind == StmtKind::Inst) {
+    const Module* child = circuit.findModule(s.moduleName);
+    if (!child) throw WidthError("instance of unknown module '" + s.moduleName + "'");
+    if (onPath.count(child->name))
+      throw WidthError("instantiation cycle through module '" + child->name + "'");
+    std::string childPrefix = prefix + s.name + ".";
+    // Child ports become wires bridging parent and child logic.
+    for (const auto& p : child->ports) {
+      out.push_back(makeWire(childPrefix + p.name, p.type));
+    }
+    onPath.insert(child->name);
+    inlineBody(*child, circuit, childPrefix, out, onPath);
+    onPath.erase(child->name);
+    return;
+  }
+  if (s.kind == StmtKind::When) {
+    ExprPtr cond = s.expr->clone();
+    prefixExpr(*cond, prefix);
+    std::vector<StmtPtr> thenBody, elseBody;
+    for (const auto& t : s.thenBody) inlineStmt(*t, circuit, prefix, thenBody, onPath);
+    for (const auto& t : s.elseBody) inlineStmt(*t, circuit, prefix, elseBody, onPath);
+    out.push_back(makeWhen(std::move(cond), std::move(thenBody), std::move(elseBody)));
+    return;
+  }
+  StmtPtr c = s.clone();
+  if (!c->name.empty() &&
+      (c->kind == StmtKind::Wire || c->kind == StmtKind::Node || c->kind == StmtKind::Reg ||
+       c->kind == StmtKind::Mem || c->kind == StmtKind::Connect ||
+       c->kind == StmtKind::Invalidate)) {
+    c->name = prefix + c->name;
+  }
+  if (c->expr) prefixExpr(*c->expr, prefix);
+  if (c->clock) prefixExpr(*c->clock, prefix);
+  if (c->pred) prefixExpr(*c->pred, prefix);
+  if (c->resetCond) prefixExpr(*c->resetCond, prefix);
+  if (c->resetInit) prefixExpr(*c->resetInit, prefix);
+  for (auto& a : c->printArgs) prefixExpr(*a, prefix);
+  out.push_back(std::move(c));
+}
+
+void inlineBody(const Module& mod, const Circuit& circuit, const std::string& prefix,
+                std::vector<StmtPtr>& out, std::unordered_set<std::string>& onPath) {
+  for (const auto& s : mod.body) inlineStmt(*s, circuit, prefix, out, onPath);
+}
+
+// ---------------------------------------------------------------------------
+// expandWhens
+
+ExprPtr andExpr(ExprPtr a, ExprPtr b) {
+  if (!a) return b;
+  if (!b) return a;
+  std::vector<ExprPtr> args;
+  args.push_back(std::move(a));
+  args.push_back(std::move(b));
+  return Expr::prim(PrimOpKind::And, std::move(args), {});
+}
+
+ExprPtr notExpr(ExprPtr a) {
+  std::vector<ExprPtr> args;
+  args.push_back(std::move(a));
+  return Expr::prim(PrimOpKind::Not, std::move(args), {});
+}
+
+ExprPtr zeroOf(const Type& t) {
+  uint32_t w = t.simWidth();
+  if (t.kind == TypeKind::SInt) return Expr::sintLit(w, BitVec(w));
+  return Expr::uintLit(w, BitVec(w));
+}
+
+struct WhenExpander {
+  const SymbolTable& symbols;
+  // target -> current driving expression (nullptr means "never driven yet").
+  std::map<std::string, ExprPtr> current;
+  // registers keep default = themselves
+  std::unordered_set<std::string> regNames;
+  std::vector<StmtPtr> decls;     // hoisted declarations, in order
+  std::vector<StmtPtr> effects;   // printf/stop with rewritten enables
+
+  explicit WhenExpander(const SymbolTable& st) : symbols(st) {}
+
+  ExprPtr priorValue(const std::string& target) {
+    auto it = current.find(target);
+    if (it != current.end() && it->second) return it->second->clone();
+    if (regNames.count(target)) return Expr::ref(target);
+    return zeroOf(symbols.lookup(target));
+  }
+
+  void setValue(const std::string& target, ExprPtr value, const ExprPtr& cond) {
+    if (cond) {
+      value = Expr::mux(cond->clone(), std::move(value), priorValue(target));
+    }
+    current[target] = std::move(value);
+  }
+
+  void walk(const std::vector<StmtPtr>& body, const ExprPtr& cond) {
+    for (const auto& s : body) {
+      switch (s->kind) {
+        case StmtKind::Wire:
+        case StmtKind::Node:
+        case StmtKind::Mem:
+          decls.push_back(s->clone());
+          break;
+        case StmtKind::Reg:
+          regNames.insert(s->name);
+          decls.push_back(s->clone());
+          break;
+        case StmtKind::Connect:
+          setValue(s->name, s->expr->clone(), cond);
+          break;
+        case StmtKind::Invalidate: {
+          Type t = symbols.lookup(s->name);
+          if (t.kind == TypeKind::Clock) break;  // invalid clocks stay unwired
+          setValue(s->name, zeroOf(t), cond);
+          break;
+        }
+        case StmtKind::When: {
+          ExprPtr thenCond = andExpr(cond ? cond->clone() : nullptr, s->expr->clone());
+          walk(s->thenBody, thenCond);
+          if (!s->elseBody.empty()) {
+            ExprPtr elseCond = andExpr(cond ? cond->clone() : nullptr, notExpr(s->expr->clone()));
+            walk(s->elseBody, elseCond);
+          }
+          break;
+        }
+        case StmtKind::Printf:
+        case StmtKind::Stop:
+        case StmtKind::Assert: {
+          StmtPtr c = s->clone();
+          if (cond) c->expr = andExpr(cond->clone(), std::move(c->expr));
+          effects.push_back(std::move(c));
+          break;
+        }
+        case StmtKind::Inst:
+          throw WidthError("expandWhens requires an instance-free module");
+        case StmtKind::Skip:
+          break;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// lowerAggregates (LowerTypes)
+
+// Invokes fn(suffix, groundType, flipParity) for every ground leaf of `t`.
+// Suffixes are "" for ground types or ".a.3.b"-style dotted paths.
+template <typename Fn>
+void forEachLeaf(const Type& t, const std::string& suffix, bool flipped, const Fn& fn) {
+  switch (t.kind) {
+    case TypeKind::Bundle:
+      for (const Field& f : *t.fields)
+        forEachLeaf(f.type, suffix + "." + f.name, flipped ^ f.flip, fn);
+      break;
+    case TypeKind::Vector:
+      for (uint32_t i = 0; i < t.size; i++)
+        forEachLeaf(*t.elem, suffix + "." + std::to_string(i), flipped, fn);
+      break;
+    default:
+      fn(suffix, t, flipped);
+      break;
+  }
+}
+
+namespace {
+
+struct ResolvedAgg {
+  Type type;        // type at the end of the path
+  bool flip = false;  // accumulated flip parity along the path
+  // True when writing to this path's forward leaves is the natural
+  // direction (false for local input ports / instance output ports).
+  bool rootForward = true;
+  bool found = false;
+};
+
+class AggLowerer {
+ public:
+  explicit AggLowerer(Circuit& circuit) : circuit_(circuit) {
+    // Snapshot every module's original port list (instance resolution must
+    // not depend on lowering order).
+    for (const auto& m : circuit.modules) {
+      auto& ports = origPorts_[m->name];
+      for (const auto& p : m->ports) ports.push_back(p);
+    }
+  }
+
+  void run() {
+    for (auto& m : circuit_.modules) lowerModule(*m);
+  }
+
+ private:
+  Circuit& circuit_;
+  std::unordered_map<std::string, std::vector<Port>> origPorts_;
+
+  // Per-module state.
+  std::unordered_map<std::string, Type> declType_;   // ports/wires/regs/nodes
+  std::unordered_map<std::string, PortDir> portDir_;
+  std::unordered_map<std::string, std::string> instOf_;
+
+  [[noreturn]] void fail(const std::string& msg) const { throw WidthError(msg); }
+
+  // Walks `segments[from..]` down an aggregate type.
+  ResolvedAgg walkType(Type t, bool flip, const std::vector<std::string>& segs, size_t from) const {
+    for (size_t i = from; i < segs.size(); i++) {
+      if (t.kind == TypeKind::Bundle) {
+        bool hit = false;
+        for (const Field& f : *t.fields) {
+          if (f.name == segs[i]) {
+            flip ^= f.flip;
+            t = f.type;
+            hit = true;
+            break;
+          }
+        }
+        if (!hit) return {};
+      } else if (t.kind == TypeKind::Vector) {
+        char* end = nullptr;
+        long idx = std::strtol(segs[i].c_str(), &end, 10);
+        if (end == segs[i].c_str() || *end != '\0' || idx < 0 ||
+            static_cast<uint32_t>(idx) >= t.size)
+          return {};
+        t = *t.elem;
+      } else {
+        return {};
+      }
+    }
+    ResolvedAgg r;
+    r.type = t;
+    r.flip = flip;
+    r.found = true;
+    return r;
+  }
+
+  // Resolves a dotted path against the module's declarations and instance
+  // ports. Declared names may themselves contain dots (lowered leaves), so
+  // the longest declared prefix wins.
+  ResolvedAgg resolve(const std::string& path) const {
+    std::vector<std::string> segs = splitString(path, '.');
+    for (size_t k = segs.size(); k >= 1; k--) {
+      std::string head = segs[0];
+      for (size_t i = 1; i < k; i++) head += "." + segs[i];
+      if (auto it = declType_.find(head); it != declType_.end()) {
+        ResolvedAgg r = walkType(it->second, false, segs, k);
+        if (!r.found) return r;
+        if (auto pd = portDir_.find(head); pd != portDir_.end())
+          r.rootForward = pd->second == PortDir::Output;
+        return r;
+      }
+      if (k == 1) {
+        if (auto it = instOf_.find(head); it != instOf_.end()) {
+          // Instance port: resolve the remainder against the child's
+          // original ports (which may themselves be aggregates).
+          auto pit = origPorts_.find(it->second);
+          if (pit == origPorts_.end()) return {};
+          const auto& ports = pit->second;
+          for (size_t k2 = segs.size(); k2 >= 2; k2--) {
+            std::string pname = segs[1];
+            for (size_t i = 2; i < k2; i++) pname += "." + segs[i];
+            for (const Port& p : ports) {
+              if (p.name == pname) {
+                ResolvedAgg r = walkType(p.type, false, segs, k2);
+                if (r.found) r.rootForward = p.dir == PortDir::Input;
+                return r;
+              }
+            }
+          }
+        }
+      }
+    }
+    return {};
+  }
+
+  void lowerModule(Module& m) {
+    declType_.clear();
+    portDir_.clear();
+    instOf_.clear();
+
+    // Ports.
+    std::vector<Port> newPorts;
+    for (const Port& p : m.ports) {
+      declType_[p.name] = p.type;
+      portDir_[p.name] = p.dir;
+      if (p.type.isGround()) {
+        newPorts.push_back(p);
+        continue;
+      }
+      forEachLeaf(p.type, "", false, [&](const std::string& suffix, const Type& g, bool flip) {
+        Port leaf;
+        leaf.name = p.name + suffix;
+        leaf.type = g;
+        bool input = (p.dir == PortDir::Input) != flip;
+        leaf.dir = input ? PortDir::Input : PortDir::Output;
+        newPorts.push_back(std::move(leaf));
+      });
+    }
+    m.ports = std::move(newPorts);
+
+    std::vector<StmtPtr> newBody;
+    lowerBody(m.body, newBody);
+    m.body = std::move(newBody);
+  }
+
+  void lowerBody(std::vector<StmtPtr>& body, std::vector<StmtPtr>& out) {
+    for (auto& s : body) lowerStmt(std::move(s), out);
+  }
+
+  void lowerStmt(StmtPtr s, std::vector<StmtPtr>& out) {
+    switch (s->kind) {
+      case StmtKind::Wire: {
+        declType_[s->name] = s->type;
+        if (s->type.isGround()) {
+          out.push_back(std::move(s));
+          return;
+        }
+        forEachLeaf(s->type, "", false,
+                    [&](const std::string& suffix, const Type& g, bool) {
+                      out.push_back(makeWire(s->name + suffix, g));
+                    });
+        return;
+      }
+      case StmtKind::Reg: {
+        declType_[s->name] = s->type;
+        if (s->type.isGround()) {
+          out.push_back(std::move(s));
+          return;
+        }
+        if (s->resetInit && s->resetInit->kind != ExprKind::Ref)
+          fail("aggregate register '" + s->name + "' reset value must be a reference");
+        forEachLeaf(s->type, "", false,
+                    [&](const std::string& suffix, const Type& g, bool) {
+                      ExprPtr init;
+                      if (s->resetInit) init = Expr::ref(s->resetInit->name + suffix);
+                      out.push_back(makeReg(s->name + suffix, g, s->clock->clone(),
+                                            s->resetCond ? s->resetCond->clone() : nullptr,
+                                            std::move(init)));
+                    });
+        return;
+      }
+      case StmtKind::Node: {
+        // A node aliasing an aggregate reference expands to leaf aliases.
+        if (s->expr->kind == ExprKind::Ref) {
+          ResolvedAgg r = resolve(s->expr->name);
+          if (r.found && !r.type.isGround()) {
+            declType_[s->name] = r.type;
+            std::string src = s->expr->name;
+            forEachLeaf(r.type, "", false,
+                        [&](const std::string& suffix, const Type&, bool) {
+                          out.push_back(makeNode(s->name + suffix, Expr::ref(src + suffix)));
+                        });
+            return;
+          }
+        }
+        out.push_back(std::move(s));
+        return;
+      }
+      case StmtKind::Mem:
+        if (!s->type.isGround())
+          fail("memory '" + s->name + "' has an aggregate data-type (unsupported)");
+        out.push_back(std::move(s));
+        return;
+      case StmtKind::Inst:
+        instOf_[s->name] = s->moduleName;
+        out.push_back(std::move(s));
+        return;
+      case StmtKind::Connect: {
+        ResolvedAgg lhs = resolve(s->name);
+        if (!lhs.found || lhs.type.isGround()) {
+          out.push_back(std::move(s));
+          return;
+        }
+        if (s->expr->kind != ExprKind::Ref)
+          fail("aggregate connect to '" + s->name + "' requires a reference on the rhs");
+        std::string rhs = s->expr->name;
+        std::string lhsPath = s->name;
+        forEachLeaf(lhs.type, "", false,
+                    [&](const std::string& suffix, const Type&, bool leafFlip) {
+                      bool forward = lhs.rootForward != leafFlip;
+                      if (forward)
+                        out.push_back(makeConnect(lhsPath + suffix, Expr::ref(rhs + suffix)));
+                      else
+                        out.push_back(makeConnect(rhs + suffix, Expr::ref(lhsPath + suffix)));
+                    });
+        return;
+      }
+      case StmtKind::Invalidate: {
+        ResolvedAgg lhs = resolve(s->name);
+        if (!lhs.found || lhs.type.isGround()) {
+          out.push_back(std::move(s));
+          return;
+        }
+        std::string lhsPath = s->name;
+        forEachLeaf(lhs.type, "", false,
+                    [&](const std::string& suffix, const Type&, bool leafFlip) {
+                      // Only the drivable direction can be invalidated.
+                      if (lhs.rootForward != leafFlip)
+                        out.push_back(makeInvalidate(lhsPath + suffix));
+                    });
+        return;
+      }
+      case StmtKind::When: {
+        std::vector<StmtPtr> thenBody, elseBody;
+        lowerBody(s->thenBody, thenBody);
+        lowerBody(s->elseBody, elseBody);
+        out.push_back(makeWhen(std::move(s->expr), std::move(thenBody), std::move(elseBody)));
+        return;
+      }
+      default:
+        out.push_back(std::move(s));
+        return;
+    }
+  }
+};
+
+}  // namespace
+
+void lowerAggregates(Circuit& circuit) {
+  AggLowerer lowerer(circuit);
+  lowerer.run();
+}
+
+std::unique_ptr<Module> flattenInstances(const Circuit& circuit) {
+  const Module* main = circuit.mainModule();
+  auto flat = std::make_unique<Module>();
+  flat->name = main->name;
+  flat->ports = main->ports;
+  std::unordered_set<std::string> onPath = {main->name};
+  inlineBody(*main, circuit, "", flat->body, onPath);
+  return flat;
+}
+
+void expandWhens(Module& module) {
+  SymbolTable st = SymbolTable::build(module);
+  // Nodes must be in the table for prior-value typing of connects to nodes'
+  // consumers; node types are unknown pre-inference, but nodes are never
+  // legal connect targets so the table from declarations suffices.
+  WhenExpander ex(st);
+  ex.walk(module.body, nullptr);
+
+  std::vector<StmtPtr> newBody;
+  for (auto& d : ex.decls) newBody.push_back(std::move(d));
+  // Emit one final connect per driven target, in name order for determinism.
+  for (auto& [target, value] : ex.current) {
+    if (value) newBody.push_back(makeConnect(target, std::move(value)));
+  }
+  // Registers that were never connected hold their value.
+  for (const auto& r : ex.regNames) {
+    if (!ex.current.count(r)) newBody.push_back(makeConnect(r, Expr::ref(r)));
+  }
+  for (auto& e : ex.effects) newBody.push_back(std::move(e));
+  module.body = std::move(newBody);
+}
+
+std::unique_ptr<Module> lowerCircuit(const Circuit& circuit) {
+  // lowerAggregates mutates the circuit; work on a private copy so callers
+  // keep their parsed AST intact.
+  Circuit copy;
+  copy.name = circuit.name;
+  for (const auto& m : circuit.modules) {
+    auto cm = std::make_unique<Module>();
+    cm->name = m->name;
+    cm->ports = m->ports;
+    for (const auto& s : m->body) cm->body.push_back(s->clone());
+    copy.modules.push_back(std::move(cm));
+  }
+  lowerAggregates(copy);
+  auto flat = flattenInstances(copy);
+  expandWhens(*flat);
+  inferUnknownWidths(*flat);
+  inferModuleWidths(*flat);
+  return flat;
+}
+
+}  // namespace essent::firrtl

@@ -1,0 +1,47 @@
+// Lowering passes from a parsed circuit to the single flat module consumed
+// by the simulation IR builder:
+//
+//   1. flattenInstances — recursively inlines every `inst` into the main
+//      module. Child declarations are renamed with a dotted instance prefix
+//      ("core.alu.sum") and child ports become wires bridging parent
+//      connects and child logic. The result is instance-free.
+//   2. expandWhens — removes all `when` blocks by rewriting conditional
+//      connects into mux trees with FIRRTL last-connect semantics.
+//      Registers default to holding their value; wires and ports default to
+//      zero when never unconditionally driven (`is invalid` also reads as
+//      zero). printf/stop enables are ANDed with their `when` path
+//      condition. The result has exactly one connect per driven target.
+//
+// lowerCircuit() chains both passes and then runs width inference, yielding
+// the canonical input for sim::buildSimIR().
+#pragma once
+
+#include <memory>
+
+#include "firrtl/ast.h"
+
+namespace essent::firrtl {
+
+// Expands aggregate types (bundles and vectors) into ground-typed leaves
+// ("LowerTypes"): ports, wires and registers of aggregate type become one
+// declaration per leaf, named with dotted paths ("io.out", "v.3"); bulk
+// connects and invalidates expand per leaf, honouring `flip` directions;
+// nodes aliasing an aggregate reference expand to per-leaf nodes. Must run
+// before flattenInstances (it resolves instance port bundles through the
+// original module signatures). Limitations (diagnosed with errors):
+// aggregate-typed memories, aggregate expressions other than references,
+// and non-reference aggregate register reset values.
+void lowerAggregates(Circuit& circuit);
+
+// Inlines all module instances reachable from the main module. The returned
+// module has the main module's name and ports. Throws WidthError on unknown
+// module references or instantiation cycles.
+std::unique_ptr<Module> flattenInstances(const Circuit& circuit);
+
+// Removes when/else blocks and invalidates; leaves one connect per target.
+void expandWhens(Module& module);
+
+// flattenInstances + expandWhens + inferModuleWidths.
+std::unique_ptr<Module> lowerCircuit(const Circuit& circuit);
+
+}  // namespace essent::firrtl

@@ -1,0 +1,114 @@
+#include "firrtl/printer.h"
+
+#include "support/strutil.h"
+
+namespace essent::firrtl {
+
+namespace {
+
+std::string ind(int level) { return std::string(static_cast<size_t>(level) * 2, ' '); }
+
+std::string escapeFormat(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string printStmt(const Stmt& s, int level) {
+  std::string out;
+  switch (s.kind) {
+    case StmtKind::Wire:
+      out = ind(level) + "wire " + s.name + " : " + s.type.toString() + "\n";
+      break;
+    case StmtKind::Node:
+      out = ind(level) + "node " + s.name + " = " + s.expr->toString() + "\n";
+      break;
+    case StmtKind::Reg: {
+      out = ind(level) + "reg " + s.name + " : " + s.type.toString() + ", " +
+            s.clock->toString();
+      if (s.resetCond)
+        out += " with : (reset => (" + s.resetCond->toString() + ", " +
+               s.resetInit->toString() + "))";
+      out += "\n";
+      break;
+    }
+    case StmtKind::Mem: {
+      out = ind(level) + "mem " + s.name + " :\n";
+      out += ind(level + 1) + "data-type => " + s.type.toString() + "\n";
+      out += ind(level + 1) + "depth => " + std::to_string(s.depth) + "\n";
+      out += ind(level + 1) + "read-latency => " + std::to_string(s.readLatency) + "\n";
+      out += ind(level + 1) + "write-latency => " + std::to_string(s.writeLatency) + "\n";
+      out += ind(level + 1) + "read-under-write => undefined\n";
+      for (const auto& r : s.readers) out += ind(level + 1) + "reader => " + r.name + "\n";
+      for (const auto& w : s.writers) out += ind(level + 1) + "writer => " + w.name + "\n";
+      break;
+    }
+    case StmtKind::Inst:
+      out = ind(level) + "inst " + s.name + " of " + s.moduleName + "\n";
+      break;
+    case StmtKind::Connect:
+      out = ind(level) + s.name + " <= " + s.expr->toString() + "\n";
+      break;
+    case StmtKind::Invalidate:
+      out = ind(level) + s.name + " is invalid\n";
+      break;
+    case StmtKind::When: {
+      out = ind(level) + "when " + s.expr->toString() + " :\n";
+      if (s.thenBody.empty()) out += ind(level + 1) + "skip\n";
+      for (const auto& t : s.thenBody) out += printStmt(*t, level + 1);
+      if (!s.elseBody.empty()) {
+        out += ind(level) + "else :\n";
+        for (const auto& t : s.elseBody) out += printStmt(*t, level + 1);
+      }
+      break;
+    }
+    case StmtKind::Printf: {
+      out = ind(level) + "printf(" + s.clock->toString() + ", " + s.expr->toString() +
+            ", \"" + escapeFormat(s.format) + "\"";
+      for (const auto& a : s.printArgs) out += ", " + a->toString();
+      out += ")\n";
+      break;
+    }
+    case StmtKind::Stop:
+      out = ind(level) + "stop(" + s.clock->toString() + ", " + s.expr->toString() + ", " +
+            std::to_string(s.exitCode) + ")\n";
+      break;
+    case StmtKind::Assert:
+      out = ind(level) + "assert(" + s.clock->toString() + ", " + s.pred->toString() + ", " +
+            s.expr->toString() + ", \"" + escapeFormat(s.format) + "\")\n";
+      break;
+    case StmtKind::Skip:
+      out = ind(level) + "skip\n";
+      break;
+  }
+  return out;
+}
+
+std::string printModule(const Module& m) {
+  std::string out = "  module " + m.name + " :\n";
+  for (const auto& p : m.ports) {
+    out += "    " + std::string(p.dir == PortDir::Input ? "input " : "output ") + p.name +
+           " : " + p.type.toString() + "\n";
+  }
+  if (m.body.empty() && m.ports.empty()) out += "    skip\n";
+  for (const auto& s : m.body) out += printStmt(*s, 2);
+  return out;
+}
+
+std::string printCircuit(const Circuit& c) {
+  std::string out = "circuit " + c.name + " :\n";
+  for (const auto& m : c.modules) out += printModule(*m) + "\n";
+  return out;
+}
+
+}  // namespace essent::firrtl

@@ -1,0 +1,15 @@
+// Pretty-printer emitting parseable FIRRTL text from the AST; used for
+// round-trip testing and for dumping lowered forms while debugging.
+#pragma once
+
+#include <string>
+
+#include "firrtl/ast.h"
+
+namespace essent::firrtl {
+
+std::string printCircuit(const Circuit& circuit);
+std::string printModule(const Module& module);
+std::string printStmt(const Stmt& stmt, int indentLevel);
+
+}  // namespace essent::firrtl

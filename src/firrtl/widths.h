@@ -1,0 +1,59 @@
+// Width/type inference and checking for a (flattened) module.
+//
+// Fills in Expr::type for every expression in the module using the FIRRTL
+// width rules (see support/bvops.h) and validates references/connects.
+// Memory port fields ("m.r.addr") are typed from the mem declaration; the
+// module is expected to contain no instances (run flattenInstances first),
+// but `when` blocks are handled so inference can run before or after
+// when-expansion.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+#include "firrtl/ast.h"
+
+namespace essent::firrtl {
+
+class WidthError : public std::runtime_error {
+ public:
+  explicit WidthError(const std::string& msg) : std::runtime_error("firrtl width error: " + msg) {}
+};
+
+// Flat name -> declared type for every referenceable signal in a module.
+class SymbolTable {
+ public:
+  // Builds the table from ports and declarations (recursing into whens).
+  // Throws WidthError on duplicate or instance statements.
+  static SymbolTable build(const Module& module);
+
+  void define(const std::string& name, Type type);
+  bool contains(const std::string& name) const { return table_.count(name) > 0; }
+  // Throws WidthError when the name is not defined.
+  Type lookup(const std::string& name) const;
+
+  const std::unordered_map<std::string, Type>& all() const { return table_; }
+
+ private:
+  std::unordered_map<std::string, Type> table_;
+};
+
+// Address width for a memory of the given depth (>= 1 bit).
+uint32_t memAddrWidth(uint64_t depth);
+
+// Infers and stores the type of `e` (and all subexpressions).
+Type inferExprType(Expr& e, const SymbolTable& symbols);
+
+// Resolves declarations written without a width ("wire w : UInt") by
+// propagating widths forward from their single post-when-expansion connect,
+// to a fixpoint. Output ports participate; input ports must be explicit.
+// Self-referential cases that never resolve (e.g. a register whose next
+// value's width depends only on its own) are reported as errors — FIRRTL's
+// full constraint solver is out of scope (DESIGN.md §5).
+void inferUnknownWidths(Module& module);
+
+// Runs inference over every expression in the module, validating connects.
+void inferModuleWidths(Module& module);
+
+}  // namespace essent::firrtl

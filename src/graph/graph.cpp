@@ -1,0 +1,107 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace essent::graph {
+
+void DiGraph::resize(NodeId numNodes) {
+  out_.resize(static_cast<size_t>(numNodes));
+  in_.resize(static_cast<size_t>(numNodes));
+}
+
+NodeId DiGraph::addNode() {
+  out_.emplace_back();
+  in_.emplace_back();
+  return static_cast<NodeId>(out_.size()) - 1;
+}
+
+bool DiGraph::addEdge(NodeId from, NodeId to) {
+  if (from == to) return false;
+  auto& nbrs = out_[from];
+  if (std::find(nbrs.begin(), nbrs.end(), to) != nbrs.end()) return false;
+  nbrs.push_back(to);
+  in_[to].push_back(from);
+  numEdges_++;
+  return true;
+}
+
+bool DiGraph::hasEdge(NodeId from, NodeId to) const {
+  const auto& nbrs = out_[from];
+  return std::find(nbrs.begin(), nbrs.end(), to) != nbrs.end();
+}
+
+std::optional<std::vector<NodeId>> DiGraph::topoSort() const {
+  NodeId n = numNodes();
+  std::vector<int32_t> indeg(n, 0);
+  for (NodeId v = 0; v < n; v++) indeg[v] = static_cast<int32_t>(in_[v].size());
+  std::vector<NodeId> order;
+  order.reserve(n);
+  std::vector<NodeId> ready;
+  for (NodeId v = 0; v < n; v++)
+    if (indeg[v] == 0) ready.push_back(v);
+  while (!ready.empty()) {
+    NodeId v = ready.back();
+    ready.pop_back();
+    order.push_back(v);
+    for (NodeId w : out_[v]) {
+      if (--indeg[w] == 0) ready.push_back(w);
+    }
+  }
+  if (static_cast<NodeId>(order.size()) != n) return std::nullopt;
+  return order;
+}
+
+bool DiGraph::reachable(NodeId from, NodeId to) const {
+  if (from == to) return true;
+  std::vector<bool> seen(numNodes(), false);
+  std::vector<NodeId> stack = {from};
+  seen[from] = true;
+  while (!stack.empty()) {
+    NodeId v = stack.back();
+    stack.pop_back();
+    for (NodeId w : out_[v]) {
+      if (w == to) return true;
+      if (!seen[w]) {
+        seen[w] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<bool> DiGraph::reachableSet(const std::vector<NodeId>& seeds) const {
+  std::vector<bool> seen(numNodes(), false);
+  std::vector<NodeId> stack;
+  for (NodeId s : seeds) {
+    if (!seen[s]) {
+      seen[s] = true;
+      stack.push_back(s);
+    }
+  }
+  while (!stack.empty()) {
+    NodeId v = stack.back();
+    stack.pop_back();
+    for (NodeId w : out_[v]) {
+      if (!seen[w]) {
+        seen[w] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+  return seen;
+}
+
+DiGraph condense(const DiGraph& g, const std::vector<int32_t>& clusterOf, int32_t numClusters) {
+  DiGraph cg(numClusters);
+  for (NodeId v = 0; v < g.numNodes(); v++) {
+    for (NodeId w : g.outNeighbors(v)) {
+      int32_t cv = clusterOf[v], cw = clusterOf[w];
+      if (cv != cw) cg.addEdge(cv, cw);
+    }
+  }
+  return cg;
+}
+
+}  // namespace essent::graph

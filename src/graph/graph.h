@@ -1,0 +1,61 @@
+// Generic directed-graph utilities used by the netlist representation and
+// the acyclic partitioner: adjacency storage with deduplicated edges,
+// topological sorting, and bounded reachability queries.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace essent::graph {
+
+using NodeId = int32_t;
+constexpr NodeId kNoNode = -1;
+
+// Mutable digraph with both out- and in-adjacency. Self-loops and duplicate
+// edges are ignored on insertion.
+class DiGraph {
+ public:
+  DiGraph() = default;
+  explicit DiGraph(NodeId numNodes) { resize(numNodes); }
+
+  void resize(NodeId numNodes);
+  NodeId addNode();
+  NodeId numNodes() const { return static_cast<NodeId>(out_.size()); }
+  int64_t numEdges() const { return numEdges_; }
+
+  // Returns true if the edge was new.
+  bool addEdge(NodeId from, NodeId to);
+  bool hasEdge(NodeId from, NodeId to) const;
+
+  const std::vector<NodeId>& outNeighbors(NodeId n) const { return out_[n]; }
+  const std::vector<NodeId>& inNeighbors(NodeId n) const { return in_[n]; }
+
+  // Kahn topological order; returns nullopt when the graph has a cycle.
+  std::optional<std::vector<NodeId>> topoSort() const;
+
+  bool isAcyclic() const { return topoSort().has_value(); }
+
+  // True when `to` is reachable from `from` (including from == to).
+  bool reachable(NodeId from, NodeId to) const;
+
+  // All nodes reachable from the seed set (including the seeds).
+  std::vector<bool> reachableSet(const std::vector<NodeId>& seeds) const;
+
+ private:
+  std::vector<std::vector<NodeId>> out_;
+  std::vector<std::vector<NodeId>> in_;
+  int64_t numEdges_ = 0;
+};
+
+// Tarjan strongly connected components. Returns, for each node, its SCC id;
+// ids are assigned in reverse topological order of the condensation (i.e.
+// an SCC's id is >= those of the SCCs it can reach). numSccs receives the
+// total count.
+std::vector<int32_t> tarjanScc(const DiGraph& g, int32_t* numSccs);
+
+// Condenses `g` by a node -> cluster assignment: returns the cluster graph
+// (numClusters nodes; an edge c1->c2 iff some member edge crosses them).
+DiGraph condense(const DiGraph& g, const std::vector<int32_t>& clusterOf, int32_t numClusters);
+
+}  // namespace essent::graph

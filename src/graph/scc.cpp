@@ -1,0 +1,64 @@
+#include "graph/graph.h"
+
+namespace essent::graph {
+
+// Iterative Tarjan to tolerate the deep combinational chains of large
+// designs without blowing the call stack.
+std::vector<int32_t> tarjanScc(const DiGraph& g, int32_t* numSccs) {
+  NodeId n = g.numNodes();
+  std::vector<int32_t> index(n, -1), lowlink(n, 0), sccOf(n, -1);
+  std::vector<bool> onStack(n, false);
+  std::vector<NodeId> stack;  // Tarjan stack
+  int32_t nextIndex = 0, nextScc = 0;
+
+  struct Frame {
+    NodeId v;
+    size_t childIdx;
+  };
+  std::vector<Frame> callStack;
+
+  for (NodeId root = 0; root < n; root++) {
+    if (index[root] != -1) continue;
+    callStack.push_back({root, 0});
+    while (!callStack.empty()) {
+      Frame& f = callStack.back();
+      NodeId v = f.v;
+      if (f.childIdx == 0) {
+        index[v] = lowlink[v] = nextIndex++;
+        stack.push_back(v);
+        onStack[v] = true;
+      }
+      bool descended = false;
+      const auto& nbrs = g.outNeighbors(v);
+      while (f.childIdx < nbrs.size()) {
+        NodeId w = nbrs[f.childIdx++];
+        if (index[w] == -1) {
+          callStack.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (onStack[w]) lowlink[v] = std::min(lowlink[v], index[w]);
+      }
+      if (descended) continue;
+      if (lowlink[v] == index[v]) {
+        while (true) {
+          NodeId w = stack.back();
+          stack.pop_back();
+          onStack[w] = false;
+          sccOf[w] = nextScc;
+          if (w == v) break;
+        }
+        nextScc++;
+      }
+      callStack.pop_back();
+      if (!callStack.empty()) {
+        NodeId parent = callStack.back().v;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+      }
+    }
+  }
+  if (numSccs) *numSccs = nextScc;
+  return sccOf;
+}
+
+}  // namespace essent::graph

@@ -1,0 +1,43 @@
+// Lowers a flattened, when-expanded, width-inferred FIRRTL module (the
+// output of firrtl::lowerCircuit) into the executable SimIR.
+//
+// Restrictions enforced here (documented in DESIGN.md):
+//  * single implicit clock — Clock-typed ports/wires are bookkept but all
+//    state advances on the one tick() clock; clocks may not appear in
+//    logic expressions;
+//  * registers reset synchronously via their reset mux (folded into the
+//    next-value expression at build time, exactly like ESSENT emits
+//    `reset ? init : next`).
+#pragma once
+
+#include <stdexcept>
+
+#include "firrtl/ast.h"
+#include "sim/sim_ir.h"
+
+namespace essent::sim {
+
+struct BuildOptions {
+  // The classic compiler optimizations of paper §III-B. The evaluation's
+  // "Baseline" simulator disables all three; ESSENT enables all three.
+  bool constProp = true;
+  bool cse = true;
+  bool dce = true;
+  // Combinational loops: rejected with a per-SCC diagnostic by default
+  // (the paper assumes acyclic designs after state splitting). When true,
+  // each SCC becomes a supernode evaluated to convergence (paper §II).
+  bool allowCombLoops = false;
+};
+
+class BuildError : public std::runtime_error {
+ public:
+  explicit BuildError(const std::string& msg) : std::runtime_error("sim build error: " + msg) {}
+};
+
+// Throws BuildError on combinational cycles or unsupported constructs.
+SimIR buildSimIR(const firrtl::Module& lowered, const BuildOptions& opts = {});
+
+// Convenience: parse + lower + build from FIRRTL text.
+SimIR buildFromFirrtl(const std::string& firrtlText, const BuildOptions& opts = {});
+
+}  // namespace essent::sim

@@ -1,0 +1,153 @@
+// Common engine interface.
+//
+// An Engine owns the mutable simulation state for one SimIR and advances it
+// one clock cycle per tick(). The tick contract (identical across engines):
+//
+//   1. combinational values are (re)computed from current register/memory
+//      state and the input values poked since the previous tick;
+//   2. printf/stop side effects fire based on those combinational values;
+//   3. state elements update (registers load their next values, memory
+//      writes commit).
+//
+// After tick(), peeking an output returns the value computed from the
+// *pre-update* state — i.e. the value the cycle "emitted" — while peeking a
+// register returns its post-update value. All engines agree bit-for-bit,
+// which the cross-engine equivalence tests rely on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/sim_ir.h"
+
+namespace essent::sim {
+
+struct EngineStats {
+  uint64_t cycles = 0;
+  // Base simulation work: ops actually evaluated.
+  uint64_t opsEvaluated = 0;
+  // Static overhead (activity-agnostic): per-cycle partition active checks.
+  uint64_t partitionChecks = 0;
+  uint64_t partitionActivations = 0;
+  // Dynamic overhead (activity-dependent): output compares + consumer flag
+  // sets performed by active partitions.
+  uint64_t outputComparisons = 0;
+  uint64_t triggerSets = 0;
+  // Exact per-cycle activity: signals whose value changed this cycle.
+  uint64_t signalsChangedTotal = 0;
+  std::vector<uint32_t> changedPerCycle;  // filled when activity tracking is on
+
+  void resetCounters() { *this = EngineStats{}; }
+};
+
+class Engine {
+ public:
+  explicit Engine(const SimIR& ir);
+  virtual ~Engine() = default;
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const SimIR& ir() const { return *ir_; }
+
+  // Input driving; unknown names throw std::out_of_range.
+  void poke(const std::string& name, uint64_t value);
+  void pokeBV(const std::string& name, const BitVec& value);
+
+  // Value observation (any named signal).
+  uint64_t peek(const std::string& name) const;
+  BitVec peekBV(const std::string& name) const;
+  uint64_t peekSig(int32_t sig) const { return state_.vals[layout_.offset[sig]]; }
+  BitVec peekSigBV(int32_t sig) const;
+
+  // Backdoor memory access (testbench-style $readmemh loading). Must be
+  // used before the first tick (or after resetState) so every engine's
+  // activity bookkeeping sees a consistent initial state. Unknown memory
+  // names throw std::out_of_range.
+  void pokeMem(const std::string& memName, uint64_t addr, uint64_t value);
+  uint64_t peekMem(const std::string& memName, uint64_t addr) const;
+
+  // One full clock cycle.
+  virtual void tick() = 0;
+
+  // Zeroes all state and counters; the next tick behaves like the first.
+  virtual void resetState();
+
+  // Deterministically randomizes registers and memory contents (Verilator
+  // --x-initial style): catches designs that rely on zero-initialized
+  // state. Same seed + same IR => identical state in every engine. Must be
+  // used between tick()s (it re-arms activity tracking like a restore).
+  void randomizeState(uint64_t seed);
+
+  // Checkpointing: captures/restores the complete simulation state (arena,
+  // memories, stop status). Restore re-arms conditional engines so the next
+  // tick re-evaluates everything; cycle/work counters are not part of the
+  // checkpoint.
+  struct Snapshot {
+    std::vector<uint64_t> vals;
+    std::vector<std::vector<uint64_t>> memWords;
+    bool stopped = false;
+    int exitCode = 0;
+  };
+  Snapshot saveState() const;
+  void restoreState(const Snapshot& snapshot);
+
+  virtual const char* name() const = 0;
+
+  uint64_t cycleCount() const { return stats_.cycles; }
+  bool stopped() const { return stopped_; }
+  int exitCode() const { return exitCode_; }
+
+  EngineStats& stats() { return stats_; }
+  const EngineStats& stats() const { return stats_; }
+
+  // When enabled, engines record the per-cycle changed-signal count
+  // (used by the Figure 5 activity bench). Costs extra work per cycle.
+  void setTrackActivity(bool on) { trackActivity_ = on; }
+  bool trackActivity() const { return trackActivity_; }
+
+  // Number of signals participating in activity accounting (non-dead).
+  size_t designSignalCount() const { return designSignals_; }
+
+  // printf output is appended here (defaults to an internal buffer).
+  std::string& printOutput() { return printBuf_; }
+
+ protected:
+  const SimIR* ir_;
+  Layout layout_;
+  std::vector<ExecOp> exec_;
+  SimState state_;
+  EngineStats stats_;
+  bool trackActivity_ = false;
+  bool stopped_ = false;
+  int exitCode_ = 0;
+  std::string printBuf_;
+  size_t designSignals_ = 0;
+
+  int32_t sigIdOrThrow(const std::string& name) const;
+
+  // Constants never change: engines evaluate them once (construction and
+  // resetState) and exclude them from per-cycle work, exactly as compiled
+  // simulators fold them into expressions.
+  void evalConstOps();
+
+  // Called after randomizeState/restoreState mutate state behind the
+  // engine's back; conditional engines re-arm their activity machinery.
+  virtual void onStateClobbered() {}
+
+  // Evaluates print/stop enables from the arena and fires side effects.
+  void firePrintsAndStops();
+
+  // Word-level helpers.
+  bool sigWordsEqual(int32_t sig, const uint64_t* other) const;
+  void copySigWords(int32_t dst, int32_t src);  // same width required
+  bool sigValsEqual(int32_t a, int32_t b) const;
+};
+
+// Renders one printf according to FIRRTL format semantics (%d, %x, %b, %c,
+// %%); exposed for direct testing.
+std::string formatPrintf(const SimIR& ir, const Layout& lay, const SimState& st,
+                         const PrintInfo& p);
+
+}  // namespace essent::sim

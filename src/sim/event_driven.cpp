@@ -1,0 +1,189 @@
+#include "sim/event_driven.h"
+
+#include <algorithm>
+
+#include "sim/op_eval.h"
+
+namespace essent::sim {
+
+EventDrivenEngine::EventDrivenEngine(const SimIR& ir) : Engine(ir) {
+  // Scheduling groups: one per op, with supernode members fused.
+  groupOfOp_.assign(ir.ops.size(), -1);
+  for (size_t i = 0; i < ir.ops.size(); i++) {
+    if (groupOfOp_[i] != -1) continue;
+    int32_t super = ir.superOf(i);
+    int32_t gid = static_cast<int32_t>(groups_.size());
+    groups_.emplace_back();
+    if (super < 0) {
+      groups_.back().push_back(static_cast<int32_t>(i));
+      groupOfOp_[i] = gid;
+    } else {
+      for (int32_t m : ir.supers[static_cast<size_t>(super)]) {
+        groups_.back().push_back(m);
+        groupOfOp_[static_cast<size_t>(m)] = gid;
+      }
+    }
+  }
+
+  consumersOf_.resize(ir.signals.size());
+  memReadGroups_.resize(ir.mems.size());
+  for (size_t i = 0; i < ir.ops.size(); i++) {
+    const Op& op = ir.ops[i];
+    int32_t gid = groupOfOp_[i];
+    int n = op.numArgs();
+    for (int k = 0; k < n; k++) {
+      auto& lst = consumersOf_[op.args[k]];
+      if (lst.empty() || lst.back() != gid) lst.push_back(gid);
+    }
+    if (op.code == OpCode::MemRead) {
+      auto& lst = memReadGroups_[static_cast<size_t>(op.imm0)];
+      if (lst.empty() || lst.back() != gid) lst.push_back(gid);
+    }
+  }
+
+  // Levelization over the group condensation: a single pass works because
+  // groups are numbered in (condensed) topological order.
+  groupLevel_.assign(groups_.size(), 0);
+  for (size_t g = 0; g < groups_.size(); g++) {
+    int32_t lvl = 0;
+    for (int32_t opIdx : groups_[g]) {
+      const Op& op = ir.ops[static_cast<size_t>(opIdx)];
+      int n = op.numArgs();
+      for (int k = 0; k < n; k++) {
+        int32_t d = ir.signals[op.args[k]].defOp;
+        if (d < 0) continue;
+        int32_t gd = groupOfOp_[static_cast<size_t>(d)];
+        if (gd != static_cast<int32_t>(g))
+          lvl = std::max(lvl, groupLevel_[static_cast<size_t>(gd)] + 1);
+      }
+    }
+    groupLevel_[g] = lvl;
+    maxLevel_ = std::max(maxLevel_, lvl);
+  }
+
+  buckets_.resize(static_cast<size_t>(maxLevel_) + 1);
+  inQueue_.assign(groups_.size(), false);
+  prevInputs_.assign(layout_.totalWords, 0);
+}
+
+void EventDrivenEngine::resetState() {
+  Engine::resetState();
+  for (auto& b : buckets_) b.clear();
+  std::fill(inQueue_.begin(), inQueue_.end(), false);
+  std::fill(prevInputs_.begin(), prevInputs_.end(), 0);
+  evalAll_ = true;
+}
+
+void EventDrivenEngine::enqueueGroup(int32_t group) {
+  if (inQueue_[static_cast<size_t>(group)]) return;
+  inQueue_[static_cast<size_t>(group)] = true;
+  buckets_[static_cast<size_t>(groupLevel_[static_cast<size_t>(group)])].push_back(group);
+}
+
+void EventDrivenEngine::dirtySignal(int32_t sig) {
+  for (int32_t g : consumersOf_[static_cast<size_t>(sig)]) enqueueGroup(g);
+}
+
+uint32_t EventDrivenEngine::evalGroup(int32_t group) {
+  const auto& members = groups_[static_cast<size_t>(group)];
+  uint32_t changed = 0;
+  if (members.size() == 1) {
+    const ExecOp& eop = exec_[static_cast<size_t>(members[0])];
+    stats_.opsEvaluated++;
+    if (evalExecOpChanged(*ir_, layout_, state_, eop)) {
+      changed++;
+      dirtySignal(eop.dest);
+    }
+    return changed;
+  }
+  // Supernode: snapshot dests, converge, propagate net changes.
+  std::vector<uint64_t> old;
+  std::vector<size_t> offsets;
+  for (int32_t m : members) {
+    const ExecOp& eop = exec_[static_cast<size_t>(m)];
+    offsets.push_back(old.size());
+    for (uint32_t i = 0; i < layout_.nwords[eop.dest]; i++)
+      old.push_back(state_.vals[eop.destOff + i]);
+  }
+  evalSuperRange(*ir_, layout_, state_, exec_.data() + members.front(), members.size());
+  stats_.opsEvaluated += members.size();
+  for (size_t mi = 0; mi < members.size(); mi++) {
+    const ExecOp& eop = exec_[static_cast<size_t>(members[mi])];
+    bool diff = false;
+    for (uint32_t i = 0; i < layout_.nwords[eop.dest]; i++)
+      diff |= old[offsets[mi] + i] != state_.vals[eop.destOff + i];
+    if (diff) {
+      changed++;
+      dirtySignal(eop.dest);
+    }
+  }
+  return changed;
+}
+
+void EventDrivenEngine::tick() {
+  uint32_t changed = 0;
+
+  // Seed with externally changed inputs (per-signal change detection —
+  // part of this engine's inherent overhead).
+  if (evalAll_) {
+    for (size_t g = 0; g < groups_.size(); g++) enqueueGroup(static_cast<int32_t>(g));
+    evalAll_ = false;
+  } else {
+    for (int32_t in : ir_->inputs) {
+      if (!sigWordsEqual(in, prevInputs_.data() + layout_.offset[in])) dirtySignal(in);
+    }
+  }
+  for (int32_t in : ir_->inputs) {
+    uint32_t off = layout_.offset[in];
+    for (uint32_t i = 0; i < layout_.nwords[in]; i++) prevInputs_[off + i] = state_.vals[off + i];
+  }
+
+  // Levelized propagation: each group at most once, in level order.
+  for (auto& bucket : buckets_) {
+    for (size_t bi = 0; bi < bucket.size(); bi++) {
+      int32_t g = bucket[bi];
+      inQueue_[static_cast<size_t>(g)] = false;
+      changed += evalGroup(g);
+    }
+    bucket.clear();
+  }
+
+  firePrintsAndStops();
+
+  // State update: registers and memories; changes seed next cycle's queue.
+  for (const RegInfo& r : ir_->regs) {
+    if (!sigValsEqual(r.sig, r.next)) {
+      copySigWords(r.sig, r.next);
+      changed++;
+      dirtySignal(r.sig);
+    }
+  }
+  for (size_t m = 0; m < ir_->mems.size(); m++) {
+    const MemInfo& mem = ir_->mems[m];
+    uint32_t rw = state_.memRowWords[m];
+    for (const MemWriter& w : mem.writers) {
+      if (state_.vals[layout_.offset[w.en]] == 0) continue;
+      if (state_.vals[layout_.offset[w.mask]] == 0) continue;
+      uint64_t addr = state_.vals[layout_.offset[w.addr]];
+      if (addr >= mem.depth) continue;
+      uint32_t off = layout_.offset[w.data];
+      bool cellChanged = false;
+      for (uint32_t i = 0; i < rw; i++) {
+        if (state_.memWords[m][addr * rw + i] != state_.vals[off + i]) {
+          state_.memWords[m][addr * rw + i] = state_.vals[off + i];
+          cellChanged = true;
+        }
+      }
+      if (cellChanged) {
+        // Conservative: any read of this memory may now produce a new value.
+        for (int32_t g : memReadGroups_[m]) enqueueGroup(g);
+      }
+    }
+  }
+
+  if (trackActivity_) stats_.changedPerCycle.push_back(changed);
+  stats_.signalsChangedTotal += changed;
+  stats_.cycles++;
+}
+
+}  // namespace essent::sim

@@ -1,0 +1,81 @@
+#include "sim/full_cycle.h"
+
+#include "sim/op_eval.h"
+
+namespace essent::sim {
+
+FullCycleEngine::FullCycleEngine(const SimIR& ir) : Engine(ir) {
+  for (size_t i = 0; i < exec_.size(); i++) {
+    if (exec_[i].code == OpCode::Const) continue;  // evaluated once at init
+    hotOps_.push_back(exec_[i]);
+    hotSuper_.push_back(ir.superOf(i));
+  }
+}
+
+void FullCycleEngine::resetState() {
+  Engine::resetState();
+  prevVals_.clear();
+}
+
+void FullCycleEngine::tick() {
+  if (trackActivity_) prevVals_ = state_.vals;
+
+  // 1. Combinational settle: one straight-line pass over the static
+  //    schedule (the ops are in topological order; constants were folded
+  //    out at init). Supernode runs iterate to convergence (§II).
+  if (!ir_->hasCombLoops()) {
+    for (const ExecOp& op : hotOps_) evalExecOp(*ir_, layout_, state_, op);
+  } else {
+    for (size_t i = 0; i < hotOps_.size();) {
+      int32_t super = hotSuper_[i];
+      if (super < 0) {
+        evalExecOp(*ir_, layout_, state_, hotOps_[i]);
+        i++;
+        continue;
+      }
+      size_t j = i;
+      while (j < hotOps_.size() && hotSuper_[j] == super) j++;
+      evalSuperRange(*ir_, layout_, state_, hotOps_.data() + i, j - i);
+      i = j;
+    }
+  }
+  stats_.opsEvaluated += hotOps_.size();
+
+  // 2. Side effects.
+  firePrintsAndStops();
+
+  // 3. State update.
+  updateState();
+
+  if (trackActivity_) {
+    uint32_t changed = 0;
+    for (size_t s = 0; s < ir_->signals.size(); s++) {
+      const Signal& sig = ir_->signals[s];
+      if (sig.kind == SigKind::Dead || sig.kind == SigKind::Temp) continue;
+      if (!sigWordsEqual(static_cast<int32_t>(s), prevVals_.data() + layout_.offset[s]))
+        changed++;
+    }
+    stats_.signalsChangedTotal += changed;
+    stats_.changedPerCycle.push_back(changed);
+  }
+  stats_.cycles++;
+}
+
+void FullCycleEngine::updateState() {
+  for (const RegInfo& r : ir_->regs) copySigWords(r.sig, r.next);
+  for (size_t m = 0; m < ir_->mems.size(); m++) {
+    const MemInfo& mem = ir_->mems[m];
+    uint32_t rw = state_.memRowWords[m];
+    for (const MemWriter& w : mem.writers) {
+      if (state_.vals[layout_.offset[w.en]] == 0) continue;
+      if (state_.vals[layout_.offset[w.mask]] == 0) continue;
+      uint64_t addr = state_.vals[layout_.offset[w.addr]];
+      if (addr >= mem.depth) continue;
+      uint32_t off = layout_.offset[w.data];
+      for (uint32_t i = 0; i < rw; i++)
+        state_.memWords[m][addr * rw + i] = state_.vals[off + i];
+    }
+  }
+}
+
+}  // namespace essent::sim

@@ -1,0 +1,30 @@
+// Full-cycle engine: evaluates the entire design every cycle with a static
+// schedule and no activity tracking. This is the paper's "Baseline" (when
+// the IR was built with optimizations disabled) and the stand-in for
+// Verilator-class simulators (when built with optimizations enabled).
+#pragma once
+
+#include "sim/engine.h"
+
+namespace essent::sim {
+
+class FullCycleEngine : public Engine {
+ public:
+  explicit FullCycleEngine(const SimIR& ir);
+
+  void tick() override;
+  void resetState() override;
+  const char* name() const override { return "full-cycle"; }
+
+ private:
+  // Per-cycle schedule (all ops except constants, which evaluate once).
+  std::vector<ExecOp> hotOps_;
+  // Parallel supernode ids (-1 for plain ops); members stay contiguous.
+  std::vector<int32_t> hotSuper_;
+  // Snapshot of the whole arena for activity tracking mode.
+  std::vector<uint64_t> prevVals_;
+
+  void updateState();
+};
+
+}  // namespace essent::sim

@@ -1,0 +1,85 @@
+#include "sim/harness.h"
+
+#include <chrono>
+
+namespace essent::sim {
+
+RunResult runEngine(Engine& engine, uint64_t maxCycles, const StimulusFn& stim, VcdWriter* vcd) {
+  RunResult res;
+  auto start = std::chrono::steady_clock::now();
+  for (uint64_t c = 0; c < maxCycles; c++) {
+    if (stim) stim(engine, c);
+    engine.tick();
+    if (vcd) vcd->sample(c + 1);
+    res.cycles++;
+    if (engine.stopped()) break;
+  }
+  auto end = std::chrono::steady_clock::now();
+  res.seconds = std::chrono::duration<double>(end - start).count();
+  res.stopped = engine.stopped();
+  res.exitCode = engine.exitCode();
+  return res;
+}
+
+std::string Mismatch::describe() const {
+  return "cycle " + std::to_string(cycle) + ": signal '" + signal + "' differs: " + valueA +
+         " vs " + valueB;
+}
+
+std::optional<Mismatch> compareEngines(Engine& a, Engine& b, uint64_t cycles,
+                                       const StimulusFn& stim) {
+  const SimIR& ir = a.ir();
+  // Pre-collect comparable signals (named, alive in both IRs). The two
+  // engines may run differently-optimized IRs of the same design, so match
+  // by name.
+  std::vector<std::pair<int32_t, int32_t>> pairs;
+  std::vector<std::string> names;
+  for (size_t s = 0; s < ir.signals.size(); s++) {
+    const Signal& sig = ir.signals[s];
+    if (sig.name.empty() || sig.kind == SigKind::Temp || sig.kind == SigKind::Dead) continue;
+    int32_t other = b.ir().findSignal(sig.name);
+    if (other < 0) continue;
+    const Signal& osig = b.ir().signals[static_cast<size_t>(other)];
+    if (osig.kind == SigKind::Temp || osig.kind == SigKind::Dead) continue;
+    pairs.emplace_back(static_cast<int32_t>(s), other);
+    names.push_back(sig.name);
+  }
+
+  for (uint64_t c = 0; c < cycles; c++) {
+    if (stim) {
+      stim(a, c);
+      stim(b, c);
+    }
+    a.tick();
+    b.tick();
+    for (size_t i = 0; i < pairs.size(); i++) {
+      BitVec va = a.peekSigBV(pairs[i].first);
+      BitVec vb = b.peekSigBV(pairs[i].second);
+      if (va != vb)
+        return Mismatch{c, names[i], va.toHexString(), vb.toHexString()};
+    }
+    if (a.stopped() != b.stopped())
+      return Mismatch{c, "<stop>", a.stopped() ? "stopped" : "running",
+                      b.stopped() ? "stopped" : "running"};
+    if (a.stopped()) break;
+  }
+  if (a.printOutput() != b.printOutput())
+    return Mismatch{cycles, "<printf>", a.printOutput(), b.printOutput()};
+  // Final memory-contents comparison (cheaper than per-cycle, still catches
+  // divergent write behaviour).
+  for (const auto& mem : ir.mems) {
+    bool otherHas = false;
+    for (const auto& om : b.ir().mems) otherHas |= om.name == mem.name;
+    if (!otherHas) continue;
+    for (uint64_t addr = 0; addr < mem.depth; addr++) {
+      uint64_t va = a.peekMem(mem.name, addr);
+      uint64_t vb = b.peekMem(mem.name, addr);
+      if (va != vb)
+        return Mismatch{cycles, mem.name + "[" + std::to_string(addr) + "]",
+                        std::to_string(va), std::to_string(vb)};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace essent::sim

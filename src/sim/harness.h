@@ -1,0 +1,46 @@
+// Testbench harness: stimulus driving, timed runs, and lock-step
+// cross-engine equivalence checking (the backbone of the correctness tests
+// and of the benchmark binaries).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "sim/engine.h"
+#include "sim/vcd.h"
+
+namespace essent::sim {
+
+// Called before each tick to drive inputs.
+using StimulusFn = std::function<void(Engine&, uint64_t cycle)>;
+
+struct RunResult {
+  uint64_t cycles = 0;
+  bool stopped = false;
+  int exitCode = 0;
+  double seconds = 0.0;
+};
+
+// Ticks the engine up to maxCycles (stopping early on a fired stop());
+// applies `stim` before every tick when provided; samples `vcd` after every
+// tick when provided.
+RunResult runEngine(Engine& engine, uint64_t maxCycles, const StimulusFn& stim = nullptr,
+                    VcdWriter* vcd = nullptr);
+
+struct Mismatch {
+  uint64_t cycle = 0;
+  std::string signal;
+  std::string valueA;
+  std::string valueB;
+  std::string describe() const;
+};
+
+// Runs both engines in lock step with identical stimulus, comparing every
+// named (non-temp) signal after each cycle, plus accumulated printf output
+// and stop behaviour. Returns the first mismatch, or nullopt if the engines
+// agree bit-for-bit for the whole run.
+std::optional<Mismatch> compareEngines(Engine& a, Engine& b, uint64_t cycles,
+                                       const StimulusFn& stim = nullptr);
+
+}  // namespace essent::sim

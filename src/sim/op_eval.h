@@ -1,0 +1,206 @@
+// Inline op evaluation shared by every engine.
+//
+// Each ExecOp is executed either on the fast path — all operand and result
+// widths fit in one 64-bit word, evaluated branch-free on the arena — or on
+// the slow path, which materializes BitVecs and runs the reference
+// semantics in support/bvops.h. Both paths store canonically masked values,
+// so value comparison is plain word comparison everywhere.
+#pragma once
+
+#include <stdexcept>
+
+#include "sim/sim_ir.h"
+#include "support/bvops.h"
+
+namespace essent::sim {
+
+inline uint64_t maskW(uint32_t w) {
+  return w >= 64 ? ~uint64_t{0} : ((uint64_t{1} << w) - 1);
+}
+
+// Sign-extends the low `w` bits of v to a full int64.
+inline int64_t sx(uint64_t v, uint32_t w) {
+  if (w == 0) return 0;
+  if (w >= 64) return static_cast<int64_t>(v);
+  uint64_t m = uint64_t{1} << (w - 1);
+  return static_cast<int64_t>((v ^ m) - m);
+}
+
+// Loads a signal's current value as a BitVec (slow path only).
+BitVec loadBV(const SimState& st, const Layout& lay, const SimIR& ir, int32_t sig);
+// Stores `v`, extended/truncated to the signal's declared width.
+void storeBV(SimState& st, const Layout& lay, const SimIR& ir, int32_t sig, const BitVec& v,
+             bool signedExtend);
+
+// Out-of-line evaluation for multi-word operands.
+void evalExecOpSlow(const SimIR& ir, const Layout& lay, SimState& st, const ExecOp& op);
+
+inline void evalExecOp(const SimIR& ir, const Layout& lay, SimState& st, const ExecOp& op) {
+  if (!op.fast) {
+    evalExecOpSlow(ir, lay, st, op);
+    return;
+  }
+  uint64_t* vals = st.vals.data();
+  const uint64_t a = op.aOff != UINT32_MAX ? vals[op.aOff] : 0;
+  const uint64_t b = op.bOff != UINT32_MAX ? vals[op.bOff] : 0;
+  uint64_t r = 0;
+  switch (op.code) {
+    case OpCode::Add:
+      r = op.signedOp ? static_cast<uint64_t>(sx(a, op.aW) + sx(b, op.bW)) : a + b;
+      break;
+    case OpCode::Sub:
+      r = op.signedOp ? static_cast<uint64_t>(sx(a, op.aW) - sx(b, op.bW)) : a - b;
+      break;
+    case OpCode::Mul:
+      r = op.signedOp
+              ? static_cast<uint64_t>(sx(a, op.aW)) * static_cast<uint64_t>(sx(b, op.bW))
+              : a * b;
+      break;
+    case OpCode::Div:
+      if (b == 0) r = 0;
+      else if (op.signedOp) r = static_cast<uint64_t>(sx(a, op.aW) / sx(b, op.bW));
+      else r = a / b;
+      break;
+    case OpCode::Rem:
+      if (b == 0) r = a;
+      else if (op.signedOp) r = static_cast<uint64_t>(sx(a, op.aW) % sx(b, op.bW));
+      else r = a % b;
+      break;
+    case OpCode::Lt:
+      r = op.signedOp ? (sx(a, op.aW) < sx(b, op.bW)) : (a < b);
+      break;
+    case OpCode::Leq:
+      r = op.signedOp ? (sx(a, op.aW) <= sx(b, op.bW)) : (a <= b);
+      break;
+    case OpCode::Gt:
+      r = op.signedOp ? (sx(a, op.aW) > sx(b, op.bW)) : (a > b);
+      break;
+    case OpCode::Geq:
+      r = op.signedOp ? (sx(a, op.aW) >= sx(b, op.bW)) : (a >= b);
+      break;
+    case OpCode::Eq:
+      r = op.signedOp ? (sx(a, op.aW) == sx(b, op.bW)) : (a == b);
+      break;
+    case OpCode::Neq:
+      r = op.signedOp ? (sx(a, op.aW) != sx(b, op.bW)) : (a != b);
+      break;
+    case OpCode::Dshl:
+      r = b >= op.destW ? 0 : a << b;
+      break;
+    case OpCode::Dshr:
+      if (op.signedOp) r = static_cast<uint64_t>(sx(a, op.aW) >> (b > 63 ? 63 : b));
+      else r = b >= op.aW ? 0 : a >> b;
+      break;
+    case OpCode::And:
+      r = (op.signedOp ? static_cast<uint64_t>(sx(a, op.aW)) & static_cast<uint64_t>(sx(b, op.bW))
+                       : a & b);
+      break;
+    case OpCode::Or:
+      r = (op.signedOp ? static_cast<uint64_t>(sx(a, op.aW)) | static_cast<uint64_t>(sx(b, op.bW))
+                       : a | b);
+      break;
+    case OpCode::Xor:
+      r = (op.signedOp ? static_cast<uint64_t>(sx(a, op.aW)) ^ static_cast<uint64_t>(sx(b, op.bW))
+                       : a ^ b);
+      break;
+    case OpCode::Cat:
+      r = op.bW >= 64 ? b : ((a << op.bW) | b);
+      break;
+    case OpCode::Not:
+      r = ~a;
+      break;
+    case OpCode::Andr:
+      r = a == maskW(op.aW);
+      break;
+    case OpCode::Orr:
+      r = a != 0;
+      break;
+    case OpCode::Xorr:
+      r = static_cast<uint64_t>(__builtin_parityll(a));
+      break;
+    case OpCode::Cvt:
+      r = op.signedOp ? static_cast<uint64_t>(sx(a, op.aW)) : a;
+      break;
+    case OpCode::Neg:
+      r = op.signedOp ? static_cast<uint64_t>(-sx(a, op.aW)) : (~a + 1);
+      break;
+    case OpCode::Pad:
+    case OpCode::Copy:
+      r = op.signedOp ? static_cast<uint64_t>(sx(a, op.aW)) : a;
+      break;
+    case OpCode::Shl:
+      r = op.imm0 >= 64 ? 0 : a << op.imm0;
+      break;
+    case OpCode::Shr:
+      if (op.signedOp) r = static_cast<uint64_t>(sx(a, op.aW) >> (op.imm0 > 63 ? 63 : op.imm0));
+      else r = op.imm0 >= op.aW ? 0 : a >> op.imm0;
+      break;
+    case OpCode::Bits:
+      r = (a >> op.imm1) & maskW(static_cast<uint32_t>(op.imm0 - op.imm1 + 1));
+      break;
+    case OpCode::Head:
+      r = op.imm0 == 0 ? 0 : a >> (op.aW - op.imm0);
+      break;
+    case OpCode::Tail:
+      r = a;  // masked to destW below
+      break;
+    case OpCode::Mux: {
+      const uint64_t c = vals[op.cOff];
+      uint64_t tv = op.signedOp ? static_cast<uint64_t>(sx(b, op.bW)) : b;
+      uint64_t fv = op.signedOp ? static_cast<uint64_t>(sx(c, op.cW)) : c;
+      r = a != 0 ? tv : fv;
+      break;
+    }
+    case OpCode::Const:
+      r = ir.constPool[static_cast<size_t>(op.imm0)].word(0);
+      break;
+    case OpCode::MemRead: {
+      const MemInfo& m = ir.mems[static_cast<size_t>(op.imm0)];
+      r = (b != 0 && a < m.depth) ? st.memWords[static_cast<size_t>(op.imm0)][a] : 0;
+      break;
+    }
+  }
+  vals[op.destOff] = r & maskW(op.destW);
+}
+
+// Evaluates one op and reports whether its destination value changed.
+inline bool evalExecOpChanged(const SimIR& ir, const Layout& lay, SimState& st,
+                              const ExecOp& op) {
+  uint32_t off = op.destOff;
+  uint32_t nw = lay.nwords[op.dest];
+  uint64_t saved[8];
+  std::vector<uint64_t> savedWide;
+  const uint64_t* old;
+  if (nw <= 8) {
+    for (uint32_t i = 0; i < nw; i++) saved[i] = st.vals[off + i];
+    old = saved;
+  } else {
+    savedWide.assign(st.vals.begin() + off, st.vals.begin() + off + nw);
+    old = savedWide.data();
+  }
+  evalExecOp(ir, lay, st, op);
+  for (uint32_t i = 0; i < nw; i++)
+    if (st.vals[off + i] != old[i]) return true;
+  return false;
+}
+
+// Bound on Gauss-Seidel passes over a combinational-loop supernode before
+// declaring oscillation (paper §II: supernodes are evaluated repeatedly
+// until convergence).
+constexpr int kMaxSuperIters = 1000;
+
+// Iterates a supernode's member ops (a contiguous ExecOp range, in
+// execution order) to a fixpoint. Throws std::runtime_error when the loop
+// oscillates.
+inline void evalSuperRange(const SimIR& ir, const Layout& lay, SimState& st, const ExecOp* ops,
+                           size_t count) {
+  for (int iter = 0; iter < kMaxSuperIters; iter++) {
+    bool changed = false;
+    for (size_t i = 0; i < count; i++) changed |= evalExecOpChanged(ir, lay, st, ops[i]);
+    if (!changed) return;
+  }
+  throw std::runtime_error(
+      "combinational loop failed to converge (oscillating feedback?) in supernode");
+}
+
+}  // namespace essent::sim

@@ -1,0 +1,69 @@
+#include "sim/vcd.h"
+
+#include "support/strutil.h"
+
+namespace essent::sim {
+
+std::string VcdWriter::idCode(size_t index) {
+  // Printable ASCII 33..126, shortest-first.
+  std::string code;
+  size_t v = index;
+  do {
+    code += static_cast<char>(33 + (v % 94));
+    v /= 94;
+  } while (v != 0);
+  return code;
+}
+
+VcdWriter::VcdWriter(std::ostream& out, const Engine& engine, const std::string& timescale)
+    : out_(out), engine_(engine) {
+  const SimIR& ir = engine.ir();
+  for (size_t s = 0; s < ir.signals.size(); s++) {
+    const Signal& sig = ir.signals[s];
+    if (sig.name.empty() || sig.kind == SigKind::Dead || sig.kind == SigKind::Temp) continue;
+    sigs_.push_back(static_cast<int32_t>(s));
+  }
+  out_ << "$date\n  (essent-cpp)\n$end\n";
+  out_ << "$version\n  essent-cpp VCD dumper\n$end\n";
+  out_ << "$timescale " << timescale << " $end\n";
+  out_ << "$scope module " << (ir.name.empty() ? "top" : ir.name) << " $end\n";
+  for (size_t i = 0; i < sigs_.size(); i++) {
+    const Signal& sig = ir.signals[static_cast<size_t>(sigs_[i])];
+    codes_.push_back(idCode(i));
+    std::string safe = sanitizeIdent(sig.name);
+    out_ << "$var wire " << sig.width << " " << codes_[i] << " " << safe << " $end\n";
+  }
+  out_ << "$upscope $end\n$enddefinitions $end\n";
+  last_.resize(sigs_.size());
+}
+
+void VcdWriter::emitValue(size_t i, const BitVec& v) {
+  const Signal& sig = engine_.ir().signals[static_cast<size_t>(sigs_[i])];
+  if (sig.width == 1) {
+    out_ << (v.isZero() ? '0' : '1') << codes_[i] << "\n";
+  } else {
+    out_ << "b" << (v.isZero() ? "0" : v.toBinString()) << " " << codes_[i] << "\n";
+  }
+}
+
+void VcdWriter::sample(uint64_t time) {
+  out_ << "#" << time << "\n";
+  if (first_) out_ << "$dumpvars\n";
+  for (size_t i = 0; i < sigs_.size(); i++) {
+    BitVec v = engine_.peekSigBV(sigs_[i]);
+    if (first_ || v != last_[i]) {
+      emitValue(i, v);
+      if (!first_) changes_++;
+      last_[i] = std::move(v);
+    }
+  }
+  if (first_) out_ << "$end\n";
+  else samples_ += sigs_.size();
+  first_ = false;
+}
+
+double VcdWriter::averageActivity() const {
+  return samples_ == 0 ? 0.0 : static_cast<double>(changes_) / static_cast<double>(samples_);
+}
+
+}  // namespace essent::sim

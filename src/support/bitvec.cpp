@@ -1,0 +1,539 @@
+#include "support/bitvec.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "support/bvops.h"
+
+namespace essent {
+
+BitVec BitVec::fromU64(uint32_t width, uint64_t value) {
+  BitVec r(width);
+  r.words_[0] = value;
+  r.maskToWidth();
+  return r;
+}
+
+BitVec BitVec::fromI64(uint32_t width, int64_t value) {
+  BitVec r(width);
+  uint64_t bits = static_cast<uint64_t>(value);
+  for (size_t i = 0; i < r.words_.size(); i++) {
+    r.words_[i] = bits;
+    bits = value < 0 ? ~uint64_t{0} : 0;
+  }
+  r.maskToWidth();
+  return r;
+}
+
+BitVec BitVec::fromHexString(uint32_t width, const std::string& hex) {
+  BitVec r(width);
+  uint32_t pos = 0;  // bit position for the next nibble
+  for (auto it = hex.rbegin(); it != hex.rend(); ++it) {
+    char c = *it;
+    if (c == '_') continue;
+    uint64_t nib;
+    if (c >= '0' && c <= '9') nib = static_cast<uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') nib = static_cast<uint64_t>(c - 'a') + 10;
+    else if (c >= 'A' && c <= 'F') nib = static_cast<uint64_t>(c - 'A') + 10;
+    else throw std::invalid_argument("bad hex digit in: " + hex);
+    if (pos < width + 3) {
+      size_t w = pos / 64;
+      uint32_t off = pos % 64;
+      if (w < r.words_.size()) r.words_[w] |= nib << off;
+      if (off > 60 && w + 1 < r.words_.size()) r.words_[w + 1] |= nib >> (64 - off);
+    }
+    pos += 4;
+  }
+  r.maskToWidth();
+  return r;
+}
+
+BitVec BitVec::fromDecString(uint32_t width, const std::string& dec) {
+  bool negate = false;
+  size_t start = 0;
+  if (!dec.empty() && (dec[0] == '-' || dec[0] == '+')) {
+    negate = dec[0] == '-';
+    start = 1;
+  }
+  BitVec r(width);
+  BitVec ten = BitVec::fromU64(width == 0 ? 1 : width, 10);
+  for (size_t i = start; i < dec.size(); i++) {
+    char c = dec[i];
+    if (c == '_') continue;
+    if (c < '0' || c > '9') throw std::invalid_argument("bad decimal digit in: " + dec);
+    // r = r * 10 + digit, all modulo 2^width.
+    BitVec prod = bvops::mul(r, ten, false);
+    BitVec digit = BitVec::fromU64(width, static_cast<uint64_t>(c - '0'));
+    BitVec sum = bvops::add(prod, digit, false);
+    for (size_t w = 0; w < r.words_.size(); w++) r.words_[w] = sum.word(w);
+    r.maskToWidth();
+  }
+  if (negate) {
+    BitVec zero(width);
+    BitVec negv = bvops::sub(zero, r, false);
+    for (size_t w = 0; w < r.words_.size(); w++) r.words_[w] = negv.word(w);
+    r.maskToWidth();
+  }
+  return r;
+}
+
+BitVec BitVec::allOnes(uint32_t width) {
+  BitVec r(width);
+  for (auto& w : r.words_) w = ~uint64_t{0};
+  r.maskToWidth();
+  return r;
+}
+
+bool BitVec::bit(uint32_t pos) const {
+  if (pos >= width_) return false;
+  return (words_[pos / 64] >> (pos % 64)) & 1;
+}
+
+void BitVec::setBit(uint32_t pos, bool value) {
+  if (pos >= width_) return;
+  uint64_t mask = uint64_t{1} << (pos % 64);
+  if (value) words_[pos / 64] |= mask;
+  else words_[pos / 64] &= ~mask;
+}
+
+bool BitVec::isZero() const {
+  for (uint64_t w : words_)
+    if (w != 0) return false;
+  return true;
+}
+
+bool BitVec::isAllOnes() const {
+  if (width_ == 0) return true;
+  for (size_t i = 0; i + 1 < words_.size(); i++)
+    if (words_[i] != ~uint64_t{0}) return false;
+  return words_.back() == topWordMask(width_);
+}
+
+int64_t BitVec::toI64() const {
+  uint64_t v = words_[0];
+  if (width_ == 0) return 0;
+  if (width_ < 64 && signBit()) v |= ~((uint64_t{1} << width_) - 1);
+  return static_cast<int64_t>(v);
+}
+
+uint32_t BitVec::bitLength() const {
+  for (size_t i = words_.size(); i-- > 0;) {
+    if (words_[i] != 0)
+      return static_cast<uint32_t>(i) * 64 + (64 - static_cast<uint32_t>(__builtin_clzll(words_[i])));
+  }
+  return 0;
+}
+
+void BitVec::maskToWidth() {
+  size_t need = numWords(width_);
+  words_.resize(need, 0);
+  if (width_ == 0) {
+    words_[0] = 0;
+    return;
+  }
+  words_.back() &= topWordMask(width_);
+}
+
+std::string BitVec::toHexString() const {
+  std::string out;
+  bool leading = true;
+  uint32_t nibbles = width_ == 0 ? 1 : (width_ + 3) / 4;
+  for (uint32_t i = nibbles; i-- > 0;) {
+    uint32_t pos = i * 4;
+    uint64_t nib = (word(pos / 64) >> (pos % 64)) & 0xf;
+    if (pos % 64 > 60 && pos / 64 + 1 < words_.size())
+      nib |= (words_[pos / 64 + 1] << (64 - pos % 64)) & 0xf;
+    if (nib == 0 && leading && i != 0) continue;
+    leading = false;
+    out += "0123456789abcdef"[nib];
+  }
+  return out;
+}
+
+std::string BitVec::toBinString() const {
+  std::string out;
+  out.reserve(width_);
+  for (uint32_t i = width_; i-- > 0;) out += bit(i) ? '1' : '0';
+  return out;
+}
+
+std::string BitVec::toDecString() const {
+  if (isZero()) return "0";
+  // Repeated division by 10^9 over the word array.
+  std::vector<uint64_t> tmp(words_);
+  std::string out;
+  constexpr uint64_t kChunk = 1000000000ULL;
+  while (true) {
+    bool nonzero = false;
+    uint64_t remainder = 0;
+    for (size_t i = tmp.size(); i-- > 0;) {
+      unsigned __int128 cur = (static_cast<unsigned __int128>(remainder) << 64) | tmp[i];
+      tmp[i] = static_cast<uint64_t>(cur / kChunk);
+      remainder = static_cast<uint64_t>(cur % kChunk);
+      nonzero |= tmp[i] != 0;
+    }
+    if (!nonzero) {
+      out = std::to_string(remainder) + out;
+      break;
+    }
+    std::string part = std::to_string(remainder);
+    out = std::string(9 - part.size(), '0') + part + out;
+  }
+  return out;
+}
+
+std::string BitVec::toSignedDecString() const {
+  if (!signBit()) return toDecString();
+  // Two's-complement negate within our own width (sub widens by one bit).
+  BitVec mag = bvops::extend(bvops::sub(BitVec(width_), *this, false), false, width_);
+  std::string out = mag.toDecString();
+  out.insert(out.begin(), '-');  // avoids a GCC 12 -Wrestrict false positive on "-" + s
+  return out;
+}
+
+bool BitVec::operator==(const BitVec& other) const {
+  size_t n = std::max(words_.size(), other.words_.size());
+  for (size_t i = 0; i < n; i++)
+    if (word(i) != other.word(i)) return false;
+  return width_ == other.width_;
+}
+
+int BitVec::ucmp(const BitVec& a, const BitVec& b) {
+  size_t n = std::max(a.words_.size(), b.words_.size());
+  for (size_t i = n; i-- > 0;) {
+    uint64_t wa = a.word(i), wb = b.word(i);
+    if (wa != wb) return wa < wb ? -1 : 1;
+  }
+  return 0;
+}
+
+int BitVec::scmp(const BitVec& a, const BitVec& b) {
+  bool na = a.signBit(), nb = b.signBit();
+  if (na != nb) return na ? -1 : 1;
+  if (!na) return ucmp(a, b);
+  // Both negative: sign-extend to a common width and compare unsigned.
+  uint32_t w = std::max(a.width(), b.width());
+  BitVec ea = bvops::extend(a, true, w);
+  BitVec eb = bvops::extend(b, true, w);
+  return ucmp(ea, eb);
+}
+
+}  // namespace essent
+
+namespace essent::bvops {
+
+uint32_t addWidth(uint32_t wa, uint32_t wb) { return std::max(wa, wb) + 1; }
+uint32_t subWidth(uint32_t wa, uint32_t wb) { return std::max(wa, wb) + 1; }
+uint32_t mulWidth(uint32_t wa, uint32_t wb) { return wa + wb; }
+uint32_t divWidth(uint32_t wa, uint32_t, bool isSigned) { return isSigned ? wa + 1 : wa; }
+uint32_t remWidth(uint32_t wa, uint32_t wb) { return std::min(wa, wb); }
+uint32_t padWidth(uint32_t wa, uint32_t n) { return std::max(wa, n); }
+uint32_t shlWidth(uint32_t wa, uint32_t n) { return wa + n; }
+uint32_t shrWidth(uint32_t wa, uint32_t n) { return wa > n ? wa - n : 1; }
+uint32_t dshlWidth(uint32_t wa, uint32_t wb) {
+  // FIRRTL: wa + 2^wb - 1; clamp the shift-amount contribution to keep
+  // pathological declared widths from exploding (designs here keep wb small).
+  uint32_t extra = wb >= 20 ? (1u << 20) : ((1u << wb) - 1);
+  return wa + extra;
+}
+uint32_t cvtWidth(uint32_t wa, bool isSigned) { return isSigned ? wa : wa + 1; }
+uint32_t negWidth(uint32_t wa) { return wa + 1; }
+uint32_t bitwiseWidth(uint32_t wa, uint32_t wb) { return std::max(wa, wb); }
+uint32_t catWidth(uint32_t wa, uint32_t wb) { return wa + wb; }
+uint32_t bitsWidth(uint32_t hi, uint32_t lo) { return hi - lo + 1; }
+uint32_t headWidth(uint32_t n) { return n; }
+uint32_t tailWidth(uint32_t wa, uint32_t n) { return wa > n ? wa - n : 0; }
+
+BitVec extend(const BitVec& a, bool isSigned, uint32_t width) {
+  BitVec r(width);
+  bool sign = isSigned && a.signBit();
+  uint64_t fill = sign ? ~uint64_t{0} : 0;
+  size_t aw = a.wordCount();
+  for (size_t i = 0; i < r.wordCount(); i++) r.data()[i] = i < aw ? a.word(i) : fill;
+  if (sign && a.width() > 0) {
+    // Fill the bits between a.width() and width inside the boundary word.
+    uint32_t boundary = a.width();
+    size_t w = boundary / 64;
+    uint32_t off = boundary % 64;
+    if (off != 0 && w < r.wordCount()) r.data()[w] |= ~uint64_t{0} << off;
+  }
+  r.maskToWidth();
+  return r;
+}
+
+namespace {
+
+// r = x + y (+carryIn), all width-of-r modular.
+void addInto(BitVec& r, const BitVec& x, const BitVec& y, uint64_t carryIn) {
+  unsigned __int128 carry = carryIn;
+  for (size_t i = 0; i < r.wordCount(); i++) {
+    unsigned __int128 sum = carry;
+    sum += x.word(i);
+    sum += y.word(i);
+    r.data()[i] = static_cast<uint64_t>(sum);
+    carry = sum >> 64;
+  }
+  r.maskToWidth();
+}
+
+BitVec complement(const BitVec& a, uint32_t width) {
+  BitVec r(width);
+  for (size_t i = 0; i < r.wordCount(); i++) r.data()[i] = ~a.word(i);
+  r.maskToWidth();
+  return r;
+}
+
+}  // namespace
+
+BitVec add(const BitVec& a, const BitVec& b, bool isSigned) {
+  uint32_t w = addWidth(a.width(), b.width());
+  BitVec ea = extend(a, isSigned, w), eb = extend(b, isSigned, w);
+  BitVec r(w);
+  addInto(r, ea, eb, 0);
+  return r;
+}
+
+BitVec sub(const BitVec& a, const BitVec& b, bool isSigned) {
+  uint32_t w = subWidth(a.width(), b.width());
+  BitVec ea = extend(a, isSigned, w), eb = extend(b, isSigned, w);
+  BitVec nb = complement(eb, w);
+  BitVec r(w);
+  addInto(r, ea, nb, 1);
+  return r;
+}
+
+BitVec mul(const BitVec& a, const BitVec& b, bool isSigned) {
+  uint32_t w = mulWidth(a.width(), b.width());
+  // Two's-complement modular multiply: extending both operands to the result
+  // width and multiplying modulo 2^w is exact for w = wa + wb.
+  BitVec ea = extend(a, isSigned, w), eb = extend(b, isSigned, w);
+  BitVec r(w);
+  size_t n = r.wordCount();
+  for (size_t i = 0; i < n; i++) {
+    if (ea.word(i) == 0) continue;
+    uint64_t carry = 0;
+    for (size_t j = 0; i + j < n; j++) {
+      unsigned __int128 cur = static_cast<unsigned __int128>(ea.word(i)) * eb.word(j);
+      cur += r.word(i + j);
+      cur += carry;
+      r.data()[i + j] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+  }
+  r.maskToWidth();
+  return r;
+}
+
+void udivmod(const BitVec& a, const BitVec& b, BitVec* quotient, BitVec* remainder) {
+  uint32_t w = a.width();
+  BitVec q(w), r(w == 0 ? 1 : w);
+  if (!b.isZero()) {
+    // Restoring division, bit-serial from the MSB of a.
+    for (uint32_t i = a.width(); i-- > 0;) {
+      // r = (r << 1) | a[i]
+      uint64_t carry = a.bit(i) ? 1 : 0;
+      for (size_t wd = 0; wd < r.wordCount(); wd++) {
+        uint64_t nw = (r.word(wd) << 1) | carry;
+        carry = r.word(wd) >> 63;
+        r.data()[wd] = nw;
+      }
+      r.maskToWidth();
+      if (BitVec::ucmp(r, b) >= 0) {
+        BitVec diff = sub(r, b, false);
+        for (size_t wd = 0; wd < r.wordCount(); wd++) r.data()[wd] = diff.word(wd);
+        r.maskToWidth();
+        q.setBit(i, true);
+      }
+    }
+  }
+  if (quotient) *quotient = q;
+  if (remainder) *remainder = r;
+}
+
+BitVec div(const BitVec& a, const BitVec& b, bool isSigned) {
+  uint32_t w = divWidth(a.width(), b.width(), isSigned);
+  if (b.isZero()) return BitVec(w);
+  if (!isSigned) {
+    BitVec q(a.width());
+    udivmod(a, b, &q, nullptr);
+    return extend(q, false, w);
+  }
+  bool na = a.signBit(), nb = b.signBit();
+  uint32_t mw = std::max(a.width(), b.width()) + 1;  // room for |INT_MIN|
+  BitVec ma = na ? sub(BitVec(a.width()), a, true) : extend(a, true, mw);
+  BitVec mb = nb ? sub(BitVec(b.width()), b, true) : extend(b, true, mw);
+  ma = extend(ma, false, mw);
+  mb = extend(mb, false, mw);
+  BitVec q(mw);
+  udivmod(ma, mb, &q, nullptr);
+  BitVec qe = extend(q, false, w);
+  if (na != nb) qe = extend(sub(BitVec(w), qe, false), false, w);
+  return qe;
+}
+
+BitVec rem(const BitVec& a, const BitVec& b, bool isSigned) {
+  uint32_t w = remWidth(a.width(), b.width());
+  if (b.isZero()) return extend(a, isSigned, w);
+  if (!isSigned) {
+    BitVec r;
+    udivmod(a, b, nullptr, &r);
+    return extend(r, false, w);
+  }
+  bool na = a.signBit(), nb = b.signBit();
+  uint32_t mw = std::max(a.width(), b.width()) + 1;
+  BitVec ma = na ? sub(BitVec(a.width()), a, true) : extend(a, true, mw);
+  BitVec mb = nb ? sub(BitVec(b.width()), b, true) : extend(b, true, mw);
+  ma = extend(ma, false, mw);
+  mb = extend(mb, false, mw);
+  BitVec r;
+  udivmod(ma, mb, nullptr, &r);
+  BitVec re = extend(r, false, mw);
+  if (na) re = extend(sub(BitVec(mw), re, false), false, mw);
+  // Truncate two's-complement into the (narrower) result width.
+  return extend(re, false, w);
+}
+
+namespace {
+BitVec boolBV(bool v) { return BitVec::fromU64(1, v ? 1 : 0); }
+int cmp(const BitVec& a, const BitVec& b, bool isSigned) {
+  return isSigned ? BitVec::scmp(a, b) : BitVec::ucmp(a, b);
+}
+}  // namespace
+
+BitVec lt(const BitVec& a, const BitVec& b, bool s) { return boolBV(cmp(a, b, s) < 0); }
+BitVec leq(const BitVec& a, const BitVec& b, bool s) { return boolBV(cmp(a, b, s) <= 0); }
+BitVec gt(const BitVec& a, const BitVec& b, bool s) { return boolBV(cmp(a, b, s) > 0); }
+BitVec geq(const BitVec& a, const BitVec& b, bool s) { return boolBV(cmp(a, b, s) >= 0); }
+BitVec eq(const BitVec& a, const BitVec& b, bool s) { return boolBV(cmp(a, b, s) == 0); }
+BitVec neq(const BitVec& a, const BitVec& b, bool s) { return boolBV(cmp(a, b, s) != 0); }
+
+BitVec pad(const BitVec& a, bool isSigned, uint32_t n) {
+  return extend(a, isSigned, padWidth(a.width(), n));
+}
+
+BitVec shl(const BitVec& a, uint32_t n) {
+  uint32_t w = shlWidth(a.width(), n);
+  BitVec r(w);
+  size_t wordShift = n / 64;
+  uint32_t bitShift = n % 64;
+  for (size_t i = 0; i < r.wordCount(); i++) {
+    uint64_t lo = i >= wordShift ? a.word(i - wordShift) : 0;
+    uint64_t hi = (bitShift != 0 && i >= wordShift + 1) ? a.word(i - wordShift - 1) : 0;
+    r.data()[i] = (bitShift == 0) ? lo : ((lo << bitShift) | (hi >> (64 - bitShift)));
+  }
+  r.maskToWidth();
+  return r;
+}
+
+BitVec shr(const BitVec& a, bool isSigned, uint32_t n) {
+  uint32_t w = shrWidth(a.width(), n);
+  BitVec r(w);
+  for (uint32_t i = 0; i < w; i++) {
+    uint32_t src = i + n;
+    bool b = src < a.width() ? a.bit(src) : (isSigned && a.signBit());
+    r.setBit(i, b);
+  }
+  return r;
+}
+
+BitVec dshl(const BitVec& a, const BitVec& b, uint32_t shamtWidth) {
+  uint32_t w = dshlWidth(a.width(), shamtWidth);
+  uint64_t sh = b.toU64();
+  if (b.bitLength() > 32 || sh >= w) return BitVec(w);
+  BitVec shifted = shl(a, static_cast<uint32_t>(sh));
+  return extend(shifted, false, w);
+}
+
+BitVec dshr(const BitVec& a, bool isSigned, const BitVec& b) {
+  uint32_t w = a.width();
+  uint64_t sh = b.bitLength() > 32 ? w : b.toU64();
+  if (sh > w) sh = w;
+  BitVec r(w);
+  for (uint32_t i = 0; i < w; i++) {
+    uint64_t src = i + sh;
+    bool bit = src < a.width() ? a.bit(static_cast<uint32_t>(src)) : (isSigned && a.signBit());
+    r.setBit(i, bit);
+  }
+  return r;
+}
+
+BitVec cvt(const BitVec& a, bool isSigned) {
+  return extend(a, isSigned, cvtWidth(a.width(), isSigned));
+}
+
+BitVec neg(const BitVec& a, bool isSigned) {
+  uint32_t w = negWidth(a.width());
+  BitVec ea = extend(a, isSigned, w);
+  return extend(sub(BitVec(w), ea, false), false, w);
+}
+
+BitVec bnot(const BitVec& a) { return complement(a, a.width()); }
+
+BitVec band(const BitVec& a, const BitVec& b, bool isSigned) {
+  uint32_t w = bitwiseWidth(a.width(), b.width());
+  BitVec ea = extend(a, isSigned, w), eb = extend(b, isSigned, w);
+  BitVec r(w);
+  for (size_t i = 0; i < r.wordCount(); i++) r.data()[i] = ea.word(i) & eb.word(i);
+  r.maskToWidth();
+  return r;
+}
+
+BitVec bor(const BitVec& a, const BitVec& b, bool isSigned) {
+  uint32_t w = bitwiseWidth(a.width(), b.width());
+  BitVec ea = extend(a, isSigned, w), eb = extend(b, isSigned, w);
+  BitVec r(w);
+  for (size_t i = 0; i < r.wordCount(); i++) r.data()[i] = ea.word(i) | eb.word(i);
+  r.maskToWidth();
+  return r;
+}
+
+BitVec bxor(const BitVec& a, const BitVec& b, bool isSigned) {
+  uint32_t w = bitwiseWidth(a.width(), b.width());
+  BitVec ea = extend(a, isSigned, w), eb = extend(b, isSigned, w);
+  BitVec r(w);
+  for (size_t i = 0; i < r.wordCount(); i++) r.data()[i] = ea.word(i) ^ eb.word(i);
+  r.maskToWidth();
+  return r;
+}
+
+BitVec andr(const BitVec& a) { return boolBV(a.isAllOnes()); }
+BitVec orr(const BitVec& a) { return boolBV(!a.isZero()); }
+
+BitVec xorr(const BitVec& a) {
+  uint64_t acc = 0;
+  for (size_t i = 0; i < a.wordCount(); i++) acc ^= a.word(i);
+  return boolBV(__builtin_parityll(acc));
+}
+
+BitVec cat(const BitVec& a, const BitVec& b) {
+  uint32_t w = catWidth(a.width(), b.width());
+  BitVec hi = shl(extend(a, false, w > 0 ? w - b.width() : 0), b.width());
+  BitVec lo = extend(b, false, w);
+  return bor(extend(hi, false, w), lo, false);
+}
+
+BitVec bits(const BitVec& a, uint32_t hi, uint32_t lo) {
+  uint32_t w = bitsWidth(hi, lo);
+  BitVec r(w);
+  for (uint32_t i = 0; i < w; i++) r.setBit(i, a.bit(lo + i));
+  return r;
+}
+
+BitVec head(const BitVec& a, uint32_t n) {
+  if (n == 0) return BitVec(0);
+  return bits(a, a.width() - 1, a.width() - n);
+}
+
+BitVec tail(const BitVec& a, uint32_t n) {
+  uint32_t w = tailWidth(a.width(), n);
+  if (w == 0) return BitVec(0);
+  return bits(a, w - 1, 0);
+}
+
+BitVec mux(const BitVec& sel, const BitVec& tval, const BitVec& fval, bool isSigned) {
+  uint32_t w = std::max(tval.width(), fval.width());
+  return extend(sel.isZero() ? fval : tval, isSigned, w);
+}
+
+}  // namespace essent::bvops

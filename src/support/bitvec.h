@@ -1,0 +1,86 @@
+// Arbitrary-width bit vector support for the ESSENT reproduction.
+//
+// A BitVec is a plain container of `width` bits stored in little-endian
+// 64-bit words, always kept canonical (bits at positions >= width are zero).
+// Signedness is not part of the value: FIRRTL primop semantics interpret the
+// same bits as unsigned or two's-complement signed, so the primop helpers in
+// bvops.h take explicit signedness flags instead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace essent {
+
+class BitVec {
+ public:
+  // Zero-width vector: FIRRTL permits width-0 values; they always read as 0.
+  BitVec() : width_(0), words_(1, 0) {}
+  explicit BitVec(uint32_t width) : width_(width), words_(numWords(width), 0) {}
+
+  static BitVec fromU64(uint32_t width, uint64_t value);
+  // Wraps `value` into `width` bits (two's complement).
+  static BitVec fromI64(uint32_t width, int64_t value);
+  // Parses an unsigned hex string (no prefix). Throws std::invalid_argument
+  // on bad characters.
+  static BitVec fromHexString(uint32_t width, const std::string& hex);
+  // Parses an optionally negative decimal string, wrapping into `width` bits.
+  static BitVec fromDecString(uint32_t width, const std::string& dec);
+  static BitVec allOnes(uint32_t width);
+
+  uint32_t width() const { return width_; }
+  size_t wordCount() const { return words_.size(); }
+  uint64_t word(size_t i) const { return i < words_.size() ? words_[i] : 0; }
+  const uint64_t* data() const { return words_.data(); }
+  uint64_t* data() { return words_.data(); }
+
+  bool bit(uint32_t pos) const;
+  void setBit(uint32_t pos, bool value);
+
+  bool isZero() const;
+  // True iff every one of the `width` bits is set (width 0 -> true).
+  bool isAllOnes() const;
+  // Most significant bit (the sign bit under signed interpretation).
+  bool signBit() const { return width_ > 0 && bit(width_ - 1); }
+
+  // Low 64 bits of the value.
+  uint64_t toU64() const { return words_[0]; }
+  // Signed interpretation of the low bits; only meaningful for width <= 64.
+  int64_t toI64() const;
+
+  // Number of significant bits under unsigned interpretation (0 for zero).
+  uint32_t bitLength() const;
+
+  // Re-canonicalizes after direct word manipulation via data().
+  void maskToWidth();
+
+  std::string toHexString() const;    // lowercase, no prefix, no leading zeros
+  std::string toBinString() const;    // exactly `width` characters
+  std::string toDecString() const;    // unsigned decimal
+  std::string toSignedDecString() const;  // two's complement decimal
+
+  bool operator==(const BitVec& other) const;
+  bool operator!=(const BitVec& other) const { return !(*this == other); }
+
+  // Unsigned / signed three-way comparison: -1, 0, or +1. Widths may differ;
+  // the narrower operand is implicitly extended.
+  static int ucmp(const BitVec& a, const BitVec& b);
+  static int scmp(const BitVec& a, const BitVec& b);
+
+  static size_t numWords(uint32_t width) {
+    return width == 0 ? 1 : (width + 63) / 64;
+  }
+  // Mask covering the valid bits of the top word of a `width`-bit value.
+  static uint64_t topWordMask(uint32_t width) {
+    if (width == 0) return 0;
+    uint32_t rem = width % 64;
+    return rem == 0 ? ~uint64_t{0} : ((uint64_t{1} << rem) - 1);
+  }
+
+ private:
+  uint32_t width_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace essent

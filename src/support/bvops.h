@@ -1,0 +1,79 @@
+// FIRRTL primitive-operation semantics over BitVec, with the exact result
+// width rules of the FIRRTL specification (e.g. add widens by one bit,
+// mul produces wa+wb bits). These are the reference ("slow path")
+// implementations; the simulation engines use an inlined uint64_t fast path
+// when all operand and result widths fit in 64 bits, and fall back to these
+// for wider values. Constant propagation also evaluates through here, so a
+// single set of semantics backs the whole tool flow.
+#pragma once
+
+#include "support/bitvec.h"
+
+namespace essent::bvops {
+
+// Width rules, usable at IR-build time without values.
+uint32_t addWidth(uint32_t wa, uint32_t wb);
+uint32_t subWidth(uint32_t wa, uint32_t wb);
+uint32_t mulWidth(uint32_t wa, uint32_t wb);
+uint32_t divWidth(uint32_t wa, uint32_t wb, bool isSigned);
+uint32_t remWidth(uint32_t wa, uint32_t wb);
+uint32_t padWidth(uint32_t wa, uint32_t n);
+uint32_t shlWidth(uint32_t wa, uint32_t n);
+uint32_t shrWidth(uint32_t wa, uint32_t n);
+uint32_t dshlWidth(uint32_t wa, uint32_t wb);
+uint32_t cvtWidth(uint32_t wa, bool isSigned);
+uint32_t negWidth(uint32_t wa);
+uint32_t bitwiseWidth(uint32_t wa, uint32_t wb);
+uint32_t catWidth(uint32_t wa, uint32_t wb);
+uint32_t bitsWidth(uint32_t hi, uint32_t lo);
+uint32_t headWidth(uint32_t n);
+uint32_t tailWidth(uint32_t wa, uint32_t n);
+
+// Returns `a` reinterpreted at `width` bits: zero-extended when !isSigned,
+// sign-extended when isSigned, truncated when narrower.
+BitVec extend(const BitVec& a, bool isSigned, uint32_t width);
+
+BitVec add(const BitVec& a, const BitVec& b, bool isSigned);
+BitVec sub(const BitVec& a, const BitVec& b, bool isSigned);
+BitVec mul(const BitVec& a, const BitVec& b, bool isSigned);
+// Division truncates toward zero; x/0 is defined here as 0 (FIRRTL leaves it
+// undefined; a fixed value keeps all engines bit-identical).
+BitVec div(const BitVec& a, const BitVec& b, bool isSigned);
+// Remainder sign follows the dividend; x%0 is defined here as x truncated to
+// the result width.
+BitVec rem(const BitVec& a, const BitVec& b, bool isSigned);
+
+BitVec lt(const BitVec& a, const BitVec& b, bool isSigned);
+BitVec leq(const BitVec& a, const BitVec& b, bool isSigned);
+BitVec gt(const BitVec& a, const BitVec& b, bool isSigned);
+BitVec geq(const BitVec& a, const BitVec& b, bool isSigned);
+BitVec eq(const BitVec& a, const BitVec& b, bool isSigned);
+BitVec neq(const BitVec& a, const BitVec& b, bool isSigned);
+
+BitVec pad(const BitVec& a, bool isSigned, uint32_t n);
+BitVec shl(const BitVec& a, uint32_t n);
+BitVec shr(const BitVec& a, bool isSigned, uint32_t n);
+BitVec dshl(const BitVec& a, const BitVec& b, uint32_t shamtWidth);
+BitVec dshr(const BitVec& a, bool isSigned, const BitVec& b);
+BitVec cvt(const BitVec& a, bool isSigned);
+BitVec neg(const BitVec& a, bool isSigned);
+BitVec bnot(const BitVec& a);
+BitVec band(const BitVec& a, const BitVec& b, bool isSigned);
+BitVec bor(const BitVec& a, const BitVec& b, bool isSigned);
+BitVec bxor(const BitVec& a, const BitVec& b, bool isSigned);
+BitVec andr(const BitVec& a);
+BitVec orr(const BitVec& a);
+BitVec xorr(const BitVec& a);
+BitVec cat(const BitVec& a, const BitVec& b);
+BitVec bits(const BitVec& a, uint32_t hi, uint32_t lo);
+BitVec head(const BitVec& a, uint32_t n);
+BitVec tail(const BitVec& a, uint32_t n);
+BitVec mux(const BitVec& sel, const BitVec& tval, const BitVec& fval,
+           bool isSigned);
+
+// Unsigned long division helper shared by div/rem (restoring division on
+// word arrays). quotient/remainder get the widths of a.
+void udivmod(const BitVec& a, const BitVec& b, BitVec* quotient,
+             BitVec* remainder);
+
+}  // namespace essent::bvops

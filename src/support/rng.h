@@ -1,0 +1,40 @@
+// Deterministic pseudo-random number generation (SplitMix64) so tests,
+// property sweeps, and workload generators are reproducible across runs and
+// platforms without depending on libstdc++'s distribution implementations.
+#pragma once
+
+#include <cstdint>
+
+namespace essent {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound); bound 0 returns 0.
+  uint64_t nextBelow(uint64_t bound) { return bound == 0 ? 0 : next() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t nextRange(uint64_t lo, uint64_t hi) { return lo + nextBelow(hi - lo + 1); }
+
+  bool nextBool() { return next() & 1; }
+
+  // True with probability p (clamped to [0,1]).
+  bool nextChance(double p) {
+    if (p <= 0) return false;
+    if (p >= 1) return true;
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0) < p;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace essent

@@ -1,0 +1,22 @@
+// Small string helpers shared across the tool flow.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace essent {
+
+// printf-style formatting into a std::string.
+std::string strfmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+std::vector<std::string> splitString(const std::string& s, char sep);
+std::string trimString(const std::string& s);
+std::string joinStrings(const std::vector<std::string>& parts, const std::string& sep);
+bool startsWith(const std::string& s, const std::string& prefix);
+bool endsWith(const std::string& s, const std::string& suffix);
+
+// Legal C identifier derived from a (possibly dotted) signal name.
+std::string sanitizeIdent(const std::string& name);
+
+}  // namespace essent

@@ -1,0 +1,86 @@
+#include "workloads/assembler.h"
+
+#include "support/strutil.h"
+
+namespace essent::workloads {
+
+namespace {
+
+void checkReg(unsigned r) {
+  if (r > 7) throw AsmError(strfmt("register x%u out of range", r));
+}
+
+}  // namespace
+
+uint16_t encodeR(Opc op, unsigned rd, unsigned rs, unsigned rt) {
+  checkReg(rd);
+  checkReg(rs);
+  checkReg(rt);
+  return static_cast<uint16_t>((static_cast<uint16_t>(op) << 12) | (rd << 9) | (rs << 6) |
+                               (rt << 3));
+}
+
+uint16_t encodeI(Opc op, unsigned rd, unsigned rs, int imm6) {
+  checkReg(rd);
+  checkReg(rs);
+  if (imm6 < -32 || imm6 > 31) throw AsmError(strfmt("imm6 %d out of range", imm6));
+  return static_cast<uint16_t>((static_cast<uint16_t>(op) << 12) | (rd << 9) | (rs << 6) |
+                               (static_cast<unsigned>(imm6) & 0x3f));
+}
+
+uint16_t encodeJ(Opc op, unsigned imm12) {
+  if (imm12 > 0xfff) throw AsmError(strfmt("imm12 %u out of range", imm12));
+  return static_cast<uint16_t>((static_cast<uint16_t>(op) << 12) | imm12);
+}
+
+void Asm::label(const std::string& name) {
+  if (!labels_.emplace(name, here()).second) throw AsmError("duplicate label " + name);
+}
+
+void Asm::beq(unsigned rd, unsigned rs, const std::string& target) {
+  fixups_.push_back(Fixup{words_.size(), Opc::Beq, rd, rs, target});
+  emit(0);
+}
+
+void Asm::bne(unsigned rd, unsigned rs, const std::string& target) {
+  fixups_.push_back(Fixup{words_.size(), Opc::Bne, rd, rs, target});
+  emit(0);
+}
+
+void Asm::jmp(const std::string& target) {
+  fixups_.push_back(Fixup{words_.size(), Opc::Jmp, 0, 0, target});
+  emit(0);
+}
+
+void Asm::li(unsigned rd, uint16_t value) {
+  // Built from 4-bit chunks (addi immediates are limited to [-32, 31]):
+  // rd = hi4; then three rounds of rd = (rd << 4) + next4.
+  if (value <= 31) {
+    addi(rd, 0, static_cast<int>(value));
+    return;
+  }
+  addi(rd, 0, static_cast<int>((value >> 12) & 0xf));
+  for (int shift = 8; shift >= 0; shift -= 4) {
+    shl(rd, rd, 4);
+    addi(rd, rd, static_cast<int>((value >> shift) & 0xf));
+  }
+}
+
+std::vector<uint16_t> Asm::assemble() {
+  for (const auto& f : fixups_) {
+    auto it = labels_.find(f.target);
+    if (it == labels_.end()) throw AsmError("undefined label " + f.target);
+    if (f.op == Opc::Jmp) {
+      words_[f.index] = encodeJ(Opc::Jmp, it->second);
+    } else {
+      int offset = static_cast<int>(it->second) - static_cast<int>(f.index);
+      if (offset < -32 || offset > 31)
+        throw AsmError(strfmt("branch to %s out of range (%d)", f.target.c_str(), offset));
+      words_[f.index] = encodeI(f.op, f.a, f.b, offset);
+    }
+  }
+  fixups_.clear();
+  return words_;
+}
+
+}  // namespace essent::workloads

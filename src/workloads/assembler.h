@@ -1,0 +1,80 @@
+// Miniature assembler for the TinySoC ISA (see designs/tinysoc.h for the
+// encoding). Programs are built in C++ with labeled branches; `assemble`
+// resolves labels and returns the instruction words for backdoor loading
+// into imem.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace essent::workloads {
+
+enum class Opc : uint16_t {
+  Nop = 0, Addi = 1, Add = 2, Sub = 3, And = 4, Or = 5, Xor = 6, Mul = 7,
+  Lw = 8, Sw = 9, Beq = 10, Bne = 11, Jmp = 12, Shl = 13, Shr = 14, Halt = 15,
+};
+
+// Raw encoders (exposed for tests).
+uint16_t encodeR(Opc op, unsigned rd, unsigned rs, unsigned rt);
+uint16_t encodeI(Opc op, unsigned rd, unsigned rs, int imm6);
+uint16_t encodeJ(Opc op, unsigned imm12);
+
+class AsmError : public std::runtime_error {
+ public:
+  explicit AsmError(const std::string& m) : std::runtime_error("asm error: " + m) {}
+};
+
+// Label-resolving program builder.
+class Asm {
+ public:
+  // Current instruction address.
+  uint16_t here() const { return static_cast<uint16_t>(words_.size()); }
+
+  void label(const std::string& name);
+
+  void nop() { emit(encodeR(Opc::Nop, 0, 0, 0)); }
+  void addi(unsigned rd, unsigned rs, int imm6) { emit(encodeI(Opc::Addi, rd, rs, imm6)); }
+  void add(unsigned rd, unsigned rs, unsigned rt) { emit(encodeR(Opc::Add, rd, rs, rt)); }
+  void sub(unsigned rd, unsigned rs, unsigned rt) { emit(encodeR(Opc::Sub, rd, rs, rt)); }
+  void and_(unsigned rd, unsigned rs, unsigned rt) { emit(encodeR(Opc::And, rd, rs, rt)); }
+  void or_(unsigned rd, unsigned rs, unsigned rt) { emit(encodeR(Opc::Or, rd, rs, rt)); }
+  void xor_(unsigned rd, unsigned rs, unsigned rt) { emit(encodeR(Opc::Xor, rd, rs, rt)); }
+  void mul(unsigned rd, unsigned rs, unsigned rt) { emit(encodeR(Opc::Mul, rd, rs, rt)); }
+  void lw(unsigned rd, unsigned rs, int imm6) { emit(encodeI(Opc::Lw, rd, rs, imm6)); }
+  void sw(unsigned rdData, unsigned rsBase, int imm6) {
+    emit(encodeI(Opc::Sw, rdData, rsBase, imm6));
+  }
+  void shl(unsigned rd, unsigned rs, unsigned sh3) { emit(encodeR(Opc::Shl, rd, rs, sh3)); }
+  void shr(unsigned rd, unsigned rs, unsigned sh3) { emit(encodeR(Opc::Shr, rd, rs, sh3)); }
+  void halt() { emit(encodeR(Opc::Halt, 0, 0, 0)); }
+
+  // Branch target = branch pc + imm6: labels resolved at assemble().
+  void beq(unsigned rd, unsigned rs, const std::string& target);
+  void bne(unsigned rd, unsigned rs, const std::string& target);
+  void jmp(const std::string& target);
+
+  // Loads a 16-bit immediate into rd using addi/shl/or (r0 as zero source).
+  void li(unsigned rd, uint16_t value);
+
+  // Resolves fixups; throws AsmError on unknown labels or out-of-range
+  // branch offsets.
+  std::vector<uint16_t> assemble();
+
+ private:
+  struct Fixup {
+    size_t index;
+    Opc op;
+    unsigned a, b;
+    std::string target;
+  };
+  std::vector<uint16_t> words_;
+  std::unordered_map<std::string, uint16_t> labels_;
+  std::vector<Fixup> fixups_;
+
+  void emit(uint16_t w) { words_.push_back(w); }
+};
+
+}  // namespace essent::workloads

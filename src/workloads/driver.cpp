@@ -1,0 +1,32 @@
+#include "workloads/driver.h"
+
+#include <chrono>
+
+namespace essent::workloads {
+
+void loadProgram(sim::Engine& engine, const Program& program) {
+  for (size_t i = 0; i < program.code.size(); i++)
+    engine.pokeMem("imem", i, program.code[i]);
+  for (auto [addr, val] : program.data) engine.pokeMem("dmem", addr, val);
+}
+
+WorkloadResult runWorkload(sim::Engine& engine, uint64_t maxCycles) {
+  WorkloadResult res;
+  auto start = std::chrono::steady_clock::now();
+  engine.poke("reset", 1);
+  engine.tick();
+  engine.tick();
+  engine.poke("reset", 0);
+  for (uint64_t c = 0; c < maxCycles && !engine.stopped(); c++) {
+    engine.tick();
+    res.cycles++;
+  }
+  auto end = std::chrono::steady_clock::now();
+  res.seconds = std::chrono::duration<double>(end - start).count();
+  res.halted = engine.stopped();
+  res.instret = engine.peek("instret");
+  res.result = static_cast<uint16_t>(engine.peekMem("dmem", 21));
+  return res;
+}
+
+}  // namespace essent::workloads

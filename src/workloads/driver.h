@@ -1,0 +1,29 @@
+// Workload driver: loads a TinySoC program via the backdoor memory
+// interface, applies reset, runs to completion (HALT fires a stop()) and
+// checks the architectural result against the reference model.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/engine.h"
+#include "workloads/programs.h"
+
+namespace essent::workloads {
+
+struct WorkloadResult {
+  uint64_t cycles = 0;
+  bool halted = false;
+  uint64_t instret = 0;
+  uint16_t result = 0;   // dmem[21], each program's final checksum
+  double seconds = 0.0;  // wall-clock simulation time
+};
+
+// Loads code into imem and data into dmem. Must be called before the first
+// tick (backdoor contract).
+void loadProgram(sim::Engine& engine, const Program& program);
+
+// Holds reset for two cycles then runs until the design stops or maxCycles
+// elapse.
+WorkloadResult runWorkload(sim::Engine& engine, uint64_t maxCycles);
+
+}  // namespace essent::workloads

@@ -1,0 +1,421 @@
+// Unit and property tests for BitVec and the FIRRTL primop reference
+// semantics in support/bvops.h. The property sweeps check wide BitVec
+// arithmetic against native 64-bit arithmetic on random operands, which is
+// the same oracle relationship the simulation engines' fast path relies on.
+#include <gtest/gtest.h>
+
+#include "support/bitvec.h"
+#include "support/bvops.h"
+#include "support/rng.h"
+#include "support/strutil.h"
+
+namespace essent {
+namespace {
+
+using bvops::extend;
+
+TEST(BitVec, DefaultIsZeroWidth) {
+  BitVec v;
+  EXPECT_EQ(v.width(), 0u);
+  EXPECT_TRUE(v.isZero());
+  EXPECT_TRUE(v.isAllOnes());  // vacuously
+  EXPECT_EQ(v.toU64(), 0u);
+}
+
+TEST(BitVec, FromU64MasksToWidth) {
+  BitVec v = BitVec::fromU64(8, 0x1ff);
+  EXPECT_EQ(v.toU64(), 0xffu);
+  EXPECT_TRUE(v.isAllOnes());
+  EXPECT_EQ(v.width(), 8u);
+}
+
+TEST(BitVec, FromI64SignExtendsAcrossWords) {
+  BitVec v = BitVec::fromI64(100, -1);
+  EXPECT_TRUE(v.isAllOnes());
+  EXPECT_TRUE(v.signBit());
+  BitVec w = BitVec::fromI64(100, -2);
+  EXPECT_FALSE(w.bit(0));
+  EXPECT_TRUE(w.bit(1));
+  EXPECT_TRUE(w.bit(99));
+}
+
+TEST(BitVec, BitAccess) {
+  BitVec v(130);
+  v.setBit(0, true);
+  v.setBit(64, true);
+  v.setBit(129, true);
+  EXPECT_TRUE(v.bit(0));
+  EXPECT_TRUE(v.bit(64));
+  EXPECT_TRUE(v.bit(129));
+  EXPECT_FALSE(v.bit(1));
+  EXPECT_FALSE(v.bit(128));
+  v.setBit(64, false);
+  EXPECT_FALSE(v.bit(64));
+  // Out-of-range accesses are inert.
+  v.setBit(500, true);
+  EXPECT_FALSE(v.bit(500));
+}
+
+TEST(BitVec, HexRoundTrip) {
+  BitVec v = BitVec::fromHexString(128, "deadbeefcafebabe0123456789abcdef");
+  EXPECT_EQ(v.toHexString(), "deadbeefcafebabe0123456789abcdef");
+  EXPECT_EQ(v.word(0), 0x0123456789abcdefULL);
+  EXPECT_EQ(v.word(1), 0xdeadbeefcafebabeULL);
+}
+
+TEST(BitVec, HexStringUnderscoresAndCase) {
+  BitVec v = BitVec::fromHexString(32, "DE_AD_be_ef");
+  EXPECT_EQ(v.toU64(), 0xdeadbeefULL);
+}
+
+TEST(BitVec, HexStringRejectsJunk) {
+  EXPECT_THROW(BitVec::fromHexString(32, "xyz"), std::invalid_argument);
+}
+
+TEST(BitVec, DecStringRoundTrip) {
+  BitVec v = BitVec::fromDecString(128, "340282366920938463463374607431768211455");
+  EXPECT_TRUE(v.isAllOnes());
+  EXPECT_EQ(v.toDecString(), "340282366920938463463374607431768211455");
+  BitVec small = BitVec::fromDecString(16, "12345");
+  EXPECT_EQ(small.toU64(), 12345u);
+  EXPECT_EQ(small.toDecString(), "12345");
+}
+
+TEST(BitVec, NegativeDecStringWraps) {
+  BitVec v = BitVec::fromDecString(8, "-1");
+  EXPECT_EQ(v.toU64(), 0xffu);
+  EXPECT_EQ(v.toSignedDecString(), "-1");
+  EXPECT_EQ(BitVec::fromDecString(8, "-128").toSignedDecString(), "-128");
+}
+
+TEST(BitVec, ToI64SignExtends) {
+  EXPECT_EQ(BitVec::fromU64(4, 0xf).toI64(), -1);
+  EXPECT_EQ(BitVec::fromU64(4, 0x7).toI64(), 7);
+  EXPECT_EQ(BitVec::fromU64(64, ~0ull).toI64(), -1);
+}
+
+TEST(BitVec, BitLength) {
+  EXPECT_EQ(BitVec(64).bitLength(), 0u);
+  EXPECT_EQ(BitVec::fromU64(64, 1).bitLength(), 1u);
+  EXPECT_EQ(BitVec::fromU64(64, 0x80).bitLength(), 8u);
+  BitVec wide(200);
+  wide.setBit(150, true);
+  EXPECT_EQ(wide.bitLength(), 151u);
+}
+
+TEST(BitVec, CompareUnsignedAcrossWidths) {
+  BitVec a = BitVec::fromU64(8, 200);
+  BitVec b = BitVec::fromU64(16, 200);
+  EXPECT_EQ(BitVec::ucmp(a, b), 0);
+  EXPECT_LT(BitVec::ucmp(a, BitVec::fromU64(16, 300)), 0);
+  EXPECT_GT(BitVec::ucmp(BitVec::fromU64(80, 1) , BitVec(8)), 0);
+}
+
+TEST(BitVec, CompareSigned) {
+  BitVec minus1 = BitVec::fromI64(8, -1);
+  BitVec plus1 = BitVec::fromI64(8, 1);
+  EXPECT_LT(BitVec::scmp(minus1, plus1), 0);
+  EXPECT_GT(BitVec::scmp(plus1, minus1), 0);
+  EXPECT_EQ(BitVec::scmp(minus1, BitVec::fromI64(16, -1)), 0);
+  EXPECT_LT(BitVec::scmp(BitVec::fromI64(8, -100), BitVec::fromI64(8, -50)), 0);
+}
+
+TEST(BvOps, AddWidensByOne) {
+  BitVec a = BitVec::fromU64(8, 255), b = BitVec::fromU64(8, 255);
+  BitVec r = bvops::add(a, b, false);
+  EXPECT_EQ(r.width(), 9u);
+  EXPECT_EQ(r.toU64(), 510u);
+}
+
+TEST(BvOps, SignedAdd) {
+  BitVec a = BitVec::fromI64(8, -100), b = BitVec::fromI64(8, -100);
+  BitVec r = bvops::add(a, b, true);
+  EXPECT_EQ(r.width(), 9u);
+  EXPECT_EQ(extend(r, true, 64).toI64(), -200);
+}
+
+TEST(BvOps, SubProducesNegative) {
+  BitVec a = BitVec::fromU64(8, 5), b = BitVec::fromU64(8, 10);
+  BitVec r = bvops::sub(a, b, false);
+  // Unsigned sub wraps modulo 2^9.
+  EXPECT_EQ(r.width(), 9u);
+  EXPECT_EQ(r.toU64(), 512u - 5u);
+}
+
+TEST(BvOps, MulFullWidth) {
+  BitVec a = BitVec::fromU64(64, ~0ull), b = BitVec::fromU64(64, ~0ull);
+  BitVec r = bvops::mul(a, b, false);
+  EXPECT_EQ(r.width(), 128u);
+  // (2^64-1)^2 = 2^128 - 2^65 + 1
+  EXPECT_EQ(r.toHexString(), "fffffffffffffffe0000000000000001");
+}
+
+TEST(BvOps, SignedMul) {
+  BitVec a = BitVec::fromI64(8, -5), b = BitVec::fromI64(8, 7);
+  BitVec r = bvops::mul(a, b, true);
+  EXPECT_EQ(r.width(), 16u);
+  EXPECT_EQ(extend(r, true, 64).toI64(), -35);
+}
+
+TEST(BvOps, DivAndRem) {
+  BitVec a = BitVec::fromU64(32, 1000), b = BitVec::fromU64(32, 7);
+  EXPECT_EQ(bvops::div(a, b, false).toU64(), 142u);
+  EXPECT_EQ(bvops::rem(a, b, false).toU64(), 6u);
+}
+
+TEST(BvOps, SignedDivTruncatesTowardZero) {
+  BitVec a = BitVec::fromI64(16, -7), b = BitVec::fromI64(16, 2);
+  BitVec q = bvops::div(a, b, true);
+  EXPECT_EQ(extend(q, true, 64).toI64(), -3);
+  BitVec r = bvops::rem(a, b, true);
+  EXPECT_EQ(extend(r, true, 64).toI64(), -1);
+}
+
+TEST(BvOps, DivByZeroIsZeroRemIsDividend) {
+  BitVec a = BitVec::fromU64(16, 123), z(16);
+  EXPECT_EQ(bvops::div(a, z, false).toU64(), 0u);
+  EXPECT_EQ(bvops::rem(a, z, false).toU64(), 123u);
+}
+
+TEST(BvOps, WideDivision) {
+  // (2^100 + 12345) / 7 computed independently.
+  BitVec a(128);
+  a.setBit(100, true);
+  BitVec k = BitVec::fromU64(128, 12345);
+  a = extend(bvops::add(a, k, false), false, 128);
+  BitVec b = BitVec::fromU64(128, 7);
+  BitVec q = bvops::div(a, b, false);
+  BitVec r = bvops::rem(a, b, false);
+  // Verify a == q*b + r and r < b.
+  BitVec qb = extend(bvops::mul(q, b, false), false, 128);
+  BitVec sum = extend(bvops::add(qb, r, false), false, 128);
+  EXPECT_EQ(sum, a);
+  EXPECT_LT(BitVec::ucmp(r, b), 0);
+}
+
+TEST(BvOps, Comparisons) {
+  BitVec a = BitVec::fromU64(8, 5), b = BitVec::fromU64(8, 9);
+  EXPECT_EQ(bvops::lt(a, b, false).toU64(), 1u);
+  EXPECT_EQ(bvops::gt(a, b, false).toU64(), 0u);
+  EXPECT_EQ(bvops::leq(a, a, false).toU64(), 1u);
+  EXPECT_EQ(bvops::geq(a, a, false).toU64(), 1u);
+  EXPECT_EQ(bvops::eq(a, b, false).toU64(), 0u);
+  EXPECT_EQ(bvops::neq(a, b, false).toU64(), 1u);
+}
+
+TEST(BvOps, PadAndShifts) {
+  BitVec a = BitVec::fromU64(4, 0b1010);
+  EXPECT_EQ(bvops::pad(a, false, 8).width(), 8u);
+  EXPECT_EQ(bvops::pad(a, false, 8).toU64(), 0b1010u);
+  EXPECT_EQ(bvops::pad(a, false, 2).width(), 4u);  // pad never narrows
+  BitVec sa = BitVec::fromI64(4, -2);
+  EXPECT_EQ(extend(bvops::pad(sa, true, 8), true, 64).toI64(), -2);
+  EXPECT_EQ(bvops::shl(a, 4).width(), 8u);
+  EXPECT_EQ(bvops::shl(a, 4).toU64(), 0b10100000u);
+  EXPECT_EQ(bvops::shr(a, false, 2).width(), 2u);
+  EXPECT_EQ(bvops::shr(a, false, 2).toU64(), 0b10u);
+  // shr below 1 bit clamps to width 1.
+  EXPECT_EQ(bvops::shr(a, false, 9).width(), 1u);
+  EXPECT_EQ(bvops::shr(a, false, 9).toU64(), 0u);
+  // Arithmetic shift keeps the sign bit.
+  EXPECT_EQ(extend(bvops::shr(sa, true, 1), true, 64).toI64(), -1);
+}
+
+TEST(BvOps, DynamicShifts) {
+  BitVec a = BitVec::fromU64(8, 0x81);
+  BitVec sh = BitVec::fromU64(3, 4);
+  BitVec l = bvops::dshl(a, sh, 3);
+  EXPECT_EQ(l.width(), 8u + 7u);
+  EXPECT_EQ(l.toU64(), 0x810u);
+  BitVec r = bvops::dshr(a, false, sh);
+  EXPECT_EQ(r.width(), 8u);
+  EXPECT_EQ(r.toU64(), 0x8u);
+  BitVec sr = bvops::dshr(BitVec::fromI64(8, -64), true, sh);
+  EXPECT_EQ(extend(sr, true, 64).toI64(), -4);
+  // Shift of everything out.
+  EXPECT_EQ(bvops::dshr(a, false, BitVec::fromU64(8, 200)).toU64(), 0u);
+}
+
+TEST(BvOps, CvtNegNot) {
+  BitVec u = BitVec::fromU64(8, 200);
+  BitVec c = bvops::cvt(u, false);
+  EXPECT_EQ(c.width(), 9u);
+  EXPECT_EQ(extend(c, true, 64).toI64(), 200);
+  BitVec s = BitVec::fromI64(8, -5);
+  EXPECT_EQ(bvops::cvt(s, true).width(), 8u);
+  BitVec n = bvops::neg(s, true);
+  EXPECT_EQ(n.width(), 9u);
+  EXPECT_EQ(extend(n, true, 64).toI64(), 5);
+  EXPECT_EQ(bvops::bnot(BitVec::fromU64(4, 0b1010)).toU64(), 0b0101u);
+}
+
+TEST(BvOps, BitwiseAndReductions) {
+  BitVec a = BitVec::fromU64(8, 0xf0), b = BitVec::fromU64(4, 0xf);
+  EXPECT_EQ(bvops::band(a, b, false).toU64(), 0x0u);
+  EXPECT_EQ(bvops::bor(a, b, false).toU64(), 0xffu);
+  EXPECT_EQ(bvops::bxor(a, a, false).toU64(), 0u);
+  EXPECT_EQ(bvops::andr(BitVec::fromU64(4, 0xf)).toU64(), 1u);
+  EXPECT_EQ(bvops::andr(BitVec::fromU64(4, 0x7)).toU64(), 0u);
+  EXPECT_EQ(bvops::orr(BitVec(12)).toU64(), 0u);
+  EXPECT_EQ(bvops::orr(BitVec::fromU64(12, 0x800)).toU64(), 1u);
+  EXPECT_EQ(bvops::xorr(BitVec::fromU64(4, 0b0111)).toU64(), 1u);
+  EXPECT_EQ(bvops::xorr(BitVec::fromU64(4, 0b0101)).toU64(), 0u);
+}
+
+TEST(BvOps, CatBitsHeadTail) {
+  BitVec a = BitVec::fromU64(4, 0xa), b = BitVec::fromU64(8, 0x55);
+  BitVec c = bvops::cat(a, b);
+  EXPECT_EQ(c.width(), 12u);
+  EXPECT_EQ(c.toU64(), 0xa55u);
+  EXPECT_EQ(bvops::bits(c, 11, 8).toU64(), 0xau);
+  EXPECT_EQ(bvops::bits(c, 7, 0).toU64(), 0x55u);
+  EXPECT_EQ(bvops::head(c, 4).toU64(), 0xau);
+  EXPECT_EQ(bvops::tail(c, 4).toU64(), 0x55u);
+  EXPECT_EQ(bvops::tail(c, 4).width(), 8u);
+}
+
+TEST(BvOps, CatAcrossWordBoundary) {
+  BitVec a = BitVec::fromU64(40, 0xabcdef0123ULL);
+  BitVec b = BitVec::fromU64(40, 0x4567890abcULL);
+  BitVec c = bvops::cat(a, b);
+  EXPECT_EQ(c.width(), 80u);
+  EXPECT_EQ(c.toHexString(), "abcdef01234567890abc");
+}
+
+TEST(BvOps, MuxSelectsAndExtends) {
+  BitVec t = BitVec::fromU64(8, 200), f = BitVec::fromU64(4, 3);
+  EXPECT_EQ(bvops::mux(BitVec::fromU64(1, 1), t, f, false).toU64(), 200u);
+  EXPECT_EQ(bvops::mux(BitVec(1), t, f, false).toU64(), 3u);
+  EXPECT_EQ(bvops::mux(BitVec(1), t, f, false).width(), 8u);
+}
+
+// --- Property sweeps: wide BitVec semantics must agree with the uint64
+// fast-path model for widths <= 32 (so results never exceed 64 bits). ---
+
+struct ArithCase {
+  uint32_t wa, wb;
+};
+
+class BvOpsProperty : public ::testing::TestWithParam<ArithCase> {};
+
+TEST_P(BvOpsProperty, MatchesNativeArithmetic) {
+  auto [wa, wb] = GetParam();
+  Rng rng(wa * 1000003u + wb);
+  auto mask = [](uint32_t w) { return w >= 64 ? ~0ull : ((1ull << w) - 1); };
+  auto sext = [](uint64_t v, uint32_t w) {
+    uint64_t m = 1ull << (w - 1);
+    return static_cast<int64_t>((v ^ m) - m);
+  };
+  for (int iter = 0; iter < 200; iter++) {
+    uint64_t ua = rng.next() & mask(wa);
+    uint64_t ub = rng.next() & mask(wb);
+    BitVec a = BitVec::fromU64(wa, ua), b = BitVec::fromU64(wb, ub);
+
+    EXPECT_EQ(bvops::add(a, b, false).toU64(), ua + ub);
+    EXPECT_EQ(bvops::mul(a, b, false).toU64(), ua * ub);
+    EXPECT_EQ(bvops::sub(a, b, false).toU64(),
+              (ua - ub) & mask(std::max(wa, wb) + 1));
+    if (ub != 0) {
+      EXPECT_EQ(bvops::div(a, b, false).toU64(), ua / ub);
+      EXPECT_EQ(bvops::rem(a, b, false).toU64(), (ua % ub) & mask(std::min(wa, wb)));
+    }
+    EXPECT_EQ(bvops::lt(a, b, false).toU64(), ua < ub ? 1u : 0u);
+    EXPECT_EQ(bvops::band(a, b, false).toU64(), ua & ub);
+    EXPECT_EQ(bvops::bor(a, b, false).toU64(), ua | ub);
+    EXPECT_EQ(bvops::bxor(a, b, false).toU64(), ua ^ ub);
+    EXPECT_EQ(bvops::cat(a, b).toU64(), (ua << wb) | ub);
+
+    // Signed versions.
+    int64_t sa = sext(ua, wa), sb = sext(ub, wb);
+    EXPECT_EQ(extend(bvops::add(a, b, true), true, 64).toI64(), sa + sb);
+    EXPECT_EQ(extend(bvops::sub(a, b, true), true, 64).toI64(), sa - sb);
+    EXPECT_EQ(extend(bvops::mul(a, b, true), true, 64).toI64(), sa * sb);
+    if (sb != 0) {
+      EXPECT_EQ(extend(bvops::div(a, b, true), true, 64).toI64(), sa / sb);
+      EXPECT_EQ(extend(bvops::rem(a, b, true), true, 64).toI64(),
+                sext(static_cast<uint64_t>(sa % sb) & mask(std::min(wa, wb)),
+                     std::min(wa, wb)));
+    }
+    EXPECT_EQ(bvops::lt(a, b, true).toU64(), sa < sb ? 1u : 0u);
+    EXPECT_EQ(bvops::geq(a, b, true).toU64(), sa >= sb ? 1u : 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BvOpsProperty,
+                         ::testing::Values(ArithCase{1, 1}, ArithCase{4, 4}, ArithCase{7, 13},
+                                           ArithCase{16, 16}, ArithCase{31, 32},
+                                           ArithCase{32, 8}, ArithCase{24, 17}),
+                         [](const ::testing::TestParamInfo<ArithCase>& info) {
+                           return strfmt("w%u_w%u", info.param.wa, info.param.wb);
+                         });
+
+// Wide-value properties that don't fit a native oracle: algebraic identities.
+class BvOpsWideProperty : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(BvOpsWideProperty, AlgebraicIdentities) {
+  uint32_t w = GetParam();
+  Rng rng(w * 7919u);
+  for (int iter = 0; iter < 50; iter++) {
+    BitVec a(w), b(w);
+    for (uint32_t i = 0; i < w; i++) {
+      a.setBit(i, rng.nextBool());
+      b.setBit(i, rng.nextBool());
+    }
+    // a + b == b + a
+    EXPECT_EQ(bvops::add(a, b, false), bvops::add(b, a, false));
+    // (a + b) - b == a (mod widths)
+    BitVec sum = bvops::add(a, b, false);
+    BitVec back = bvops::sub(sum, b, false);
+    EXPECT_EQ(extend(back, false, w), a);
+    // a * b == b * a
+    EXPECT_EQ(bvops::mul(a, b, false), bvops::mul(b, a, false));
+    // ~~a == a
+    EXPECT_EQ(bvops::bnot(bvops::bnot(a)), a);
+    // cat(head, tail) == a
+    if (w > 4) {
+      BitVec h = bvops::head(a, 4), t = bvops::tail(a, 4);
+      EXPECT_EQ(bvops::cat(h, t), a);
+    }
+    // divmod reconstruction.
+    if (!b.isZero()) {
+      BitVec q = bvops::div(a, b, false), r = bvops::rem(a, b, false);
+      BitVec qb = extend(bvops::mul(q, b, false), false, w);
+      EXPECT_EQ(extend(bvops::add(qb, r, false), false, w), a);
+    }
+    // Shifting left then right restores (with headroom).
+    BitVec sh = bvops::shl(a, 13);
+    EXPECT_EQ(bvops::shr(sh, false, 13), a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BvOpsWideProperty, ::testing::Values(65u, 100u, 128u, 200u),
+                         [](const ::testing::TestParamInfo<uint32_t>& info) {
+                           return strfmt("w%u", info.param);
+                         });
+
+TEST(StrUtil, Basics) {
+  EXPECT_EQ(strfmt("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(splitString("a,b,,c", ',').size(), 4u);
+  EXPECT_EQ(trimString("  hi \n"), "hi");
+  EXPECT_EQ(joinStrings({"a", "b"}, "::"), "a::b");
+  EXPECT_TRUE(startsWith("firrtl", "fir"));
+  EXPECT_TRUE(endsWith("firrtl", "rtl"));
+  EXPECT_EQ(sanitizeIdent("core.alu$x"), "core_alu_x");
+  EXPECT_EQ(sanitizeIdent("9lives"), "s_9lives");
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; i++) EXPECT_EQ(a.next(), b.next());
+  Rng c(7);
+  for (int i = 0; i < 100; i++) {
+    uint64_t v = c.nextRange(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+  EXPECT_FALSE(Rng(1).nextChance(0.0));
+  EXPECT_TRUE(Rng(1).nextChance(1.0));
+}
+
+}  // namespace
+}  // namespace essent

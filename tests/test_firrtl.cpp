@@ -1,0 +1,571 @@
+// Tests for the FIRRTL frontend: lexer, parser, printer round-trip, width
+// inference, and the lowering passes (instance flattening, when expansion).
+#include <gtest/gtest.h>
+
+#include "firrtl/lexer.h"
+#include "firrtl/parser.h"
+#include "firrtl/passes.h"
+#include "firrtl/printer.h"
+#include "firrtl/widths.h"
+#include "sim/builder.h"
+#include "sim/full_cycle.h"
+
+namespace essent::firrtl {
+namespace {
+
+TEST(Lexer, BasicTokens) {
+  auto toks = lex("circuit Foo :\n  module Foo :\n    input a : UInt<8>\n");
+  ASSERT_GT(toks.size(), 5u);
+  EXPECT_EQ(toks[0].kind, TokKind::Ident);
+  EXPECT_EQ(toks[0].text, "circuit");
+  EXPECT_EQ(toks[1].text, "Foo");
+  EXPECT_EQ(toks[2].text, ":");
+  EXPECT_EQ(toks[3].kind, TokKind::Newline);
+  EXPECT_EQ(toks[4].kind, TokKind::Indent);
+}
+
+TEST(Lexer, IndentDedentBalance) {
+  auto toks = lex("a :\n  b\n    c\n  d\ne\n");
+  int depth = 0, maxDepth = 0;
+  for (const auto& t : toks) {
+    if (t.kind == TokKind::Indent) depth++;
+    if (t.kind == TokKind::Dedent) depth--;
+    maxDepth = std::max(maxDepth, depth);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(maxDepth, 2);
+}
+
+TEST(Lexer, CommentsAndInfoDropped) {
+  auto toks = lex("node x = y ; a comment\nnode z = w @[file.fir 3:2]\n");
+  for (const auto& t : toks) {
+    EXPECT_NE(t.text, "comment");
+    EXPECT_NE(t.text, "file.fir");
+  }
+}
+
+TEST(Lexer, HyphenatedKeywords) {
+  auto toks = lex("read-latency => 1\n");
+  EXPECT_EQ(toks[0].text, "read-latency");
+  EXPECT_EQ(toks[1].text, "=>");
+  EXPECT_EQ(toks[2].intValue, 1);
+}
+
+TEST(Lexer, NegativeIntAndString) {
+  auto toks = lex("SInt<8>(-5) \"hi\\n\"\n");
+  bool sawNeg = false, sawStr = false;
+  for (const auto& t : toks) {
+    if (t.kind == TokKind::IntLit && t.intValue == -5) sawNeg = true;
+    if (t.kind == TokKind::StringLit && t.text == "hi\n") sawStr = true;
+  }
+  EXPECT_TRUE(sawNeg);
+  EXPECT_TRUE(sawStr);
+}
+
+TEST(Lexer, BlankAndCommentLinesDontDedent) {
+  auto toks = lex("a :\n  b\n\n  ; comment line\n  c\n");
+  int dedents = 0;
+  for (const auto& t : toks)
+    if (t.kind == TokKind::Dedent) dedents++;
+  EXPECT_EQ(dedents, 1);
+}
+
+TEST(Lexer, UnterminatedStringThrows) {
+  EXPECT_THROW(lex("printf(clk, en, \"oops\n"), LexError);
+}
+
+constexpr const char* kCounter = R"(
+circuit Counter :
+  module Counter :
+    input clock : Clock
+    input reset : UInt<1>
+    input en : UInt<1>
+    output count : UInt<8>
+
+    reg r : UInt<8>, clock with : (reset => (reset, UInt<8>(0)))
+    when en :
+      r <= tail(add(r, UInt<8>(1)), 1)
+    count <= r
+)";
+
+TEST(Parser, ParsesCounter) {
+  auto c = parseCircuit(kCounter);
+  EXPECT_EQ(c->name, "Counter");
+  ASSERT_EQ(c->modules.size(), 1u);
+  const Module& m = *c->modules[0];
+  EXPECT_EQ(m.ports.size(), 4u);
+  EXPECT_EQ(m.ports[0].type.kind, TypeKind::Clock);
+  EXPECT_EQ(m.ports[3].dir, PortDir::Output);
+  ASSERT_EQ(m.body.size(), 3u);
+  EXPECT_EQ(m.body[0]->kind, StmtKind::Reg);
+  ASSERT_NE(m.body[0]->resetCond, nullptr);
+  EXPECT_EQ(m.body[1]->kind, StmtKind::When);
+  EXPECT_EQ(m.body[2]->kind, StmtKind::Connect);
+}
+
+TEST(Parser, LiteralForms) {
+  auto c = parseCircuit(R"(
+circuit Lits :
+  module Lits :
+    output o : UInt<16>
+    node a = UInt<16>("hff")
+    node b = UInt<16>("b1010")
+    node c = UInt<16>("o17")
+    node d = UInt(300)
+    node e = SInt<8>(-5)
+    o <= a
+)");
+  const Module& m = *c->modules[0];
+  EXPECT_EQ(m.body[0]->expr->value.toU64(), 0xffu);
+  EXPECT_EQ(m.body[1]->expr->value.toU64(), 0b1010u);
+  EXPECT_EQ(m.body[2]->expr->value.toU64(), 017u);
+  EXPECT_EQ(m.body[3]->expr->litWidth, 9u);  // 300 needs 9 bits
+  EXPECT_EQ(m.body[3]->expr->value.toU64(), 300u);
+  EXPECT_EQ(m.body[4]->expr->value.toU64(), 0xfbu);  // -5 in 8 bits
+}
+
+TEST(Parser, PrimOpsAndMux) {
+  auto c = parseCircuit(R"(
+circuit Ops :
+  module Ops :
+    input a : UInt<8>
+    input b : UInt<8>
+    input s : UInt<1>
+    output o : UInt<8>
+    node sum = add(a, b)
+    node sliced = bits(sum, 7, 0)
+    node m = mux(s, sliced, a)
+    node v = validif(s, b)
+    o <= m
+)");
+  const Module& m = *c->modules[0];
+  EXPECT_EQ(m.body[0]->expr->kind, ExprKind::Prim);
+  EXPECT_EQ(m.body[0]->expr->op, PrimOpKind::Add);
+  EXPECT_EQ(m.body[1]->expr->consts.size(), 2u);
+  EXPECT_EQ(m.body[1]->expr->consts[0], 7);
+  EXPECT_EQ(m.body[2]->expr->kind, ExprKind::Mux);
+  EXPECT_EQ(m.body[3]->expr->kind, ExprKind::ValidIf);
+}
+
+TEST(Parser, RegWithBlockFormReset) {
+  // Chisel emits the reset clause on its own indented line.
+  auto c = parseCircuit(R"(
+circuit R :
+  module R :
+    input clock : Clock
+    input reset : UInt<1>
+    output o : UInt<8>
+    reg a : UInt<8>, clock with :
+      reset => (reset, UInt<8>(7))
+    reg b : UInt<8>, clock with :
+      (reset => (reset, UInt<8>(9)))
+    a <= a
+    b <= b
+    o <= a
+)");
+  const Module& m = *c->modules[0];
+  ASSERT_EQ(m.body[0]->kind, StmtKind::Reg);
+  ASSERT_NE(m.body[0]->resetCond, nullptr);
+  EXPECT_EQ(m.body[0]->resetInit->value.toU64(), 7u);
+  ASSERT_NE(m.body[1]->resetCond, nullptr);
+  EXPECT_EQ(m.body[1]->resetInit->value.toU64(), 9u);
+}
+
+TEST(Parser, MemBlock) {
+  auto c = parseCircuit(R"(
+circuit M :
+  module M :
+    input clock : Clock
+    input addr : UInt<4>
+    output dout : UInt<32>
+    mem table :
+      data-type => UInt<32>
+      depth => 16
+      read-latency => 0
+      write-latency => 1
+      read-under-write => undefined
+      reader => r
+      writer => w
+    table.r.addr <= addr
+    table.r.en <= UInt<1>(1)
+    table.r.clk <= clock
+    table.w.addr <= addr
+    table.w.en <= UInt<1>(0)
+    table.w.clk <= clock
+    table.w.data <= UInt<32>(0)
+    table.w.mask <= UInt<1>(0)
+    dout <= table.r.data
+)");
+  const Module& m = *c->modules[0];
+  const Stmt& mem = *m.body[0];
+  EXPECT_EQ(mem.kind, StmtKind::Mem);
+  EXPECT_EQ(mem.depth, 16u);
+  ASSERT_EQ(mem.readers.size(), 1u);
+  ASSERT_EQ(mem.writers.size(), 1u);
+  EXPECT_EQ(mem.readers[0].name, "r");
+}
+
+TEST(Parser, ElseWhenChain) {
+  auto c = parseCircuit(R"(
+circuit W :
+  module W :
+    input a : UInt<1>
+    input b : UInt<1>
+    output o : UInt<2>
+    o <= UInt<2>(0)
+    when a :
+      o <= UInt<2>(1)
+    else when b :
+      o <= UInt<2>(2)
+    else :
+      o <= UInt<2>(3)
+)");
+  const Module& m = *c->modules[0];
+  const Stmt& w = *m.body[1];
+  EXPECT_EQ(w.kind, StmtKind::When);
+  ASSERT_EQ(w.elseBody.size(), 1u);
+  EXPECT_EQ(w.elseBody[0]->kind, StmtKind::When);
+  EXPECT_EQ(w.elseBody[0]->elseBody.size(), 1u);
+}
+
+TEST(Parser, PrintfAndStop) {
+  auto c = parseCircuit(R"(
+circuit P :
+  module P :
+    input clock : Clock
+    input en : UInt<1>
+    input v : UInt<8>
+    printf(clock, en, "v=%d\n", v)
+    stop(clock, en, 42)
+)");
+  const Module& m = *c->modules[0];
+  EXPECT_EQ(m.body[0]->kind, StmtKind::Printf);
+  EXPECT_EQ(m.body[0]->format, "v=%d\n");
+  EXPECT_EQ(m.body[0]->printArgs.size(), 1u);
+  EXPECT_EQ(m.body[1]->kind, StmtKind::Stop);
+  EXPECT_EQ(m.body[1]->exitCode, 42);
+}
+
+TEST(Parser, ErrorsAreInformative) {
+  EXPECT_THROW(parseCircuit("circuit X :\n  module Y :\n    skip\n"), ParseError);
+  EXPECT_THROW(parseCircuit("circuit X :\n  module X :\n    wire w\n"), ParseError);
+  EXPECT_THROW(parseCircuit("not firrtl at all"), ParseError);
+}
+
+TEST(Printer, RoundTripsCounter) {
+  auto c1 = parseCircuit(kCounter);
+  std::string text = printCircuit(*c1);
+  auto c2 = parseCircuit(text);
+  // Round-trip fixpoint: printing the reparse gives identical text.
+  EXPECT_EQ(printCircuit(*c2), text);
+}
+
+TEST(Widths, InfersPrimOpWidths) {
+  auto c = parseCircuit(R"(
+circuit W :
+  module W :
+    input a : UInt<8>
+    input b : UInt<12>
+    output o : UInt<21>
+    node s = add(a, b)
+    node m = mul(a, b)
+    node e = eq(a, pad(b, 8))
+    o <= m
+)");
+  auto flat = flattenInstances(*c);
+  expandWhens(*flat);
+  inferModuleWidths(*flat);
+  const Module& m = *flat;
+  bool checkedAdd = false, checkedMul = false, checkedEq = false;
+  for (const auto& s : m.body) {
+    if (s->kind != StmtKind::Node) continue;
+    if (s->name == "s") {
+      EXPECT_EQ(s->expr->type.width, 13u);
+      checkedAdd = true;
+    }
+    if (s->name == "m") {
+      EXPECT_EQ(s->expr->type.width, 20u);
+      checkedMul = true;
+    }
+    if (s->name == "e") {
+      EXPECT_EQ(s->expr->type.width, 1u);
+      checkedEq = true;
+    }
+  }
+  EXPECT_TRUE(checkedAdd && checkedMul && checkedEq);
+}
+
+TEST(Widths, RejectsUndefinedReference) {
+  auto c = parseCircuit(R"(
+circuit W :
+  module W :
+    output o : UInt<8>
+    o <= nosuch
+)");
+  auto flat = flattenInstances(*c);
+  expandWhens(*flat);
+  EXPECT_THROW(inferModuleWidths(*flat), WidthError);
+}
+
+TEST(Widths, RejectsMixedSignedness) {
+  auto c = parseCircuit(R"(
+circuit W :
+  module W :
+    input a : UInt<8>
+    input b : SInt<8>
+    output o : UInt<9>
+    o <= add(a, b)
+)");
+  auto flat = flattenInstances(*c);
+  expandWhens(*flat);
+  EXPECT_THROW(inferModuleWidths(*flat), WidthError);
+}
+
+TEST(Widths, BitsRangeChecked) {
+  auto c = parseCircuit(R"(
+circuit W :
+  module W :
+    input a : UInt<8>
+    output o : UInt<4>
+    o <= bits(a, 9, 2)
+)");
+  auto flat = flattenInstances(*c);
+  expandWhens(*flat);
+  EXPECT_THROW(inferModuleWidths(*flat), WidthError);
+}
+
+TEST(Widths, InfersUnspecifiedWidthsForward) {
+  auto c = parseCircuit(R"(
+circuit W :
+  module W :
+    input clock : Clock
+    input a : UInt<8>
+    input b : UInt<12>
+    output o : UInt
+    wire s : UInt
+    wire prod : UInt
+    reg d : UInt, clock
+    s <= add(a, b)
+    prod <= mul(s, a)
+    d <= prod
+    o <= d
+)");
+  auto flat = flattenInstances(*c);
+  expandWhens(*flat);
+  inferUnknownWidths(*flat);
+  SymbolTable st = SymbolTable::build(*flat);
+  EXPECT_EQ(st.lookup("s").width, 13u);      // add widens
+  EXPECT_EQ(st.lookup("prod").width, 21u);   // mul sums widths
+  EXPECT_EQ(st.lookup("d").width, 21u);      // through the register
+  EXPECT_TRUE(st.lookup("d").widthKnown);
+  const Port* o = flat->findPort("o");
+  ASSERT_NE(o, nullptr);
+  EXPECT_EQ(o->type.width, 21u);
+  inferModuleWidths(*flat);  // full inference must now succeed
+}
+
+TEST(Widths, UnknownInputPortRejected) {
+  auto c = parseCircuit(R"(
+circuit W :
+  module W :
+    input a : UInt
+    output o : UInt<8>
+    o <= pad(a, 8)
+)");
+  auto flat = flattenInstances(*c);
+  expandWhens(*flat);
+  EXPECT_THROW(inferUnknownWidths(*flat), WidthError);
+}
+
+TEST(Widths, SelfReferentialWidthRejected) {
+  auto c = parseCircuit(R"(
+circuit W :
+  module W :
+    input clock : Clock
+    output o : UInt<8>
+    reg r : UInt, clock
+    r <= tail(add(r, UInt<4>(1)), 1)
+    o <= pad(bits(r, 0, 0), 8)
+)");
+  auto flat = flattenInstances(*c);
+  expandWhens(*flat);
+  EXPECT_THROW(inferUnknownWidths(*flat), WidthError);
+}
+
+TEST(Widths, InferredDesignSimulates) {
+  // End-to-end through the standard pipeline.
+  sim::SimIR ir = sim::buildFromFirrtl(R"(
+circuit I :
+  module I :
+    input clock : Clock
+    input x : UInt<6>
+    output o : UInt
+    wire doubled : UInt
+    doubled <= add(x, x)
+    o <= doubled
+)");
+  sim::FullCycleEngine eng(ir);
+  eng.poke("x", 30);
+  eng.tick();
+  EXPECT_EQ(eng.peek("o"), 60u);
+  EXPECT_EQ(ir.signals[static_cast<size_t>(ir.findSignal("o"))].width, 7u);
+}
+
+TEST(Passes, FlattenPrefixesChildNames) {
+  auto c = parseCircuit(R"(
+circuit Top :
+  module Child :
+    input x : UInt<8>
+    output y : UInt<8>
+    node doubled = tail(add(x, x), 1)
+    y <= doubled
+  module Top :
+    input in : UInt<8>
+    output out : UInt<8>
+    inst c1 of Child
+    inst c2 of Child
+    c1.x <= in
+    c2.x <= c1.y
+    out <= c2.y
+)");
+  auto flat = flattenInstances(*c);
+  // No instances remain; prefixed wires exist.
+  SymbolTable st = SymbolTable::build(*flat);
+  EXPECT_TRUE(st.contains("c1.x"));
+  EXPECT_TRUE(st.contains("c2.y"));
+  bool sawPrefixedNode = false;
+  for (const auto& s : flat->body) {
+    EXPECT_NE(s->kind, StmtKind::Inst);
+    if (s->kind == StmtKind::Node && (s->name == "c1.doubled" || s->name == "c2.doubled"))
+      sawPrefixedNode = true;
+  }
+  EXPECT_TRUE(sawPrefixedNode);
+}
+
+TEST(Passes, FlattenDetectsCycle) {
+  auto c = parseCircuit(R"(
+circuit A :
+  module B :
+    input x : UInt<1>
+    inst a of A
+    a.x <= x
+  module A :
+    input x : UInt<1>
+    inst b of B
+    b.x <= x
+)");
+  EXPECT_THROW(flattenInstances(*c), WidthError);
+}
+
+TEST(Passes, ExpandWhensLastConnectWins) {
+  auto c = parseCircuit(R"(
+circuit W :
+  module W :
+    input p : UInt<1>
+    output o : UInt<4>
+    o <= UInt<4>(1)
+    o <= UInt<4>(2)
+    when p :
+      o <= UInt<4>(3)
+)");
+  auto flat = flattenInstances(*c);
+  expandWhens(*flat);
+  int connects = 0;
+  for (const auto& s : flat->body) {
+    EXPECT_NE(s->kind, StmtKind::When);
+    if (s->kind == StmtKind::Connect && s->name == "o") {
+      connects++;
+      // mux(p, 3, 2)
+      EXPECT_EQ(s->expr->kind, ExprKind::Mux);
+      EXPECT_EQ(s->expr->args[1]->value.toU64(), 3u);
+      EXPECT_EQ(s->expr->args[2]->value.toU64(), 2u);
+    }
+  }
+  EXPECT_EQ(connects, 1);
+}
+
+TEST(Passes, ExpandWhensRegisterHoldsByDefault) {
+  auto c = parseCircuit(kCounter);
+  auto flat = flattenInstances(*c);
+  expandWhens(*flat);
+  for (const auto& s : flat->body) {
+    if (s->kind == StmtKind::Connect && s->name == "r") {
+      // mux(en, tail(add(r,1),1), r): default arm references the register.
+      ASSERT_EQ(s->expr->kind, ExprKind::Mux);
+      EXPECT_EQ(s->expr->args[2]->kind, ExprKind::Ref);
+      EXPECT_EQ(s->expr->args[2]->name, "r");
+    }
+  }
+}
+
+TEST(Passes, ExpandWhensNestedConditions) {
+  auto c = parseCircuit(R"(
+circuit W :
+  module W :
+    input a : UInt<1>
+    input b : UInt<1>
+    output o : UInt<4>
+    o <= UInt<4>(0)
+    when a :
+      when b :
+        o <= UInt<4>(7)
+)");
+  auto flat = flattenInstances(*c);
+  expandWhens(*flat);
+  inferModuleWidths(*flat);  // must type-check
+  for (const auto& s : flat->body) {
+    if (s->kind == StmtKind::Connect && s->name == "o") {
+      ASSERT_EQ(s->expr->kind, ExprKind::Mux);
+      // Condition is and(a, b).
+      EXPECT_EQ(s->expr->args[0]->kind, ExprKind::Prim);
+      EXPECT_EQ(s->expr->args[0]->op, PrimOpKind::And);
+    }
+  }
+}
+
+TEST(Passes, InvalidateReadsAsZero) {
+  auto c = parseCircuit(R"(
+circuit W :
+  module W :
+    input p : UInt<1>
+    output o : UInt<4>
+    o is invalid
+    when p :
+      o <= UInt<4>(9)
+)");
+  auto flat = flattenInstances(*c);
+  expandWhens(*flat);
+  for (const auto& s : flat->body) {
+    if (s->kind == StmtKind::Connect && s->name == "o") {
+      ASSERT_EQ(s->expr->kind, ExprKind::Mux);
+      EXPECT_EQ(s->expr->args[2]->kind, ExprKind::UIntLit);
+      EXPECT_TRUE(s->expr->args[2]->value.isZero());
+    }
+  }
+}
+
+TEST(Passes, PrintfEnableGainsPathCondition) {
+  auto c = parseCircuit(R"(
+circuit W :
+  module W :
+    input clock : Clock
+    input p : UInt<1>
+    input en : UInt<1>
+    when p :
+      printf(clock, en, "hi\n")
+)");
+  auto flat = flattenInstances(*c);
+  expandWhens(*flat);
+  bool sawPrintf = false;
+  for (const auto& s : flat->body) {
+    if (s->kind == StmtKind::Printf) {
+      sawPrintf = true;
+      EXPECT_EQ(s->expr->kind, ExprKind::Prim);
+      EXPECT_EQ(s->expr->op, PrimOpKind::And);
+    }
+  }
+  EXPECT_TRUE(sawPrintf);
+}
+
+}  // namespace
+}  // namespace essent::firrtl

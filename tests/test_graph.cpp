@@ -1,0 +1,162 @@
+// Tests for the generic digraph utilities: adjacency, topological sort,
+// Tarjan SCC, reachability, and condensation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/graph.h"
+#include "support/rng.h"
+
+namespace essent::graph {
+namespace {
+
+DiGraph diamond() {
+  // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+  DiGraph g(4);
+  g.addEdge(0, 1);
+  g.addEdge(0, 2);
+  g.addEdge(1, 3);
+  g.addEdge(2, 3);
+  return g;
+}
+
+TEST(DiGraph, AddEdgeDedupsAndIgnoresSelfLoops) {
+  DiGraph g(3);
+  EXPECT_TRUE(g.addEdge(0, 1));
+  EXPECT_FALSE(g.addEdge(0, 1));
+  EXPECT_FALSE(g.addEdge(2, 2));
+  EXPECT_EQ(g.numEdges(), 1);
+  EXPECT_TRUE(g.hasEdge(0, 1));
+  EXPECT_FALSE(g.hasEdge(1, 0));
+  EXPECT_EQ(g.inNeighbors(1).size(), 1u);
+}
+
+TEST(DiGraph, TopoSortDiamond) {
+  DiGraph g = diamond();
+  auto order = g.topoSort();
+  ASSERT_TRUE(order.has_value());
+  std::vector<int> pos(4);
+  for (size_t i = 0; i < order->size(); i++) pos[static_cast<size_t>((*order)[i])] = static_cast<int>(i);
+  EXPECT_LT(pos[0], pos[1]);
+  EXPECT_LT(pos[0], pos[2]);
+  EXPECT_LT(pos[1], pos[3]);
+  EXPECT_LT(pos[2], pos[3]);
+}
+
+TEST(DiGraph, TopoSortDetectsCycle) {
+  DiGraph g(3);
+  g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  g.addEdge(2, 0);
+  EXPECT_FALSE(g.topoSort().has_value());
+  EXPECT_FALSE(g.isAcyclic());
+}
+
+TEST(DiGraph, Reachability) {
+  DiGraph g = diamond();
+  EXPECT_TRUE(g.reachable(0, 3));
+  EXPECT_TRUE(g.reachable(0, 0));
+  EXPECT_FALSE(g.reachable(3, 0));
+  EXPECT_FALSE(g.reachable(1, 2));
+  auto set = g.reachableSet({1});
+  EXPECT_TRUE(set[1]);
+  EXPECT_TRUE(set[3]);
+  EXPECT_FALSE(set[0]);
+  EXPECT_FALSE(set[2]);
+}
+
+TEST(Scc, SinglesInDag) {
+  DiGraph g = diamond();
+  int32_t n = 0;
+  auto scc = tarjanScc(g, &n);
+  EXPECT_EQ(n, 4);
+  std::sort(scc.begin(), scc.end());
+  EXPECT_EQ(scc, (std::vector<int32_t>{0, 1, 2, 3}));
+}
+
+TEST(Scc, FindsCycleComponent) {
+  DiGraph g(5);
+  g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  g.addEdge(2, 1);  // 1 <-> 2 cycle
+  g.addEdge(2, 3);
+  g.addEdge(3, 4);
+  int32_t n = 0;
+  auto scc = tarjanScc(g, &n);
+  EXPECT_EQ(n, 4);
+  EXPECT_EQ(scc[1], scc[2]);
+  EXPECT_NE(scc[0], scc[1]);
+  EXPECT_NE(scc[3], scc[4]);
+}
+
+TEST(Scc, ReverseTopologicalIds) {
+  // In Tarjan, an SCC is assigned before anything that reaches it, so ids
+  // decrease along edges in the condensation.
+  DiGraph g(4);
+  g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  g.addEdge(2, 3);
+  int32_t n = 0;
+  auto scc = tarjanScc(g, &n);
+  EXPECT_GT(scc[0], scc[1]);
+  EXPECT_GT(scc[1], scc[2]);
+  EXPECT_GT(scc[2], scc[3]);
+}
+
+TEST(Condense, ClusterGraph) {
+  DiGraph g = diamond();
+  // Clusters: {0,1} and {2,3}.
+  std::vector<int32_t> clusterOf = {0, 0, 1, 1};
+  DiGraph cg = condense(g, clusterOf, 2);
+  EXPECT_EQ(cg.numNodes(), 2);
+  EXPECT_TRUE(cg.hasEdge(0, 1));
+  // 2->3 is internal; 1->3 crosses 0->1; 0->2 crosses 0->1: single deduped edge.
+  EXPECT_EQ(cg.numEdges(), 1);
+}
+
+TEST(Condense, CanProduceCycle) {
+  // The Figure 2 situation: an acyclic graph whose partitioning is cyclic.
+  DiGraph g(4);  // A=0 -> C=2, C -> B=1, B -> D=3 ; partition {A,B} {C,D}
+  g.addEdge(0, 2);
+  g.addEdge(2, 1);
+  g.addEdge(1, 3);
+  std::vector<int32_t> clusterOf = {0, 0, 1, 1};
+  DiGraph cg = condense(g, clusterOf, 2);
+  EXPECT_FALSE(cg.isAcyclic());
+  // The alternative partitioning {A,C} {B,D} is acyclic.
+  std::vector<int32_t> alt = {0, 1, 0, 1};
+  EXPECT_TRUE(condense(g, alt, 2).isAcyclic());
+}
+
+// Property: topoSort of random DAGs is a valid linearization; reachability
+// agrees with positions (reachable implies earlier position).
+class RandomDagTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomDagTest, TopoSortValid) {
+  Rng rng(GetParam());
+  int n = 50 + static_cast<int>(rng.nextBelow(100));
+  DiGraph g(n);
+  // Random DAG: edges only forward in a hidden order.
+  for (int i = 0; i < n; i++) {
+    for (int j = i + 1; j < n; j++) {
+      if (rng.nextChance(0.05)) g.addEdge(i, j);
+    }
+  }
+  auto order = g.topoSort();
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(order->size(), static_cast<size_t>(n));
+  std::vector<int> pos(static_cast<size_t>(n));
+  for (size_t i = 0; i < order->size(); i++) pos[static_cast<size_t>((*order)[i])] = static_cast<int>(i);
+  for (NodeId v = 0; v < n; v++)
+    for (NodeId w : g.outNeighbors(v)) EXPECT_LT(pos[static_cast<size_t>(v)], pos[static_cast<size_t>(w)]);
+
+  // SCC count equals node count in a DAG.
+  int32_t sccs = 0;
+  tarjanScc(g, &sccs);
+  EXPECT_EQ(sccs, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDagTest, ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace essent::graph

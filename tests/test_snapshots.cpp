@@ -1,0 +1,174 @@
+// Tests for state randomization and checkpointing across all engines —
+// including the re-arming of the conditional engines' activity machinery
+// (a clobbered state must force full re-evaluation on the next tick).
+#include <gtest/gtest.h>
+
+#include "core/activity_engine.h"
+#include "designs/blocks.h"
+#include "designs/gcd.h"
+#include "sim/builder.h"
+#include "sim/event_driven.h"
+#include "sim/full_cycle.h"
+#include "sim/harness.h"
+
+namespace essent {
+namespace {
+
+using core::ActivityEngine;
+using core::ScheduleOptions;
+using sim::Engine;
+using sim::EventDrivenEngine;
+using sim::FullCycleEngine;
+using sim::SimIR;
+
+TEST(Randomize, DeterministicAcrossEngines) {
+  SimIR ir = sim::buildFromFirrtl(designs::gcdFirrtl(16));
+  FullCycleEngine a(ir);
+  EventDrivenEngine b(ir);
+  ActivityEngine c(ir, ScheduleOptions{});
+  for (Engine* e : std::initializer_list<Engine*>{&a, &b, &c}) e->randomizeState(1234);
+  EXPECT_EQ(a.peek("x"), b.peek("x"));
+  EXPECT_EQ(a.peek("x"), c.peek("x"));
+  EXPECT_EQ(a.peek("y"), c.peek("y"));
+  // Different seed -> (almost certainly) different state.
+  FullCycleEngine d(ir);
+  d.randomizeState(99);
+  EXPECT_NE(a.peek("x") ^ (a.peek("y") << 16), d.peek("x") ^ (d.peek("y") << 16));
+}
+
+TEST(Randomize, ValuesCanonicalizedToWidth) {
+  SimIR ir = sim::buildFromFirrtl(R"(
+circuit R :
+  module R :
+    input clock : Clock
+    output o : UInt<1>
+    reg tiny : UInt<3>, clock
+    tiny <= tiny
+    o <= orr(tiny)
+)");
+  FullCycleEngine eng(ir);
+  eng.randomizeState(7);
+  EXPECT_LE(eng.peek("tiny"), 7u);  // masked to 3 bits
+}
+
+TEST(Randomize, EnginesStayEquivalentAfterRandomize) {
+  for (uint64_t seed : {5ull, 6ull}) {
+    SimIR ir = sim::buildFromFirrtl(designs::randomDesignFirrtl(seed));
+    FullCycleEngine ref(ir);
+    ActivityEngine act(ir, ScheduleOptions{});
+    ref.randomizeState(seed * 3);
+    act.randomizeState(seed * 3);
+    auto mismatch = sim::compareEngines(ref, act, 60, [seed](Engine& e, uint64_t c) {
+      e.poke("reset", 0);
+      for (int32_t in : e.ir().inputs) {
+        const auto& sig = e.ir().signals[static_cast<size_t>(in)];
+        if (sig.name != "reset") e.poke(sig.name, (c * 2654435761ull) ^ seed);
+      }
+    });
+    EXPECT_FALSE(mismatch.has_value()) << mismatch->describe();
+  }
+}
+
+TEST(Randomize, ResetClearsRandomizedState) {
+  SimIR ir = sim::buildFromFirrtl(designs::counterFirrtl(8));
+  ActivityEngine eng(ir, ScheduleOptions{});
+  eng.randomizeState(42);
+  eng.poke("reset", 1);
+  eng.poke("en", 1);
+  eng.tick();
+  EXPECT_EQ(eng.peek("r"), 0u);  // synchronous reset took effect
+}
+
+TEST(Snapshot, RoundTripsState) {
+  SimIR ir = sim::buildFromFirrtl(designs::gcdFirrtl(16));
+  ActivityEngine eng(ir, ScheduleOptions{});
+  eng.poke("reset", 0);
+  eng.poke("a", 1071);
+  eng.poke("b", 462);
+  eng.poke("load", 1);
+  eng.tick();
+  eng.poke("load", 0);
+  for (int i = 0; i < 3; i++) eng.tick();  // mid-computation
+  auto snap = eng.saveState();
+  uint64_t xMid = eng.peek("x"), yMid = eng.peek("y");
+
+  // Run to completion.
+  while (eng.peek("valid") == 0) eng.tick();
+  uint64_t result = eng.peek("result");
+  EXPECT_EQ(result, 21u);
+
+  // Restore and re-run: must reach the same answer again.
+  eng.restoreState(snap);
+  EXPECT_EQ(eng.peek("x"), xMid);
+  EXPECT_EQ(eng.peek("y"), yMid);
+  while (eng.peek("valid") == 0) eng.tick();
+  EXPECT_EQ(eng.peek("result"), 21u);
+}
+
+TEST(Snapshot, RestoreRearmsConditionalEngines) {
+  // After a restore the CCSS engine must re-evaluate everything, not trust
+  // stale activity flags.
+  SimIR ir = sim::buildFromFirrtl(designs::counterFirrtl(8));
+  ActivityEngine eng(ir, ScheduleOptions{});
+  eng.poke("reset", 0);
+  eng.poke("en", 1);
+  for (int i = 0; i < 5; i++) eng.tick();
+  auto snap5 = eng.saveState();
+  for (int i = 0; i < 5; i++) eng.tick();
+  EXPECT_EQ(eng.peek("r"), 10u);
+  eng.restoreState(snap5);
+  EXPECT_EQ(eng.peek("r"), 5u);
+  for (int i = 0; i < 2; i++) eng.tick();
+  EXPECT_EQ(eng.peek("r"), 7u);
+}
+
+TEST(Snapshot, CapturesMemories) {
+  SimIR ir = sim::buildFromFirrtl(R"(
+circuit M :
+  module M :
+    input clock : Clock
+    input wen : UInt<1>
+    input addr : UInt<3>
+    input wdata : UInt<8>
+    output rdata : UInt<8>
+    mem t :
+      data-type => UInt<8>
+      depth => 8
+      read-latency => 0
+      write-latency => 1
+      reader => r
+      writer => w
+    t.r.addr <= addr
+    t.r.en <= UInt<1>(1)
+    t.r.clk <= clock
+    t.w.addr <= addr
+    t.w.en <= wen
+    t.w.clk <= clock
+    t.w.data <= wdata
+    t.w.mask <= UInt<1>(1)
+    rdata <= t.r.data
+)");
+  FullCycleEngine eng(ir);
+  eng.poke("wen", 1);
+  eng.poke("addr", 4);
+  eng.poke("wdata", 77);
+  eng.tick();
+  auto snap = eng.saveState();
+  eng.poke("wdata", 99);
+  eng.tick();
+  EXPECT_EQ(eng.peekMem("t", 4), 99u);
+  eng.restoreState(snap);
+  EXPECT_EQ(eng.peekMem("t", 4), 77u);
+}
+
+TEST(Snapshot, MismatchedDesignRejected) {
+  SimIR a = sim::buildFromFirrtl(designs::counterFirrtl(8));
+  SimIR b = sim::buildFromFirrtl(designs::gcdFirrtl(16));
+  FullCycleEngine ea(a);
+  FullCycleEngine eb(b);
+  auto snap = ea.saveState();
+  EXPECT_THROW(eb.restoreState(snap), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace essent

@@ -1,0 +1,105 @@
+// essent-fuzz — differential fuzzer for the tool flow: generates random
+// closed designs, runs them in lock step on the full-cycle (reference),
+// event-driven, and CCSS engines across several partitioner settings, and
+// reports any divergence with the reproducing FIRRTL.
+//
+// Usage:  essent_fuzz [numSeeds] [cycles] [--wide] [--start SEED]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include "core/activity_engine.h"
+#include "designs/blocks.h"
+#include "sim/builder.h"
+#include "sim/event_driven.h"
+#include "sim/full_cycle.h"
+#include "sim/harness.h"
+#include "support/rng.h"
+
+using namespace essent;
+
+namespace {
+
+sim::StimulusFn fuzzStimulus(uint64_t seed, double toggleP) {
+  auto held =
+      std::make_shared<std::unordered_map<const sim::Engine*, std::unordered_map<int, uint64_t>>>();
+  return [seed, held, toggleP](sim::Engine& e, uint64_t cycle) {
+    auto& mine = (*held)[&e];
+    int idx = 0;
+    for (int32_t in : e.ir().inputs) {
+      const auto& sig = e.ir().signals[static_cast<size_t>(in)];
+      idx++;
+      if (sig.name == "reset") {
+        e.poke("reset", cycle < 2);
+        continue;
+      }
+      Rng draw(seed ^ (cycle * 0x9e3779b97f4a7c15ULL) ^ (static_cast<uint64_t>(idx) << 32));
+      auto [it, inserted] = mine.emplace(idx, 0);
+      if (inserted || draw.nextChance(toggleP)) it->second = draw.next();
+      e.poke(sig.name, it->second);
+    }
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t numSeeds = 50, cycles = 150, start = 1;
+  bool wide = false;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--wide") == 0) wide = true;
+    else if (std::strcmp(argv[i], "--start") == 0 && i + 1 < argc)
+      start = std::strtoull(argv[++i], nullptr, 0);
+    else if (numSeeds == 50) numSeeds = std::strtoull(argv[i], nullptr, 0);
+    else cycles = std::strtoull(argv[i], nullptr, 0);
+  }
+
+  int failures = 0;
+  for (uint64_t seed = start; seed < start + numSeeds; seed++) {
+    designs::RandomDesignConfig cfg;
+    cfg.numNodes = 80;
+    cfg.useWide = wide;
+    if (wide) cfg.maxWidth = 90;
+    std::string text = designs::randomDesignFirrtl(seed, cfg);
+    double toggleP = (seed % 10 == 0) ? 1.0 : 1.0 / static_cast<double>(1 + seed % 7);
+    try {
+      sim::SimIR ir = sim::buildFromFirrtl(text);
+      auto check = [&](sim::Engine& other, const char* tag) {
+        sim::FullCycleEngine ref(ir);
+        auto m = sim::compareEngines(ref, other, cycles, fuzzStimulus(seed, toggleP));
+        if (m) {
+          failures++;
+          std::printf("FAIL seed=%llu engine=%s: %s\n",
+                      static_cast<unsigned long long>(seed), tag, m->describe().c_str());
+          std::printf("--- reproducing FIRRTL ---\n%s\n", text.c_str());
+        }
+      };
+      sim::EventDrivenEngine ev(ir);
+      check(ev, "event-driven");
+      for (uint32_t cp : {2u, 8u, 64u}) {
+        core::ScheduleOptions so;
+        so.partition.smallThreshold = cp;
+        core::ActivityEngine act(ir, so);
+        check(act, cp == 2 ? "ccss-cp2" : cp == 8 ? "ccss-cp8" : "ccss-cp64");
+      }
+      core::ScheduleOptions noElide;
+      noElide.stateElision = false;
+      core::ActivityEngine actNe(ir, noElide);
+      check(actNe, "ccss-noelide");
+    } catch (const std::exception& e) {
+      failures++;
+      std::printf("FAIL seed=%llu (exception): %s\n--- FIRRTL ---\n%s\n",
+                  static_cast<unsigned long long>(seed), e.what(), text.c_str());
+    }
+    if ((seed - start + 1) % 10 == 0)
+      std::printf("... %llu/%llu seeds done, %d failures\n",
+                  static_cast<unsigned long long>(seed - start + 1),
+                  static_cast<unsigned long long>(numSeeds), failures);
+  }
+  std::printf("%s: %llu seeds x %llu cycles, %d failures\n",
+              failures ? "FUZZ FAILED" : "fuzz clean",
+              static_cast<unsigned long long>(numSeeds),
+              static_cast<unsigned long long>(cycles), failures);
+  return failures ? 1 : 0;
+}

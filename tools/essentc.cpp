@@ -1,0 +1,333 @@
+// essentc — command-line driver for the ESSENT reproduction, the analogue
+// of the paper's simulator generator binary.
+//
+// Usage:
+//   essentc [options] design.fir
+//
+// Modes (default --stats):
+//   --stats               design + partitioning statistics
+//   --emit-cpp            generate a standalone C++ simulator to stdout/-o
+//   --run N               simulate N cycles and report outputs
+//   --compile-run N       generate + host-compile + execute N cycles, and
+//                         cross-check the outputs against the interpreter
+//   --dot                 emit the partition graph as Graphviz DOT
+//
+// Options:
+//   -o FILE               output file for --emit-cpp / --dot
+//   --engine E            full | event | ccss          (--run; default ccss)
+//   --baseline            emit/run with all optimizations disabled
+//   --no-hints            disable branch hints in generated code
+//   --cp N                partitioner small threshold C_p (default 8)
+//   --poke NAME=VALUE     drive an input for the whole --run (repeatable)
+//   --vcd FILE            dump a VCD waveform during --run
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "codegen/emitter.h"
+#include "core/activity_engine.h"
+#include "sim/builder.h"
+#include "sim/event_driven.h"
+#include "sim/full_cycle.h"
+#include "sim/vcd.h"
+#include "support/strutil.h"
+
+using namespace essent;
+
+namespace {
+
+struct Args {
+  enum class Mode { Stats, EmitCpp, Run, CompileRun, Dot } mode = Mode::Stats;
+  std::string inputPath;
+  std::string outputPath;
+  std::string engine = "ccss";
+  bool baseline = false;
+  bool allowCombLoops = false;
+  bool hints = true;
+  uint32_t cp = 8;
+  uint64_t runCycles = 0;
+  std::vector<std::pair<std::string, uint64_t>> pokes;
+  std::string vcdPath;
+};
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "essentc: %s\n", msg);
+  std::fprintf(stderr,
+               "usage: essentc [--stats | --emit-cpp | --run N | --compile-run N | --dot]\n"
+               "               [-o FILE] [--allow-comb-loops]\n"
+               "               [--engine full|event|ccss] [--baseline] [--no-hints]\n"
+               "               [--cp N] [--poke NAME=VALUE]... [--vcd FILE] design.fir\n");
+  std::exit(2);
+}
+
+Args parseArgs(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; i++) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (++i >= argc) usage(("missing value after " + arg).c_str());
+      return argv[i];
+    };
+    if (arg == "--stats") a.mode = Args::Mode::Stats;
+    else if (arg == "--emit-cpp") a.mode = Args::Mode::EmitCpp;
+    else if (arg == "--dot") a.mode = Args::Mode::Dot;
+    else if (arg == "--run") {
+      a.mode = Args::Mode::Run;
+      a.runCycles = std::strtoull(next().c_str(), nullptr, 0);
+    } else if (arg == "--compile-run") {
+      a.mode = Args::Mode::CompileRun;
+      a.runCycles = std::strtoull(next().c_str(), nullptr, 0);
+    } else if (arg == "-o") a.outputPath = next();
+    else if (arg == "--engine") a.engine = next();
+    else if (arg == "--baseline") a.baseline = true;
+    else if (arg == "--allow-comb-loops") a.allowCombLoops = true;
+    else if (arg == "--no-hints") a.hints = false;
+    else if (arg == "--cp") a.cp = static_cast<uint32_t>(std::strtoul(next().c_str(), nullptr, 0));
+    else if (arg == "--poke") {
+      std::string kv = next();
+      size_t eq = kv.find('=');
+      if (eq == std::string::npos) usage("--poke expects NAME=VALUE");
+      a.pokes.emplace_back(kv.substr(0, eq), std::strtoull(kv.c_str() + eq + 1, nullptr, 0));
+    } else if (arg == "--vcd") a.vcdPath = next();
+    else if (arg == "--help" || arg == "-h") usage();
+    else if (!arg.empty() && arg[0] == '-') usage(("unknown option " + arg).c_str());
+    else if (a.inputPath.empty()) a.inputPath = arg;
+    else usage("multiple input files");
+  }
+  if (a.inputPath.empty()) usage("no input file");
+  return a;
+}
+
+std::string readFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "essentc: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+void writeOut(const Args& a, const std::string& text) {
+  if (a.outputPath.empty()) {
+    std::fputs(text.c_str(), stdout);
+  } else {
+    std::ofstream f(a.outputPath);
+    f << text;
+    std::fprintf(stderr, "essentc: wrote %zu bytes to %s\n", text.size(),
+                 a.outputPath.c_str());
+  }
+}
+
+int runStats(const Args& a, const sim::SimIR& ir) {
+  core::Netlist nl = core::Netlist::build(ir);
+  core::PartitionOptions po;
+  po.smallThreshold = a.cp;
+  core::Partitioning p = core::partitionNetlist(nl, po);
+  core::CondPartSchedule sched = core::buildScheduleFrom(nl, p, true);
+  std::printf("design %s\n", ir.name.c_str());
+  std::printf("  IR ops          %zu\n", ir.ops.size());
+  std::printf("  registers       %zu\n", ir.regs.size());
+  std::printf("  memories        %zu\n", ir.mems.size());
+  std::printf("  inputs/outputs  %zu / %zu\n", ir.inputs.size(), ir.outputs.size());
+  std::printf("netlist graph\n");
+  std::printf("  nodes           %d\n", nl.g.numNodes());
+  std::printf("  edges           %lld\n", static_cast<long long>(nl.g.numEdges()));
+  std::printf("partitioning (C_p = %u)\n", a.cp);
+  std::printf("  MFFC partitions %zu\n", p.stats.initialParts);
+  std::printf("  phase A merges  %zu  -> %zu partitions\n", p.stats.mergesA,
+              p.stats.afterSingleParent);
+  std::printf("  phase B merges  %zu  -> %zu partitions\n", p.stats.mergesB,
+              p.stats.afterSmallSiblings);
+  std::printf("  phase C merges  %zu  -> %zu partitions (%zu rejected by external-path "
+              "test)\n",
+              p.stats.mergesC, p.stats.finalParts, p.stats.rejectedMerges);
+  std::printf("  cut edges       %lld\n", static_cast<long long>(p.stats.cutEdges));
+  std::printf("  still small     %zu\n", p.stats.smallRemaining);
+  std::printf("schedule\n");
+  std::printf("  elided regs     %zu / %zu\n", sched.elidedRegs, ir.regs.size());
+  std::printf("  elided mem wr   %zu\n", sched.elidedMemWrites);
+  std::printf("  part outputs    %zu\n", sched.totalOutputs);
+  return 0;
+}
+
+int runSim(const Args& a, const sim::SimIR& ir) {
+  std::unique_ptr<sim::Engine> eng;
+  if (a.engine == "full") eng = std::make_unique<sim::FullCycleEngine>(ir);
+  else if (a.engine == "event") eng = std::make_unique<sim::EventDrivenEngine>(ir);
+  else if (a.engine == "ccss") {
+    core::ScheduleOptions so;
+    so.partition.smallThreshold = a.cp;
+    eng = std::make_unique<core::ActivityEngine>(ir, so);
+  } else usage("unknown engine (expected full|event|ccss)");
+
+  for (const auto& [name, value] : a.pokes) eng->poke(name, value);
+
+  std::unique_ptr<std::ofstream> vcdFile;
+  std::unique_ptr<sim::VcdWriter> vcd;
+  if (!a.vcdPath.empty()) {
+    vcdFile = std::make_unique<std::ofstream>(a.vcdPath);
+    vcd = std::make_unique<sim::VcdWriter>(*vcdFile, *eng);
+  }
+
+  uint64_t c = 0;
+  for (; c < a.runCycles && !eng->stopped(); c++) {
+    eng->tick();
+    if (vcd) vcd->sample(c + 1);
+  }
+  std::fputs(eng->printOutput().c_str(), stdout);
+  std::printf("ran %llu cycles on %s engine%s\n", static_cast<unsigned long long>(c),
+              eng->name(), eng->stopped() ? strfmt(" (stopped, exit %d)", eng->exitCode()).c_str() : "");
+  for (int32_t o : ir.outputs)
+    std::printf("  %s = 0x%s\n", ir.signals[static_cast<size_t>(o)].name.c_str(),
+                eng->peekSigBV(o).toHexString().c_str());
+  if (auto* act = dynamic_cast<core::ActivityEngine*>(eng.get()))
+    std::printf("effective activity factor: %.4f\n", act->effectiveActivity());
+  return 0;
+}
+
+// Generates the CCSS simulator, compiles it with the host toolchain, runs
+// it for the requested cycles with the pokes applied, and cross-checks
+// every output port against the in-process interpreter.
+int runCompileRun(const Args& a, const sim::SimIR& ir) {
+  core::ScheduleOptions so;
+  so.partition.smallThreshold = a.cp;
+  core::CondPartSchedule sched = core::buildSchedule(core::Netlist::build(ir), so);
+  codegen::CodegenOptions co;
+  co.ccss = !a.baseline;
+  co.branchHints = a.hints;
+  std::string code =
+      codegen::emitCpp(ir, co.ccss ? &sched : nullptr, co);
+
+  char dirTemplate[] = "/tmp/essentc_cr_XXXXXX";
+  char* dir = mkdtemp(dirTemplate);
+  if (!dir) {
+    std::fprintf(stderr, "essentc: mkdtemp failed\n");
+    return 1;
+  }
+  std::string src = std::string(dir) + "/sim.cpp";
+  {
+    std::ofstream f(src);
+    f << code;
+    f << "\nint main() {\n  essent_gen::Simulator sim;\n";
+    for (const auto& [name2, value] : a.pokes) {
+      int32_t sig = ir.findSignal(name2);
+      if (sig < 0) {
+        std::fprintf(stderr, "essentc: no signal named '%s'\n", name2.c_str());
+        return 1;
+      }
+      f << "  sim." << codegen::memberName(ir, sig) << " = " << value << "ull;\n";
+    }
+    f << "  for (unsigned long long c = 0; c < " << a.runCycles
+      << "ull && !sim.stopped_; c++) sim.eval();\n";
+    for (int32_t o : ir.outputs)
+      f << "  std::printf(\"" << ir.signals[static_cast<size_t>(o)].name
+        << "=%llx\\n\", (unsigned long long)sim."
+        << codegen::memberName(ir, o) << ");\n";
+    f << "  return sim.exit_code_;\n}\n";
+  }
+  std::string bin = std::string(dir) + "/sim";
+  std::string cmd = "c++ -std=c++20 -O2 -o " + bin + " " + src;
+  std::fprintf(stderr, "essentc: compiling generated simulator (%zu bytes)...\n",
+               code.size());
+  if (std::system(cmd.c_str()) != 0) {
+    std::fprintf(stderr, "essentc: host compilation failed (source kept at %s)\n",
+                 src.c_str());
+    return 1;
+  }
+  std::string outFile = std::string(dir) + "/out.txt";
+  std::system((bin + " > " + outFile).c_str());
+
+  // Interpreter cross-check.
+  core::ActivityEngine eng(ir, so);
+  for (const auto& [name2, value] : a.pokes) eng.poke(name2, value);
+  for (uint64_t c = 0; c < a.runCycles && !eng.stopped(); c++) eng.tick();
+
+  std::ifstream out(outFile);
+  std::string line;
+  int mismatches = 0;
+  while (std::getline(out, line)) {
+    size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      std::fputs((line + "\n").c_str(), stdout);  // design printf output
+      continue;
+    }
+    std::string sig = line.substr(0, eq);
+    if (ir.findSignal(sig) < 0) {
+      std::fputs((line + "\n").c_str(), stdout);
+      continue;
+    }
+    std::string compiled = line.substr(eq + 1);
+    std::string interp = eng.peekBV(sig).toHexString();
+    bool ok = compiled == interp;
+    mismatches += !ok;
+    std::printf("  %s = 0x%s %s\n", sig.c_str(), compiled.c_str(),
+                ok ? "(matches interpreter)" : ("(INTERPRETER SAYS 0x" + interp + ")").c_str());
+  }
+  std::printf("compiled simulator ran %llu cycles; %s\n",
+              static_cast<unsigned long long>(a.runCycles),
+              mismatches ? "OUTPUT MISMATCH vs interpreter" : "outputs match the interpreter");
+  return mismatches ? 1 : 0;
+}
+
+int runDot(const Args& a, const sim::SimIR& ir) {
+  core::Netlist nl = core::Netlist::build(ir);
+  core::PartitionOptions po;
+  po.smallThreshold = a.cp;
+  core::Partitioning p = core::partitionNetlist(nl, po);
+  std::string dot = "digraph partitions {\n";
+  for (size_t i = 0; i < p.members.size(); i++)
+    dot += strfmt("  p%zu [label=\"%zu (%zu)\"];\n", i, i, p.members[i].size());
+  for (graph::NodeId v = 0; v < p.partGraph.numNodes(); v++)
+    for (graph::NodeId w : p.partGraph.outNeighbors(v)) dot += strfmt("  p%d -> p%d;\n", v, w);
+  dot += "}\n";
+  writeOut(a, dot);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a = parseArgs(argc, argv);
+  try {
+    sim::BuildOptions bo;
+    if (a.baseline) bo.constProp = bo.cse = bo.dce = false;
+    bo.allowCombLoops = a.allowCombLoops;
+    sim::SimIR ir = sim::buildFromFirrtl(readFile(a.inputPath), bo);
+    switch (a.mode) {
+      case Args::Mode::Stats:
+        return runStats(a, ir);
+      case Args::Mode::Run:
+        return runSim(a, ir);
+      case Args::Mode::CompileRun:
+        return runCompileRun(a, ir);
+      case Args::Mode::Dot:
+        return runDot(a, ir);
+      case Args::Mode::EmitCpp: {
+        codegen::CodegenOptions co;
+        co.ccss = !a.baseline;
+        co.branchHints = a.hints;
+        if (co.ccss) {
+          core::ScheduleOptions so;
+          so.partition.smallThreshold = a.cp;
+          core::CondPartSchedule sched =
+              core::buildSchedule(core::Netlist::build(ir), so);
+          writeOut(a, codegen::emitCpp(ir, &sched, co));
+        } else {
+          writeOut(a, codegen::emitCpp(ir, nullptr, co));
+        }
+        return 0;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "essentc: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
