@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_codegen_compiled.dir/bench_codegen_compiled.cpp.o"
+  "CMakeFiles/bench_codegen_compiled.dir/bench_codegen_compiled.cpp.o.d"
+  "bench_codegen_compiled"
+  "bench_codegen_compiled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_codegen_compiled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5_activity.cpp" "bench/CMakeFiles/bench_fig5_activity.dir/bench_fig5_activity.cpp.o" "gcc" "bench/CMakeFiles/bench_fig5_activity.dir/bench_fig5_activity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/essent_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/essent_designs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/essent_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/essent_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/essent_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/essent_firrtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/essent_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_activity.dir/bench_fig5_activity.cpp.o"
+  "CMakeFiles/bench_fig5_activity.dir/bench_fig5_activity.cpp.o.d"
+  "bench_fig5_activity"
+  "bench_fig5_activity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcd_waves.dir/gcd_waves.cpp.o"
+  "CMakeFiles/gcd_waves.dir/gcd_waves.cpp.o.d"
+  "gcd_waves"
+  "gcd_waves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcd_waves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

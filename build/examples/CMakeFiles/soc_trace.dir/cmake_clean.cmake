@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_trace.dir/soc_trace.cpp.o"
+  "CMakeFiles/soc_trace.dir/soc_trace.cpp.o.d"
+  "soc_trace"
+  "soc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/essent_codegen.dir/codegen/emitter.cpp.o"
+  "CMakeFiles/essent_codegen.dir/codegen/emitter.cpp.o.d"
+  "libessent_codegen.a"
+  "libessent_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/essent_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/activity_engine.cpp" "src/CMakeFiles/essent_core.dir/core/activity_engine.cpp.o" "gcc" "src/CMakeFiles/essent_core.dir/core/activity_engine.cpp.o.d"
+  "/root/repo/src/core/elision.cpp" "src/CMakeFiles/essent_core.dir/core/elision.cpp.o" "gcc" "src/CMakeFiles/essent_core.dir/core/elision.cpp.o.d"
+  "/root/repo/src/core/mffc.cpp" "src/CMakeFiles/essent_core.dir/core/mffc.cpp.o" "gcc" "src/CMakeFiles/essent_core.dir/core/mffc.cpp.o.d"
+  "/root/repo/src/core/netlist.cpp" "src/CMakeFiles/essent_core.dir/core/netlist.cpp.o" "gcc" "src/CMakeFiles/essent_core.dir/core/netlist.cpp.o.d"
+  "/root/repo/src/core/partitioner.cpp" "src/CMakeFiles/essent_core.dir/core/partitioner.cpp.o" "gcc" "src/CMakeFiles/essent_core.dir/core/partitioner.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/CMakeFiles/essent_core.dir/core/schedule.cpp.o" "gcc" "src/CMakeFiles/essent_core.dir/core/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/essent_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/essent_firrtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/essent_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/essent_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

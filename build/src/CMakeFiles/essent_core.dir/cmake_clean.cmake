@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/essent_core.dir/core/activity_engine.cpp.o"
+  "CMakeFiles/essent_core.dir/core/activity_engine.cpp.o.d"
+  "CMakeFiles/essent_core.dir/core/elision.cpp.o"
+  "CMakeFiles/essent_core.dir/core/elision.cpp.o.d"
+  "CMakeFiles/essent_core.dir/core/mffc.cpp.o"
+  "CMakeFiles/essent_core.dir/core/mffc.cpp.o.d"
+  "CMakeFiles/essent_core.dir/core/netlist.cpp.o"
+  "CMakeFiles/essent_core.dir/core/netlist.cpp.o.d"
+  "CMakeFiles/essent_core.dir/core/partitioner.cpp.o"
+  "CMakeFiles/essent_core.dir/core/partitioner.cpp.o.d"
+  "CMakeFiles/essent_core.dir/core/schedule.cpp.o"
+  "CMakeFiles/essent_core.dir/core/schedule.cpp.o.d"
+  "libessent_core.a"
+  "libessent_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/essent_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

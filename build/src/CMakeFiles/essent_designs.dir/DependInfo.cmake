@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/designs/blocks.cpp" "src/CMakeFiles/essent_designs.dir/designs/blocks.cpp.o" "gcc" "src/CMakeFiles/essent_designs.dir/designs/blocks.cpp.o.d"
+  "/root/repo/src/designs/gcd.cpp" "src/CMakeFiles/essent_designs.dir/designs/gcd.cpp.o" "gcc" "src/CMakeFiles/essent_designs.dir/designs/gcd.cpp.o.d"
+  "/root/repo/src/designs/systolic.cpp" "src/CMakeFiles/essent_designs.dir/designs/systolic.cpp.o" "gcc" "src/CMakeFiles/essent_designs.dir/designs/systolic.cpp.o.d"
+  "/root/repo/src/designs/tinysoc.cpp" "src/CMakeFiles/essent_designs.dir/designs/tinysoc.cpp.o" "gcc" "src/CMakeFiles/essent_designs.dir/designs/tinysoc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/essent_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/essent_firrtl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/essent_designs.dir/designs/blocks.cpp.o"
+  "CMakeFiles/essent_designs.dir/designs/blocks.cpp.o.d"
+  "CMakeFiles/essent_designs.dir/designs/gcd.cpp.o"
+  "CMakeFiles/essent_designs.dir/designs/gcd.cpp.o.d"
+  "CMakeFiles/essent_designs.dir/designs/systolic.cpp.o"
+  "CMakeFiles/essent_designs.dir/designs/systolic.cpp.o.d"
+  "CMakeFiles/essent_designs.dir/designs/tinysoc.cpp.o"
+  "CMakeFiles/essent_designs.dir/designs/tinysoc.cpp.o.d"
+  "libessent_designs.a"
+  "libessent_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/essent_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

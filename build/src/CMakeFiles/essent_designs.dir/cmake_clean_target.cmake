@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libessent_designs.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/firrtl/ast.cpp" "src/CMakeFiles/essent_firrtl.dir/firrtl/ast.cpp.o" "gcc" "src/CMakeFiles/essent_firrtl.dir/firrtl/ast.cpp.o.d"
+  "/root/repo/src/firrtl/lexer.cpp" "src/CMakeFiles/essent_firrtl.dir/firrtl/lexer.cpp.o" "gcc" "src/CMakeFiles/essent_firrtl.dir/firrtl/lexer.cpp.o.d"
+  "/root/repo/src/firrtl/parser.cpp" "src/CMakeFiles/essent_firrtl.dir/firrtl/parser.cpp.o" "gcc" "src/CMakeFiles/essent_firrtl.dir/firrtl/parser.cpp.o.d"
+  "/root/repo/src/firrtl/passes.cpp" "src/CMakeFiles/essent_firrtl.dir/firrtl/passes.cpp.o" "gcc" "src/CMakeFiles/essent_firrtl.dir/firrtl/passes.cpp.o.d"
+  "/root/repo/src/firrtl/printer.cpp" "src/CMakeFiles/essent_firrtl.dir/firrtl/printer.cpp.o" "gcc" "src/CMakeFiles/essent_firrtl.dir/firrtl/printer.cpp.o.d"
+  "/root/repo/src/firrtl/widths.cpp" "src/CMakeFiles/essent_firrtl.dir/firrtl/widths.cpp.o" "gcc" "src/CMakeFiles/essent_firrtl.dir/firrtl/widths.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/essent_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/essent_firrtl.dir/firrtl/ast.cpp.o"
+  "CMakeFiles/essent_firrtl.dir/firrtl/ast.cpp.o.d"
+  "CMakeFiles/essent_firrtl.dir/firrtl/lexer.cpp.o"
+  "CMakeFiles/essent_firrtl.dir/firrtl/lexer.cpp.o.d"
+  "CMakeFiles/essent_firrtl.dir/firrtl/parser.cpp.o"
+  "CMakeFiles/essent_firrtl.dir/firrtl/parser.cpp.o.d"
+  "CMakeFiles/essent_firrtl.dir/firrtl/passes.cpp.o"
+  "CMakeFiles/essent_firrtl.dir/firrtl/passes.cpp.o.d"
+  "CMakeFiles/essent_firrtl.dir/firrtl/printer.cpp.o"
+  "CMakeFiles/essent_firrtl.dir/firrtl/printer.cpp.o.d"
+  "CMakeFiles/essent_firrtl.dir/firrtl/widths.cpp.o"
+  "CMakeFiles/essent_firrtl.dir/firrtl/widths.cpp.o.d"
+  "libessent_firrtl.a"
+  "libessent_firrtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/essent_firrtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

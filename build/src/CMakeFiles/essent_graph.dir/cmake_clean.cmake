@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/essent_graph.dir/graph/graph.cpp.o"
+  "CMakeFiles/essent_graph.dir/graph/graph.cpp.o.d"
+  "CMakeFiles/essent_graph.dir/graph/scc.cpp.o"
+  "CMakeFiles/essent_graph.dir/graph/scc.cpp.o.d"
+  "libessent_graph.a"
+  "libessent_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/essent_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/builder.cpp" "src/CMakeFiles/essent_sim.dir/sim/builder.cpp.o" "gcc" "src/CMakeFiles/essent_sim.dir/sim/builder.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/essent_sim.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/essent_sim.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/event_driven.cpp" "src/CMakeFiles/essent_sim.dir/sim/event_driven.cpp.o" "gcc" "src/CMakeFiles/essent_sim.dir/sim/event_driven.cpp.o.d"
+  "/root/repo/src/sim/full_cycle.cpp" "src/CMakeFiles/essent_sim.dir/sim/full_cycle.cpp.o" "gcc" "src/CMakeFiles/essent_sim.dir/sim/full_cycle.cpp.o.d"
+  "/root/repo/src/sim/harness.cpp" "src/CMakeFiles/essent_sim.dir/sim/harness.cpp.o" "gcc" "src/CMakeFiles/essent_sim.dir/sim/harness.cpp.o.d"
+  "/root/repo/src/sim/opt.cpp" "src/CMakeFiles/essent_sim.dir/sim/opt.cpp.o" "gcc" "src/CMakeFiles/essent_sim.dir/sim/opt.cpp.o.d"
+  "/root/repo/src/sim/sim_ir.cpp" "src/CMakeFiles/essent_sim.dir/sim/sim_ir.cpp.o" "gcc" "src/CMakeFiles/essent_sim.dir/sim/sim_ir.cpp.o.d"
+  "/root/repo/src/sim/vcd.cpp" "src/CMakeFiles/essent_sim.dir/sim/vcd.cpp.o" "gcc" "src/CMakeFiles/essent_sim.dir/sim/vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/essent_firrtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/essent_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/essent_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/essent_sim.dir/sim/builder.cpp.o"
+  "CMakeFiles/essent_sim.dir/sim/builder.cpp.o.d"
+  "CMakeFiles/essent_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/essent_sim.dir/sim/engine.cpp.o.d"
+  "CMakeFiles/essent_sim.dir/sim/event_driven.cpp.o"
+  "CMakeFiles/essent_sim.dir/sim/event_driven.cpp.o.d"
+  "CMakeFiles/essent_sim.dir/sim/full_cycle.cpp.o"
+  "CMakeFiles/essent_sim.dir/sim/full_cycle.cpp.o.d"
+  "CMakeFiles/essent_sim.dir/sim/harness.cpp.o"
+  "CMakeFiles/essent_sim.dir/sim/harness.cpp.o.d"
+  "CMakeFiles/essent_sim.dir/sim/opt.cpp.o"
+  "CMakeFiles/essent_sim.dir/sim/opt.cpp.o.d"
+  "CMakeFiles/essent_sim.dir/sim/sim_ir.cpp.o"
+  "CMakeFiles/essent_sim.dir/sim/sim_ir.cpp.o.d"
+  "CMakeFiles/essent_sim.dir/sim/vcd.cpp.o"
+  "CMakeFiles/essent_sim.dir/sim/vcd.cpp.o.d"
+  "libessent_sim.a"
+  "libessent_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/essent_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/essent_support.dir/support/bitvec.cpp.o"
+  "CMakeFiles/essent_support.dir/support/bitvec.cpp.o.d"
+  "CMakeFiles/essent_support.dir/support/strutil.cpp.o"
+  "CMakeFiles/essent_support.dir/support/strutil.cpp.o.d"
+  "libessent_support.a"
+  "libessent_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/essent_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/essent_workloads.dir/workloads/assembler.cpp.o"
+  "CMakeFiles/essent_workloads.dir/workloads/assembler.cpp.o.d"
+  "CMakeFiles/essent_workloads.dir/workloads/driver.cpp.o"
+  "CMakeFiles/essent_workloads.dir/workloads/driver.cpp.o.d"
+  "CMakeFiles/essent_workloads.dir/workloads/programs.cpp.o"
+  "CMakeFiles/essent_workloads.dir/workloads/programs.cpp.o.d"
+  "libessent_workloads.a"
+  "libessent_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/essent_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/essent_cli_tests.dir/test_cli.cpp.o"
+  "CMakeFiles/essent_cli_tests.dir/test_cli.cpp.o.d"
+  "essent_cli_tests"
+  "essent_cli_tests.pdb"
+  "essent_cli_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/essent_cli_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_activity_engine.cpp" "tests/CMakeFiles/essent_tests.dir/test_activity_engine.cpp.o" "gcc" "tests/CMakeFiles/essent_tests.dir/test_activity_engine.cpp.o.d"
+  "/root/repo/tests/test_aggregates.cpp" "tests/CMakeFiles/essent_tests.dir/test_aggregates.cpp.o" "gcc" "tests/CMakeFiles/essent_tests.dir/test_aggregates.cpp.o.d"
+  "/root/repo/tests/test_bitvec.cpp" "tests/CMakeFiles/essent_tests.dir/test_bitvec.cpp.o" "gcc" "tests/CMakeFiles/essent_tests.dir/test_bitvec.cpp.o.d"
+  "/root/repo/tests/test_codegen.cpp" "tests/CMakeFiles/essent_tests.dir/test_codegen.cpp.o" "gcc" "tests/CMakeFiles/essent_tests.dir/test_codegen.cpp.o.d"
+  "/root/repo/tests/test_engines_equiv.cpp" "tests/CMakeFiles/essent_tests.dir/test_engines_equiv.cpp.o" "gcc" "tests/CMakeFiles/essent_tests.dir/test_engines_equiv.cpp.o.d"
+  "/root/repo/tests/test_firrtl.cpp" "tests/CMakeFiles/essent_tests.dir/test_firrtl.cpp.o" "gcc" "tests/CMakeFiles/essent_tests.dir/test_firrtl.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/essent_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/essent_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_isa_fuzz.cpp" "tests/CMakeFiles/essent_tests.dir/test_isa_fuzz.cpp.o" "gcc" "tests/CMakeFiles/essent_tests.dir/test_isa_fuzz.cpp.o.d"
+  "/root/repo/tests/test_netlist.cpp" "tests/CMakeFiles/essent_tests.dir/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/essent_tests.dir/test_netlist.cpp.o.d"
+  "/root/repo/tests/test_opt.cpp" "tests/CMakeFiles/essent_tests.dir/test_opt.cpp.o" "gcc" "tests/CMakeFiles/essent_tests.dir/test_opt.cpp.o.d"
+  "/root/repo/tests/test_partitioner.cpp" "tests/CMakeFiles/essent_tests.dir/test_partitioner.cpp.o" "gcc" "tests/CMakeFiles/essent_tests.dir/test_partitioner.cpp.o.d"
+  "/root/repo/tests/test_primop_conformance.cpp" "tests/CMakeFiles/essent_tests.dir/test_primop_conformance.cpp.o" "gcc" "tests/CMakeFiles/essent_tests.dir/test_primop_conformance.cpp.o.d"
+  "/root/repo/tests/test_printer.cpp" "tests/CMakeFiles/essent_tests.dir/test_printer.cpp.o" "gcc" "tests/CMakeFiles/essent_tests.dir/test_printer.cpp.o.d"
+  "/root/repo/tests/test_regressions.cpp" "tests/CMakeFiles/essent_tests.dir/test_regressions.cpp.o" "gcc" "tests/CMakeFiles/essent_tests.dir/test_regressions.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/essent_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/essent_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_snapshots.cpp" "tests/CMakeFiles/essent_tests.dir/test_snapshots.cpp.o" "gcc" "tests/CMakeFiles/essent_tests.dir/test_snapshots.cpp.o.d"
+  "/root/repo/tests/test_supernodes.cpp" "tests/CMakeFiles/essent_tests.dir/test_supernodes.cpp.o" "gcc" "tests/CMakeFiles/essent_tests.dir/test_supernodes.cpp.o.d"
+  "/root/repo/tests/test_systolic.cpp" "tests/CMakeFiles/essent_tests.dir/test_systolic.cpp.o" "gcc" "tests/CMakeFiles/essent_tests.dir/test_systolic.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/essent_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/essent_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/essent_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/essent_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/essent_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/essent_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/essent_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/essent_designs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/essent_firrtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/essent_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

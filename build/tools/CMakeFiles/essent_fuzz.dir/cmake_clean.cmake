@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/essent_fuzz.dir/essent_fuzz.cpp.o"
+  "CMakeFiles/essent_fuzz.dir/essent_fuzz.cpp.o.d"
+  "essent_fuzz"
+  "essent_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/essent_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

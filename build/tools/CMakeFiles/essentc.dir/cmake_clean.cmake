@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/essentc.dir/essentc.cpp.o"
+  "CMakeFiles/essentc.dir/essentc.cpp.o.d"
+  "essentc"
+  "essentc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/essentc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
