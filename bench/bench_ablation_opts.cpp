@@ -29,7 +29,8 @@ double runCcss(const sim::SimIR& ir, const core::CondPartSchedule& sched,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter report("ablation_opts", argc, argv);
   auto d = bench::buildDesign(designs::socR16());
   auto prog = workloads::dhrystoneProgram(128);
   core::Netlist nlOpt = core::Netlist::build(d.optimized);
@@ -49,6 +50,11 @@ int main() {
                 on.elidedRegs, off.elidedRegs);
     std::printf("   with elision %.3fs, without %.3fs  (%.2fx from elision)\n\n", tOn, tOff,
                 tOff / tOn);
+    obs::Json row = obs::Json::object();
+    row["ablation"] = "state_elision";
+    row["seconds_on"] = tOn;
+    row["seconds_off"] = tOff;
+    report.addRow(std::move(row));
   }
 
   // --- B: compiler optimizations under CCSS ---
@@ -60,6 +66,11 @@ int main() {
     std::printf("B. classic compiler optimizations (constprop/CSE/DCE) under CCSS:\n");
     std::printf("   optimized IR %.3fs (%zu ops), raw IR %.3fs (%zu ops)  (%.2fx)\n\n", tOpt,
                 d.optimized.ops.size(), tRaw, d.baseline.ops.size(), tRaw / tOpt);
+    obs::Json row = obs::Json::object();
+    row["ablation"] = "compiler_opts";
+    row["seconds_on"] = tOpt;
+    row["seconds_off"] = tRaw;
+    report.addRow(std::move(row));
   }
 
   // --- C: partitioner phases ---
@@ -89,6 +100,13 @@ int main() {
       std::printf("   %-26s %10zu %10lld %10.3f %9.4f\n", pc.name, parts.numPartitions(),
                   static_cast<long long>(parts.stats.cutEdges), t, effAct);
       std::fflush(stdout);
+      obs::Json row = obs::Json::object();
+      row["ablation"] = "partitioner_phases";
+      row["configuration"] = pc.name;
+      row["seconds"] = t;
+      row["effective_activity"] = effAct;
+      row["partition_stats"] = core::partitionStatsJson(parts.stats);
+      report.addRow(std::move(row));
     }
     std::printf("\n");
   }

@@ -17,7 +17,11 @@ using namespace essent;
 
 namespace {
 
-void printDistribution(const std::vector<uint32_t>& perCycle, size_t totalSignals) {
+struct Distribution {
+  double mean = 0, p10 = 0, p50 = 0, p90 = 0, max = 0;
+};
+
+Distribution printDistribution(const std::vector<uint32_t>& perCycle, size_t totalSignals) {
   std::vector<double> f(perCycle.size());
   for (size_t i = 0; i < perCycle.size(); i++)
     f[i] = static_cast<double>(perCycle[i]) / static_cast<double>(totalSignals);
@@ -41,11 +45,13 @@ void printDistribution(const std::vector<uint32_t>& perCycle, size_t totalSignal
     std::printf("%s%%:%4.0f%% ", labels[b],
                 100.0 * static_cast<double>(buckets[b]) / static_cast<double>(f.size()));
   std::printf("\n");
+  return Distribution{mean, pct(0.10), pct(0.50), pct(0.90), f.back()};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter report("fig5_activity", argc, argv);
   std::printf("Figure 5 — per-cycle activity factor distributions\n");
   std::printf("(fraction of named signals changing per cycle; histogram buckets show\n"
               " what share of cycles fall in each activity range)\n\n");
@@ -56,10 +62,22 @@ int main() {
       eng.setTrackActivity(true);
       workloads::loadProgram(eng, prog);
       // Bound the boom runs; the distribution converges quickly.
-      workloads::runWorkload(eng, cfg.name == "boom" ? 6000 : 12000);
+      auto run = workloads::runWorkload(eng, cfg.name == "boom" ? 6000 : 12000);
       std::printf("%-5s %-10s ", d.name.c_str(), prog.name.c_str());
-      printDistribution(eng.stats().changedPerCycle, eng.designSignalCount());
+      Distribution dist =
+          printDistribution(run.stats.changedPerCycle, eng.designSignalCount());
       std::fflush(stdout);
+      obs::Json row = obs::Json::object();
+      row["design"] = d.name;
+      row["workload"] = prog.name;
+      row["cycles"] = run.cycles;
+      row["signals"] = eng.designSignalCount();
+      row["activity_mean"] = dist.mean;
+      row["activity_p10"] = dist.p10;
+      row["activity_p50"] = dist.p50;
+      row["activity_p90"] = dist.p90;
+      row["activity_max"] = dist.max;
+      report.addRow(std::move(row));
     }
   }
   std::printf("\npaper finding reproduced if: activities are typically a few percent,\n"

@@ -8,7 +8,8 @@
 
 using namespace essent;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter report("fig6_cp_sweep", argc, argv);
   const uint32_t cps[] = {1, 2, 4, 8, 16, 32, 64, 128};
   std::printf("Figure 6 — execution time (s) vs partitioning parameter C_p\n");
   std::printf("%-6s %-10s", "design", "workload");
@@ -40,6 +41,11 @@ int main() {
           bestCp = cps[i];
         }
         std::fflush(stdout);
+        obs::Json row =
+            bench::JsonReporter::engineRow(d.name, prog.name, "essent", r.seconds, r.stats);
+        row["cp"] = cps[i];
+        row["partitions"] = schedules[i].numPartitions();
+        report.addRow(std::move(row));
       }
       std::printf("  cp=%u\n", bestCp);
     }

@@ -14,7 +14,8 @@
 
 using namespace essent;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter report("table1_designs", argc, argv);
   std::printf("Table I — evaluation designs (ESSENT reproduction)\n");
   std::printf("%-8s %12s %12s %12s %10s %12s %12s\n", "design", "firrtl-KB", "ir-ops",
               "graph-nodes", "edges", "registers", "memories");
@@ -26,6 +27,11 @@ int main() {
     std::printf("%-8s %12zu %12zu %12d %10lld %12zu %12zu\n", cfg.name.c_str(),
                 text.size() / 1024, ir.ops.size(), nl.g.numNodes(),
                 static_cast<long long>(nl.g.numEdges()), ir.regs.size(), ir.mems.size());
+    obs::Json row = core::designSummaryJson(ir);
+    row["firrtl_bytes"] = text.size();
+    row["graph_nodes"] = static_cast<uint64_t>(nl.g.numNodes());
+    row["graph_edges"] = static_cast<uint64_t>(nl.g.numEdges());
+    report.addRow(std::move(row));
   }
   std::printf("\npaper reference: r16 33,426 nodes / 51,356 edges; "
               "r18 67,803 / 123,151; boom 128,712 / 291,010\n");

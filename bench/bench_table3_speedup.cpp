@@ -24,7 +24,8 @@
 
 using namespace essent;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter report("table3_speedup", argc, argv);
   std::printf("Table III — execution times (seconds) and ESSENT speedups\n");
   std::printf("%-6s %-10s %9s %10s %9s %8s %9s %9s %7s\n", "design", "workload", "CommVer*",
               "Verilator*", "Baseline", "ESSENT", "vs-Base", "vs-Veri", "effAct");
@@ -49,6 +50,19 @@ int main() {
                   rEs.seconds, rBl.seconds / rEs.seconds, rVl.seconds / rEs.seconds,
                   essentEng.effectiveActivity(), agree ? "" : "  [ENGINE MISMATCH!]");
       std::fflush(stdout);
+      struct { const char* sim; const bench::EngineRun* run; } cols[] = {
+          {"commver", &rCv}, {"verilator", &rVl}, {"baseline", &rBl}, {"essent", &rEs}};
+      for (const auto& col : cols) {
+        obs::Json row = bench::JsonReporter::engineRow(d.name, prog.name, col.sim,
+                                                       col.run->seconds, col.run->stats);
+        row["cycles"] = col.run->cycles;
+        if (col.run == &rEs) {
+          row["speedup_vs_baseline"] = rBl.seconds / rEs.seconds;
+          row["speedup_vs_verilator"] = rVl.seconds / rEs.seconds;
+          row["effective_activity"] = essentEng.effectiveActivity();
+        }
+        report.addRow(std::move(row));
+      }
     }
   }
   std::printf("\npaper speedups over Baseline: r16 3.3-3.8x, r18 6.7-7.7x (branch hints), "

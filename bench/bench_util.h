@@ -12,12 +12,17 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/activity_engine.h"
+#include "core/obs_export.h"
 #include "designs/tinysoc.h"
+#include "obs/json.h"
+#include "obs/phase_timer.h"
 #include "sim/builder.h"
 #include "sim/event_driven.h"
 #include "sim/full_cycle.h"
@@ -60,18 +65,96 @@ struct EngineRun {
   uint64_t cycles = 0;
   uint16_t result = 0;
   bool halted = false;
+  sim::EngineStats stats;  // end-of-run counter snapshot
 };
 
 inline EngineRun timeEngine(sim::Engine& engine, const workloads::Program& prog,
                             uint64_t maxCycles = 2'000'000) {
   workloads::loadProgram(engine, prog);
   auto res = workloads::runWorkload(engine, maxCycles);
-  return EngineRun{res.seconds, res.cycles, res.result, res.halted};
+  return EngineRun{res.seconds, res.cycles, res.result, res.halted, res.stats};
 }
 
 inline void printRule(int width) {
   for (int i = 0; i < width; i++) std::putchar('-');
   std::putchar('\n');
 }
+
+// Machine-readable bench artifacts. Every bench binary constructs one of
+// these; when enabled it writes `BENCH_<name>.json` on destruction, seeding
+// the perf-trajectory record the repo accumulates across PRs. The human
+// tables on stdout are untouched.
+//
+// Enabling (human output stays the default):
+//   * `--json` argv flag           -> ./BENCH_<name>.json
+//   * `--json=PATH` argv flag      -> PATH
+//   * ESSENT_BENCH_JSON_DIR=<dir>  -> <dir>/BENCH_<name>.json
+//
+// Artifact schema: { "bench", "schema_version", "meta": {...},
+// "rows": [...], "phase_timings": {...} } — rows are bench-specific flat
+// objects, phase timings come from the global compile-phase registry.
+class JsonReporter {
+ public:
+  JsonReporter(std::string name, int argc, char** argv) : name_(std::move(name)) {
+    for (int i = 1; i < argc; i++) {
+      std::string arg = argv[i];
+      if (arg == "--json") path_ = defaultPath();
+      else if (arg.rfind("--json=", 0) == 0) path_ = arg.substr(7);
+    }
+    if (path_.empty()) {
+      if (const char* dir = std::getenv("ESSENT_BENCH_JSON_DIR"))
+        path_ = std::string(dir) + "/" + defaultPath();
+    }
+    doc_["bench"] = name_;
+    doc_["schema_version"] = 1;
+    doc_["meta"] = obs::Json::object();
+    doc_["rows"] = obs::Json::array();
+  }
+
+  JsonReporter(const JsonReporter&) = delete;
+  JsonReporter& operator=(const JsonReporter&) = delete;
+
+  ~JsonReporter() {
+    if (!enabled() || written_) return;
+    try {
+      write();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bench json: %s\n", e.what());
+    }
+  }
+
+  bool enabled() const { return !path_.empty(); }
+  obs::Json& meta() { return doc_["meta"]; }
+  void addRow(obs::Json row) { doc_["rows"].push(std::move(row)); }
+
+  // Adds the standard columns every engine-timing row shares.
+  static obs::Json engineRow(const std::string& design, const std::string& workload,
+                             const std::string& simulator, double seconds,
+                             const sim::EngineStats& stats) {
+    obs::Json row = obs::Json::object();
+    row["design"] = design;
+    row["workload"] = workload;
+    row["simulator"] = simulator;
+    row["seconds"] = seconds;
+    row["stats"] = core::engineStatsJson(stats);
+    return row;
+  }
+
+  void write() {
+    if (!enabled()) return;
+    doc_["phase_timings"] = obs::phaseTimingsJson();
+    obs::writeJsonFile(path_, doc_);
+    std::fprintf(stderr, "bench json: wrote %s\n", path_.c_str());
+    written_ = true;
+  }
+
+ private:
+  std::string defaultPath() const { return "BENCH_" + name_ + ".json"; }
+
+  std::string name_;
+  std::string path_;
+  obs::Json doc_ = obs::Json::object();
+  bool written_ = false;
+};
 
 }  // namespace essent::bench

@@ -35,6 +35,24 @@ void ActivityEngine::resetState() {
   std::fill(prevInputs_.begin(), prevInputs_.end(), 0);
   std::fill(outputSave_.begin(), outputSave_.end(), 0);
   firstCycle_ = true;
+  clearProfile();  // keep profile sums consistent with the zeroed stats_
+}
+
+void ActivityEngine::clearProfile() {
+  prof_.profiledCycles = 0;
+  prof_.activationsPerWindow.clear();
+  std::fill(prof_.parts.begin(), prof_.parts.end(), PartitionProfile{});
+}
+
+void ActivityEngine::setProfiling(bool on) {
+  profiling_ = on;
+  if (on && prof_.parts.size() != sched_.parts.size())
+    prof_.parts.assign(sched_.parts.size(), PartitionProfile{});
+}
+
+void ActivityEngine::setProfileWindow(uint32_t cycles) {
+  prof_.windowCycles = cycles == 0 ? 1 : cycles;
+  clearProfile();
 }
 
 void ActivityEngine::wake(const std::vector<int32_t>& parts) {
@@ -75,6 +93,7 @@ void ActivityEngine::applyMemWrite(const SchedMemWrite& mw) {
 
 void ActivityEngine::runPartition(size_t pos, const CondPart& part) {
   stats_.partitionActivations++;
+  const uint64_t wakesBefore = stats_.triggerSets;
 
   // Save old output values.
   size_t outBase = partOutBase_[pos];
@@ -128,6 +147,13 @@ void ActivityEngine::runPartition(size_t pos, const CondPart& part) {
     stats_.outputComparisons++;
     if (diff != 0) wake(o.consumers);
   }
+
+  if (profiling_) {
+    PartitionProfile& pp = prof_.parts[pos];
+    pp.activations++;
+    pp.opsEvaluated += part.ops.size();
+    pp.wakesIssued += stats_.triggerSets - wakesBefore;
+  }
 }
 
 void ActivityEngine::tick() {
@@ -148,10 +174,18 @@ void ActivityEngine::tick() {
   // 2. Partition sweep (static schedule; the per-partition flag check is
   //    the static overhead).
   stats_.partitionChecks += sched_.parts.size();
+  const uint64_t activationsBefore = stats_.partitionActivations;
   for (size_t pos = 0; pos < sched_.parts.size(); pos++) {
     if (!active_[pos]) continue;
     active_[pos] = 0;  // deactivate for the next cycle first (Figure 1)
     runPartition(pos, sched_.parts[pos]);
+  }
+  if (profiling_) {
+    size_t window = static_cast<size_t>(prof_.profiledCycles / prof_.windowCycles);
+    if (prof_.activationsPerWindow.size() <= window)
+      prof_.activationsPerWindow.resize(window + 1, 0);
+    prof_.activationsPerWindow[window] += stats_.partitionActivations - activationsBefore;
+    prof_.profiledCycles++;
   }
 
   // 3. Side effects from stale-but-correct enables.

@@ -29,6 +29,24 @@
 
 namespace essent::core {
 
+// Per-partition runtime counters, gathered only while profiling is on.
+struct PartitionProfile {
+  uint64_t activations = 0;   // times the partition ran
+  uint64_t opsEvaluated = 0;  // ops executed across those runs
+  uint64_t wakesIssued = 0;   // consumer flags this partition's runs set
+};
+
+// Profile of one ActivityEngine run: per-partition counters plus a
+// cycle-window activity timeline (partition activations per window of
+// `windowCycles` cycles — the runtime analogue of Figure 5's per-cycle
+// activity traces, coarse enough to stay cheap on million-cycle runs).
+struct ActivityProfile {
+  uint64_t profiledCycles = 0;
+  uint32_t windowCycles = 256;
+  std::vector<PartitionProfile> parts;
+  std::vector<uint64_t> activationsPerWindow;
+};
+
 class ActivityEngine : public sim::Engine {
  public:
   // The schedule must have been built from a Netlist over the same SimIR.
@@ -47,6 +65,18 @@ class ActivityEngine : public sim::Engine {
   // "effective activity factor").
   double effectiveActivity() const;
 
+  // Per-partition profiling. Off by default: the unprofiled tick path pays
+  // exactly one predictable branch per active partition and one per cycle.
+  // Enabling mid-run starts counting from the current cycle; counters are
+  // cleared on resetState() (in step with EngineStats) and by setting the
+  // window. While profiling has been on since the last reset, the profile
+  // op counts sum to stats().opsEvaluated and the activation counts to
+  // stats().partitionActivations.
+  void setProfiling(bool on);
+  bool profiling() const { return profiling_; }
+  const ActivityProfile& profile() const { return prof_; }
+  void setProfileWindow(uint32_t cycles);  // clears the profile; cycles >= 1
+
  protected:
   void onStateClobbered() override {
     std::fill(active_.begin(), active_.end(), uint8_t{1});
@@ -62,7 +92,10 @@ class ActivityEngine : public sim::Engine {
   std::vector<uint32_t> outputSaveOff_;  // parallel to flattened outputs
   std::vector<size_t> partOutBase_;      // partition -> first flattened output
   bool firstCycle_ = true;
+  bool profiling_ = false;
+  ActivityProfile prof_;
 
+  void clearProfile();
   void runPartition(size_t pos, const CondPart& part);
   void applyRegWrite(const SchedRegWrite& rw);
   void applyMemWrite(const SchedMemWrite& mw);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/phase_timer.h"
+
 namespace essent::core {
 
 using sim::MemInfo;
@@ -18,6 +20,7 @@ std::vector<int32_t> Netlist::sinks() const {
 }
 
 Netlist Netlist::build(const SimIR& ir) {
+  obs::ScopedPhaseTimer phaseTimer("netlist");
   Netlist nl;
   nl.ir = &ir;
 

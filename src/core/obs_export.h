@@ -1,0 +1,44 @@
+// JSON export of the simulator's observability data: design summaries,
+// partitioner statistics, engine work counters, and ActivityEngine runtime
+// profiles. The hot-path structs (sim::EngineStats, core::ActivityProfile)
+// stay plain-old-data; this is the one place that knows how they map onto
+// the machine-readable report schema (documented in docs/OBSERVABILITY.md).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/activity_engine.h"
+#include "core/partitioner.h"
+#include "core/schedule.h"
+#include "obs/json.h"
+#include "sim/sim_ir.h"
+
+namespace essent::core {
+
+// Static design shape: op/register/memory/port counts.
+obs::Json designSummaryJson(const sim::SimIR& ir);
+
+// Compile-time partitioner statistics (essentc --stats as JSON).
+obs::Json partitionStatsJson(const PartitionStats& stats);
+
+// Schedule summary: partition count, elision counts, output count, plus a
+// partition-size histogram.
+obs::Json scheduleSummaryJson(const CondPartSchedule& sched);
+
+// Runtime work counters, keyed by Figure 7's decomposition: base work
+// (ops_evaluated), static overhead (partition_checks), dynamic overhead
+// (output_comparisons, trigger_sets).
+obs::Json engineStatsJson(const sim::EngineStats& stats);
+
+// Full runtime profile of one ActivityEngine run: engine stats, effective
+// activity, per-partition counters (with op counts from the schedule), and
+// the cycle-window activation timeline. Requires profiling to have been
+// enabled on the engine.
+obs::Json activityProfileJson(const ActivityEngine& engine);
+
+// Partition indices ordered hottest-first by profiled ops evaluated
+// (ties: more activations first, then lower index), truncated to n.
+std::vector<size_t> topHotPartitions(const ActivityProfile& prof, size_t n);
+
+}  // namespace essent::core

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "core/mffc.h"
+#include "obs/phase_timer.h"
 
 namespace essent::core {
 
@@ -258,13 +259,18 @@ Partitioning partitionNetlist(const Netlist& nl, const PartitionOptions& opts) {
   PartitionStats stats;
 
   int32_t numParts = 0;
-  std::vector<int32_t> initial = mffcDecompose(nl.g, &numParts);
+  std::vector<int32_t> initial;
+  {
+    obs::ScopedPhaseTimer phaseTimer("mffc");
+    initial = mffcDecompose(nl.g, &numParts);
+  }
   stats.initialParts = static_cast<size_t>(numParts);
 
   Merger merger(nl, std::move(initial), numParts);
 
   // --- Phase A: merge single-parent partitions into their parents. ---
   if (opts.phaseSingleParent) {
+    obs::ScopedPhaseTimer phaseTimer("merge-A");
     bool progress = true;
     while (progress) {
       progress = false;
@@ -301,6 +307,7 @@ Partitioning partitionNetlist(const Netlist& nl, const PartitionOptions& opts) {
   // shared signals with the most small consumers (each such merge removes
   // the most cut edges at once, per the paper's heuristic). ---
   if (opts.phaseSmallSiblings && cp > 0) {
+    obs::ScopedPhaseTimer phaseTimer("merge-B");
     for (uint32_t pass = 0; pass < opts.maxPasses; pass++) {
       // sig -> small partitions consuming it.
       std::unordered_map<int32_t, std::vector<int32_t>> consumersBySig;
@@ -345,6 +352,7 @@ Partitioning partitionNetlist(const Netlist& nl, const PartitionOptions& opts) {
   // --- Phase C: merge remaining small partitions with any sibling,
   // maximizing the fraction of input signals in common. ---
   if (opts.phaseAnySibling && cp > 0) {
+    obs::ScopedPhaseTimer phaseTimer("merge-C");
     for (uint32_t pass = 0; pass < opts.maxPasses; pass++) {
       // sig -> all partitions consuming it (any size).
       std::unordered_map<int32_t, std::vector<int32_t>> consumersBySig;

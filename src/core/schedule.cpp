@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "obs/phase_timer.h"
+
 namespace essent::core {
 
 namespace {
@@ -18,6 +20,7 @@ std::vector<int32_t> dedupSorted(std::vector<int32_t> v) {
 
 CondPartSchedule buildScheduleFrom(const Netlist& nl, const Partitioning& parts,
                                    bool stateElision) {
+  obs::ScopedPhaseTimer phaseTimer("schedule");
   const sim::SimIR& ir = *nl.ir;
   ElisionResult elision = analyzeElision(nl, parts, stateElision);
 

@@ -1,0 +1,407 @@
+#include "obs/json.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+namespace essent::obs {
+
+namespace {
+
+const char* kindName(Json::Kind k) {
+  switch (k) {
+    case Json::Kind::Null: return "null";
+    case Json::Kind::Bool: return "bool";
+    case Json::Kind::Int: return "int";
+    case Json::Kind::UInt: return "uint";
+    case Json::Kind::Double: return "double";
+    case Json::Kind::Str: return "string";
+    case Json::Kind::Arr: return "array";
+    case Json::Kind::Obj: return "object";
+  }
+  return "?";
+}
+
+void escapeTo(std::string& out, const std::string& s) {
+  out += '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+void Json::expect(Kind k) const {
+  if (kind_ != k)
+    throw JsonError(std::string("expected ") + kindName(k) + ", value is " + kindName(kind_), 0);
+}
+
+uint64_t Json::asUInt() const {
+  if (kind_ == Kind::UInt) return uint_;
+  if (kind_ == Kind::Int && int_ >= 0) return static_cast<uint64_t>(int_);
+  if (kind_ == Kind::Double && dbl_ >= 0 && dbl_ == std::floor(dbl_))
+    return static_cast<uint64_t>(dbl_);
+  throw JsonError(std::string("expected unsigned integer, value is ") + kindName(kind_), 0);
+}
+
+int64_t Json::asInt() const {
+  if (kind_ == Kind::Int) return int_;
+  if (kind_ == Kind::UInt && uint_ <= static_cast<uint64_t>(INT64_MAX))
+    return static_cast<int64_t>(uint_);
+  if (kind_ == Kind::Double && dbl_ == std::floor(dbl_)) return static_cast<int64_t>(dbl_);
+  throw JsonError(std::string("expected integer, value is ") + kindName(kind_), 0);
+}
+
+double Json::asDouble() const {
+  switch (kind_) {
+    case Kind::Double: return dbl_;
+    case Kind::Int: return static_cast<double>(int_);
+    case Kind::UInt: return static_cast<double>(uint_);
+    default: throw JsonError(std::string("expected number, value is ") + kindName(kind_), 0);
+  }
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (kind_ == Kind::Null) kind_ = Kind::Obj;
+  expect(Kind::Obj);
+  for (auto& [k, v] : obj_)
+    if (k == key) return v;
+  obj_.emplace_back(key, Json{});
+  return obj_.back().second;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (kind_ != Kind::Obj) return nullptr;
+  for (const auto& [k, v] : obj_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const Json& Json::at(const std::string& key) const {
+  const Json* v = find(key);
+  if (!v) throw JsonError("missing key '" + key + "'", 0);
+  return *v;
+}
+
+void Json::push(Json v) {
+  if (kind_ == Kind::Null) kind_ = Kind::Arr;
+  expect(Kind::Arr);
+  arr_.push_back(std::move(v));
+}
+
+size_t Json::size() const {
+  if (kind_ == Kind::Arr) return arr_.size();
+  if (kind_ == Kind::Obj) return obj_.size();
+  throw JsonError(std::string("size() on ") + kindName(kind_), 0);
+}
+
+const Json& Json::at(size_t i) const {
+  expect(Kind::Arr);
+  if (i >= arr_.size()) throw JsonError("array index out of range", 0);
+  return arr_[i];
+}
+
+bool Json::operator==(const Json& o) const {
+  if (isNumber() && o.isNumber()) {
+    // Exact integers compare exactly; anything involving a double compares
+    // as double (good enough for round-trip tests).
+    if (kind_ != Kind::Double && o.kind_ != Kind::Double) {
+      bool negA = kind_ == Kind::Int && int_ < 0;
+      bool negB = o.kind_ == Kind::Int && o.int_ < 0;
+      if (negA != negB) return false;
+      if (negA) return int_ == o.int_;
+      return asUInt() == o.asUInt();
+    }
+    return asDouble() == o.asDouble();
+  }
+  if (kind_ != o.kind_) return false;
+  switch (kind_) {
+    case Kind::Null: return true;
+    case Kind::Bool: return bool_ == o.bool_;
+    case Kind::Str: return str_ == o.str_;
+    case Kind::Arr: return arr_ == o.arr_;
+    case Kind::Obj: return obj_ == o.obj_;
+    default: return true;  // numbers handled above
+  }
+}
+
+void Json::dumpTo(std::string& out, int indent, int depth) const {
+  auto newline = [&](int d) {
+    if (indent <= 0) return;
+    out += '\n';
+    out.append(static_cast<size_t>(indent * d), ' ');
+  };
+  switch (kind_) {
+    case Kind::Null: out += "null"; break;
+    case Kind::Bool: out += bool_ ? "true" : "false"; break;
+    case Kind::Int: out += std::to_string(int_); break;
+    case Kind::UInt: out += std::to_string(uint_); break;
+    case Kind::Double: {
+      if (!std::isfinite(dbl_)) { out += "null"; break; }  // JSON has no inf/nan
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.9g", dbl_);  // terse form if it round-trips
+      if (std::strtod(buf, nullptr) != dbl_) std::snprintf(buf, sizeof buf, "%.17g", dbl_);
+      std::string tok = buf;
+      if (tok.find_first_of(".eE") == std::string::npos) tok += ".0";
+      out += tok;
+      break;
+    }
+    case Kind::Str: escapeTo(out, str_); break;
+    case Kind::Arr: {
+      if (arr_.empty()) { out += "[]"; break; }
+      out += '[';
+      for (size_t i = 0; i < arr_.size(); i++) {
+        if (i) out += indent > 0 ? "," : ",";
+        newline(depth + 1);
+        arr_[i].dumpTo(out, indent, depth + 1);
+      }
+      newline(depth);
+      out += ']';
+      break;
+    }
+    case Kind::Obj: {
+      if (obj_.empty()) { out += "{}"; break; }
+      out += '{';
+      for (size_t i = 0; i < obj_.size(); i++) {
+        if (i) out += ",";
+        newline(depth + 1);
+        escapeTo(out, obj_[i].first);
+        out += indent > 0 ? ": " : ":";
+        obj_[i].second.dumpTo(out, indent, depth + 1);
+      }
+      newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dumpTo(out, indent, 0);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser.
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Json parseDocument() {
+    Json v = parseValue();
+    skipWs();
+    if (pos_ != s_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const { throw JsonError(msg, pos_); }
+
+  void skipWs() {
+    while (pos_ < s_.size()) {
+      char c = s_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') pos_++;
+      else break;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  bool consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) { pos_++; return true; }
+    return false;
+  }
+
+  void require(char c) {
+    if (!consume(c)) fail(std::string("expected '") + c + "'");
+  }
+
+  bool consumeWord(const char* w) {
+    size_t n = std::strlen(w);
+    if (s_.compare(pos_, n, w) == 0) { pos_ += n; return true; }
+    return false;
+  }
+
+  Json parseValue() {
+    skipWs();
+    char c = peek();
+    if (c == '{') return parseObject();
+    if (c == '[') return parseArray();
+    if (c == '"') return Json(parseString());
+    if (consumeWord("true")) return Json(true);
+    if (consumeWord("false")) return Json(false);
+    if (consumeWord("null")) return Json(nullptr);
+    if (c == '-' || (c >= '0' && c <= '9')) return parseNumber();
+    fail("unexpected character");
+  }
+
+  Json parseObject() {
+    require('{');
+    Json obj = Json::object();
+    skipWs();
+    if (consume('}')) return obj;
+    while (true) {
+      skipWs();
+      if (peek() != '"') fail("expected object key string");
+      std::string key = parseString();
+      if (obj.find(key)) fail("duplicate object key '" + key + "'");
+      skipWs();
+      require(':');
+      obj[key] = parseValue();
+      skipWs();
+      if (consume(',')) continue;
+      require('}');
+      return obj;
+    }
+  }
+
+  Json parseArray() {
+    require('[');
+    Json arr = Json::array();
+    skipWs();
+    if (consume(']')) return arr;
+    while (true) {
+      arr.push(parseValue());
+      skipWs();
+      if (consume(',')) continue;
+      require(']');
+      return arr;
+    }
+  }
+
+  std::string parseString() {
+    require('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') { out += c; continue; }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': appendCodepoint(out, parseHex4()); break;
+        default: fail("invalid escape");
+      }
+    }
+  }
+
+  unsigned parseHex4() {
+    unsigned v = 0;
+    for (int i = 0; i < 4; i++) {
+      if (pos_ >= s_.size()) fail("truncated \\u escape");
+      char c = s_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("invalid hex digit in \\u escape");
+    }
+    return v;
+  }
+
+  static void appendCodepoint(std::string& out, unsigned cp) {
+    // BMP only (no surrogate-pair recombination) — enough for our emitters,
+    // which never write non-BMP escapes.
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Json parseNumber() {
+    size_t start = pos_;
+    bool neg = consume('-');
+    if (pos_ >= s_.size() || !(s_[pos_] >= '0' && s_[pos_] <= '9')) fail("malformed number");
+    size_t intStart = pos_;
+    while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') pos_++;
+    if (s_[intStart] == '0' && pos_ - intStart > 1) fail("leading zero in number");
+    bool isInt = true;
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      isInt = false;
+      pos_++;
+      if (pos_ >= s_.size() || !(s_[pos_] >= '0' && s_[pos_] <= '9'))
+        fail("malformed fraction");
+      while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') pos_++;
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      isInt = false;
+      pos_++;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) pos_++;
+      if (pos_ >= s_.size() || !(s_[pos_] >= '0' && s_[pos_] <= '9'))
+        fail("malformed exponent");
+      while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') pos_++;
+    }
+    std::string tok = s_.substr(start, pos_ - start);
+    if (isInt) {
+      errno = 0;
+      if (neg) {
+        long long v = std::strtoll(tok.c_str(), nullptr, 10);
+        if (errno != ERANGE) return Json(v);
+      } else {
+        unsigned long long v = std::strtoull(tok.c_str(), nullptr, 10);
+        if (errno != ERANGE) return Json(v);
+      }
+      // Out-of-range integers degrade to double rather than erroring.
+    }
+    return Json(std::strtod(tok.c_str(), nullptr));
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text) { return Parser(text).parseDocument(); }
+
+void writeJsonFile(const std::string& path, const Json& doc) {
+  std::ofstream f(path);
+  if (!f) throw JsonError("cannot open '" + path + "' for writing", 0);
+  f << doc.dump(2) << "\n";
+  if (!f.good()) throw JsonError("write to '" + path + "' failed", 0);
+}
+
+}  // namespace essent::obs

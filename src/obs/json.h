@@ -1,0 +1,106 @@
+// Minimal JSON document model for the observability layer: an ordered
+// value tree with a pretty-printing writer and a strict recursive-descent
+// parser. No third-party dependencies — this is the serialization substrate
+// for stats registries, runtime profiles, and bench artifacts, and the
+// parser exists so tests can round-trip what the tools emit.
+//
+// Deliberate scope limits (telemetry, not a general JSON library):
+//  * objects preserve insertion order and reject duplicate keys on parse;
+//  * integers are kept exact (int64/uint64) rather than coerced to double,
+//    so 64-bit cycle/op counters survive a round trip bit-for-bit;
+//  * strings are UTF-8 passthrough; \uXXXX escapes decode to UTF-8.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace essent::obs {
+
+class JsonError : public std::runtime_error {
+ public:
+  JsonError(const std::string& msg, size_t pos)
+      : std::runtime_error("json error at offset " + std::to_string(pos) + ": " + msg) {}
+};
+
+class Json {
+ public:
+  enum class Kind { Null, Bool, Int, UInt, Double, Str, Arr, Obj };
+
+  Json() = default;  // null
+  Json(std::nullptr_t) {}
+  Json(bool v) : kind_(Kind::Bool), bool_(v) {}
+  Json(int v) : kind_(Kind::Int), int_(v) {}
+  Json(long v) : kind_(Kind::Int), int_(v) {}
+  Json(long long v) : kind_(Kind::Int), int_(v) {}
+  Json(unsigned v) : kind_(Kind::UInt), uint_(v) {}
+  Json(unsigned long v) : kind_(Kind::UInt), uint_(v) {}
+  Json(unsigned long long v) : kind_(Kind::UInt), uint_(v) {}
+  Json(double v) : kind_(Kind::Double), dbl_(v) {}
+  Json(const char* v) : kind_(Kind::Str), str_(v) {}
+  Json(std::string v) : kind_(Kind::Str), str_(std::move(v)) {}
+
+  static Json object() { Json j; j.kind_ = Kind::Obj; return j; }
+  static Json array() { Json j; j.kind_ = Kind::Arr; return j; }
+
+  Kind kind() const { return kind_; }
+  bool isNull() const { return kind_ == Kind::Null; }
+  bool isNumber() const {
+    return kind_ == Kind::Int || kind_ == Kind::UInt || kind_ == Kind::Double;
+  }
+  bool isObject() const { return kind_ == Kind::Obj; }
+  bool isArray() const { return kind_ == Kind::Arr; }
+  bool isString() const { return kind_ == Kind::Str; }
+
+  bool asBool() const { expect(Kind::Bool); return bool_; }
+  const std::string& asStr() const { expect(Kind::Str); return str_; }
+  uint64_t asUInt() const;  // accepts any non-negative integral number
+  int64_t asInt() const;
+  double asDouble() const;  // accepts any number
+
+  // Object access. operator[] inserts a null member when missing (build
+  // side); find() is the lookup that never mutates (read side).
+  Json& operator[](const std::string& key);
+  const Json* find(const std::string& key) const;
+  const Json& at(const std::string& key) const;  // throws JsonError if missing
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    expect(Kind::Obj);
+    return obj_;
+  }
+
+  // Array access.
+  void push(Json v);
+  size_t size() const;  // array length or object member count
+  const Json& at(size_t i) const;
+  const std::vector<Json>& items() const { expect(Kind::Arr); return arr_; }
+
+  // Serialization. indent > 0 pretty-prints; indent == 0 is compact.
+  std::string dump(int indent = 2) const;
+
+  // Strict parse of a complete document (trailing junk is an error).
+  static Json parse(const std::string& text);
+
+  bool operator==(const Json& o) const;
+  bool operator!=(const Json& o) const { return !(*this == o); }
+
+ private:
+  void expect(Kind k) const;
+  void dumpTo(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  uint64_t uint_ = 0;
+  double dbl_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+// Writes `doc.dump()` to `path` (with a trailing newline); throws
+// JsonError on I/O failure so CLI callers surface a usable message.
+void writeJsonFile(const std::string& path, const Json& doc);
+
+}  // namespace essent::obs

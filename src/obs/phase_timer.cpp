@@ -1,0 +1,37 @@
+#include "obs/phase_timer.h"
+
+#include <mutex>
+
+namespace essent::obs {
+
+namespace {
+
+std::mutex& timingMutex() {
+  static std::mutex m;
+  return m;
+}
+
+Registry& timingRegistry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace
+
+ScopedPhaseTimer::~ScopedPhaseTimer() {
+  double elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  std::lock_guard<std::mutex> lock(timingMutex());
+  timingRegistry().timer(phase_).record(elapsed);
+}
+
+Json phaseTimingsJson() {
+  std::lock_guard<std::mutex> lock(timingMutex());
+  return timingRegistry().toJson();
+}
+
+void resetPhaseTimings() {
+  std::lock_guard<std::mutex> lock(timingMutex());
+  timingRegistry().clear();
+}
+
+}  // namespace essent::obs

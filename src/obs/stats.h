@@ -1,0 +1,91 @@
+// Hierarchical stats registry: named trees of counters, gauges, timers,
+// and histograms, serializable to JSON (obs/json.h). This is the common
+// currency between the compile-time phase timers, the runtime engine
+// profiles, and the bench reporters — one schema, one writer.
+//
+// A Registry node is cheap to create and navigate; recording into a
+// counter/timer/histogram is an O(1) hash lookup plus an add, so it can sit
+// on warm (not per-op hot) paths. The truly hot paths keep raw struct
+// counters (sim::EngineStats, core::ActivityProfile) and export into a
+// Registry only when a report is built.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace essent::obs {
+
+// Power-of-two bucketed histogram for nonnegative integer samples (op
+// counts, fanouts, window activity): bucket i counts samples in
+// [2^(i-1), 2^i), bucket 0 counts zeros. 65 buckets cover uint64_t.
+class Histogram {
+ public:
+  void record(uint64_t value);
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return count_ ? min_ : 0; }
+  uint64_t max() const { return max_; }
+  double mean() const { return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0; }
+  const std::vector<uint64_t>& buckets() const { return buckets_; }  // trailing zeros trimmed
+  Json toJson() const;
+
+ private:
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = UINT64_MAX;
+  uint64_t max_ = 0;
+  std::vector<uint64_t> buckets_;
+};
+
+// Accumulating wall-clock timer: total seconds + invocation count.
+struct Timer {
+  double seconds = 0.0;
+  uint64_t calls = 0;
+  void record(double s) { seconds += s; calls++; }
+  Json toJson() const;
+};
+
+// One node in the stats tree. Children, counters, gauges, timers, and
+// histograms each live in their own namespace; JSON serialization nests
+// children inline and groups the leaf kinds under stable keys so consumers
+// can tell a counter from a timer without guessing.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Child lookup, creating on first use. Path components must be non-empty.
+  Registry& child(const std::string& name);
+  const Registry* findChild(const std::string& name) const;
+
+  uint64_t& counter(const std::string& name);
+  void addCounter(const std::string& name, uint64_t delta) { counter(name) += delta; }
+  double& gauge(const std::string& name);
+  Timer& timer(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  bool empty() const;
+  void clear();
+
+  // Schema: { "counters": {...}, "gauges": {...}, "timers": {...},
+  //           "histograms": {...}, "<child>": {...}, ... } with empty
+  // sections omitted. Insertion order is preserved throughout.
+  Json toJson() const;
+
+ private:
+  template <typename T>
+  using NamedVec = std::vector<std::pair<std::string, T>>;
+
+  NamedVec<uint64_t> counters_;
+  NamedVec<double> gauges_;
+  NamedVec<Timer> timers_;
+  NamedVec<Histogram> histograms_;
+  NamedVec<std::unique_ptr<Registry>> children_;
+};
+
+}  // namespace essent::obs

@@ -8,6 +8,7 @@
 #include "firrtl/passes.h"
 #include "firrtl/widths.h"
 #include "graph/graph.h"
+#include "obs/phase_timer.h"
 #include "support/bvops.h"
 #include "support/strutil.h"
 
@@ -487,13 +488,22 @@ class Builder {
 }  // namespace
 
 SimIR buildSimIR(const firrtl::Module& lowered, const BuildOptions& opts) {
+  obs::ScopedPhaseTimer timer("build-ir");
   Builder b(lowered, opts);
   return b.run();
 }
 
 SimIR buildFromFirrtl(const std::string& firrtlText, const BuildOptions& opts) {
-  auto circuit = firrtl::parseCircuit(firrtlText);
-  auto lowered = firrtl::lowerCircuit(*circuit);
+  std::unique_ptr<firrtl::Circuit> circuit;
+  {
+    obs::ScopedPhaseTimer timer("parse");
+    circuit = firrtl::parseCircuit(firrtlText);
+  }
+  std::unique_ptr<firrtl::Module> lowered;
+  {
+    obs::ScopedPhaseTimer timer("lower");
+    lowered = firrtl::lowerCircuit(*circuit);
+  }
   return buildSimIR(*lowered, opts);
 }
 

@@ -18,6 +18,7 @@ RunResult runEngine(Engine& engine, uint64_t maxCycles, const StimulusFn& stim, 
   res.seconds = std::chrono::duration<double>(end - start).count();
   res.stopped = engine.stopped();
   res.exitCode = engine.exitCode();
+  res.stats = engine.stats();
   return res;
 }
 

@@ -20,6 +20,9 @@ struct RunResult {
   bool stopped = false;
   int exitCode = 0;
   double seconds = 0.0;
+  // Snapshot of the engine's counters at the end of the run, so callers
+  // can report work/overhead without reaching back into a live engine.
+  EngineStats stats;
 };
 
 // Ticks the engine up to maxCycles (stopping early on a fired stop());

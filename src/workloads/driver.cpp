@@ -26,6 +26,7 @@ WorkloadResult runWorkload(sim::Engine& engine, uint64_t maxCycles) {
   res.halted = engine.stopped();
   res.instret = engine.peek("instret");
   res.result = static_cast<uint16_t>(engine.peekMem("dmem", 21));
+  res.stats = engine.stats();
   return res;
 }
 

@@ -16,6 +16,9 @@ struct WorkloadResult {
   uint64_t instret = 0;
   uint16_t result = 0;   // dmem[21], each program's final checksum
   double seconds = 0.0;  // wall-clock simulation time
+  // End-of-run counter snapshot (includes the reset cycles), so bench
+  // binaries report work/overhead without touching the engine afterwards.
+  sim::EngineStats stats;
 };
 
 // Loads code into imem and data into dmem. Must be called before the first

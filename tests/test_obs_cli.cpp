@@ -1,0 +1,175 @@
+// End-to-end tests for the essentc observability flags (--profile,
+// --stats-json, --top-hot), run as real subprocesses against the shipped
+// examples/ FIRRTL inputs. Emitted files must parse with the strict obs
+// JSON parser and satisfy the documented sum checks.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+#ifndef ESSENTC_PATH
+#error "ESSENTC_PATH must be defined by the build"
+#endif
+#ifndef EXAMPLES_DIR
+#error "EXAMPLES_DIR must be defined by the build"
+#endif
+
+namespace {
+
+using essent::obs::Json;
+
+struct CliResult {
+  int exitCode = -1;
+  std::string output;  // stdout + stderr
+};
+
+std::string tempDir() {
+  char dirTemplate[] = "/tmp/essent_obs_cli_XXXXXX";
+  return mkdtemp(dirTemplate);
+}
+
+CliResult runCli(const std::string& args, const std::string& dir) {
+  std::string outFile = dir + "/out.txt";
+  std::string cmd = std::string(ESSENTC_PATH) + " " + args + " > " + outFile + " 2>&1";
+  int rc = std::system(cmd.c_str());
+  CliResult res;
+  res.exitCode = WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+  std::ifstream f(outFile);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  res.output = ss.str();
+  return res;
+}
+
+Json parseFile(const std::string& path) {
+  std::ifstream f(path);
+  EXPECT_TRUE(f.good()) << "missing " << path;
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return Json::parse(ss.str());
+}
+
+std::string example(const char* name) { return std::string(EXAMPLES_DIR) + "/" + name; }
+
+TEST(ObsCli, ProfileEmitsSumCheckedJson) {
+  std::string dir = tempDir();
+  std::string p = dir + "/p.json";
+  auto res = runCli("--run 1000 --poke en=1 --poke sel=2 --profile " + p + " " +
+                        example("counterbanks.fir"),
+                    dir);
+  ASSERT_EQ(res.exitCode, 0) << res.output;
+  EXPECT_NE(res.output.find("wrote profile"), std::string::npos) << res.output;
+
+  Json doc = parseFile(p);
+  EXPECT_EQ(doc.at("design").asStr(), "CounterBanks");
+  EXPECT_EQ(doc.at("engine").asStr(), "essent-ccss");
+  EXPECT_EQ(doc.at("stats").at("cycles").asUInt(), 1000u);
+  double ea = doc.at("effective_activity").asDouble();
+  EXPECT_GE(ea, 0.0);
+  EXPECT_LE(ea, 1.0);
+
+  // Per-partition counters must sum to the engine-level totals.
+  uint64_t ops = 0, acts = 0;
+  for (const Json& row : doc.at("partitions").items()) {
+    ops += row.at("ops_evaluated").asUInt();
+    acts += row.at("activations").asUInt();
+    EXPECT_LE(row.at("activations").asUInt(), 1000u);
+  }
+  EXPECT_EQ(ops, doc.at("stats").at("ops_evaluated").asUInt());
+  EXPECT_EQ(acts, doc.at("stats").at("partition_activations").asUInt());
+
+  // Timeline covers the run and re-buckets the same activations.
+  const Json& tl = doc.at("timeline");
+  EXPECT_EQ(tl.at("profiled_cycles").asUInt(), 1000u);
+  uint64_t tlSum = 0;
+  for (const Json& w : tl.at("activations_per_window").items()) tlSum += w.asUInt();
+  EXPECT_EQ(tlSum, acts);
+
+  EXPECT_FALSE(doc.at("phase_timings").at("timers").members().empty());
+}
+
+TEST(ObsCli, StatsJsonOnRunIncludesEngineSection) {
+  std::string dir = tempDir();
+  std::string s = dir + "/s.json";
+  auto res = runCli("--run 200 --poke start=1 --poke a=48 --poke b=36 --stats-json " + s + " " +
+                        example("gcd.fir"),
+                    dir);
+  ASSERT_EQ(res.exitCode, 0) << res.output;
+  Json doc = parseFile(s);
+  EXPECT_EQ(doc.at("design").at("name").asStr(), "GCD");
+  EXPECT_EQ(doc.at("options").at("engine").asStr(), "ccss");
+  EXPECT_GT(doc.at("partitioning").at("final_parts").asUInt(), 0u);
+  EXPECT_EQ(doc.at("engine").at("name").asStr(), "essent-ccss");
+  EXPECT_EQ(doc.at("engine").at("stats").at("cycles").asUInt(), 200u);
+  ASSERT_NE(doc.at("phase_timings").find("timers"), nullptr);
+  const Json& timers = doc.at("phase_timings").at("timers");
+  for (const char* phase : {"parse", "lower", "netlist", "mffc", "schedule"})
+    EXPECT_NE(timers.find(phase), nullptr) << "missing phase " << phase;
+}
+
+TEST(ObsCli, StatsJsonWithoutRunOmitsEngineSection) {
+  std::string dir = tempDir();
+  std::string s = dir + "/s.json";
+  auto res = runCli("--stats-json " + s + " " + example("counterbanks.fir"), dir);
+  ASSERT_EQ(res.exitCode, 0) << res.output;
+  Json doc = parseFile(s);
+  EXPECT_EQ(doc.find("engine"), nullptr);
+  EXPECT_NE(doc.find("schedule"), nullptr);
+}
+
+TEST(ObsCli, StatsJsonEdgeConfigsBaselineAndCpZero) {
+  // --baseline disables activity tracking; --cp 0 disables sibling merging.
+  // Both must still produce parseable stats documents.
+  std::string dir = tempDir();
+  for (const char* cfg : {"--baseline", "--cp 0"}) {
+    std::string s = dir + "/edge.json";
+    auto res = runCli(std::string(cfg) + " --run 100 --stats-json " + s + " " +
+                          example("counterbanks.fir"),
+                      dir);
+    ASSERT_EQ(res.exitCode, 0) << cfg << ": " << res.output;
+    Json doc = parseFile(s);
+    EXPECT_EQ(doc.at("engine").at("stats").at("cycles").asUInt(), 100u) << cfg;
+    EXPECT_GT(doc.at("engine").at("stats").at("ops_evaluated").asUInt(), 0u) << cfg;
+  }
+}
+
+TEST(ObsCli, TopHotPrintsRankedTable) {
+  std::string dir = tempDir();
+  auto res = runCli("--run 500 --poke en=1 --poke sel=1 --top-hot 3 " +
+                        example("counterbanks.fir"),
+                    dir);
+  ASSERT_EQ(res.exitCode, 0) << res.output;
+  EXPECT_NE(res.output.find("hottest partitions"), std::string::npos) << res.output;
+  EXPECT_NE(res.output.find("ops"), std::string::npos);
+}
+
+TEST(ObsCli, ProfileRequiresRunAndCcssEngine) {
+  std::string dir = tempDir();
+  std::string fir = example("counterbanks.fir");
+  auto noRun = runCli("--profile " + dir + "/p.json " + fir, dir);
+  EXPECT_NE(noRun.exitCode, 0);
+  EXPECT_NE(noRun.output.find("--run"), std::string::npos) << noRun.output;
+  auto wrongEngine = runCli("--engine full --run 10 --profile " + dir + "/p.json " + fir, dir);
+  EXPECT_NE(wrongEngine.exitCode, 0);
+  auto badPath = runCli("--run 10 --profile /nonexistent-dir/p.json " + fir, dir);
+  EXPECT_NE(badPath.exitCode, 0);
+}
+
+TEST(ObsCli, ProfileOnGcdExampleParses) {
+  std::string dir = tempDir();
+  std::string p = dir + "/gcd.json";
+  auto res = runCli("--run 300 --poke start=1 --poke a=1071 --poke b=462 --profile " + p + " " +
+                        example("gcd.fir"),
+                    dir);
+  ASSERT_EQ(res.exitCode, 0) << res.output;
+  Json doc = parseFile(p);
+  EXPECT_EQ(doc.at("design").asStr(), "GCD");
+  EXPECT_GT(doc.at("partitions").items().size(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,173 @@
+// Counter-invariant and profiling tests for the observability layer:
+// cross-engine work-counter relations on identical stimulus, per-partition
+// profile sum checks, profiling transparency (no behavioural effect), and
+// the RunResult/WorkloadResult stats snapshots.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/activity_engine.h"
+#include "core/obs_export.h"
+#include "designs/blocks.h"
+#include "designs/gcd.h"
+#include "sim/builder.h"
+#include "sim/full_cycle.h"
+#include "sim/harness.h"
+
+namespace essent::core {
+namespace {
+
+using sim::Engine;
+using sim::FullCycleEngine;
+using sim::RunResult;
+using sim::SimIR;
+
+// Drives a mix of idle and active cycles so partitions both sleep and wake.
+void bankStimulus(Engine& e, uint64_t c) {
+  e.poke("reset", c < 2);
+  e.poke("bankSel", c % 7 == 0 ? c % 8 : 999);  // mostly idle, periodic pokes
+  e.poke("wdata", c * 17);
+}
+
+TEST(ObsCounters, CcssNeverEvaluatesMoreOpsThanFullCycle) {
+  SimIR ir = sim::buildFromFirrtl(designs::gatedBanksFirrtl(8, 16));
+  FullCycleEngine full(ir);
+  ActivityEngine ccss(ir, ScheduleOptions{});
+  RunResult rFull = sim::runEngine(full, 300, bankStimulus);
+  RunResult rCcss = sim::runEngine(ccss, 300, bankStimulus);
+  ASSERT_EQ(rFull.cycles, rCcss.cycles);
+  EXPECT_LE(rCcss.stats.opsEvaluated, rFull.stats.opsEvaluated);
+  EXPECT_GT(rCcss.stats.opsEvaluated, 0u);
+}
+
+TEST(ObsCounters, ActivationsBoundedByChecksAndActivityInUnitRange) {
+  for (const std::string& text :
+       {designs::gatedBanksFirrtl(8, 16), designs::gcdFirrtl(16), designs::pipelineFirrtl(4, 8)}) {
+    SimIR ir = sim::buildFromFirrtl(text);
+    ActivityEngine eng(ir, ScheduleOptions{});
+    sim::runEngine(eng, 200, [](Engine& e, uint64_t c) { e.poke("reset", c < 2); });
+    EXPECT_LE(eng.stats().partitionActivations, eng.stats().partitionChecks) << ir.name;
+    EXPECT_GE(eng.effectiveActivity(), 0.0) << ir.name;
+    EXPECT_LE(eng.effectiveActivity(), 1.0) << ir.name;
+  }
+}
+
+TEST(ObsProfile, PerPartitionCountersSumToEngineStats) {
+  SimIR ir = sim::buildFromFirrtl(designs::gatedBanksFirrtl(8, 16));
+  ActivityEngine eng(ir, ScheduleOptions{});
+  eng.setProfiling(true);
+  sim::runEngine(eng, 500, bankStimulus);
+
+  const ActivityProfile& prof = eng.profile();
+  ASSERT_EQ(prof.parts.size(), eng.schedule().numPartitions());
+  uint64_t ops = 0, acts = 0;
+  for (const PartitionProfile& pp : prof.parts) {
+    ops += pp.opsEvaluated;
+    acts += pp.activations;
+  }
+  EXPECT_EQ(ops, eng.stats().opsEvaluated);
+  EXPECT_EQ(acts, eng.stats().partitionActivations);
+  EXPECT_EQ(prof.profiledCycles, eng.stats().cycles);
+
+  // The timeline is just the activations re-bucketed by cycle window.
+  uint64_t timeline = std::accumulate(prof.activationsPerWindow.begin(),
+                                      prof.activationsPerWindow.end(), uint64_t{0});
+  EXPECT_EQ(timeline, acts);
+  size_t expectWindows =
+      static_cast<size_t>((prof.profiledCycles + prof.windowCycles - 1) / prof.windowCycles);
+  EXPECT_EQ(prof.activationsPerWindow.size(), expectWindows);
+}
+
+TEST(ObsProfile, ProfilingDoesNotPerturbSimulation) {
+  SimIR ir = sim::buildFromFirrtl(designs::gatedBanksFirrtl(8, 16));
+  ActivityEngine plain(ir, ScheduleOptions{});
+  ActivityEngine profiled(ir, ScheduleOptions{});
+  profiled.setProfiling(true);
+  for (uint64_t c = 0; c < 300; c++) {
+    bankStimulus(plain, c);
+    bankStimulus(profiled, c);
+    plain.tick();
+    profiled.tick();
+  }
+  for (int32_t o : ir.outputs) EXPECT_EQ(plain.peekSig(o), profiled.peekSig(o));
+  EXPECT_EQ(plain.stats().opsEvaluated, profiled.stats().opsEvaluated);
+  EXPECT_EQ(plain.stats().partitionActivations, profiled.stats().partitionActivations);
+  EXPECT_EQ(plain.stats().triggerSets, profiled.stats().triggerSets);
+}
+
+TEST(ObsProfile, ResetStateClearsProfileWithStats) {
+  SimIR ir = sim::buildFromFirrtl(designs::gcdFirrtl(16));
+  ActivityEngine eng(ir, ScheduleOptions{});
+  eng.setProfiling(true);
+  sim::runEngine(eng, 50, [](Engine& e, uint64_t c) {
+    e.poke("load", c == 0);
+    e.poke("a", 48);
+    e.poke("b", 36);
+  });
+  EXPECT_GT(eng.profile().profiledCycles, 0u);
+  eng.resetState();
+  EXPECT_EQ(eng.profile().profiledCycles, 0u);
+  for (const PartitionProfile& pp : eng.profile().parts) {
+    EXPECT_EQ(pp.activations, 0u);
+    EXPECT_EQ(pp.opsEvaluated, 0u);
+    EXPECT_EQ(pp.wakesIssued, 0u);
+  }
+  EXPECT_TRUE(eng.profile().activationsPerWindow.empty());
+}
+
+TEST(ObsProfile, WindowSizeReshapesTimeline) {
+  SimIR ir = sim::buildFromFirrtl(designs::counterFirrtl(8));
+  ActivityEngine eng(ir, ScheduleOptions{});
+  eng.setProfileWindow(10);
+  eng.setProfiling(true);
+  sim::runEngine(eng, 95, [](Engine& e, uint64_t) { e.poke("en", 1); });
+  EXPECT_EQ(eng.profile().windowCycles, 10u);
+  EXPECT_EQ(eng.profile().activationsPerWindow.size(), 10u);  // ceil(95/10)
+}
+
+TEST(ObsProfile, RunAndWorkloadResultsCarryStatsSnapshot) {
+  SimIR ir = sim::buildFromFirrtl(designs::gatedBanksFirrtl(4, 8));
+  ActivityEngine eng(ir, ScheduleOptions{});
+  RunResult res = sim::runEngine(eng, 100, bankStimulus);
+  EXPECT_EQ(res.stats.cycles, eng.stats().cycles);
+  EXPECT_EQ(res.stats.opsEvaluated, eng.stats().opsEvaluated);
+  EXPECT_EQ(res.stats.partitionChecks, eng.stats().partitionChecks);
+  EXPECT_EQ(res.cycles, res.stats.cycles);
+}
+
+TEST(ObsExport, ProfileJsonSumChecksAndHotRanking) {
+  SimIR ir = sim::buildFromFirrtl(designs::gatedBanksFirrtl(8, 16));
+  ActivityEngine eng(ir, ScheduleOptions{});
+  eng.setProfiling(true);
+  sim::runEngine(eng, 400, bankStimulus);
+
+  obs::Json doc = activityProfileJson(eng);
+  uint64_t sum = 0;
+  for (const obs::Json& row : doc.at("partitions").items())
+    sum += row.at("ops_evaluated").asUInt();
+  EXPECT_EQ(sum, doc.at("stats").at("ops_evaluated").asUInt());
+  EXPECT_EQ(doc.at("design").asStr(), ir.name);
+  // Round-trips through the parser without loss.
+  EXPECT_EQ(obs::Json::parse(doc.dump()), doc);
+
+  auto hot = topHotPartitions(eng.profile(), 3);
+  ASSERT_LE(hot.size(), 3u);
+  for (size_t i = 1; i < hot.size(); i++)
+    EXPECT_GE(eng.profile().parts[hot[i - 1]].opsEvaluated,
+              eng.profile().parts[hot[i]].opsEvaluated);
+}
+
+TEST(ObsExport, StatsJsonHasStableKeySet) {
+  sim::EngineStats st;
+  st.cycles = 10;
+  st.opsEvaluated = 100;
+  obs::Json j = engineStatsJson(st);
+  const char* keys[] = {"cycles",          "ops_evaluated", "partition_checks",
+                        "partition_activations", "output_comparisons", "trigger_sets",
+                        "signals_changed_total"};
+  ASSERT_EQ(j.members().size(), std::size(keys));
+  for (size_t i = 0; i < std::size(keys); i++) EXPECT_EQ(j.members()[i].first, keys[i]);
+}
+
+}  // namespace
+}  // namespace essent::core

@@ -20,6 +20,12 @@
 //   --cp N                partitioner small threshold C_p (default 8)
 //   --poke NAME=VALUE     drive an input for the whole --run (repeatable)
 //   --vcd FILE            dump a VCD waveform during --run
+//   --profile FILE        write a JSON runtime profile after --run
+//                         (per-partition counters + activity timeline;
+//                         ccss engine only)
+//   --profile-window N    timeline bucket width in cycles (default 256)
+//   --stats-json FILE     write design/partitioning/timing stats as JSON
+//   --top-hot N           after --run, print the N hottest partitions
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,6 +37,9 @@
 
 #include "codegen/emitter.h"
 #include "core/activity_engine.h"
+#include "core/obs_export.h"
+#include "obs/json.h"
+#include "obs/phase_timer.h"
 #include "sim/builder.h"
 #include "sim/event_driven.h"
 #include "sim/full_cycle.h"
@@ -53,6 +62,10 @@ struct Args {
   uint64_t runCycles = 0;
   std::vector<std::pair<std::string, uint64_t>> pokes;
   std::string vcdPath;
+  std::string profilePath;
+  std::string statsJsonPath;
+  uint32_t profileWindow = 256;
+  uint32_t topHot = 0;
 };
 
 [[noreturn]] void usage(const char* msg = nullptr) {
@@ -61,7 +74,9 @@ struct Args {
                "usage: essentc [--stats | --emit-cpp | --run N | --compile-run N | --dot]\n"
                "               [-o FILE] [--allow-comb-loops]\n"
                "               [--engine full|event|ccss] [--baseline] [--no-hints]\n"
-               "               [--cp N] [--poke NAME=VALUE]... [--vcd FILE] design.fir\n");
+               "               [--cp N] [--poke NAME=VALUE]... [--vcd FILE]\n"
+               "               [--profile FILE] [--profile-window N]\n"
+               "               [--stats-json FILE] [--top-hot N] design.fir\n");
   std::exit(2);
 }
 
@@ -94,12 +109,22 @@ Args parseArgs(int argc, char** argv) {
       if (eq == std::string::npos) usage("--poke expects NAME=VALUE");
       a.pokes.emplace_back(kv.substr(0, eq), std::strtoull(kv.c_str() + eq + 1, nullptr, 0));
     } else if (arg == "--vcd") a.vcdPath = next();
+    else if (arg == "--profile") a.profilePath = next();
+    else if (arg == "--profile-window")
+      a.profileWindow = static_cast<uint32_t>(std::strtoul(next().c_str(), nullptr, 0));
+    else if (arg == "--stats-json") a.statsJsonPath = next();
+    else if (arg == "--top-hot")
+      a.topHot = static_cast<uint32_t>(std::strtoul(next().c_str(), nullptr, 0));
     else if (arg == "--help" || arg == "-h") usage();
     else if (!arg.empty() && arg[0] == '-') usage(("unknown option " + arg).c_str());
     else if (a.inputPath.empty()) a.inputPath = arg;
     else usage("multiple input files");
   }
   if (a.inputPath.empty()) usage("no input file");
+  if ((!a.profilePath.empty() || a.topHot > 0) && a.mode != Args::Mode::Run)
+    usage("--profile / --top-hot require --run");
+  if ((!a.profilePath.empty() || a.topHot > 0) && a.engine != "ccss")
+    usage("--profile / --top-hot require the ccss engine (partition profiles)");
   return a;
 }
 
@@ -123,6 +148,39 @@ void writeOut(const Args& a, const std::string& text) {
     std::fprintf(stderr, "essentc: wrote %zu bytes to %s\n", text.size(),
                  a.outputPath.c_str());
   }
+}
+
+// Assembles the --stats-json document. The partitioning sections are
+// present only when a CCSS schedule exists (ccss engine or --stats mode);
+// the engine section only when a simulation actually ran.
+obs::Json statsJsonDoc(const Args& a, const sim::SimIR& ir,
+                       const core::CondPartSchedule* sched, const sim::Engine* eng) {
+  obs::Json doc = obs::Json::object();
+  obs::Json options = obs::Json::object();
+  options["cp"] = a.cp;
+  options["baseline"] = a.baseline;
+  options["engine"] = a.engine;
+  doc["options"] = std::move(options);
+  doc["design"] = core::designSummaryJson(ir);
+  if (sched) {
+    doc["partitioning"] = core::partitionStatsJson(sched->partitionStats);
+    doc["schedule"] = core::scheduleSummaryJson(*sched);
+  }
+  if (eng) {
+    obs::Json e = obs::Json::object();
+    e["name"] = eng->name();
+    e["stats"] = core::engineStatsJson(eng->stats());
+    if (auto* act = dynamic_cast<const core::ActivityEngine*>(eng))
+      e["effective_activity"] = act->effectiveActivity();
+    doc["engine"] = std::move(e);
+  }
+  doc["phase_timings"] = obs::phaseTimingsJson();
+  return doc;
+}
+
+void writeJsonReport(const char* what, const std::string& path, const obs::Json& doc) {
+  obs::writeJsonFile(path, doc);
+  std::fprintf(stderr, "essentc: wrote %s to %s\n", what, path.c_str());
 }
 
 int runStats(const Args& a, const sim::SimIR& ir) {
@@ -154,6 +212,8 @@ int runStats(const Args& a, const sim::SimIR& ir) {
   std::printf("  elided regs     %zu / %zu\n", sched.elidedRegs, ir.regs.size());
   std::printf("  elided mem wr   %zu\n", sched.elidedMemWrites);
   std::printf("  part outputs    %zu\n", sched.totalOutputs);
+  if (!a.statsJsonPath.empty())
+    writeJsonReport("stats", a.statsJsonPath, statsJsonDoc(a, ir, &sched, nullptr));
   return 0;
 }
 
@@ -168,6 +228,12 @@ int runSim(const Args& a, const sim::SimIR& ir) {
   } else usage("unknown engine (expected full|event|ccss)");
 
   for (const auto& [name, value] : a.pokes) eng->poke(name, value);
+
+  auto* act = dynamic_cast<core::ActivityEngine*>(eng.get());
+  if (act && (!a.profilePath.empty() || a.topHot > 0)) {
+    act->setProfileWindow(a.profileWindow);
+    act->setProfiling(true);
+  }
 
   std::unique_ptr<std::ofstream> vcdFile;
   std::unique_ptr<sim::VcdWriter> vcd;
@@ -187,8 +253,35 @@ int runSim(const Args& a, const sim::SimIR& ir) {
   for (int32_t o : ir.outputs)
     std::printf("  %s = 0x%s\n", ir.signals[static_cast<size_t>(o)].name.c_str(),
                 eng->peekSigBV(o).toHexString().c_str());
-  if (auto* act = dynamic_cast<core::ActivityEngine*>(eng.get()))
-    std::printf("effective activity factor: %.4f\n", act->effectiveActivity());
+  if (act) std::printf("effective activity factor: %.4f\n", act->effectiveActivity());
+
+  if (act && a.topHot > 0) {
+    auto hot = core::topHotPartitions(act->profile(), a.topHot);
+    uint64_t totalOps = act->stats().opsEvaluated;
+    std::printf("hottest partitions (of %zu, by ops evaluated):\n",
+                act->schedule().numPartitions());
+    std::printf("  %4s %6s %12s %12s %12s %7s\n", "rank", "part", "activations", "opsEval",
+                "wakes", "share");
+    for (size_t rank = 0; rank < hot.size(); rank++) {
+      const core::PartitionProfile& pp = act->profile().parts[hot[rank]];
+      double share = totalOps ? 100.0 * static_cast<double>(pp.opsEvaluated) /
+                                    static_cast<double>(totalOps)
+                              : 0.0;
+      std::printf("  %4zu %6zu %12llu %12llu %12llu %6.2f%%\n", rank + 1, hot[rank],
+                  static_cast<unsigned long long>(pp.activations),
+                  static_cast<unsigned long long>(pp.opsEvaluated),
+                  static_cast<unsigned long long>(pp.wakesIssued), share);
+    }
+  }
+
+  if (!a.profilePath.empty()) {
+    obs::Json doc = core::activityProfileJson(*act);
+    doc["phase_timings"] = obs::phaseTimingsJson();
+    writeJsonReport("profile", a.profilePath, doc);
+  }
+  if (!a.statsJsonPath.empty())
+    writeJsonReport("stats", a.statsJsonPath,
+                    statsJsonDoc(a, ir, act ? &act->schedule() : nullptr, eng.get()));
   return 0;
 }
 
