@@ -20,10 +20,10 @@ using namespace essent;
 namespace {
 
 double runCcss(const sim::SimIR& ir, const core::CondPartSchedule& sched,
-               const workloads::Program& prog, double* effAct = nullptr) {
-  core::ActivityEngine eng(ir, sched);
-  auto r = bench::timeEngine(eng, prog);
-  if (effAct) *effAct = eng.effectiveActivity();
+               const workloads::Program& prog, unsigned threads, double* effAct = nullptr) {
+  auto eng = bench::makeCcssEngine(ir, sched, threads);
+  auto r = bench::timeEngine(*eng, prog);
+  if (effAct) *effAct = eng->effectiveActivity();
   return r.seconds;
 }
 
@@ -44,8 +44,8 @@ int main(int argc, char** argv) {
     core::ScheduleOptions offOpts;
     offOpts.stateElision = false;
     auto off = core::buildSchedule(nlOpt, offOpts);
-    double tOn = runCcss(d.optimized, on, prog);
-    double tOff = runCcss(d.optimized, off, prog);
+    double tOn = runCcss(d.optimized, on, prog, report.env().threads);
+    double tOff = runCcss(d.optimized, off, prog, report.env().threads);
     std::printf("A. state-element update elision (elided regs %zu -> %zu):\n",
                 on.elidedRegs, off.elidedRegs);
     std::printf("   with elision %.3fs, without %.3fs  (%.2fx from elision)\n\n", tOn, tOff,
@@ -61,8 +61,8 @@ int main(int argc, char** argv) {
   {
     auto schedOpt = core::buildSchedule(nlOpt, core::ScheduleOptions{});
     auto schedRaw = core::buildSchedule(nlRaw, core::ScheduleOptions{});
-    double tOpt = runCcss(d.optimized, schedOpt, prog);
-    double tRaw = runCcss(d.baseline, schedRaw, prog);
+    double tOpt = runCcss(d.optimized, schedOpt, prog, report.env().threads);
+    double tRaw = runCcss(d.baseline, schedRaw, prog, report.env().threads);
     std::printf("B. classic compiler optimizations (constprop/CSE/DCE) under CCSS:\n");
     std::printf("   optimized IR %.3fs (%zu ops), raw IR %.3fs (%zu ops)  (%.2fx)\n\n", tOpt,
                 d.optimized.ops.size(), tRaw, d.baseline.ops.size(), tRaw / tOpt);
@@ -96,7 +96,7 @@ int main(int argc, char** argv) {
       auto parts = core::partitionNetlist(nlOpt, po);
       auto sched = core::buildScheduleFrom(nlOpt, parts, true);
       double effAct = 0;
-      double t = runCcss(d.optimized, sched, prog, &effAct);
+      double t = runCcss(d.optimized, sched, prog, report.env().threads, &effAct);
       std::printf("   %-26s %10zu %10lld %10.3f %9.4f\n", pc.name, parts.numPartitions(),
                   static_cast<long long>(parts.stats.cutEdges), t, effAct);
       std::fflush(stdout);
@@ -129,10 +129,10 @@ int main(int argc, char** argv) {
       };
       sim::FullCycleEngine fc(banks);
       sim::EventDrivenEngine ev(banks);
-      core::ActivityEngine act(banks, schedB);
+      auto act = bench::makeCcssEngine(banks, schedB, report.env().threads);
       double tFc = sim::runEngine(fc, 20000, stim).seconds;
       double tEv = sim::runEngine(ev, 20000, stim).seconds;
-      double tAc = sim::runEngine(act, 20000, stim).seconds;
+      double tAc = sim::runEngine(*act, 20000, stim).seconds;
       std::printf("   %-8.3f %12.3f %12.3f %12.3f\n", p, tFc, tEv, tAc);
       std::fflush(stdout);
     }

@@ -151,8 +151,8 @@ int main() {
 
   // Interpreter reference for scale.
   {
-    core::ActivityEngine eng(ir, sched);
-    auto r = bench::timeEngine(eng, prog);
+    auto eng = bench::makeCcssEngine(ir, sched, bench::BenchEnv::fromEnv().threads);
+    auto r = bench::timeEngine(*eng, prog);
     std::printf("%-26s %12s %10.4f %12.1f\n", "interpreted CCSS", "-", r.seconds,
                 static_cast<double>(r.cycles) / r.seconds / 1e3);
   }

@@ -35,9 +35,9 @@ int main(int argc, char** argv) {
     core::PartitionOptions po;
     po.smallThreshold = cp;
     auto sched = core::buildScheduleFrom(nl, core::partitionNetlist(nl, po), true);
-    core::ActivityEngine eng(d.optimized, sched);
-    auto r = bench::timeEngine(eng, prog);
-    double effAct = eng.effectiveActivity();
+    auto eng = bench::makeCcssEngine(d.optimized, sched, report.env().threads);
+    auto r = bench::timeEngine(*eng, prog);
+    double effAct = eng->effectiveActivity();
     const auto& st = r.stats;
     double cyc = static_cast<double>(st.cycles);
     double base = static_cast<double>(st.opsEvaluated) / cyc;

@@ -22,8 +22,10 @@ double seconds(std::chrono::steady_clock::time_point t0) {
 
 }  // namespace
 
-int main() {
-  std::printf("Scaling sweep — systolic arrays (extension; not a paper exhibit)\n");
+int main(int argc, char** argv) {
+  bench::BenchEnv env = bench::BenchEnv::fromEnv(argc, argv);
+  std::printf("Scaling sweep — systolic arrays (extension; not a paper exhibit; threads=%u)\n",
+              env.threads);
   std::printf("%6s %8s %8s %10s %10s %12s %12s %12s\n", "grid", "nodes", "parts", "build(s)",
               "part(s)", "full us/cyc", "ccss-busy", "ccss-idle");
   bench::printRule(88);
@@ -56,11 +58,11 @@ int main() {
     };
 
     sim::FullCycleEngine fc(ir);
-    core::ActivityEngine busyEng(ir, core::ScheduleOptions{});
-    core::ActivityEngine idleEng(ir, core::ScheduleOptions{});
+    auto busyEng = bench::makeCcssEngine(ir, core::ScheduleOptions{}, env.threads);
+    auto idleEng = bench::makeCcssEngine(ir, core::ScheduleOptions{}, env.threads);
     double fullUs = perCycle(fc, true, 3000);
-    double busyUs = perCycle(busyEng, true, 3000);
-    double idleUs = perCycle(idleEng, false, 3000);
+    double busyUs = perCycle(*busyEng, true, 3000);
+    double idleUs = perCycle(*idleEng, false, 3000);
 
     std::printf("%3ux%-3u %8d %8zu %10.3f %10.3f %12.2f %12.2f %12.2f\n", n, n,
                 nl.g.numNodes(), p.numPartitions(), buildS, partS, fullUs, busyUs, idleUs);

@@ -36,19 +36,20 @@ int main(int argc, char** argv) {
       sim::EventDrivenEngine commver(d.optimized);
       sim::FullCycleEngine verilator(d.optimized);
       sim::FullCycleEngine baseline(d.baseline);
-      core::ActivityEngine essentEng(d.optimized, core::ScheduleOptions{});
+      auto essentEng = bench::makeCcssEngine(d.optimized, core::ScheduleOptions{},
+                                             report.env().threads);
 
       auto rCv = bench::timeEngine(commver, prog);
       auto rVl = bench::timeEngine(verilator, prog);
       auto rBl = bench::timeEngine(baseline, prog);
-      auto rEs = bench::timeEngine(essentEng, prog);
+      auto rEs = bench::timeEngine(*essentEng, prog);
 
       bool agree = rCv.result == rEs.result && rVl.result == rEs.result &&
                    rBl.result == rEs.result && rCv.cycles == rEs.cycles;
       std::printf("%-6s %-10s %9.3f %10.3f %9.3f %8.3f %8.2fx %8.2fx %7.3f%s\n",
                   d.name.c_str(), prog.name.c_str(), rCv.seconds, rVl.seconds, rBl.seconds,
                   rEs.seconds, rBl.seconds / rEs.seconds, rVl.seconds / rEs.seconds,
-                  essentEng.effectiveActivity(), agree ? "" : "  [ENGINE MISMATCH!]");
+                  essentEng->effectiveActivity(), agree ? "" : "  [ENGINE MISMATCH!]");
       std::fflush(stdout);
       struct { const char* sim; const bench::EngineRun* run; } cols[] = {
           {"commver", &rCv}, {"verilator", &rVl}, {"baseline", &rBl}, {"essent", &rEs}};
@@ -59,7 +60,7 @@ int main(int argc, char** argv) {
         if (col.run == &rEs) {
           row["speedup_vs_baseline"] = rBl.seconds / rEs.seconds;
           row["speedup_vs_verilator"] = rVl.seconds / rEs.seconds;
-          row["effective_activity"] = essentEng.effectiveActivity();
+          row["effective_activity"] = essentEng->effectiveActivity();
         }
         report.addRow(std::move(row));
       }

@@ -11,8 +11,11 @@
 //    optimizations disabled), ESSENT (CCSS engine, all optimizations).
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
+#include <limits>
 #include <memory>
 #include <string>
 #include <utility>
@@ -20,6 +23,7 @@
 
 #include "core/activity_engine.h"
 #include "core/obs_export.h"
+#include "core/parallel_engine.h"
 #include "designs/tinysoc.h"
 #include "obs/json.h"
 #include "obs/phase_timer.h"
@@ -30,6 +34,70 @@
 #include "workloads/programs.h"
 
 namespace essent::bench {
+
+// Measurement knobs honored uniformly by every bench binary, so scaling
+// runs are reproducible from the environment alone:
+//   ESSENT_BENCH_REPS  (or --reps N)    interleaved A/B repetitions
+//   ESSENT_THREADS     (or --threads N) worker threads for CCSS engines
+// Both are recorded in the JSON artifact header (JsonReporter meta).
+struct BenchEnv {
+  unsigned reps = 3;
+  unsigned threads = 1;
+
+  static BenchEnv fromEnv(int argc = 0, char** argv = nullptr) {
+    BenchEnv env;
+    if (const char* e = std::getenv("ESSENT_BENCH_REPS")) {
+      long v = std::strtol(e, nullptr, 10);
+      if (v >= 1) env.reps = static_cast<unsigned>(v);
+    }
+    if (const char* e = std::getenv("ESSENT_THREADS")) {
+      long v = std::strtol(e, nullptr, 10);
+      if (v >= 1) env.threads = static_cast<unsigned>(v);
+    }
+    for (int i = 1; i < argc; i++) {
+      std::string arg = argv[i];
+      auto intVal = [&](size_t prefixLen) {
+        long v = std::strtol(arg.c_str() + prefixLen, nullptr, 10);
+        return v >= 1 ? static_cast<unsigned>(v) : 1u;
+      };
+      if (arg.rfind("--reps=", 0) == 0) env.reps = intVal(7);
+      else if (arg.rfind("--threads=", 0) == 0) env.threads = intVal(10);
+      else if ((arg == "--reps" || arg == "--threads") && i + 1 < argc) {
+        unsigned v = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+        (arg == "--reps" ? env.reps : env.threads) = v >= 1 ? v : 1;
+      }
+    }
+    return env;
+  }
+};
+
+// CCSS engine honoring the thread knob: the serial ActivityEngine at 1
+// thread (the untouched hot path), the wave-parallel engine above.
+inline std::unique_ptr<core::ActivityEngine> makeCcssEngine(const sim::SimIR& ir,
+                                                            const core::ScheduleOptions& opts,
+                                                            unsigned threads) {
+  if (threads <= 1) return std::make_unique<core::ActivityEngine>(ir, opts);
+  return std::make_unique<core::ParallelActivityEngine>(ir, opts, threads);
+}
+
+inline std::unique_ptr<core::ActivityEngine> makeCcssEngine(const sim::SimIR& ir,
+                                                            core::CondPartSchedule schedule,
+                                                            unsigned threads) {
+  if (threads <= 1) return std::make_unique<core::ActivityEngine>(ir, std::move(schedule));
+  return std::make_unique<core::ParallelActivityEngine>(ir, std::move(schedule), threads);
+}
+
+// Interleaved A/B(/C/...) repetition timing: candidates run round-robin
+// (A B C A B C ...) so clock drift and thermal state hit every candidate
+// equally; reports each candidate's best (minimum) seconds.
+inline std::vector<double> interleavedBestSeconds(
+    const std::vector<std::function<double()>>& candidates, unsigned reps) {
+  std::vector<double> best(candidates.size(), std::numeric_limits<double>::infinity());
+  for (unsigned r = 0; r < std::max(1u, reps); r++)
+    for (size_t i = 0; i < candidates.size(); i++)
+      best[i] = std::min(best[i], candidates[i]());
+  return best;
+}
 
 inline std::vector<designs::SoCConfig> evalDesigns() {
   return {designs::socR16(), designs::socR18(), designs::socBoom()};
@@ -95,7 +163,8 @@ inline void printRule(int width) {
 // objects, phase timings come from the global compile-phase registry.
 class JsonReporter {
  public:
-  JsonReporter(std::string name, int argc, char** argv) : name_(std::move(name)) {
+  JsonReporter(std::string name, int argc, char** argv)
+      : name_(std::move(name)), env_(BenchEnv::fromEnv(argc, argv)) {
     for (int i = 1; i < argc; i++) {
       std::string arg = argv[i];
       if (arg == "--json") path_ = defaultPath();
@@ -108,8 +177,14 @@ class JsonReporter {
     doc_["bench"] = name_;
     doc_["schema_version"] = 1;
     doc_["meta"] = obs::Json::object();
+    // Pinning knobs in the header makes every artifact reproducible from
+    // its own contents (reps/threads + the env they came from).
+    doc_["meta"]["reps"] = env_.reps;
+    doc_["meta"]["threads"] = env_.threads;
     doc_["rows"] = obs::Json::array();
   }
+
+  const BenchEnv& env() const { return env_; }
 
   JsonReporter(const JsonReporter&) = delete;
   JsonReporter& operator=(const JsonReporter&) = delete;
@@ -152,6 +227,7 @@ class JsonReporter {
   std::string defaultPath() const { return "BENCH_" + name_ + ".json"; }
 
   std::string name_;
+  BenchEnv env_;
   std::string path_;
   obs::Json doc_ = obs::Json::object();
   bool written_ = false;

@@ -156,7 +156,7 @@ void ActivityEngine::runPartition(size_t pos, const CondPart& part) {
   }
 }
 
-void ActivityEngine::tick() {
+void ActivityEngine::sweepInputs() {
   // 1. External input change detection.
   if (!firstCycle_) {
     for (size_t i = 0; i < ir_->inputs.size(); i++) {
@@ -170,6 +170,29 @@ void ActivityEngine::tick() {
     for (uint32_t i = 0; i < layout_.nwords[in]; i++) prevInputs_[off + i] = state_.vals[off + i];
   }
   firstCycle_ = false;
+}
+
+void ActivityEngine::recordProfiledCycle(uint64_t activationsDelta) {
+  size_t window = static_cast<size_t>(prof_.profiledCycles / prof_.windowCycles);
+  if (prof_.activationsPerWindow.size() <= window)
+    prof_.activationsPerWindow.resize(window + 1, 0);
+  prof_.activationsPerWindow[window] += activationsDelta;
+  prof_.profiledCycles++;
+}
+
+void ActivityEngine::finishCycle() {
+  // 3. Side effects from stale-but-correct enables.
+  firePrintsAndStops();
+
+  // 4. Phase 2: non-elided state elements.
+  for (const auto& rw : sched_.deferredRegs) applyRegWrite(rw);
+  for (const auto& mw : sched_.deferredMemWrites) applyMemWrite(mw);
+
+  stats_.cycles++;
+}
+
+void ActivityEngine::tick() {
+  sweepInputs();
 
   // 2. Partition sweep (static schedule; the per-partition flag check is
   //    the static overhead).
@@ -180,22 +203,9 @@ void ActivityEngine::tick() {
     active_[pos] = 0;  // deactivate for the next cycle first (Figure 1)
     runPartition(pos, sched_.parts[pos]);
   }
-  if (profiling_) {
-    size_t window = static_cast<size_t>(prof_.profiledCycles / prof_.windowCycles);
-    if (prof_.activationsPerWindow.size() <= window)
-      prof_.activationsPerWindow.resize(window + 1, 0);
-    prof_.activationsPerWindow[window] += stats_.partitionActivations - activationsBefore;
-    prof_.profiledCycles++;
-  }
+  if (profiling_) recordProfiledCycle(stats_.partitionActivations - activationsBefore);
 
-  // 3. Side effects from stale-but-correct enables.
-  firePrintsAndStops();
-
-  // 4. Phase 2: non-elided state elements.
-  for (const auto& rw : sched_.deferredRegs) applyRegWrite(rw);
-  for (const auto& mw : sched_.deferredMemWrites) applyMemWrite(mw);
-
-  stats_.cycles++;
+  finishCycle();
 }
 
 double ActivityEngine::effectiveActivity() const {

@@ -59,6 +59,10 @@ class ActivityEngine : public sim::Engine {
   void resetState() override;
   const char* name() const override { return "essent-ccss"; }
 
+  // Worker lanes used by the partition sweep (1 for the serial engine;
+  // ParallelActivityEngine overrides).
+  virtual unsigned threadCount() const { return 1; }
+
   const CondPartSchedule& schedule() const { return sched_; }
 
   // Fraction of ops evaluated over all cycles so far (Figure 7's
@@ -83,7 +87,8 @@ class ActivityEngine : public sim::Engine {
     firstCycle_ = true;
   }
 
- private:
+  // Shared with ParallelActivityEngine (which overrides only the partition
+  // sweep; phases 1, 3, and 4 of the tick stay sequential).
   CondPartSchedule sched_;
   std::vector<uint8_t> active_;
   std::vector<uint64_t> prevInputs_;
@@ -100,6 +105,13 @@ class ActivityEngine : public sim::Engine {
   void applyRegWrite(const SchedRegWrite& rw);
   void applyMemWrite(const SchedMemWrite& mw);
   void wake(const std::vector<int32_t>& parts);
+  // Tick phase 1: wake consumers of changed external inputs and latch the
+  // new input values.
+  void sweepInputs();
+  // Tick phases 3 + 4: side effects, then the non-elided state commits.
+  void finishCycle();
+  // Folds the per-cycle activation delta into the profile timeline.
+  void recordProfiledCycle(uint64_t activationsDelta);
 };
 
 }  // namespace essent::core

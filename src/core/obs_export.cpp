@@ -44,6 +44,15 @@ obs::Json scheduleSummaryJson(const CondPartSchedule& sched) {
   obs::Histogram sizes;
   for (const auto& part : sched.parts) sizes.record(part.ops.size());
   j["partition_size"] = sizes.toJson();
+  // Levelization shape: how much same-cycle parallelism the schedule
+  // exposes. critical_path is the number of level-synchronous waves;
+  // wave_width the histogram of partitions per wave.
+  j["levels"] = sched.numLevels();
+  j["critical_path"] = sched.numLevels();
+  j["max_wave_width"] = sched.maxWaveWidth();
+  obs::Histogram widths;
+  for (const auto& wave : sched.waves) widths.record(wave.size());
+  j["wave_width"] = widths.toJson();
   return j;
 }
 
@@ -66,6 +75,7 @@ obs::Json activityProfileJson(const ActivityEngine& engine) {
   obs::Json j = obs::Json::object();
   j["design"] = engine.ir().name;
   j["engine"] = engine.name();
+  j["threads"] = engine.threadCount();
   j["total_ops"] = engine.ir().ops.size();
   j["effective_activity"] = engine.effectiveActivity();
   j["stats"] = engineStatsJson(engine.stats());

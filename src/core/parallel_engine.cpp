@@ -1,0 +1,171 @@
+#include "core/parallel_engine.h"
+
+#include "sim/op_eval.h"
+
+namespace essent::core {
+
+using sim::MemInfo;
+using sim::RegInfo;
+
+ParallelActivityEngine::ParallelActivityEngine(const sim::SimIR& ir, CondPartSchedule schedule,
+                                               unsigned threads)
+    : ActivityEngine(ir, std::move(schedule)),
+      pool_(threads == 0 ? support::ThreadPool::defaultThreadCount() : threads),
+      lane_(pool_.numThreads()),
+      sweepFn_([this](unsigned lane) { sweepWave(lane); }),
+      // Below ~4 partitions per lane the fork/join handoff dominates the
+      // flag checks it distributes.
+      minForkWidth_(static_cast<size_t>(pool_.numThreads()) * 4) {}
+
+ParallelActivityEngine::ParallelActivityEngine(const sim::SimIR& ir, const ScheduleOptions& opts,
+                                               unsigned threads)
+    : ParallelActivityEngine(ir, buildSchedule(Netlist::build(ir), opts), threads) {}
+
+void ParallelActivityEngine::wakeOnLane(const std::vector<int32_t>& parts, LaneCounters& lc) {
+  // Idempotent set-to-1: concurrent setters of the same flag race only with
+  // each other, and all write the same value with no read-modify-write.
+  for (int32_t p : parts)
+    std::atomic_ref<uint8_t>(active_[static_cast<size_t>(p)]).store(1, std::memory_order_relaxed);
+  lc.triggerSets += parts.size();
+}
+
+void ParallelActivityEngine::applyRegWriteOnLane(const SchedRegWrite& rw, LaneCounters& lc) {
+  const RegInfo& r = ir_->regs[static_cast<size_t>(rw.regIdx)];
+  lc.outputComparisons++;
+  if (sigValsEqual(r.sig, r.next)) return;
+  copySigWords(r.sig, r.next);
+  wakeOnLane(rw.wakeParts, lc);
+}
+
+void ParallelActivityEngine::applyMemWriteOnLane(const SchedMemWrite& mw, LaneCounters& lc) {
+  const MemInfo& mem = ir_->mems[static_cast<size_t>(mw.memIdx)];
+  const sim::MemWriter& w = mem.writers[static_cast<size_t>(mw.writerIdx)];
+  if (state_.vals[layout_.offset[w.en]] == 0) return;
+  if (state_.vals[layout_.offset[w.mask]] == 0) return;
+  uint64_t addr = state_.vals[layout_.offset[w.addr]];
+  if (addr >= mem.depth) return;
+  uint32_t rw = state_.memRowWords[static_cast<size_t>(mw.memIdx)];
+  uint32_t off = layout_.offset[w.data];
+  auto& words = state_.memWords[static_cast<size_t>(mw.memIdx)];
+  bool changed = false;
+  lc.outputComparisons++;
+  for (uint32_t i = 0; i < rw; i++) {
+    if (words[addr * rw + i] != state_.vals[off + i]) {
+      words[addr * rw + i] = state_.vals[off + i];
+      changed = true;
+    }
+  }
+  if (changed) wakeOnLane(mw.wakeParts, lc);
+}
+
+void ParallelActivityEngine::runPartitionOnLane(size_t pos, LaneCounters& lc) {
+  const CondPart& part = sched_.parts[pos];
+  lc.activations++;
+  const uint64_t wakesBefore = lc.triggerSets;
+
+  size_t outBase = partOutBase_[pos];
+  for (size_t oi = 0; oi < part.outputs.size(); oi++) {
+    const PartOutput& o = part.outputs[oi];
+    uint32_t so = outputSaveOff_[outBase + oi];
+    uint32_t vo = layout_.offset[o.sig];
+    for (uint32_t i = 0; i < layout_.nwords[o.sig]; i++)
+      outputSave_[so + i] = state_.vals[vo + i];
+  }
+
+  if (!ir_->hasCombLoops()) {
+    for (int32_t opIdx : part.ops)
+      sim::evalExecOp(*ir_, layout_, state_, exec_[static_cast<size_t>(opIdx)]);
+  } else {
+    for (size_t k = 0; k < part.ops.size();) {
+      int32_t opIdx = part.ops[k];
+      int32_t super = ir_->superOf(static_cast<size_t>(opIdx));
+      if (super < 0) {
+        sim::evalExecOp(*ir_, layout_, state_, exec_[static_cast<size_t>(opIdx)]);
+        k++;
+        continue;
+      }
+      size_t j = k;
+      while (j < part.ops.size() && ir_->superOf(static_cast<size_t>(part.ops[j])) == super)
+        j++;
+      sim::evalSuperRange(*ir_, layout_, state_, exec_.data() + opIdx, j - k);
+      k = j;
+    }
+  }
+  lc.opsEvaluated += part.ops.size();
+
+  for (const auto& rw : part.regWrites) applyRegWriteOnLane(rw, lc);
+  for (const auto& mw : part.memWrites) applyMemWriteOnLane(mw, lc);
+
+  for (size_t oi = 0; oi < part.outputs.size(); oi++) {
+    const PartOutput& o = part.outputs[oi];
+    uint32_t so = outputSaveOff_[outBase + oi];
+    uint32_t vo = layout_.offset[o.sig];
+    uint64_t diff = 0;
+    for (uint32_t i = 0; i < layout_.nwords[o.sig]; i++)
+      diff |= outputSave_[so + i] ^ state_.vals[vo + i];
+    lc.outputComparisons++;
+    if (diff != 0) wakeOnLane(o.consumers, lc);
+  }
+
+  if (profiling_) {
+    // prof_.parts[pos] is touched only by the lane that claimed pos.
+    PartitionProfile& pp = prof_.parts[pos];
+    pp.activations++;
+    pp.opsEvaluated += part.ops.size();
+    pp.wakesIssued += lc.triggerSets - wakesBefore;
+  }
+}
+
+void ParallelActivityEngine::sweepWave(unsigned lane) {
+  LaneCounters& lc = lane_[lane];
+  const std::vector<int32_t>& wave = *wave_;
+  for (;;) {
+    size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= wave.size()) return;
+    size_t pos = static_cast<size_t>(wave[i]);
+    std::atomic_ref<uint8_t> flag(active_[pos]);
+    if (flag.load(std::memory_order_relaxed) == 0) continue;
+    flag.store(0, std::memory_order_relaxed);  // deactivate-first, as serial
+    runPartitionOnLane(pos, lc);
+  }
+}
+
+void ParallelActivityEngine::mergeLaneCounters() {
+  for (LaneCounters& lc : lane_) {
+    stats_.opsEvaluated += lc.opsEvaluated;
+    stats_.partitionActivations += lc.activations;
+    stats_.outputComparisons += lc.outputComparisons;
+    stats_.triggerSets += lc.triggerSets;
+    lc = LaneCounters{};
+  }
+}
+
+void ParallelActivityEngine::tick() {
+  sweepInputs();
+
+  // 2. Partition sweep, one fork/join per levelization wave. Narrow waves
+  //    (including every wave when the pool has one lane) run inline.
+  stats_.partitionChecks += sched_.parts.size();
+  const uint64_t activationsBefore = stats_.partitionActivations;
+  for (const auto& wave : sched_.waves) {
+    if (wave.size() < minForkWidth_ || pool_.numThreads() == 1) {
+      LaneCounters& lc = lane_[0];
+      for (int32_t p : wave) {
+        size_t pos = static_cast<size_t>(p);
+        if (!active_[pos]) continue;
+        active_[pos] = 0;
+        runPartitionOnLane(pos, lc);
+      }
+    } else {
+      wave_ = &wave;
+      cursor_.store(0, std::memory_order_relaxed);
+      pool_.run(sweepFn_);
+    }
+  }
+  mergeLaneCounters();
+  if (profiling_) recordProfiledCycle(stats_.partitionActivations - activationsBefore);
+
+  finishCycle();
+}
+
+}  // namespace essent::core

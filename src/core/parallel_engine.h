@@ -1,0 +1,72 @@
+// Level-synchronous parallel CCSS activity engine.
+//
+// The Singular/Static properties make the ordered partition graph acyclic
+// with a schedule fixed at compile time, so partitions at the same
+// levelization depth (CondPartSchedule::waves) are mutually independent
+// within a cycle: their op outputs are disjoint by construction, every
+// value they read was produced in an earlier wave (combinational edges) or
+// an earlier cycle (state), and every elided state update is ordered after
+// all of its cross-partition readers by the elision ordering edges. The
+// engine therefore evaluates each wave's active partitions across a
+// persistent thread-pool fork/join, with sequential phases around the
+// sweep, and stays bit-exact with the serial ActivityEngine — including
+// every EngineStats counter and the per-partition profile.
+//
+// Memory-ordering argument (docs/PARALLEL.md has the long form):
+//   * partition evaluation writes are plain; the pool's fork/join barrier
+//     publishes them between waves (release on join, acquire on fork);
+//   * wake flags are relaxed std::atomic_ref<uint8_t> stores of 1 —
+//     idempotent, no read-modify-write — racing only with other setters of
+//     the same flag in the same wave, never with the flag's own
+//     test-and-clear (combinational wakes target strictly later waves,
+//     state wakes strictly earlier ones, whose sweep already finished);
+//   * work counters accumulate into per-lane cache-line-padded slots and
+//     merge sequentially at the end of the sweep, so profiling sum checks
+//     hold exactly as in the serial engine.
+#pragma once
+
+#include <atomic>
+#include <functional>
+
+#include "core/activity_engine.h"
+#include "support/threadpool.h"
+
+namespace essent::core {
+
+class ParallelActivityEngine : public ActivityEngine {
+ public:
+  // `threads` == 0 resolves to ThreadPool::defaultThreadCount().
+  ParallelActivityEngine(const sim::SimIR& ir, CondPartSchedule schedule, unsigned threads);
+  ParallelActivityEngine(const sim::SimIR& ir, const ScheduleOptions& opts, unsigned threads);
+
+  void tick() override;
+  const char* name() const override { return "essent-ccss-par"; }
+  unsigned threadCount() const override { return pool_.numThreads(); }
+
+ private:
+  // Per-lane counter slab, padded to a cache line to avoid false sharing.
+  struct alignas(64) LaneCounters {
+    uint64_t opsEvaluated = 0;
+    uint64_t activations = 0;
+    uint64_t outputComparisons = 0;
+    uint64_t triggerSets = 0;
+  };
+
+  void sweepWave(unsigned lane);
+  void runPartitionOnLane(size_t pos, LaneCounters& lc);
+  void applyRegWriteOnLane(const SchedRegWrite& rw, LaneCounters& lc);
+  void applyMemWriteOnLane(const SchedMemWrite& mw, LaneCounters& lc);
+  void wakeOnLane(const std::vector<int32_t>& parts, LaneCounters& lc);
+  void mergeLaneCounters();
+
+  support::ThreadPool pool_;
+  std::vector<LaneCounters> lane_;
+  std::function<void(unsigned)> sweepFn_;
+  const std::vector<int32_t>* wave_ = nullptr;
+  std::atomic<size_t> cursor_{0};
+  // Waves narrower than this run inline on the calling thread: forking
+  // costs more than sweeping a handful of flags.
+  size_t minForkWidth_;
+};
+
+}  // namespace essent::core

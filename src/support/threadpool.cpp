@@ -1,0 +1,105 @@
+#include "support/threadpool.h"
+
+#include <cstdlib>
+
+namespace essent::support {
+
+namespace {
+
+// Spin-then-yield budget while parked between forks. The spin phase covers
+// back-to-back waves (the common case mid-cycle); the yield phase covers
+// the sequential gap between cycles; the condition variable catches
+// genuinely idle pools and oversubscribed machines. Spinning only makes
+// sense when the thread we wait on can run concurrently — on a single
+// hardware context it just burns the timeslice that thread needs, so the
+// spin budget collapses to zero there (yield immediately).
+inline int spinBudget() {
+  static const int budget = std::thread::hardware_concurrency() > 1 ? 4096 : 0;
+  return budget;
+}
+constexpr int kYieldIters = 64;
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned threads) : numThreads_(threads == 0 ? 1 : threads) {
+  workers_.reserve(numThreads_ - 1);
+  for (unsigned lane = 1; lane < numThreads_; lane++)
+    workers_.emplace_back([this, lane] { workerLoop(lane); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    stop_.store(true, std::memory_order_release);
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::run(const std::function<void(unsigned)>& fn) {
+  if (numThreads_ == 1) {
+    fn(0);
+    return;
+  }
+  fn_ = &fn;
+  pending_.store(numThreads_ - 1, std::memory_order_relaxed);
+  {
+    // The epoch bump happens under the mutex so a worker that is between
+    // its last spin check and cv_.wait() cannot miss it: either its wait
+    // predicate re-reads the new epoch, or its sleepers_ increment (made
+    // under the same mutex) is visible to the notify decision below.
+    std::lock_guard<std::mutex> lk(m_);
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
+  if (sleepers_.load(std::memory_order_acquire) > 0) cv_.notify_all();
+
+  fn(0);
+
+  // Join: spin-then-yield; the join gap is bounded by one wave's work.
+  int spins = 0;
+  while (pending_.load(std::memory_order_acquire) != 0) {
+    if (++spins >= spinBudget()) {
+      std::this_thread::yield();
+      spins = 0;
+    }
+  }
+  fn_ = nullptr;
+}
+
+void ThreadPool::workerLoop(unsigned lane) {
+  uint64_t seen = 0;
+  for (;;) {
+    int spins = 0;
+    while (epoch_.load(std::memory_order_acquire) == seen) {
+      spins++;
+      if (spins < spinBudget()) continue;
+      if (spins < spinBudget() + kYieldIters) {
+        std::this_thread::yield();
+        continue;
+      }
+      std::unique_lock<std::mutex> lk(m_);
+      sleepers_.fetch_add(1, std::memory_order_release);
+      cv_.wait(lk, [&] { return epoch_.load(std::memory_order_acquire) != seen; });
+      sleepers_.fetch_sub(1, std::memory_order_release);
+      spins = 0;
+    }
+    seen = epoch_.load(std::memory_order_acquire);
+    // stop_ is stored before the final epoch bump; the acquire load of
+    // epoch_ above orders this load after it.
+    if (stop_.load(std::memory_order_acquire)) return;
+    (*fn_)(lane);
+    pending_.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+unsigned ThreadPool::defaultThreadCount() {
+  if (const char* env = std::getenv("ESSENT_THREADS")) {
+    long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<unsigned>(v);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace essent::support

@@ -24,6 +24,9 @@
 //                         (per-partition counters + activity timeline;
 //                         ccss engine only)
 //   --profile-window N    timeline bucket width in cycles (default 256)
+//   --threads N           worker threads for --run with the ccss engine
+//                         (default $ESSENT_THREADS, else 1; N > 1 selects
+//                         the level-synchronous parallel engine)
 //   --stats-json FILE     write design/partitioning/timing stats as JSON
 //   --top-hot N           after --run, print the N hottest partitions
 #include <cstdio>
@@ -37,6 +40,7 @@
 
 #include "codegen/emitter.h"
 #include "core/activity_engine.h"
+#include "core/parallel_engine.h"
 #include "core/obs_export.h"
 #include "obs/json.h"
 #include "obs/phase_timer.h"
@@ -66,6 +70,7 @@ struct Args {
   std::string statsJsonPath;
   uint32_t profileWindow = 256;
   uint32_t topHot = 0;
+  uint32_t threads = 0;  // 0 = unset: ESSENT_THREADS, else 1
 };
 
 [[noreturn]] void usage(const char* msg = nullptr) {
@@ -75,7 +80,7 @@ struct Args {
                "               [-o FILE] [--allow-comb-loops]\n"
                "               [--engine full|event|ccss] [--baseline] [--no-hints]\n"
                "               [--cp N] [--poke NAME=VALUE]... [--vcd FILE]\n"
-               "               [--profile FILE] [--profile-window N]\n"
+               "               [--profile FILE] [--profile-window N] [--threads N]\n"
                "               [--stats-json FILE] [--top-hot N] design.fir\n");
   std::exit(2);
 }
@@ -115,6 +120,10 @@ Args parseArgs(int argc, char** argv) {
     else if (arg == "--stats-json") a.statsJsonPath = next();
     else if (arg == "--top-hot")
       a.topHot = static_cast<uint32_t>(std::strtoul(next().c_str(), nullptr, 0));
+    else if (arg == "--threads") {
+      a.threads = static_cast<uint32_t>(std::strtoul(next().c_str(), nullptr, 0));
+      if (a.threads == 0) usage("--threads expects a positive integer");
+    }
     else if (arg == "--help" || arg == "-h") usage();
     else if (!arg.empty() && arg[0] == '-') usage(("unknown option " + arg).c_str());
     else if (a.inputPath.empty()) a.inputPath = arg;
@@ -125,6 +134,15 @@ Args parseArgs(int argc, char** argv) {
     usage("--profile / --top-hot require --run");
   if ((!a.profilePath.empty() || a.topHot > 0) && a.engine != "ccss")
     usage("--profile / --top-hot require the ccss engine (partition profiles)");
+  if (a.threads == 0) {
+    if (const char* env = std::getenv("ESSENT_THREADS")) {
+      long v = std::strtol(env, nullptr, 10);
+      if (v >= 1) a.threads = static_cast<uint32_t>(v);
+    }
+    if (a.threads == 0) a.threads = 1;
+  }
+  if (a.threads > 1 && a.mode == Args::Mode::Run && a.engine != "ccss")
+    usage("--threads > 1 requires the ccss engine");
   return a;
 }
 
@@ -160,6 +178,7 @@ obs::Json statsJsonDoc(const Args& a, const sim::SimIR& ir,
   options["cp"] = a.cp;
   options["baseline"] = a.baseline;
   options["engine"] = a.engine;
+  options["threads"] = a.threads;
   doc["options"] = std::move(options);
   doc["design"] = core::designSummaryJson(ir);
   if (sched) {
@@ -224,7 +243,11 @@ int runSim(const Args& a, const sim::SimIR& ir) {
   else if (a.engine == "ccss") {
     core::ScheduleOptions so;
     so.partition.smallThreshold = a.cp;
-    eng = std::make_unique<core::ActivityEngine>(ir, so);
+    // --threads 1 keeps the serial engine: the existing hot path, no pool.
+    if (a.threads > 1)
+      eng = std::make_unique<core::ParallelActivityEngine>(ir, so, a.threads);
+    else
+      eng = std::make_unique<core::ActivityEngine>(ir, so);
   } else usage("unknown engine (expected full|event|ccss)");
 
   for (const auto& [name, value] : a.pokes) eng->poke(name, value);
