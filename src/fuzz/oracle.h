@@ -1,0 +1,99 @@
+// Differential oracle: runs one circuit + stimulus through up to five
+// execution paths and reports the first observable disagreement.
+//
+//   full    — FullCycleEngine on an UNOPTIMIZED SimIR (reference semantics;
+//             using the no-opt build means const-prop/CSE/DCE bugs are
+//             caught too, not just engine bugs);
+//   event   — EventDrivenEngine on the optimized SimIR;
+//   ccss    — ActivityEngine (conditional partition scheduling);
+//   par     — ParallelActivityEngine with 2+ worker threads;
+//   codegen — the compiled simulator emitted by codegen::emitCpp, built
+//             with the host toolchain and compared through a trace protocol
+//             over its stdout.
+//
+// Compared every cycle: every named signal (output/register/node) present
+// in all participating IRs, plus stop status. Compared at the end: printf
+// output and final memory contents.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fuzz/stimulus.h"
+#include "sim/engine.h"
+
+namespace essent::fuzz {
+
+enum class EngineKind { FullCycle, EventDriven, Ccss, CcssPar, Codegen };
+
+const char* engineKindName(EngineKind k);  // "full" / "event" / "ccss" / "par" / "codegen"
+// Parses a canonical token; returns false on unknown names.
+bool parseEngineKind(const std::string& token, EngineKind& out);
+
+std::vector<EngineKind> allEngineKinds();
+
+struct Divergence {
+  enum class Kind {
+    ValueMismatch,    // a named signal differs on some cycle
+    StopMismatch,     // stop/exit behaviour differs (incl. cycle counts)
+    PrintMismatch,    // accumulated printf output differs
+    MemMismatch,      // final memory contents differ
+    EngineException,  // an engine threw while ticking
+    CompileFailure,   // host compilation of the emitted simulator failed
+  };
+  Kind kind = Kind::ValueMismatch;
+  uint64_t cycle = 0;
+  std::string signal;   // or "<mem>[addr]" for MemMismatch
+  std::string engineA;  // reference side
+  std::string engineB;  // disagreeing side
+  std::string valueA;
+  std::string valueB;
+  std::string detail;
+
+  std::string describe() const;
+};
+
+struct OracleOptions {
+  std::vector<EngineKind> engines = allEngineKinds();
+  unsigned parThreads = 2;
+  // Host compiler for the codegen path; -O1 keeps fuzz turnaround fast
+  // while still letting the optimizer exploit any UB in the emitted code.
+  std::string compilerCmd = "c++ -std=c++20 -O1";
+  bool keepCompiledArtifacts = false;  // keep the temp dir for debugging
+};
+
+struct OracleResult {
+  bool ran = false;  // the circuit parsed and built; engines were compared
+  std::string buildError;
+  std::optional<Divergence> divergence;
+  bool codegenSkipped = false;        // e.g. >64-bit signals (documented limit)
+  std::string codegenSkipReason;
+
+  bool ok() const { return ran && !divergence.has_value(); }
+};
+
+OracleResult runOracle(const std::string& firrtlText, const Stimulus& stim,
+                       const OracleOptions& opts = {});
+
+// Reference trace captured from engines[0] during a lock-step run; feeds
+// the out-of-process codegen comparison.
+struct RefTrace {
+  std::vector<std::string> signals;               // names to record
+  std::vector<std::vector<std::string>> cycles;   // hex value per signal per cycle
+  std::string printOut;
+  bool stopped = false;
+  int exitCode = 0;
+  // Final contents of every memory in the reference IR (word 0 per row;
+  // generated memories are always <= 64 bits wide).
+  std::vector<std::pair<std::string, std::vector<uint64_t>>> mems;
+};
+
+// Lock-step comparison of in-process engines (engines[0] is the reference).
+// Exposed separately so tests can compare arbitrary engine pairs.
+std::optional<Divergence> compareLockstep(
+    const std::vector<std::pair<std::string, sim::Engine*>>& engines, const Stimulus& stim,
+    RefTrace* trace = nullptr);
+
+}  // namespace essent::fuzz

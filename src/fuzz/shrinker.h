@@ -1,0 +1,44 @@
+// Delta-debugging shrinker for failing fuzz cases.
+//
+// Given a circuit + stimulus that a predicate declares "still failing", the
+// shrinker searches for a smaller reproducer:
+//   1. line-level ddmin over the circuit text (drops statement runs and
+//      whole modules; candidates that no longer parse/build are rejected by
+//      the predicate automatically);
+//   2. stimulus prefix minimization (shortest failing prefix, found by
+//      scan-from-front);
+//   3. width-literal narrowing (halving the distinct <W> literals);
+//   4. input-column zeroing (constant-0 columns simplify the reproducer).
+// Rounds repeat until a full pass makes no progress or the attempt budget
+// is exhausted. The result is always itself failing under the predicate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "fuzz/stimulus.h"
+
+namespace essent::fuzz {
+
+// Returns true when (circuit, stimulus) still reproduces the failure being
+// chased. Must be deterministic.
+using FailPredicate = std::function<bool(const std::string&, const Stimulus&)>;
+
+struct ShrinkOptions {
+  uint32_t maxAttempts = 800;  // predicate evaluations across all rounds
+  bool shrinkStimulus = true;
+  bool narrowWidths = true;
+};
+
+struct ShrinkResult {
+  std::string fir;
+  Stimulus stim;
+  uint32_t attempts = 0;  // predicate evaluations consumed
+  uint32_t rounds = 0;
+};
+
+ShrinkResult shrinkCase(const std::string& fir, const Stimulus& stim,
+                        const FailPredicate& stillFails, const ShrinkOptions& opts = {});
+
+}  // namespace essent::fuzz

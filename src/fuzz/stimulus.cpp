@@ -1,0 +1,113 @@
+#include "fuzz/stimulus.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "support/rng.h"
+#include "support/strutil.h"
+
+namespace essent::fuzz {
+
+void Stimulus::apply(sim::Engine& eng, size_t c) const {
+  if (c >= cycles.size()) return;
+  const auto& row = cycles[c];
+  for (size_t i = 0; i < inputs.size(); i++) {
+    if (eng.ir().findSignal(inputs[i]) < 0) continue;
+    eng.pokeBV(inputs[i], row[i]);
+  }
+}
+
+Stimulus Stimulus::prefix(size_t n) const {
+  Stimulus s;
+  s.inputs = inputs;
+  s.widths = widths;
+  s.cycles.assign(cycles.begin(), cycles.begin() + std::min(n, cycles.size()));
+  return s;
+}
+
+std::string Stimulus::serialize() const {
+  std::string out = "# essent-fuzz stimulus v1\n";
+  out += "inputs";
+  for (const auto& n : inputs) out += " " + n;
+  out += "\nwidths";
+  for (uint32_t w : widths) out += strfmt(" %u", w);
+  out += "\n";
+  for (const auto& row : cycles) {
+    for (size_t i = 0; i < row.size(); i++) {
+      if (i) out += " ";
+      out += row[i].toHexString();
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Stimulus Stimulus::parse(const std::string& text) {
+  Stimulus s;
+  bool haveInputs = false, haveWidths = false;
+  for (const std::string& raw : splitString(text, '\n')) {
+    std::string line = trimString(raw);
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> tok;
+    for (const auto& t : splitString(line, ' '))
+      if (!trimString(t).empty()) tok.push_back(trimString(t));
+    if (tok.empty()) continue;
+    if (tok[0] == "inputs") {
+      s.inputs.assign(tok.begin() + 1, tok.end());
+      haveInputs = true;
+    } else if (tok[0] == "widths") {
+      for (size_t i = 1; i < tok.size(); i++)
+        s.widths.push_back(static_cast<uint32_t>(std::stoul(tok[i])));
+      haveWidths = true;
+    } else {
+      if (!haveInputs || !haveWidths || s.widths.size() != s.inputs.size())
+        throw std::runtime_error("stimulus: data row before inputs/widths header");
+      if (tok.size() != s.inputs.size())
+        throw std::runtime_error(strfmt(
+            "stimulus: row has %zu values, expected %zu", tok.size(), s.inputs.size()));
+      std::vector<BitVec> row;
+      for (size_t i = 0; i < tok.size(); i++)
+        row.push_back(BitVec::fromHexString(s.widths[i], tok[i]));
+      s.cycles.push_back(std::move(row));
+    }
+  }
+  if (!haveInputs || !haveWidths)
+    throw std::runtime_error("stimulus: missing inputs/widths header");
+  return s;
+}
+
+namespace {
+
+BitVec randomBits(Rng& rng, uint32_t width) {
+  BitVec v(width);
+  for (size_t w = 0; w < v.wordCount(); w++) v.data()[w] = rng.next();
+  v.maskToWidth();
+  return v;
+}
+
+}  // namespace
+
+Stimulus randomStimulus(const sim::SimIR& ir, uint64_t seed, size_t numCycles,
+                        double toggleP) {
+  Rng rng(seed);
+  Stimulus s;
+  size_t resetIdx = SIZE_MAX;
+  for (int32_t in : ir.inputs) {
+    const sim::Signal& sig = ir.signals[static_cast<size_t>(in)];
+    if (sig.name == "reset") resetIdx = s.inputs.size();
+    s.inputs.push_back(sig.name);
+    s.widths.push_back(sig.width);
+  }
+  std::vector<BitVec> row;
+  for (uint32_t w : s.widths) row.push_back(randomBits(rng, w));
+  for (size_t c = 0; c < numCycles; c++) {
+    if (c > 0)
+      for (size_t i = 0; i < row.size(); i++)
+        if (i != resetIdx && rng.nextChance(toggleP)) row[i] = randomBits(rng, s.widths[i]);
+    if (resetIdx != SIZE_MAX) row[resetIdx] = BitVec::fromU64(s.widths[resetIdx], c < 2 ? 1 : 0);
+    s.cycles.push_back(row);
+  }
+  return s;
+}
+
+}  // namespace essent::fuzz

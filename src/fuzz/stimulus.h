@@ -1,0 +1,45 @@
+// Deterministic input stimulus for differential fuzzing: a per-cycle table
+// of values for every input port, with a text serialization so failing
+// cases can be saved next to their .fir circuit and replayed byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/sim_ir.h"
+
+namespace essent::fuzz {
+
+struct Stimulus {
+  std::vector<std::string> inputs;           // input port names, in IR order
+  std::vector<uint32_t> widths;              // matching declared widths
+  std::vector<std::vector<BitVec>> cycles;   // cycles[c][i] drives inputs[i]
+
+  size_t numCycles() const { return cycles.size(); }
+
+  // Pokes cycle `c`'s values into `eng` (names resolved per engine, so the
+  // same stimulus drives engines built from different-but-port-compatible
+  // IRs). Ports absent from the engine are skipped.
+  void apply(sim::Engine& eng, size_t c) const;
+
+  // First `n` cycles (used by the shrinker).
+  Stimulus prefix(size_t n) const;
+
+  // Text form: comment header, `inputs` / `widths` lines, then one
+  // whitespace-separated row of hex values per cycle.
+  std::string serialize() const;
+  // Inverse of serialize(); throws std::runtime_error on malformed input.
+  static Stimulus parse(const std::string& text);
+};
+
+// Random stimulus for `ir`'s input ports. Cycle 0-1 hold reset (when an
+// input named "reset" exists) at 1, later cycles at 0; every other input is
+// fully random on cycle 0 and redrawn with probability `toggleP` per cycle
+// (low toggle probabilities exercise the activity-skipping machinery).
+Stimulus randomStimulus(const sim::SimIR& ir, uint64_t seed, size_t numCycles,
+                        double toggleP);
+
+}  // namespace essent::fuzz

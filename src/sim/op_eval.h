@@ -62,9 +62,14 @@ inline void evalExecOp(const SimIR& ir, const Layout& lay, SimState& st, const E
       else r = a / b;
       break;
     case OpCode::Rem:
-      if (b == 0) r = a;
-      else if (op.signedOp) r = static_cast<uint64_t>(sx(a, op.aW) % sx(b, op.bW));
-      else r = a % b;
+      if (b == 0) r = a;  // x % 0 := x truncated (matches bvops::rem)
+      else if (op.signedOp) {
+        // INT64_MIN % -1 overflows the quotient and is UB in C++ (SIGFPE on
+        // x86); the mathematical remainder is 0, which is what bvops::rem
+        // and the emitted C++ produce.
+        const int64_t sb = sx(b, op.bW);
+        r = sb == -1 ? 0 : static_cast<uint64_t>(sx(a, op.aW) % sb);
+      } else r = a % b;
       break;
     case OpCode::Lt:
       r = op.signedOp ? (sx(a, op.aW) < sx(b, op.bW)) : (a < b);

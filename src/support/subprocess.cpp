@@ -1,0 +1,43 @@
+#include "support/subprocess.h"
+
+#include <sys/wait.h>
+
+#include <cstdlib>
+
+#include "support/strutil.h"
+
+namespace essent::support {
+
+std::string shellQuote(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'')
+      out += "'\\''";
+    else
+      out += c;
+  }
+  out += "'";
+  return out;
+}
+
+ExecResult runShell(const std::string& cmd) {
+  ExecResult r;
+  int status = std::system(cmd.c_str());
+  if (status == -1) return r;  // could not spawn a shell at all
+  r.ran = true;
+  if (WIFEXITED(status)) {
+    r.exited = true;
+    r.exitCode = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    r.signal = WTERMSIG(status);
+  }
+  return r;
+}
+
+std::string ExecResult::describe() const {
+  if (!ran) return "failed to spawn shell";
+  if (!exited) return strfmt("killed by signal %d", signal);
+  return strfmt("exited %d", exitCode);
+}
+
+}  // namespace essent::support

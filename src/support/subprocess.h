@@ -1,0 +1,28 @@
+// Shell subprocess helpers shared by the tool flow: POSIX-safe quoting and
+// a std::system wrapper that decodes the wait status, so callers can
+// distinguish "ran and exited N" from "killed by a signal" and never build
+// commands by unquoted string concatenation.
+#pragma once
+
+#include <string>
+
+namespace essent::support {
+
+// Wraps `s` in single quotes, escaping embedded single quotes ('\''), so it
+// is safe to splice into a /bin/sh command line.
+std::string shellQuote(const std::string& s);
+
+struct ExecResult {
+  bool ran = false;     // fork/exec itself succeeded
+  bool exited = false;  // terminated normally (vs. signal)
+  int exitCode = -1;    // WEXITSTATUS when exited, else -1
+  int signal = 0;       // terminating signal when !exited
+
+  bool ok() const { return ran && exited && exitCode == 0; }
+  std::string describe() const;
+};
+
+// Runs `cmd` through std::system and decodes the result.
+ExecResult runShell(const std::string& cmd);
+
+}  // namespace essent::support

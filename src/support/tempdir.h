@@ -1,0 +1,54 @@
+// RAII temporary directory (mkdtemp wrapper). The directory and everything
+// inside it are removed on destruction unless keep() is called — used by the
+// compile-and-run paths (essentc --compile-run, the fuzzer's codegen oracle)
+// so host-compilation scratch space is cleaned up on success *and* on every
+// early-error path.
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+
+namespace essent::support {
+
+class TempDir {
+ public:
+  // `nameTemplate` must end in "XXXXXX" (mkdtemp contract); it is created
+  // under /tmp (or $TMPDIR when set).
+  explicit TempDir(const std::string& nameTemplate = "essent_XXXXXX") {
+    const char* base = std::getenv("TMPDIR");
+    std::string tmpl = std::string(base && *base ? base : "/tmp") + "/" + nameTemplate;
+    std::string buf = tmpl;
+    if (!mkdtemp(buf.data()))
+      throw std::runtime_error("mkdtemp failed for template " + tmpl + ": " +
+                               std::strerror(errno));
+    path_ = buf;
+  }
+
+  ~TempDir() {
+    if (keep_ || path_.empty()) return;
+    std::error_code ec;  // best-effort: never throw from a destructor
+    std::filesystem::remove_all(path_, ec);
+  }
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+  std::string file(const std::string& name) const { return path_ + "/" + name; }
+
+  // Disarms cleanup (e.g. to preserve a failing generated source for
+  // debugging). Returns the path for convenience.
+  const std::string& keep() {
+    keep_ = true;
+    return path_;
+  }
+
+ private:
+  std::string path_;
+  bool keep_ = false;
+};
+
+}  // namespace essent::support

@@ -375,5 +375,179 @@ TEST(Regression, HugeFanoutSignal) {
   }, "o");
 }
 
+TEST(Regression, DivRemDshrByZeroAndPastWidth) {
+  // Division edge cases must agree across engines AND match the FIRRTL
+  // spec reading used throughout the repo: x/0 == 0, x%0 == x (truncated
+  // to the result width), dynamic shift right by >= width == 0.
+  std::string design = R"(
+circuit D :
+  module D :
+    input clock : Clock
+    input x : UInt<8>
+    input sh : UInt<4>
+    output dz : UInt<8>
+    output rz : UInt<8>
+    output shr : UInt<8>
+    dz <= div(x, UInt<8>(0))
+    rz <= rem(x, UInt<8>(0))
+    shr <= dshr(x, sh)
+)";
+  SimIR ir = sim::buildFromFirrtl(design);
+  FullCycleEngine fc(ir);
+  fc.poke("x", 200);
+  fc.poke("sh", 9);
+  fc.tick();
+  EXPECT_EQ(fc.peek("dz"), 0u);
+  EXPECT_EQ(fc.peek("rz"), 200u);
+  EXPECT_EQ(fc.peek("shr"), 0u);
+  runAllEngines(design, 20, [](sim::Engine& e, uint64_t c) {
+    e.poke("x", (c * 37) & 0xff);
+    e.poke("sh", c % 16);
+  }, "rz");
+}
+
+TEST(Regression, SignedRemInt64MinByMinusOne) {
+  // INT64_MIN % -1 is UB in C++ (traps with SIGFPE on x86); both the
+  // interpreter fast path and the emitted codegen guard the divisor. The
+  // mathematical remainder is 0.
+  std::string design = R"(
+circuit R :
+  module R :
+    input a : SInt<64>
+    input b : SInt<64>
+    output o : SInt<64>
+    o <= rem(a, b)
+)";
+  SimIR ir = sim::buildFromFirrtl(design);
+  FullCycleEngine fc(ir);
+  fc.pokeBV("a", BitVec::fromI64(64, INT64_MIN));
+  fc.pokeBV("b", BitVec::fromI64(64, -1));
+  fc.tick();
+  EXPECT_EQ(fc.peekBV("o").toU64(), 0u);
+  // Remainder sign follows the dividend.
+  fc.pokeBV("b", BitVec::fromI64(64, 3));
+  fc.tick();
+  EXPECT_EQ(fc.peekBV("o").toI64(), -2);
+  // And a divisor of 0 returns the dividend, even at INT64_MIN.
+  fc.pokeBV("b", BitVec::fromI64(64, 0));
+  fc.tick();
+  EXPECT_EQ(fc.peekBV("o").toI64(), INT64_MIN);
+  runAllEngines(design, 6, [](sim::Engine& e, uint64_t c) {
+    e.pokeBV("a", BitVec::fromI64(64, c % 2 ? INT64_MIN : -7));
+    e.pokeBV("b", BitVec::fromI64(64, static_cast<int64_t>(c) - 3));  // hits -1 and 0
+  }, "o");
+}
+
+// The next three designs graduated from the differential fuzzer's corner
+// generator (tests/corpus/ holds the same circuits as replayable .fir+.stim
+// pairs; the essent_fuzz_tests suite replays them through all five engines).
+
+TEST(Regression, FuzzCornerZeroWidthOps) {
+  // UInt<0> flowing through pad/orr/eq/cat and into a register.
+  std::string design = R"(
+circuit CornerZW :
+  module CornerZW :
+    input clock : Clock
+    input reset : UInt<1>
+    input z : UInt<0>
+    input a : UInt<8>
+    output o : UInt<8>
+    output rout : UInt<2>
+    node zp = pad(z, 8)
+    node zo = orr(z)
+    node ze = eq(z, UInt<0>(0))
+    node zc = cat(a, z)
+    reg r : UInt<2>, clock with : (reset => (reset, UInt<2>(0)))
+    r <= cat(ze, zo)
+    o <= tail(add(zc, zp), 1)
+    rout <= r
+)";
+  uint64_t v = runAllEngines(design, 8, [](sim::Engine& e, uint64_t c) {
+    e.poke("reset", c < 2);
+    e.poke("a", (0xff35 >> (c % 8)) & 0xff);
+  }, "rout");
+  // zo == 0 (orr of nothing), ze == 1 (0 == 0), so r settles at 0b10.
+  EXPECT_EQ(v, 2u);
+}
+
+TEST(Regression, FuzzCornerDeeplyNestedMux) {
+  // A 12-deep mux chain selected bit-by-bit: exercises partition nesting
+  // in CCSS and mux short-circuiting in the event-driven engine.
+  std::string design = "circuit M :\n  module M :\n    input clock : Clock\n";
+  design += "    input s : UInt<12>\n    input a : UInt<8>\n    output o : UInt<8>\n";
+  design += "    node m0 = mux(bits(s, 0, 0), a, not(a))\n";
+  for (int i = 1; i < 12; i++)
+    design += strfmt(
+        "    node m%d = mux(bits(s, %d, %d), m%d, tail(add(m%d, UInt<8>(%d)), 1))\n",
+        i, i, i, i - 1, i - 1, i);
+  design += "    o <= m11\n";
+  runAllEngines(design, 16, [](sim::Engine& e, uint64_t c) {
+    e.poke("s", c == 0 ? 0 : (1u << (c % 12)));
+    e.poke("a", 0x5a);
+  }, "o");
+  // Direct check of the all-else path: s == 0 -> o == ((~a)+1)+2+...+11.
+  SimIR ir = sim::buildFromFirrtl(design);
+  FullCycleEngine fc(ir);
+  fc.poke("s", 0);
+  fc.poke("a", 0x5a);
+  fc.tick();
+  EXPECT_EQ(fc.peek("o"), ((~0x5aull & 0xff) + 66) & 0xff);
+}
+
+TEST(Regression, FuzzCornerMemSameCycleReadWrite) {
+  // Latency-0 and latency-1 memories written and read at the SAME address
+  // in the same cycle: the latency-0 read must see the pre-write value
+  // (write latency is 1), and the latency-1 read must pipeline by a cycle.
+  std::string design = R"(
+circuit CM :
+  module CM :
+    input clock : Clock
+    input addr : UInt<3>
+    input wdata : UInt<8>
+    input wen : UInt<1>
+    output r0 : UInt<8>
+    output r1 : UInt<8>
+    mem m0 :
+      data-type => UInt<8>
+      depth => 8
+      read-latency => 0
+      write-latency => 1
+      read-under-write => undefined
+      reader => r
+      writer => w
+    m0.r.addr <= addr
+    m0.r.en <= UInt<1>(1)
+    m0.r.clk <= clock
+    m0.w.addr <= addr
+    m0.w.en <= wen
+    m0.w.clk <= clock
+    m0.w.data <= wdata
+    m0.w.mask <= UInt<1>(1)
+    mem m1 :
+      data-type => UInt<8>
+      depth => 8
+      read-latency => 1
+      write-latency => 1
+      read-under-write => undefined
+      reader => r
+      writer => w
+    m1.r.addr <= addr
+    m1.r.en <= UInt<1>(1)
+    m1.r.clk <= clock
+    m1.w.addr <= addr
+    m1.w.en <= wen
+    m1.w.clk <= clock
+    m1.w.data <= wdata
+    m1.w.mask <= UInt<1>(1)
+    r0 <= m0.r.data
+    r1 <= m1.r.data
+)";
+  runAllEngines(design, 24, [](sim::Engine& e, uint64_t c) {
+    e.poke("addr", (c / 2) % 8);  // revisit each address twice
+    e.poke("wdata", (c * 11) & 0xff);
+    e.poke("wen", c % 3 != 0);
+  }, "r0");
+}
+
 }  // namespace
 }  // namespace essent

@@ -1,105 +1,153 @@
-// essent-fuzz — differential fuzzer for the tool flow: generates random
-// closed designs, runs them in lock step on the full-cycle (reference),
-// event-driven, and CCSS engines across several partitioner settings, and
-// reports any divergence with the reproducing FIRRTL.
+// essent-fuzz — differential FIRRTL fuzzer across all five execution paths
+// (full-cycle reference, event-driven, CCSS, parallel CCSS, and the
+// compiled codegen simulator). Generates seeded random circuits + stimulus,
+// compares every output signal every cycle plus final register/memory
+// state, shrinks failures with delta debugging, and saves reproducers.
 //
-// Usage:  essent_fuzz [numSeeds] [cycles] [--wide] [--start SEED]
+// Usage:
+//   essent_fuzz [--seed S] [--budget N] [--cycles N]
+//               [--engines full,event,ccss,par,codegen] [--threads N]
+//               [--codegen-every N] [--wide-every N]
+//               [--corpus DIR] [--no-shrink] [-v]
+//   essent_fuzz --replay CASESEED [other options]
+//   essent_fuzz --replay-file CASE.fir [--stim CASE.stim]
+//
+// Deterministic: the same --seed always generates the same circuits and
+// verdicts; --replay CASESEED reproduces a single case from any campaign.
+// Exit status: 0 when every case agrees, 1 on any divergence.
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
-#include <memory>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
 
-#include "core/activity_engine.h"
-#include "designs/blocks.h"
+#include "fuzz/fuzzer.h"
 #include "sim/builder.h"
-#include "sim/event_driven.h"
-#include "sim/full_cycle.h"
-#include "sim/harness.h"
-#include "support/rng.h"
+#include "support/strutil.h"
 
 using namespace essent;
 
 namespace {
 
-sim::StimulusFn fuzzStimulus(uint64_t seed, double toggleP) {
-  auto held =
-      std::make_shared<std::unordered_map<const sim::Engine*, std::unordered_map<int, uint64_t>>>();
-  return [seed, held, toggleP](sim::Engine& e, uint64_t cycle) {
-    auto& mine = (*held)[&e];
-    int idx = 0;
-    for (int32_t in : e.ir().inputs) {
-      const auto& sig = e.ir().signals[static_cast<size_t>(in)];
-      idx++;
-      if (sig.name == "reset") {
-        e.poke("reset", cycle < 2);
-        continue;
-      }
-      Rng draw(seed ^ (cycle * 0x9e3779b97f4a7c15ULL) ^ (static_cast<uint64_t>(idx) << 32));
-      auto [it, inserted] = mine.emplace(idx, 0);
-      if (inserted || draw.nextChance(toggleP)) it->second = draw.next();
-      e.poke(sig.name, it->second);
-    }
-  };
+void usage() {
+  std::fprintf(stderr,
+               "usage: essent_fuzz [--seed S] [--budget N] [--cycles N]\n"
+               "                   [--engines full,event,ccss,par,codegen] [--threads N]\n"
+               "                   [--codegen-every N] [--wide-every N]\n"
+               "                   [--corpus DIR] [--no-shrink] [-v]\n"
+               "                   [--replay CASESEED | --replay-file F.fir [--stim F.stim]]\n");
+  std::exit(2);
+}
+
+std::string readFileOrDie(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "essent_fuzz: cannot read %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  uint64_t numSeeds = 50, cycles = 150, start = 1;
-  bool wide = false;
+  fuzz::FuzzConfig cfg;
+  std::optional<uint64_t> replaySeed;
+  std::string replayFile, stimFile;
+
   for (int i = 1; i < argc; i++) {
-    if (std::strcmp(argv[i], "--wide") == 0) wide = true;
-    else if (std::strcmp(argv[i], "--start") == 0 && i + 1 < argc)
-      start = std::strtoull(argv[++i], nullptr, 0);
-    else if (numSeeds == 50) numSeeds = std::strtoull(argv[i], nullptr, 0);
-    else cycles = std::strtoull(argv[i], nullptr, 0);
+    std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (a == "--seed") cfg.seed = std::strtoull(next(), nullptr, 0);
+    else if (a == "--budget") cfg.budget = std::strtoull(next(), nullptr, 0);
+    else if (a == "--cycles") cfg.cycles = std::strtoull(next(), nullptr, 0);
+    else if (a == "--threads") cfg.parThreads = static_cast<unsigned>(std::strtoul(next(), nullptr, 0));
+    else if (a == "--codegen-every") cfg.codegenEvery = static_cast<uint32_t>(std::strtoul(next(), nullptr, 0));
+    else if (a == "--wide-every") cfg.wideEvery = static_cast<uint32_t>(std::strtoul(next(), nullptr, 0));
+    else if (a == "--corpus") cfg.corpusDir = next();
+    else if (a == "--no-shrink") cfg.shrinkFailures = false;
+    else if (a == "--shrink-attempts") cfg.shrinkAttempts = static_cast<uint32_t>(std::strtoul(next(), nullptr, 0));
+    else if (a == "-v" || a == "--verbose") cfg.verbose = true;
+    else if (a == "--replay") replaySeed = std::strtoull(next(), nullptr, 0);
+    else if (a == "--replay-file") replayFile = next();
+    else if (a == "--stim") stimFile = next();
+    else if (a == "--engines") {
+      cfg.engines.clear();
+      for (const std::string& tok : splitString(next(), ',')) {
+        fuzz::EngineKind k;
+        if (!fuzz::parseEngineKind(trimString(tok), k)) {
+          std::fprintf(stderr, "essent_fuzz: unknown engine '%s'\n", tok.c_str());
+          usage();
+        }
+        cfg.engines.push_back(k);
+      }
+    } else {
+      usage();
+    }
   }
 
-  int failures = 0;
-  for (uint64_t seed = start; seed < start + numSeeds; seed++) {
-    designs::RandomDesignConfig cfg;
-    cfg.numNodes = 80;
-    cfg.useWide = wide;
-    if (wide) cfg.maxWidth = 90;
-    std::string text = designs::randomDesignFirrtl(seed, cfg);
-    double toggleP = (seed % 10 == 0) ? 1.0 : 1.0 / static_cast<double>(1 + seed % 7);
-    try {
-      sim::SimIR ir = sim::buildFromFirrtl(text);
-      auto check = [&](sim::Engine& other, const char* tag) {
-        sim::FullCycleEngine ref(ir);
-        auto m = sim::compareEngines(ref, other, cycles, fuzzStimulus(seed, toggleP));
-        if (m) {
-          failures++;
-          std::printf("FAIL seed=%llu engine=%s: %s\n",
-                      static_cast<unsigned long long>(seed), tag, m->describe().c_str());
-          std::printf("--- reproducing FIRRTL ---\n%s\n", text.c_str());
-        }
-      };
-      sim::EventDrivenEngine ev(ir);
-      check(ev, "event-driven");
-      for (uint32_t cp : {2u, 8u, 64u}) {
-        core::ScheduleOptions so;
-        so.partition.smallThreshold = cp;
-        core::ActivityEngine act(ir, so);
-        check(act, cp == 2 ? "ccss-cp2" : cp == 8 ? "ccss-cp8" : "ccss-cp64");
+  if (!replayFile.empty()) {
+    // Re-check a saved reproducer. Without --stim, drive a deterministic
+    // default stimulus derived from the campaign seed.
+    std::string fir = readFileOrDie(replayFile);
+    fuzz::CaseResult cr;
+    if (!stimFile.empty()) {
+      fuzz::Stimulus stim = fuzz::Stimulus::parse(readFileOrDie(stimFile));
+      cr = fuzz::replayCase(fir, stim, cfg, stdout);
+    } else {
+      sim::SimIR ir;
+      try {
+        ir = sim::buildFromFirrtl(fir);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "essent_fuzz: %s\n", e.what());
+        return 1;
       }
-      core::ScheduleOptions noElide;
-      noElide.stateElision = false;
-      core::ActivityEngine actNe(ir, noElide);
-      check(actNe, "ccss-noelide");
-    } catch (const std::exception& e) {
-      failures++;
-      std::printf("FAIL seed=%llu (exception): %s\n--- FIRRTL ---\n%s\n",
-                  static_cast<unsigned long long>(seed), e.what(), text.c_str());
+      fuzz::Stimulus stim = fuzz::randomStimulus(ir, cfg.seed, cfg.cycles, 0.5);
+      cr = fuzz::replayCase(fir, stim, cfg, stdout);
     }
-    if ((seed - start + 1) % 10 == 0)
-      std::printf("... %llu/%llu seeds done, %d failures\n",
-                  static_cast<unsigned long long>(seed - start + 1),
-                  static_cast<unsigned long long>(numSeeds), failures);
+    return cr.failed() ? 1 : 0;
   }
-  std::printf("%s: %llu seeds x %llu cycles, %d failures\n",
-              failures ? "FUZZ FAILED" : "fuzz clean",
-              static_cast<unsigned long long>(numSeeds),
-              static_cast<unsigned long long>(cycles), failures);
-  return failures ? 1 : 0;
+
+  if (replaySeed) {
+    cfg.verbose = true;
+    // Replay ignores the codegen sampling: if codegen is in the engine set
+    // and the case is not wide, it runs (maximum scrutiny on a known case).
+    fuzz::FuzzConfig rc = cfg;
+    rc.codegenEvery = 1;
+    fuzz::CaseResult cr = fuzz::runFuzzCase(*replaySeed, rc, stdout);
+    if (!cr.failed()) {
+      std::printf("replay seed=%llu: engines agree%s\n",
+                  static_cast<unsigned long long>(*replaySeed),
+                  cr.codegenChecked ? " (codegen included)" : "");
+      return 0;
+    }
+    if (!cr.buildError.empty())
+      std::printf("replay seed=%llu: BUILD ERROR: %s\n",
+                  static_cast<unsigned long long>(*replaySeed), cr.buildError.c_str());
+    if (cr.divergence)
+      std::printf("replay seed=%llu: DIVERGENCE\n%s\n",
+                  static_cast<unsigned long long>(*replaySeed),
+                  cr.divergence->describe().c_str());
+    std::printf("--- reproducing FIRRTL ---\n%s\n",
+                cr.shrunkFir.empty() ? cr.fir.c_str() : cr.shrunkFir.c_str());
+    return 1;
+  }
+
+  fuzz::FuzzSummary sum = fuzz::runFuzzCampaign(cfg, stdout);
+  if (sum.failed()) {
+    std::printf("FUZZ FAILED: %llu/%llu cases diverged; replay with --replay <seed>\n",
+                static_cast<unsigned long long>(sum.failures),
+                static_cast<unsigned long long>(sum.cases));
+    return 1;
+  }
+  std::printf("fuzz clean: %llu cases, digest %016llx\n",
+              static_cast<unsigned long long>(sum.cases),
+              static_cast<unsigned long long>(sum.digest));
+  return 0;
 }

@@ -49,6 +49,8 @@
 #include "sim/full_cycle.h"
 #include "sim/vcd.h"
 #include "support/strutil.h"
+#include "support/subprocess.h"
+#include "support/tempdir.h"
 
 using namespace essent;
 
@@ -321,13 +323,10 @@ int runCompileRun(const Args& a, const sim::SimIR& ir) {
   std::string code =
       codegen::emitCpp(ir, co.ccss ? &sched : nullptr, co);
 
-  char dirTemplate[] = "/tmp/essentc_cr_XXXXXX";
-  char* dir = mkdtemp(dirTemplate);
-  if (!dir) {
-    std::fprintf(stderr, "essentc: mkdtemp failed\n");
-    return 1;
-  }
-  std::string src = std::string(dir) + "/sim.cpp";
+  // RAII scratch space: removed on every exit path (success, compile
+  // failure, early errors) unless explicitly kept for debugging.
+  support::TempDir dir("essentc_cr_XXXXXX");
+  std::string src = dir.file("sim.cpp");
   {
     std::ofstream f(src);
     f << code;
@@ -348,22 +347,44 @@ int runCompileRun(const Args& a, const sim::SimIR& ir) {
         << codegen::memberName(ir, o) << ");\n";
     f << "  return sim.exit_code_;\n}\n";
   }
-  std::string bin = std::string(dir) + "/sim";
-  std::string cmd = "c++ -std=c++20 -O2 -o " + bin + " " + src;
+  std::string bin = dir.file("sim");
+  std::string cmd =
+      "c++ -std=c++20 -O2 -o " + support::shellQuote(bin) + " " + support::shellQuote(src);
   std::fprintf(stderr, "essentc: compiling generated simulator (%zu bytes)...\n",
                code.size());
-  if (std::system(cmd.c_str()) != 0) {
-    std::fprintf(stderr, "essentc: host compilation failed (source kept at %s)\n",
-                 src.c_str());
+  support::ExecResult cc = support::runShell(cmd);
+  if (!cc.ok()) {
+    std::fprintf(stderr, "essentc: host compilation failed (%s; source kept at %s)\n",
+                 cc.describe().c_str(), src.c_str());
+    dir.keep();
     return 1;
   }
-  std::string outFile = std::string(dir) + "/out.txt";
-  std::system((bin + " > " + outFile).c_str());
+  std::string outFile = dir.file("out.txt");
+  support::ExecResult run =
+      support::runShell(support::shellQuote(bin) + " > " + support::shellQuote(outFile));
 
   // Interpreter cross-check.
   core::ActivityEngine eng(ir, so);
   for (const auto& [name2, value] : a.pokes) eng.poke(name2, value);
   for (uint64_t c = 0; c < a.runCycles && !eng.stopped(); c++) eng.tick();
+
+  // The generated main() returns the design's stop exit code, so a nonzero
+  // status is a failure only when the interpreter disagrees (or the process
+  // died abnormally).
+  int wantExit = eng.stopped() ? eng.exitCode() : 0;
+  if (!run.ran || !run.exited) {
+    std::fprintf(stderr, "essentc: compiled simulator did not run cleanly (%s; kept at %s)\n",
+                 run.describe().c_str(), bin.c_str());
+    dir.keep();
+    return 1;
+  }
+  if (run.exitCode != wantExit) {
+    std::fprintf(stderr,
+                 "essentc: compiled simulator exit status %d disagrees with the interpreter "
+                 "(expected %d)\n",
+                 run.exitCode, wantExit);
+    return 1;
+  }
 
   std::ifstream out(outFile);
   std::string line;
