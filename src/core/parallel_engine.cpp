@@ -1,5 +1,8 @@
 #include "core/parallel_engine.h"
 
+#include <system_error>
+#include <thread>
+
 #include "sim/op_eval.h"
 
 namespace essent::core {
@@ -166,6 +169,39 @@ void ParallelActivityEngine::tick() {
   if (profiling_) recordProfiledCycle(stats_.partitionActivations - activationsBefore);
 
   finishCycle();
+}
+
+std::unique_ptr<ActivityEngine> makeCcssEngine(const sim::SimIR& ir,
+                                               const ScheduleOptions& opts,
+                                               unsigned threads,
+                                               std::vector<std::string>* warnings) {
+  auto warn = [&](const std::string& msg) {
+    if (warnings) warnings->push_back(msg);
+  };
+  unsigned requested = threads == 0 ? support::ThreadPool::defaultThreadCount() : threads;
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 0 && requested > hw) {
+    warn("requested " + std::to_string(requested) + " threads exceeds hardware concurrency (" +
+         std::to_string(hw) + "); clamping");
+    requested = hw;
+  }
+  if (requested <= 1) return std::make_unique<ActivityEngine>(ir, opts);
+  try {
+    auto eng = std::make_unique<ParallelActivityEngine>(ir, opts, requested);
+    unsigned got = eng->threadCount();
+    if (got == 1) {
+      warn("no worker threads could be created; falling back to serial CCSS engine");
+      return std::make_unique<ActivityEngine>(ir, opts);
+    }
+    if (got < requested)
+      warn("only " + std::to_string(got) + " of " + std::to_string(requested) +
+           " threads could be created; running degraded");
+    return eng;
+  } catch (const std::system_error& e) {
+    warn(std::string("parallel engine unavailable (") + e.what() +
+         "); falling back to serial CCSS engine");
+    return std::make_unique<ActivityEngine>(ir, opts);
+  }
 }
 
 }  // namespace essent::core

@@ -27,6 +27,9 @@
 
 #include <atomic>
 #include <functional>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "core/activity_engine.h"
 #include "support/threadpool.h"
@@ -68,5 +71,17 @@ class ParallelActivityEngine : public ActivityEngine {
   // costs more than sweeping a handful of flags.
   size_t minForkWidth_;
 };
+
+// Builds a CCSS engine for `threads` lanes (0 = default count) with
+// graceful degradation instead of hard failure: a request beyond the
+// hardware concurrency is clamped, and when worker threads cannot be
+// created (OS limits) the engine falls back to fewer lanes or to the
+// serial ActivityEngine. Every degradation appends a human-readable
+// message to `warnings` (when non-null) — callers surface them as W06xx
+// diagnostics. The returned engine is always usable.
+std::unique_ptr<ActivityEngine> makeCcssEngine(const sim::SimIR& ir,
+                                               const ScheduleOptions& opts,
+                                               unsigned threads,
+                                               std::vector<std::string>* warnings = nullptr);
 
 }  // namespace essent::core

@@ -1,0 +1,191 @@
+#include "diag/diag.h"
+
+#include "support/strutil.h"
+
+namespace essent::diag {
+
+const char* severityName(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+std::string SourceSpan::toString() const {
+  std::string f = file.empty() ? "<input>" : file;
+  if (line <= 0) return f;
+  if (col <= 0) return f + ":" + std::to_string(line);
+  return f + ":" + std::to_string(line) + ":" + std::to_string(col);
+}
+
+Diagnostic& Diagnostic::note(std::string msg, SourceSpan s) {
+  notes.push_back(DiagNote{std::move(msg), std::move(s)});
+  return *this;
+}
+
+void DiagEngine::setSource(std::string file, std::string text) {
+  file_ = std::move(file);
+  source_ = std::move(text);
+  lines_ = splitString(source_, '\n');
+}
+
+Diagnostic& DiagEngine::report(Severity sev, std::string code, std::string message,
+                               SourceSpan span) {
+  if (sev == Severity::Error) {
+    if (errors_ >= maxErrors) {
+      if (errors_ == maxErrors) {
+        errors_++;
+        diags_.push_back(Diagnostic{Severity::Note, "E0001",
+                                    strfmt("too many errors (limit %zu); further errors "
+                                           "suppressed", maxErrors),
+                                    {}, {}});
+      }
+      discard_ = Diagnostic{};
+      return discard_;
+    }
+    errors_++;
+  } else if (sev == Severity::Warning) {
+    warnings_++;
+  }
+  Diagnostic d;
+  d.severity = sev;
+  d.code = std::move(code);
+  d.message = std::move(message);
+  d.span = std::move(span);
+  if (d.span.file.empty()) d.span.file = file_;
+  diags_.push_back(std::move(d));
+  return diags_.back();
+}
+
+Diagnostic& DiagEngine::error(std::string code, std::string message, SourceSpan span) {
+  return report(Severity::Error, std::move(code), std::move(message), std::move(span));
+}
+
+Diagnostic& DiagEngine::warning(std::string code, std::string message, SourceSpan span) {
+  return report(Severity::Warning, std::move(code), std::move(message), std::move(span));
+}
+
+namespace {
+
+// "   12 | module Top :" excerpt plus a caret line under the span.
+void appendExcerpt(std::string& out, const std::vector<std::string>& lines,
+                   const SourceSpan& span) {
+  if (span.line <= 0 || static_cast<size_t>(span.line) > lines.size()) return;
+  const std::string& text = lines[static_cast<size_t>(span.line) - 1];
+  out += strfmt("%5d | ", span.line);
+  for (char c : text) out += c == '\t' ? ' ' : c;  // tabs render one column
+  out += "\n";
+  if (span.col > 0) {
+    out += "      | ";
+    for (int i = 1; i < span.col; i++) out += ' ';
+    int width = span.endCol > span.col ? span.endCol - span.col : 1;
+    if (span.col - 1 + width > static_cast<int>(text.size()) + 1)
+      width = 1;  // span outlived an edit; show a plain caret
+    out += '^';
+    for (int i = 1; i < width; i++) out += '~';
+    out += "\n";
+  }
+}
+
+}  // namespace
+
+std::string DiagEngine::render(const Diagnostic& d) const {
+  SourceSpan span = d.span;
+  if (span.file.empty()) span.file = file_;
+  std::string out = span.toString() + ": " + severityName(d.severity) + ": " + d.message;
+  if (!d.code.empty()) out += " [" + d.code + "]";
+  out += "\n";
+  appendExcerpt(out, lines_, d.span);
+  for (const DiagNote& n : d.notes) {
+    SourceSpan ns = n.span;
+    if (ns.file.empty()) ns.file = file_;
+    out += ns.toString() + ": note: " + n.message + "\n";
+    appendExcerpt(out, lines_, n.span);
+  }
+  return out;
+}
+
+std::string DiagEngine::render() const {
+  std::string out;
+  for (const Diagnostic& d : diags_) out += render(d);
+  if (errors_ || warnings_) {
+    out += strfmt("%zu error%s", errors_ > maxErrors ? maxErrors : errors_,
+                  errors_ == 1 ? "" : "s");
+    if (warnings_) out += strfmt(", %zu warning%s", warnings_, warnings_ == 1 ? "" : "s");
+    out += " generated\n";
+  }
+  return out;
+}
+
+namespace {
+
+obs::Json spanJson(const SourceSpan& s, const std::string& defaultFile) {
+  obs::Json j = obs::Json::object();
+  j["file"] = s.file.empty() ? defaultFile : s.file;
+  j["line"] = s.line;
+  j["col"] = s.col;
+  if (s.endCol > s.col) j["end_col"] = s.endCol;
+  return j;
+}
+
+SourceSpan spanFromJson(const obs::Json& j) {
+  SourceSpan s;
+  if (const obs::Json* f = j.find("file")) s.file = f->asStr();
+  if (const obs::Json* l = j.find("line")) s.line = static_cast<int>(l->asInt());
+  if (const obs::Json* c = j.find("col")) s.col = static_cast<int>(c->asInt());
+  if (const obs::Json* e = j.find("end_col")) s.endCol = static_cast<int>(e->asInt());
+  return s;
+}
+
+}  // namespace
+
+obs::Json DiagEngine::toJson() const {
+  obs::Json doc = obs::Json::object();
+  doc["file"] = file_.empty() ? "<input>" : file_;
+  doc["errors"] = errors_ > maxErrors ? maxErrors : errors_;
+  doc["warnings"] = warnings_;
+  obs::Json arr = obs::Json::array();
+  for (const Diagnostic& d : diags_) {
+    obs::Json j = obs::Json::object();
+    j["severity"] = severityName(d.severity);
+    j["code"] = d.code;
+    j["message"] = d.message;
+    j["span"] = spanJson(d.span, file_);
+    if (!d.notes.empty()) {
+      obs::Json notes = obs::Json::array();
+      for (const DiagNote& n : d.notes) {
+        obs::Json nj = obs::Json::object();
+        nj["message"] = n.message;
+        nj["span"] = spanJson(n.span, file_);
+        notes.push(std::move(nj));
+      }
+      j["notes"] = std::move(notes);
+    }
+    arr.push(std::move(j));
+  }
+  doc["diagnostics"] = std::move(arr);
+  return doc;
+}
+
+std::vector<Diagnostic> diagnosticsFromJson(const obs::Json& doc) {
+  std::vector<Diagnostic> out;
+  for (const obs::Json& j : doc.at("diagnostics").items()) {
+    Diagnostic d;
+    std::string sev = j.at("severity").asStr();
+    d.severity = sev == "error" ? Severity::Error
+                                : (sev == "warning" ? Severity::Warning : Severity::Note);
+    d.code = j.at("code").asStr();
+    d.message = j.at("message").asStr();
+    d.span = spanFromJson(j.at("span"));
+    if (const obs::Json* notes = j.find("notes")) {
+      for (const obs::Json& nj : notes->items())
+        d.notes.push_back(DiagNote{nj.at("message").asStr(), spanFromJson(nj.at("span"))});
+    }
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace essent::diag

@@ -1,0 +1,100 @@
+// Structured diagnostics for the FIRRTL front end and the tool flow.
+//
+// A Diagnostic is a severity + stable error code + message anchored to a
+// SourceSpan (file:line:col). The DiagEngine collects many diagnostics per
+// run — the lexer, parser, and width inference report through it with
+// panic-mode recovery, so one pass over a malformed .fir surfaces every
+// error, not just the first. Rendering is clang-style (with a source
+// excerpt and caret when the engine knows the source text); toJson()/
+// diagnosticsFromJson() give a loss-free machine-readable form for
+// `essentc --diag-json`.
+//
+// Error-code ranges (catalog in docs/DIAGNOSTICS.md):
+//   E01xx lexical     E02xx syntax       E03xx types/widths
+//   E04xx elaboration E05xx resources    W06xx warnings
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace essent::diag {
+
+struct SourceSpan {
+  std::string file;  // empty = "<input>"
+  int line = 0;      // 1-based; 0 = no location
+  int col = 0;       // 1-based; 0 = whole line
+  int endCol = 0;    // exclusive; 0 or <= col = single-column caret
+
+  bool valid() const { return line > 0; }
+  std::string toString() const;  // "file:line:col" (omitting unknown parts)
+};
+
+enum class Severity { Note, Warning, Error };
+
+const char* severityName(Severity s);  // "note" / "warning" / "error"
+
+struct DiagNote {
+  std::string message;
+  SourceSpan span;
+};
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  std::string code;     // e.g. "E0102"; empty for uncoded notes
+  std::string message;  // one line, no trailing period
+  SourceSpan span;
+  std::vector<DiagNote> notes;
+
+  Diagnostic& note(std::string msg, SourceSpan s = {});
+};
+
+class DiagEngine {
+ public:
+  // Source registration makes renderings include an excerpt + caret line.
+  // The text is copied; call once per input file.
+  void setSource(std::string file, std::string text);
+  const std::string& sourceFile() const { return file_; }
+
+  Diagnostic& report(Severity sev, std::string code, std::string message, SourceSpan span);
+  Diagnostic& error(std::string code, std::string message, SourceSpan span);
+  Diagnostic& warning(std::string code, std::string message, SourceSpan span);
+
+  bool hasErrors() const { return errors_ != 0; }
+  size_t errorCount() const { return errors_; }
+  size_t warningCount() const { return warnings_; }
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+
+  // Recovery stops once this many errors have been reported (guards
+  // pathological inputs where every line is broken); further error reports
+  // are dropped after a single "too many errors" marker.
+  size_t maxErrors = 64;
+  bool atErrorLimit() const { return errors_ >= maxErrors; }
+
+  // Clang-style rendering of every collected diagnostic, e.g.
+  //   bad.fir:3:9: error: expected ':' after module name [E0201]
+  //       module M
+  //              ^
+  std::string render() const;
+  std::string render(const Diagnostic& d) const;
+
+  // {"file": ..., "errors": N, "warnings": N, "diagnostics": [...]}
+  obs::Json toJson() const;
+
+ private:
+  std::string file_;
+  std::string source_;
+  std::vector<std::string> lines_;  // source split for excerpts
+  std::vector<Diagnostic> diags_;
+  size_t errors_ = 0;
+  size_t warnings_ = 0;
+  Diagnostic discard_;  // sink once maxErrors is hit
+};
+
+// Inverse of DiagEngine::toJson() for round-trip tooling/tests. Throws
+// obs::JsonError on a malformed document.
+std::vector<Diagnostic> diagnosticsFromJson(const obs::Json& doc);
+
+}  // namespace essent::diag

@@ -188,6 +188,8 @@ ExprPtr Expr::clone() const {
   e->op = op;
   e->consts = consts;
   e->type = type;
+  e->line = line;
+  e->col = col;
   for (const auto& a : args) e->args.push_back(a->clone());
   return e;
 }
@@ -246,6 +248,8 @@ StmtPtr Stmt::clone() const {
   s->format = format;
   for (const auto& a : printArgs) s->printArgs.push_back(a->clone());
   s->exitCode = exitCode;
+  s->line = line;
+  s->col = col;
   return s;
 }
 

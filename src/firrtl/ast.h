@@ -101,6 +101,11 @@ struct Expr {
   // Filled in by width inference.
   Type type;
 
+  // Source anchor (1-based; 0 = synthesized). Set by the parser, preserved
+  // by clone() so diagnostics from later passes still point into the file.
+  int line = 0;
+  int col = 0;
+
   static ExprPtr ref(std::string n);
   static ExprPtr uintLit(uint32_t width, BitVec v);
   static ExprPtr sintLit(uint32_t width, BitVec v);
@@ -156,6 +161,11 @@ struct Stmt {
   std::string format;
   std::vector<ExprPtr> printArgs;
   int exitCode = 0;
+
+  // Source anchor (1-based; 0 = synthesized), preserved by clone() and by
+  // the lowering passes so width diagnostics carry a usable location.
+  int line = 0;
+  int col = 0;
 
   StmtPtr clone() const;
 };

@@ -16,7 +16,7 @@ bool isDigit(char c) { return c >= '0' && c <= '9'; }
 
 }  // namespace
 
-std::vector<Token> lex(const std::string& src) {
+std::vector<Token> lex(const std::string& src, diag::DiagEngine& de) {
   std::vector<Token> toks;
   std::vector<int> indents = {0};
   size_t i = 0;
@@ -26,13 +26,34 @@ std::vector<Token> lex(const std::string& src) {
   auto push = [&](TokKind k, std::string text, int col, int64_t val = 0) {
     toks.push_back(Token{k, std::move(text), val, line, col});
   };
+  auto span = [&](int col, int width = 1) {
+    diag::SourceSpan s;
+    s.line = line;
+    s.col = col;
+    s.endCol = col + width;
+    return s;
+  };
 
   while (i < n) {
     // --- start of a line: measure indentation ---
     size_t lineStart = i;
     int indent = 0;
+    bool tabReported = false;
     while (i < n && (src[i] == ' ' || src[i] == '\t')) {
-      indent += src[i] == '\t' ? 8 - (indent % 8) : 1;
+      if (src[i] == '\t') {
+        // Hard error: tab width is ambiguous across editors, so a tab that
+        // silently counts as an 8-column stop can re-nest whole blocks.
+        // Recovery still advances to the next tab stop (the old behaviour)
+        // so the rest of the file lexes with plausible structure.
+        if (!tabReported) {
+          de.error("E0103", "tab character in indentation (use spaces)",
+                   span(static_cast<int>(i - lineStart) + 1));
+          tabReported = true;
+        }
+        indent += 8 - (indent % 8);
+      } else {
+        indent += 1;
+      }
       i++;
     }
     // Blank line or comment-only line: skip without indentation effects.
@@ -52,12 +73,17 @@ std::vector<Token> lex(const std::string& src) {
         indents.pop_back();
         push(TokKind::Dedent, "", indent);
       }
-      if (indent != indents.back())
-        throw LexError("inconsistent dedent", line);
+      if (indent != indents.back()) {
+        // Recovery: treat the line as belonging to the enclosing block the
+        // dedent landed in, so subsequent statements keep their structure.
+        de.error("E0104",
+                 "inconsistent dedent: indentation matches no enclosing block",
+                 span(1, indent > 0 ? indent : 1));
+      }
     }
 
     // --- tokens within the line ---
-    bool sawToken = false;
+    size_t lineTokStart = toks.size();
     while (i < n && src[i] != '\n') {
       char c = src[i];
       int col = static_cast<int>(i - lineStart) + 1;
@@ -74,7 +100,6 @@ std::vector<Token> lex(const std::string& src) {
         if (i < n && src[i] == ']') i++;
         continue;
       }
-      sawToken = true;
       if (isIdentStart(c)) {
         size_t start = i;
         while (i < n) {
@@ -100,14 +125,29 @@ std::vector<Token> lex(const std::string& src) {
         std::string digits;
         for (char d : text)
           if (d != '_') digits += d;
-        push(TokKind::IntLit, text, col, std::stoll(digits));
+        int64_t value = 0;
+        try {
+          value = std::stoll(digits);
+        } catch (const std::out_of_range&) {
+          de.error("E0105", "integer literal '" + text + "' does not fit in 64 bits",
+                   span(col, static_cast<int>(text.size())));
+        }
+        push(TokKind::IntLit, text, col, value);
         continue;
       }
       if (c == '"') {
+        int openCol = col;
         i++;
         std::string val;
-        while (i < n && src[i] != '"') {
-          if (src[i] == '\\' && i + 1 < n) {
+        bool closed = false;
+        while (i < n) {
+          if (src[i] == '"') {
+            closed = true;
+            i++;  // closing quote
+            break;
+          }
+          if (src[i] == '\n') break;  // unterminated: stop at the line end
+          if (src[i] == '\\' && i + 1 < n && src[i + 1] != '\n') {
             i++;
             switch (src[i]) {
               case 'n': val += '\n'; break;
@@ -118,15 +158,17 @@ std::vector<Token> lex(const std::string& src) {
               default: val += src[i]; break;
             }
             i++;
-          } else if (src[i] == '\n') {
-            throw LexError("unterminated string literal", line);
           } else {
             val += src[i++];
           }
         }
-        if (i >= n) throw LexError("unterminated string literal", line);
-        i++;  // closing quote
-        push(TokKind::StringLit, val, col);
+        if (!closed) {
+          de.error("E0102",
+                   i >= n ? "unterminated string literal at end of file"
+                          : "unterminated string literal",
+                   span(openCol, static_cast<int>(i - lineStart) + 1 - openCol));
+        }
+        push(TokKind::StringLit, val, openCol);
         continue;
       }
       // Digraphs first.
@@ -145,11 +187,14 @@ std::vector<Token> lex(const std::string& src) {
           i++;
           continue;
         default:
-          throw LexError(std::string("unexpected character '") + c + "'", line);
+          // Recovery: drop the character and keep lexing the line.
+          de.error("E0101", std::string("unexpected character '") + c + "'", span(col));
+          i++;
+          continue;
       }
     }
     if (i < n) i++;  // consume '\n'
-    if (sawToken) push(TokKind::Newline, "", 0);
+    if (toks.size() > lineTokStart) push(TokKind::Newline, "", 0);
     line++;
   }
 
@@ -158,6 +203,17 @@ std::vector<Token> lex(const std::string& src) {
     toks.push_back(Token{TokKind::Dedent, "", 0, line, 0});
   }
   toks.push_back(Token{TokKind::Eof, "", 0, line, 0});
+  return toks;
+}
+
+std::vector<Token> lex(const std::string& src) {
+  diag::DiagEngine de;
+  std::vector<Token> toks = lex(src, de);
+  if (de.hasErrors()) {
+    for (const diag::Diagnostic& d : de.diagnostics())
+      if (d.severity == diag::Severity::Error)
+        throw LexError(d.message, d.span.line);
+  }
   return toks;
 }
 

@@ -5,12 +5,20 @@
 // at the end of every non-empty line, which lets the parser be a plain
 // recursive-descent parser. `;` starts a line comment; `@[...]` source
 // locators are consumed and dropped.
+//
+// Two entry points: the diagnostic-collecting lex(source, engine) recovers
+// from every lexical error (skipping the offending character, terminating a
+// runaway string at the line end, realigning a bad dedent) so a single pass
+// reports them all; the legacy lex(source) wrapper throws LexError on the
+// first error for callers that want the old contract.
 #pragma once
 
 #include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "diag/diag.h"
 
 namespace essent::firrtl {
 
@@ -39,7 +47,12 @@ class LexError : public std::runtime_error {
       : std::runtime_error("firrtl lex error (line " + std::to_string(line) + "): " + msg) {}
 };
 
-// Tokenizes the whole input; throws LexError on malformed text.
+// Tokenizes the whole input, reporting malformed text through `de` (codes
+// E0101-E0105) and recovering; the returned token stream is always
+// parseable in shape (balanced Indent/Dedent, terminated by Eof).
+std::vector<Token> lex(const std::string& source, diag::DiagEngine& de);
+
+// Legacy contract: throws LexError carrying the first diagnostic.
 std::vector<Token> lex(const std::string& source);
 
 }  // namespace essent::firrtl

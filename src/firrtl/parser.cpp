@@ -1,5 +1,7 @@
 #include "firrtl/parser.h"
 
+#include <cctype>
+
 #include "firrtl/lexer.h"
 #include "support/bvops.h"
 
@@ -7,26 +9,47 @@ namespace essent::firrtl {
 
 namespace {
 
+// Unwind token for panic-mode recovery: thrown by the expect* helpers after
+// the diagnostic has been reported, caught at the nearest statement or
+// module boundary, never escapes parseCircuit.
+struct SyntaxAbort {};
+
 class Parser {
  public:
-  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+  Parser(std::vector<Token> toks, diag::DiagEngine& de) : toks_(std::move(toks)), de_(de) {}
 
   std::unique_ptr<Circuit> parseCircuit() {
-    expectIdent("circuit");
     auto circuit = std::make_unique<Circuit>();
-    circuit->name = expectAnyIdent();
-    expectPunct(":");
-    expectNewline();
-    expectIndent();
-    while (!atDedent()) circuit->modules.push_back(parseModule());
-    expectDedent();
-    if (!circuit->mainModule())
-      throw err("no module named '" + circuit->name + "' (the circuit name) found");
+    try {
+      expectIdent("circuit");
+      circuit->name = expectAnyIdent();
+      expectPunct(":");
+      expectNewline();
+      expectIndent();
+    } catch (const SyntaxAbort&) {
+      syncToLineEnd();
+      skipBlockIfIndent();
+      return circuit;
+    }
+    while (!atDedent() && !de_.atErrorLimit()) {
+      try {
+        circuit->modules.push_back(parseModule());
+      } catch (const SyntaxAbort&) {
+        syncToLineEnd();
+        skipBlockIfIndent();
+      }
+    }
+    if (atDedent()) advance();
+    if (!de_.hasErrors() && !circuit->mainModule())
+      de_.error("E0206",
+                "no module named '" + circuit->name + "' (the circuit name) found",
+                {});
     return circuit;
   }
 
  private:
   std::vector<Token> toks_;
+  diag::DiagEngine& de_;
   size_t pos_ = 0;
 
   const Token& cur() const { return toks_[pos_]; }
@@ -38,7 +61,93 @@ class Parser {
     if (pos_ + 1 < toks_.size()) pos_++;
   }
 
-  ParseError err(const std::string& msg) const { return ParseError(msg, cur().line); }
+  static diag::SourceSpan spanOf(const Token& t) {
+    diag::SourceSpan s;
+    s.line = t.line;
+    s.col = t.col;
+    int width = static_cast<int>(t.text.size());
+    if (t.kind == TokKind::StringLit) width += 2;  // quotes
+    if (width > 0 && t.col > 0) s.endCol = t.col + width;
+    return s;
+  }
+
+  std::string describe(const Token& t) const {
+    switch (t.kind) {
+      case TokKind::Indent: return "indented block";
+      case TokKind::Dedent: return "end of block";
+      case TokKind::Newline: return "end of line";
+      case TokKind::Eof: return "end of file";
+      case TokKind::StringLit: return "string literal";
+      default: return "'" + t.text + "'";
+    }
+  }
+
+  // Reports at the current token and aborts to the nearest recovery point.
+  [[noreturn]] void fail(const char* code, const std::string& msg) const {
+    de_.error(code, msg, spanOf(cur()));
+    throw SyntaxAbort{};
+  }
+
+  // Reports at the current token WITHOUT aborting — for value-validation
+  // errors (a bad latency, a non-positive depth) where the surrounding
+  // syntax is intact and parsing can continue with a clamped value. Keeps
+  // one mistake from cascading into bogus errors on the following lines.
+  void softFail(const char* code, const std::string& msg) const {
+    de_.error(code, msg, spanOf(cur()));
+  }
+
+  // Panic-mode sync: consume to the end of the current logical line,
+  // skipping over (balanced) nested blocks so recovery never resumes in
+  // the middle of a child block.
+  void syncToLineEnd() {
+    int depth = 0;
+    for (;;) {
+      switch (cur().kind) {
+        case TokKind::Eof:
+          return;
+        case TokKind::Newline:
+          advance();
+          if (depth == 0) return;
+          break;
+        case TokKind::Indent:
+          depth++;
+          advance();
+          break;
+        case TokKind::Dedent:
+          if (depth == 0) return;  // leave it for the enclosing loop
+          depth--;
+          advance();
+          break;
+        default:
+          advance();
+          break;
+      }
+    }
+  }
+
+  // After a broken header line, its body block (if any) is unusable: skip
+  // the whole balanced Indent..Dedent region.
+  void skipBlockIfIndent() {
+    if (cur().kind != TokKind::Indent) return;
+    int depth = 0;
+    for (;;) {
+      switch (cur().kind) {
+        case TokKind::Eof:
+          return;
+        case TokKind::Indent:
+          depth++;
+          advance();
+          break;
+        case TokKind::Dedent:
+          advance();
+          if (--depth == 0) return;
+          break;
+        default:
+          advance();
+          break;
+      }
+    }
+  }
 
   bool atIdent(const std::string& text) const {
     return cur().kind == TokKind::Ident && cur().text == text;
@@ -60,40 +169,54 @@ class Parser {
   }
 
   void expectIdent(const std::string& text) {
-    if (!acceptIdent(text)) throw err("expected '" + text + "', got '" + cur().text + "'");
+    if (!acceptIdent(text))
+      fail("E0201", "expected '" + text + "', got " + describe(cur()));
   }
   void expectPunct(const std::string& text) {
-    if (!acceptPunct(text)) throw err("expected '" + text + "', got '" + cur().text + "'");
+    if (!acceptPunct(text))
+      fail("E0201", "expected '" + text + "', got " + describe(cur()));
   }
   std::string expectAnyIdent() {
-    if (cur().kind != TokKind::Ident) throw err("expected identifier, got '" + cur().text + "'");
+    if (cur().kind != TokKind::Ident)
+      fail("E0201", "expected identifier, got " + describe(cur()));
     std::string t = cur().text;
     advance();
     return t;
   }
   int64_t expectInt() {
-    if (cur().kind != TokKind::IntLit) throw err("expected integer, got '" + cur().text + "'");
+    if (cur().kind != TokKind::IntLit)
+      fail("E0201", "expected integer, got " + describe(cur()));
     int64_t v = cur().intValue;
     advance();
     return v;
   }
   std::string expectString() {
-    if (cur().kind != TokKind::StringLit) throw err("expected string literal");
+    if (cur().kind != TokKind::StringLit)
+      fail("E0201", "expected string literal, got " + describe(cur()));
     std::string t = cur().text;
     advance();
     return t;
   }
   void expectNewline() {
-    if (cur().kind != TokKind::Newline) throw err("expected end of line, got '" + cur().text + "'");
+    if (cur().kind != TokKind::Newline)
+      fail("E0201", "expected end of line, got " + describe(cur()));
     advance();
   }
   void expectIndent() {
-    if (cur().kind != TokKind::Indent) throw err("expected indented block");
+    if (cur().kind != TokKind::Indent) fail("E0201", "expected indented block");
     advance();
   }
   void expectDedent() {
-    if (cur().kind != TokKind::Dedent) throw err("expected dedent");
+    if (cur().kind != TokKind::Dedent) fail("E0201", "expected dedent");
     advance();
+  }
+
+  // Stamp the source anchor of the token that began the construct.
+  template <typename NodePtr>
+  NodePtr anchored(NodePtr node, const Token& at) const {
+    node->line = at.line;
+    node->col = at.col;
+    return node;
   }
 
   // --- grammar productions ---
@@ -106,16 +229,26 @@ class Parser {
     expectNewline();
     expectIndent();
     while (atIdent("input") || atIdent("output")) {
-      Port p;
-      p.dir = acceptIdent("input") ? PortDir::Input : (expectIdent("output"), PortDir::Output);
-      p.name = expectAnyIdent();
-      expectPunct(":");
-      p.type = parseType();
-      expectNewline();
-      mod->ports.push_back(std::move(p));
+      try {
+        Port p;
+        p.dir = acceptIdent("input") ? PortDir::Input : (expectIdent("output"), PortDir::Output);
+        p.name = expectAnyIdent();
+        expectPunct(":");
+        p.type = parseType();
+        expectNewline();
+        mod->ports.push_back(std::move(p));
+      } catch (const SyntaxAbort&) {
+        syncToLineEnd();
+      }
     }
-    while (!atDedent()) mod->body.push_back(parseStmt());
-    expectDedent();
+    while (!atDedent() && !de_.atErrorLimit()) {
+      try {
+        mod->body.push_back(parseStmt());
+      } catch (const SyntaxAbort&) {
+        syncToLineEnd();
+      }
+    }
+    if (atDedent()) advance();
     return mod;
   }
 
@@ -126,7 +259,7 @@ class Parser {
     while (atPunct("[")) {
       advance();
       int64_t n = expectInt();
-      if (n < 0) throw err("negative vector size");
+      if (n <= 0) fail("E0204", "vector size must be positive");
       expectPunct("]");
       t = Type::vector(std::move(t), static_cast<uint32_t>(n));
     }
@@ -156,12 +289,12 @@ class Parser {
     bool isSigned;
     if (acceptIdent("UInt")) isSigned = false;
     else if (acceptIdent("SInt")) isSigned = true;
-    else throw err("expected type, got '" + cur().text + "'");
+    else fail("E0201", "expected type, got " + describe(cur()));
     Type t;
     t.kind = isSigned ? TypeKind::SInt : TypeKind::UInt;
     if (acceptPunct("<")) {
       int64_t w = expectInt();
-      if (w < 0) throw err("negative width");
+      if (w < 0) fail("E0204", "negative width");
       t.width = static_cast<uint32_t>(w);
       t.widthKnown = true;
       expectPunct(">");
@@ -170,37 +303,45 @@ class Parser {
   }
 
   StmtPtr parseStmt() {
-    if (atIdent("wire") && peekTok().kind == TokKind::Ident) return parseWire();
-    if (atIdent("node") && peekTok().kind == TokKind::Ident) return parseNode();
-    if (atIdent("reg") && peekTok().kind == TokKind::Ident) return parseReg();
-    if (atIdent("mem") && peekTok().kind == TokKind::Ident) return parseMem();
-    if (atIdent("inst") && peekTok().kind == TokKind::Ident) return parseInst();
-    if (atIdent("when")) return parseWhen();
+    const Token& at = cur();
+    if (atIdent("wire") && peekTok().kind == TokKind::Ident)
+      return anchored(parseWire(), at);
+    if (atIdent("node") && peekTok().kind == TokKind::Ident)
+      return anchored(parseNode(), at);
+    if (atIdent("reg") && peekTok().kind == TokKind::Ident)
+      return anchored(parseReg(), at);
+    if (atIdent("mem") && peekTok().kind == TokKind::Ident)
+      return anchored(parseMem(), at);
+    if (atIdent("inst") && peekTok().kind == TokKind::Ident)
+      return anchored(parseInst(), at);
+    if (atIdent("when")) return anchored(parseWhen(), at);
     if (atIdent("printf") && peekTok().kind == TokKind::Punct && peekTok().text == "(")
-      return parsePrintf();
+      return anchored(parsePrintf(), at);
     if (atIdent("stop") && peekTok().kind == TokKind::Punct && peekTok().text == "(")
-      return parseStop();
+      return anchored(parseStop(), at);
     if (atIdent("assert") && peekTok().kind == TokKind::Punct && peekTok().text == "(")
-      return parseAssert();
+      return anchored(parseAssert(), at);
     if (atIdent("skip")) {
       advance();
       expectNewline();
       auto s = std::make_unique<Stmt>();
       s->kind = StmtKind::Skip;
-      return s;
+      return anchored(std::move(s), at);
     }
+    if (cur().kind != TokKind::Ident)
+      fail("E0202", "expected a statement, got " + describe(cur()));
     // Otherwise: connect or invalidate, both starting with a reference path.
     std::string target = parseRefPath();
     if (acceptIdent("is")) {
       expectIdent("invalid");
       expectNewline();
-      return makeInvalidate(std::move(target));
+      return anchored(makeInvalidate(std::move(target)), at);
     }
     if (!acceptPunct("<=") && !acceptPunct("<-"))
-      throw err("expected '<=' in connect to '" + target + "'");
+      fail("E0201", "expected '<=' in connect to '" + target + "', got " + describe(cur()));
     ExprPtr rhs = parseExpr();
     expectNewline();
-    return makeConnect(std::move(target), std::move(rhs));
+    return anchored(makeConnect(std::move(target), std::move(rhs)), at);
   }
 
   StmtPtr parseWire() {
@@ -284,17 +425,26 @@ class Parser {
         s->type = parseType();
         if ((s->type.kind == TypeKind::UInt || s->type.kind == TypeKind::SInt) &&
             !s->type.widthKnown)
-          throw err("mem data-type must have an explicit width");
+          fail("E0203", "mem data-type must have an explicit width");
         sawType = true;
       } else if (field == "depth") {
-        s->depth = static_cast<uint64_t>(expectInt());
+        int64_t d = expectInt();
+        if (d <= 0) {
+          softFail("E0204", "mem depth must be positive");
+          d = 1;
+        }
+        s->depth = static_cast<uint64_t>(d);
         sawDepth = true;
       } else if (field == "read-latency") {
-        s->readLatency = static_cast<uint32_t>(expectInt());
-        if (s->readLatency > 1) throw err("read-latency > 1 unsupported");
+        int64_t rl = expectInt();
+        if (rl < 0 || rl > 1) {
+          softFail("E0208", "read-latency must be 0 or 1");
+          rl = 0;
+        }
+        s->readLatency = static_cast<uint32_t>(rl);
       } else if (field == "write-latency") {
-        s->writeLatency = static_cast<uint32_t>(expectInt());
-        if (s->writeLatency != 1) throw err("write-latency must be 1");
+        if (expectInt() != 1) softFail("E0208", "write-latency must be 1");
+        s->writeLatency = 1;
       } else if (field == "read-under-write") {
         expectAnyIdent();  // undefined/old/new — all treated as 'old'
       } else if (field == "reader") {
@@ -302,12 +452,13 @@ class Parser {
       } else if (field == "writer") {
         s->writers.push_back(MemPort{expectAnyIdent()});
       } else {
-        throw err("unknown mem field '" + field + "'");
+        fail("E0203", "unknown mem field '" + field + "'");
       }
       expectNewline();
     }
     expectDedent();
-    if (!sawType || !sawDepth) throw err("mem '" + s->name + "' missing data-type or depth");
+    if (!sawType || !sawDepth)
+      fail("E0203", "mem '" + s->name + "' missing data-type or depth");
     return s;
   }
 
@@ -329,7 +480,13 @@ class Parser {
     expectNewline();
     expectIndent();
     std::vector<StmtPtr> thenBody;
-    while (!atDedent()) thenBody.push_back(parseStmt());
+    while (!atDedent() && !de_.atErrorLimit()) {
+      try {
+        thenBody.push_back(parseStmt());
+      } catch (const SyntaxAbort&) {
+        syncToLineEnd();
+      }
+    }
     expectDedent();
     std::vector<StmtPtr> elseBody;
     if (atIdent("else")) {
@@ -341,7 +498,13 @@ class Parser {
         expectPunct(":");
         expectNewline();
         expectIndent();
-        while (!atDedent()) elseBody.push_back(parseStmt());
+        while (!atDedent() && !de_.atErrorLimit()) {
+          try {
+            elseBody.push_back(parseStmt());
+          } catch (const SyntaxAbort&) {
+            syncToLineEnd();
+          }
+        }
         expectDedent();
       }
     }
@@ -408,14 +571,14 @@ class Parser {
           path += ".";
           path += std::to_string(expectInt());
         } else {
-          throw err("expected field name after '.'");
+          fail("E0201", "expected field name after '.'");
         }
       } else {
         // Constant vector subindex: x[3] is canonicalized to x.3. Dynamic
         // subaccess (x[expr]) is out of scope and rejected here.
         advance();
         if (cur().kind != TokKind::IntLit)
-          throw err("dynamic subaccess (x[expr]) is unsupported; use a mux tree");
+          fail("E0205", "dynamic subaccess (x[expr]) is unsupported; use a mux tree");
         path += ".";
         path += std::to_string(expectInt());
         expectPunct("]");
@@ -425,7 +588,8 @@ class Parser {
   }
 
   ExprPtr parseExpr() {
-    if (atIdent("UInt") || atIdent("SInt")) return parseLiteral();
+    const Token& at = cur();
+    if (atIdent("UInt") || atIdent("SInt")) return anchored(parseLiteral(), at);
     if (atIdent("mux") && peekTok().kind == TokKind::Punct && peekTok().text == "(") {
       advance();
       advance();
@@ -435,7 +599,7 @@ class Parser {
       expectPunct(",");
       ExprPtr fval = parseExpr();
       expectPunct(")");
-      return Expr::mux(std::move(sel), std::move(tval), std::move(fval));
+      return anchored(Expr::mux(std::move(sel), std::move(tval), std::move(fval)), at);
     }
     if (atIdent("validif") && peekTok().kind == TokKind::Punct && peekTok().text == "(") {
       advance();
@@ -444,7 +608,7 @@ class Parser {
       expectPunct(",");
       ExprPtr value = parseExpr();
       expectPunct(")");
-      return Expr::validIf(std::move(cond), std::move(value));
+      return anchored(Expr::validIf(std::move(cond), std::move(value)), at);
     }
     if (cur().kind == TokKind::Ident && peekTok().kind == TokKind::Punct &&
         peekTok().text == "(") {
@@ -465,11 +629,11 @@ class Parser {
           consts.push_back(expectInt());
         }
         expectPunct(")");
-        return Expr::prim(op, std::move(args), std::move(consts));
+        return anchored(Expr::prim(op, std::move(args), std::move(consts)), at);
       }
     }
-    if (cur().kind == TokKind::Ident) return Expr::ref(parseRefPath());
-    throw err("expected expression, got '" + cur().text + "'");
+    if (cur().kind == TokKind::Ident) return anchored(Expr::ref(parseRefPath()), at);
+    fail("E0202", "expected expression, got " + describe(cur()));
   }
 
   ExprPtr parseLiteral() {
@@ -478,15 +642,18 @@ class Parser {
     bool widthKnown = false;
     uint32_t width = 0;
     if (acceptPunct("<")) {
-      width = static_cast<uint32_t>(expectInt());
+      int64_t w = expectInt();
+      if (w < 0) fail("E0204", "negative literal width");
+      width = static_cast<uint32_t>(w);
       widthKnown = true;
       expectPunct(">");
     }
     expectPunct("(");
     BitVec value;
     if (cur().kind == TokKind::StringLit) {
+      const Token& litTok = cur();
       std::string s = expectString();
-      if (s.empty()) throw err("empty literal string");
+      if (s.empty()) failAt("E0207", "empty literal string", litTok);
       char base = s[0];
       std::string digits = s.substr(1);
       bool negate = false;
@@ -495,13 +662,17 @@ class Parser {
         digits = digits.substr(1);
       }
       uint32_t w = widthKnown ? width : 1024;  // parse wide, size below
-      if (base == 'h') value = BitVec::fromHexString(w, digits);
-      else if (base == 'b') {
+      if (base == 'h') {
+        for (char d : digits)
+          if (!isxdigit(static_cast<unsigned char>(d)) && d != '_')
+            failAt("E0207", "bad hex digit in literal", litTok);
+        value = BitVec::fromHexString(w, digits);
+      } else if (base == 'b') {
         value = BitVec(w);
         uint32_t pos = 0;
         for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
           if (*it == '_') continue;
-          if (*it != '0' && *it != '1') throw err("bad binary digit");
+          if (*it != '0' && *it != '1') failAt("E0207", "bad binary digit", litTok);
           value.setBit(pos++, *it == '1');
         }
       } else if (base == 'o') {
@@ -509,16 +680,18 @@ class Parser {
         uint32_t pos = 0;
         for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
           if (*it == '_') continue;
-          if (*it < '0' || *it > '7') throw err("bad octal digit");
+          if (*it < '0' || *it > '7') failAt("E0207", "bad octal digit", litTok);
           uint64_t oct = static_cast<uint64_t>(*it - '0');
           for (int b = 0; b < 3; b++) value.setBit(pos + b, (oct >> b) & 1);
           pos += 3;
         }
       } else if (base == 'd' || (base >= '0' && base <= '9')) {
         std::string dec = base == 'd' ? digits : s;
+        for (char d : dec)
+          if (!isDecDigit(d)) failAt("E0207", "bad decimal digit in literal", litTok);
         value = BitVec::fromDecString(w, dec);
       } else {
-        throw err(std::string("unknown literal base '") + base + "'");
+        failAt("E0207", std::string("unknown literal base '") + base + "'", litTok);
       }
       if (negate) {
         value = bvops::extend(bvops::sub(BitVec(w), value, false), false, w);
@@ -545,13 +718,34 @@ class Parser {
     return isSigned ? Expr::sintLit(width, std::move(value))
                     : Expr::uintLit(width, std::move(value));
   }
+
+  static bool isDecDigit(char c) { return (c >= '0' && c <= '9') || c == '_'; }
+
+  [[noreturn]] void failAt(const char* code, const std::string& msg, const Token& t) const {
+    de_.error(code, msg, spanOf(t));
+    throw SyntaxAbort{};
+  }
 };
 
 }  // namespace
 
-std::unique_ptr<Circuit> parseCircuit(const std::string& source) {
-  Parser p(lex(source));
+std::unique_ptr<Circuit> parseCircuit(const std::string& source, diag::DiagEngine& de) {
+  Parser p(lex(source, de), de);
   return p.parseCircuit();
+}
+
+std::unique_ptr<Circuit> parseCircuit(const std::string& source) {
+  diag::DiagEngine de;
+  std::unique_ptr<Circuit> c = parseCircuit(source, de);
+  if (de.hasErrors()) {
+    for (const diag::Diagnostic& d : de.diagnostics()) {
+      if (d.severity != diag::Severity::Error) continue;
+      if (d.code.size() >= 3 && d.code[0] == 'E' && d.code[1] == '0' && d.code[2] == '1')
+        throw LexError(d.message, d.span.line);
+      throw ParseError(d.message, d.span.line);
+    }
+  }
+  return c;
 }
 
 }  // namespace essent::firrtl

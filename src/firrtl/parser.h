@@ -1,10 +1,18 @@
 // Recursive-descent parser producing the AST in ast.h from FIRRTL text.
+//
+// The diagnostic-collecting entry point reports every syntax error in one
+// pass (codes E02xx) using panic-mode recovery: a broken statement is
+// reported, the parser syncs to the next statement line (skipping any
+// nested indent block), and parsing continues; a broken module header
+// skips that module's whole body. The legacy entry point throws
+// ParseError/LexError carrying the first diagnostic.
 #pragma once
 
 #include <memory>
 #include <stdexcept>
 #include <string>
 
+#include "diag/diag.h"
 #include "firrtl/ast.h"
 
 namespace essent::firrtl {
@@ -15,7 +23,13 @@ class ParseError : public std::runtime_error {
       : std::runtime_error("firrtl parse error (line " + std::to_string(line) + "): " + msg) {}
 };
 
-// Parses a full circuit; throws ParseError / LexError on malformed input.
+// Parses with recovery, reporting through `de` (lexical errors included).
+// Always returns a circuit (possibly incomplete); callers must treat it as
+// unusable when de.hasErrors().
+std::unique_ptr<Circuit> parseCircuit(const std::string& source, diag::DiagEngine& de);
+
+// Legacy contract: throws ParseError (or LexError for lexical problems) on
+// the first error.
 std::unique_ptr<Circuit> parseCircuit(const std::string& source);
 
 }  // namespace essent::firrtl

@@ -18,6 +18,10 @@ void SymbolTable::define(const std::string& name, Type type) {
     throw WidthError("duplicate definition of '" + name + "'");
 }
 
+bool SymbolTable::tryDefine(const std::string& name, Type type) {
+  return table_.emplace(name, type).second;
+}
+
 Type SymbolTable::lookup(const std::string& name) const {
   auto it = table_.find(name);
   if (it == table_.end()) throw WidthError("reference to undefined signal '" + name + "'");
@@ -89,12 +93,88 @@ void requireSameSign(const Type& a, const Type& b, const char* what) {
                             a.toString().c_str(), b.toString().c_str()));
 }
 
+diag::SourceSpan stmtSpan(const Stmt& s) {
+  diag::SourceSpan sp;
+  sp.line = s.line;
+  sp.col = s.col;
+  return sp;
+}
+
+// WidthError::what() prepends a fixed prefix; diagnostics carry their own
+// severity/code, so strip it when re-reporting.
+std::string stripWidthPrefix(const char* what) {
+  std::string m = what;
+  const std::string pfx = "firrtl width error: ";
+  if (m.rfind(pfx, 0) == 0) m = m.substr(pfx.size());
+  return m;
+}
+
+void collectDeclsDiag(const std::vector<StmtPtr>& body, SymbolTable& st, diag::DiagEngine& de) {
+  for (const auto& s : body) {
+    switch (s->kind) {
+      case StmtKind::Wire:
+      case StmtKind::Reg:
+        if (!s->type.isGround()) {
+          de.error("E0304",
+                   "aggregate-typed '" + s->name + "' survived lowering; run lowerAggregates first",
+                   stmtSpan(*s));
+          break;
+        }
+        if (!st.tryDefine(s->name, s->type))
+          de.error("E0301", "duplicate definition of '" + s->name + "'", stmtSpan(*s));
+        break;
+      case StmtKind::Node:
+        break;
+      case StmtKind::Mem: {
+        uint32_t aw = memAddrWidth(s->depth);
+        bool dup = false;
+        for (const auto& r : s->readers) {
+          dup |= !st.tryDefine(s->name + "." + r.name + ".addr", Type::uint_(aw));
+          st.tryDefine(s->name + "." + r.name + ".en", Type::uint_(1));
+          st.tryDefine(s->name + "." + r.name + ".clk", Type::clock());
+          st.tryDefine(s->name + "." + r.name + ".data", s->type);
+        }
+        for (const auto& w : s->writers) {
+          dup |= !st.tryDefine(s->name + "." + w.name + ".addr", Type::uint_(aw));
+          st.tryDefine(s->name + "." + w.name + ".en", Type::uint_(1));
+          st.tryDefine(s->name + "." + w.name + ".clk", Type::clock());
+          st.tryDefine(s->name + "." + w.name + ".data", s->type);
+          st.tryDefine(s->name + "." + w.name + ".mask", Type::uint_(1));
+        }
+        if (dup)
+          de.error("E0301", "duplicate mem port on '" + s->name + "'", stmtSpan(*s));
+        break;
+      }
+      case StmtKind::Inst:
+        de.error("E0304", "instance '" + s->name + "' present; run flattenInstances first",
+                 stmtSpan(*s));
+        break;
+      case StmtKind::When:
+        collectDeclsDiag(s->thenBody, st, de);
+        collectDeclsDiag(s->elseBody, st, de);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
 }  // namespace
 
 SymbolTable SymbolTable::build(const Module& module) {
   SymbolTable st;
   for (const auto& p : module.ports) st.define(p.name, p.type);
   collectDecls(module.body, st);
+  return st;
+}
+
+SymbolTable SymbolTable::build(const Module& module, diag::DiagEngine& de) {
+  SymbolTable st;
+  for (const auto& p : module.ports) {
+    if (!st.tryDefine(p.name, p.type))
+      de.error("E0301", "duplicate port '" + p.name + "'", {});
+  }
+  collectDeclsDiag(module.body, st, de);
   return st;
 }
 
@@ -253,62 +333,99 @@ Type inferExprType(Expr& e, const SymbolTable& st) {
 
 namespace {
 
+// Single non-when statement; throws WidthError on the first problem. The
+// two drivers below (throwing / diag-collecting) handle `when` recursion
+// themselves so each can apply its own failure policy.
+void inferOneStmt(Stmt& s, SymbolTable& st) {
+  switch (s.kind) {
+    case StmtKind::Node: {
+      Type t = inferExprType(*s.expr, st);
+      s.type = asIntType(t);
+      if (t.kind == TypeKind::Clock) s.type = t;
+      st.define(s.name, s.type);
+      break;
+    }
+    case StmtKind::Reg: {
+      inferExprType(*s.clock, st);
+      if (s.resetCond) {
+        Type rc = inferExprType(*s.resetCond, st);
+        if (!isIntLike(rc)) throw WidthError("register reset condition must be 1-bit");
+        inferExprType(*s.resetInit, st);
+      }
+      break;
+    }
+    case StmtKind::Connect: {
+      Type lhs = st.lookup(s.name);
+      Type rhs = inferExprType(*s.expr, st);
+      if (lhs.kind == TypeKind::Clock) {
+        if (rhs.kind != TypeKind::Clock)
+          throw WidthError("cannot connect non-clock to clock '" + s.name + "'");
+      } else if (!isIntLike(rhs) && rhs.kind != TypeKind::Clock) {
+        throw WidthError("cannot connect clock-typed value to '" + s.name + "'");
+      }
+      break;
+    }
+    case StmtKind::Printf:
+      inferExprType(*s.clock, st);
+      inferExprType(*s.expr, st);
+      for (auto& a : s.printArgs) inferExprType(*a, st);
+      break;
+    case StmtKind::Stop:
+      inferExprType(*s.clock, st);
+      inferExprType(*s.expr, st);
+      break;
+    case StmtKind::Assert:
+      inferExprType(*s.clock, st);
+      inferExprType(*s.pred, st);
+      inferExprType(*s.expr, st);
+      break;
+    case StmtKind::Invalidate:
+      st.lookup(s.name);
+      break;
+    default:
+      break;
+  }
+}
+
+void checkWhenCond(Stmt& s, SymbolTable& st) {
+  Type cond = inferExprType(*s.expr, st);
+  if (!isIntLike(cond)) throw WidthError("when condition must be 1-bit integer");
+}
+
 void inferStmts(std::vector<StmtPtr>& body, SymbolTable& st) {
   for (auto& s : body) {
-    switch (s->kind) {
-      case StmtKind::Node: {
-        Type t = inferExprType(*s->expr, st);
-        s->type = asIntType(t);
-        if (t.kind == TypeKind::Clock) s->type = t;
-        st.define(s->name, s->type);
-        break;
+    if (s->kind == StmtKind::When) {
+      checkWhenCond(*s, st);
+      inferStmts(s->thenBody, st);
+      inferStmts(s->elseBody, st);
+    } else {
+      inferOneStmt(*s, st);
+    }
+  }
+}
+
+void inferStmtsDiag(std::vector<StmtPtr>& body, SymbolTable& st, diag::DiagEngine& de) {
+  for (auto& s : body) {
+    if (de.atErrorLimit()) return;
+    if (s->kind == StmtKind::When) {
+      try {
+        checkWhenCond(*s, st);
+      } catch (const WidthError& e) {
+        de.error("E0303", stripWidthPrefix(e.what()), stmtSpan(*s));
       }
-      case StmtKind::Reg: {
-        inferExprType(*s->clock, st);
-        if (s->resetCond) {
-          Type rc = inferExprType(*s->resetCond, st);
-          if (!isIntLike(rc)) throw WidthError("register reset condition must be 1-bit");
-          inferExprType(*s->resetInit, st);
-        }
-        break;
+      // Check both bodies even when the condition was bad: their errors are
+      // independent of the condition's type.
+      inferStmtsDiag(s->thenBody, st, de);
+      inferStmtsDiag(s->elseBody, st, de);
+    } else {
+      try {
+        inferOneStmt(*s, st);
+      } catch (const WidthError& e) {
+        de.error("E0303", stripWidthPrefix(e.what()), stmtSpan(*s));
+        // A node whose value failed still needs *some* type, or every later
+        // reference to it cascades into "undefined signal".
+        if (s->kind == StmtKind::Node) st.tryDefine(s->name, Type::uint_(1));
       }
-      case StmtKind::Connect: {
-        Type lhs = st.lookup(s->name);
-        Type rhs = inferExprType(*s->expr, st);
-        if (lhs.kind == TypeKind::Clock) {
-          if (rhs.kind != TypeKind::Clock)
-            throw WidthError("cannot connect non-clock to clock '" + s->name + "'");
-        } else if (!isIntLike(rhs) && rhs.kind != TypeKind::Clock) {
-          throw WidthError("cannot connect clock-typed value to '" + s->name + "'");
-        }
-        break;
-      }
-      case StmtKind::When: {
-        Type cond = inferExprType(*s->expr, st);
-        if (!isIntLike(cond)) throw WidthError("when condition must be 1-bit integer");
-        inferStmts(s->thenBody, st);
-        inferStmts(s->elseBody, st);
-        break;
-      }
-      case StmtKind::Printf:
-        inferExprType(*s->clock, st);
-        inferExprType(*s->expr, st);
-        for (auto& a : s->printArgs) inferExprType(*a, st);
-        break;
-      case StmtKind::Stop:
-        inferExprType(*s->clock, st);
-        inferExprType(*s->expr, st);
-        break;
-      case StmtKind::Assert:
-        inferExprType(*s->clock, st);
-        inferExprType(*s->pred, st);
-        inferExprType(*s->expr, st);
-        break;
-      case StmtKind::Invalidate:
-        st.lookup(s->name);
-        break;
-      default:
-        break;
     }
   }
 }
@@ -454,6 +571,29 @@ void inferModuleWidths(Module& module) {
   }
   SymbolTable st = SymbolTable::build(module);
   inferStmts(module.body, st);
+}
+
+bool inferUnknownWidths(Module& module, diag::DiagEngine& de) {
+  size_t before = de.errorCount();
+  // The fixpoint either converges or fails as a whole; there is no useful
+  // per-statement recovery, so one diagnostic covers the run.
+  try {
+    inferUnknownWidths(module);
+  } catch (const WidthError& e) {
+    de.error("E0302", stripWidthPrefix(e.what()), {});
+  }
+  return de.errorCount() == before;
+}
+
+bool inferModuleWidths(Module& module, diag::DiagEngine& de) {
+  size_t before = de.errorCount();
+  for (const auto& p : module.ports) {
+    if (!p.type.widthKnown)
+      de.error("E0302", "port '" + p.name + "' must have an explicit width", {});
+  }
+  SymbolTable st = SymbolTable::build(module, de);
+  inferStmtsDiag(module.body, st, de);
+  return de.errorCount() == before;
 }
 
 }  // namespace essent::firrtl

@@ -12,6 +12,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "diag/diag.h"
 #include "firrtl/ast.h"
 
 namespace essent::firrtl {
@@ -27,8 +28,13 @@ class SymbolTable {
   // Builds the table from ports and declarations (recursing into whens).
   // Throws WidthError on duplicate or instance statements.
   static SymbolTable build(const Module& module);
+  // Recovery variant: duplicates keep the first definition and report
+  // E0301; instances/aggregates report and are skipped.
+  static SymbolTable build(const Module& module, diag::DiagEngine& de);
 
   void define(const std::string& name, Type type);
+  // Returns false (keeping the existing entry) instead of throwing.
+  bool tryDefine(const std::string& name, Type type);
   bool contains(const std::string& name) const { return table_.count(name) > 0; }
   // Throws WidthError when the name is not defined.
   Type lookup(const std::string& name) const;
@@ -55,5 +61,13 @@ void inferUnknownWidths(Module& module);
 
 // Runs inference over every expression in the module, validating connects.
 void inferModuleWidths(Module& module);
+
+// Diag-collecting variants (codes E03xx). Each broken statement is reported
+// with its source span and checking continues with the next statement, so
+// one pass surfaces every width/type error in the module. Failed node
+// definitions get a 1-bit placeholder type to limit cascading "undefined
+// signal" errors. Return true when no new errors were reported.
+bool inferUnknownWidths(Module& module, diag::DiagEngine& de);
+bool inferModuleWidths(Module& module, diag::DiagEngine& de);
 
 }  // namespace essent::firrtl

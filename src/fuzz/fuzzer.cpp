@@ -89,6 +89,7 @@ CaseResult runFuzzCase(uint64_t caseSeed, const FuzzConfig& config, std::FILE* l
     oo.engines.erase(std::remove(oo.engines.begin(), oo.engines.end(), EngineKind::Codegen),
                      oo.engines.end());
   oo.parThreads = config.parThreads;
+  oo.subprocessTimeoutMs = config.subprocessTimeoutMs;
 
   // Stimulus needs the built IR's input list; build errors are themselves
   // fuzz findings (the generator emits only well-formed FIRRTL).
@@ -143,6 +144,7 @@ CaseResult replayCase(const std::string& fir, const Stimulus& stim,
   OracleOptions oo;
   oo.engines = config.engines;
   oo.parThreads = config.parThreads;
+  oo.subprocessTimeoutMs = config.subprocessTimeoutMs;
   OracleResult result = runOracle(fir, stim, oo);
   cr.codegenChecked = hasKind(oo.engines, EngineKind::Codegen) && !result.codegenSkipped;
   cr.codegenSkipped = result.codegenSkipped;

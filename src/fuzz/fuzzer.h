@@ -35,6 +35,11 @@ struct FuzzConfig {
   bool shrinkFailures = true;
   uint32_t shrinkAttempts = 400;
   bool verbose = false;
+  // Watchdog for every codegen compile/run subprocess — applied to the
+  // initial oracle run AND to each shrink attempt's re-run, so a circuit
+  // that compiles into a hanging simulator can never wedge a campaign.
+  // 0 disables (not recommended).
+  int64_t subprocessTimeoutMs = 60'000;
 };
 
 struct CaseResult {

@@ -1,0 +1,196 @@
+#include "fuzz/mutator.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "diag/diag.h"
+#include "fuzz/fuzzer.h"
+#include "fuzz/generator.h"
+#include "sim/builder.h"
+#include "sim/full_cycle.h"
+#include "support/rng.h"
+
+namespace essent::fuzz {
+
+namespace {
+
+// Rough tokenization for token-level mutations: runs of identifier chars,
+// runs of digits, or single punctuation bytes. Whitespace separates.
+std::vector<std::string> splitTokens(const std::string& text) {
+  std::vector<std::string> toks;
+  size_t i = 0;
+  auto isWord = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+           c == '_' || c == '-';
+  };
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == ' ' || c == '\n' || c == '\t' || c == '\r') {
+      size_t start = i;
+      while (i < text.size() && (text[i] == ' ' || text[i] == '\n' || text[i] == '\t' ||
+                                 text[i] == '\r'))
+        i++;
+      toks.push_back(text.substr(start, i - start));
+    } else if (isWord(c)) {
+      size_t start = i;
+      while (i < text.size() && isWord(text[i])) i++;
+      toks.push_back(text.substr(start, i - start));
+    } else {
+      toks.push_back(std::string(1, c));
+      i++;
+    }
+  }
+  return toks;
+}
+
+std::string joinTokens(const std::vector<std::string>& toks) {
+  std::string out;
+  for (const auto& t : toks) out += t;
+  return out;
+}
+
+}  // namespace
+
+std::string mutateText(const std::string& text, uint64_t seed, uint32_t maxMutations) {
+  Rng rng(seed);
+  std::string cur = text;
+  uint32_t count = static_cast<uint32_t>(rng.nextRange(1, maxMutations == 0 ? 1 : maxMutations));
+  for (uint32_t m = 0; m < count; m++) {
+    if (cur.empty()) cur = "x";
+    switch (rng.nextBelow(9)) {
+      case 0: {  // flip one byte to an arbitrary printable-or-not value
+        size_t pos = rng.nextBelow(cur.size());
+        cur[pos] = static_cast<char>(rng.nextBelow(256));
+        break;
+      }
+      case 1: {  // insert a random byte
+        size_t pos = rng.nextBelow(cur.size() + 1);
+        cur.insert(pos, 1, static_cast<char>(rng.nextBelow(256)));
+        break;
+      }
+      case 2: {  // delete a byte span
+        size_t pos = rng.nextBelow(cur.size());
+        size_t len = std::min(cur.size() - pos, rng.nextRange(1, 16));
+        cur.erase(pos, len);
+        break;
+      }
+      case 3: {  // duplicate a token
+        auto toks = splitTokens(cur);
+        if (toks.empty()) break;
+        size_t t = rng.nextBelow(toks.size());
+        toks.insert(toks.begin() + static_cast<ptrdiff_t>(t), toks[t]);
+        cur = joinTokens(toks);
+        break;
+      }
+      case 4: {  // delete a token
+        auto toks = splitTokens(cur);
+        if (toks.empty()) break;
+        toks.erase(toks.begin() + static_cast<ptrdiff_t>(rng.nextBelow(toks.size())));
+        cur = joinTokens(toks);
+        break;
+      }
+      case 5: {  // swap two tokens
+        auto toks = splitTokens(cur);
+        if (toks.size() < 2) break;
+        size_t a = rng.nextBelow(toks.size()), b = rng.nextBelow(toks.size());
+        std::swap(toks[a], toks[b]);
+        cur = joinTokens(toks);
+        break;
+      }
+      case 6: {  // splice a chunk of the text over another position
+        size_t from = rng.nextBelow(cur.size());
+        size_t len = std::min(cur.size() - from, rng.nextRange(1, 64));
+        size_t to = rng.nextBelow(cur.size() + 1);
+        cur.insert(to, cur.substr(from, len));
+        break;
+      }
+      case 7: {  // truncate
+        cur.resize(rng.nextBelow(cur.size()) + 1);
+        break;
+      }
+      case 8: {  // scramble one line's indentation (tabs included on purpose)
+        size_t lineStart = rng.nextBelow(cur.size());
+        while (lineStart > 0 && cur[lineStart - 1] != '\n') lineStart--;
+        std::string pad;
+        for (uint64_t k = rng.nextBelow(12); k > 0; k--)
+          pad += rng.nextBool() ? '\t' : ' ';
+        size_t oldEnd = lineStart;
+        while (oldEnd < cur.size() && (cur[oldEnd] == ' ' || cur[oldEnd] == '\t')) oldEnd++;
+        cur.replace(lineStart, oldEnd - lineStart, pad);
+        break;
+      }
+    }
+  }
+  return cur;
+}
+
+MutateSummary runMutateCampaign(const MutateConfig& config, std::FILE* log) {
+  MutateSummary sum;
+  for (uint64_t i = 0; i < config.budget; i++) {
+    uint64_t caseSeed = caseSeedFor(config.seed, i);
+    Rng rng(caseSeed);
+    GenOptions gen;
+    gen.exprNodes = static_cast<uint32_t>(rng.nextRange(4, 16));
+    std::string base = generateCircuit(rng.next(), gen);
+    std::string mutant = mutateText(base, rng.next(), config.maxMutations);
+
+    sum.cases++;
+    uint64_t outcome = 0;
+    try {
+      diag::DiagEngine de;
+      de.setSource("<mutant>", mutant);
+      auto ir = sim::buildFromFirrtlDiag(mutant, {}, de, config.limits);
+      if (!ir.has_value()) {
+        if (!de.hasErrors())
+          throw std::logic_error("build failed without reporting any diagnostic");
+        sum.rejected++;
+        outcome = 1;
+      } else {
+        // Survivor: a short guarded simulation must also be clean. Engine
+        // exceptions here (combinational loops were already rejected at
+        // build) would be front-end bugs.
+        sim::FullCycleEngine eng(*ir);
+        support::ResourceGuard guard(config.limits);
+        for (uint64_t c = 0; c < config.cycles; c++) {
+          for (int32_t in : ir->inputs)
+            eng.poke(ir->signals[static_cast<size_t>(in)].name, rng.next());
+          eng.tick();
+          guard.checkDeadline();
+          if (eng.stopped()) break;
+        }
+        sum.built++;
+        outcome = 2;
+      }
+    } catch (const support::ResourceExhausted&) {
+      // Ceiling hit mid-simulation: bounded, structured — a rejection.
+      sum.rejected++;
+      outcome = 3;
+    } catch (const std::exception& e) {
+      sum.crashes++;
+      outcome = 4;
+      if (log) {
+        std::fprintf(log, "mutate case %llu: CRASH: %s\n",
+                     static_cast<unsigned long long>(caseSeed), e.what());
+        std::fprintf(log, "---- mutant ----\n%s\n---- end ----\n", mutant.c_str());
+      }
+    }
+    sum.digest = (sum.digest * 1099511628211ull) ^ caseSeed ^ (outcome << 56);
+    if (config.verbose && log && (i + 1) % 500 == 0)
+      std::fprintf(log, "mutate: %llu/%llu cases, %llu crashes\n",
+                   static_cast<unsigned long long>(i + 1),
+                   static_cast<unsigned long long>(config.budget),
+                   static_cast<unsigned long long>(sum.crashes));
+  }
+  if (log)
+    std::fprintf(log,
+                 "mutate campaign: %llu cases, %llu built, %llu rejected, %llu crashes "
+                 "(digest %016llx)\n",
+                 static_cast<unsigned long long>(sum.cases),
+                 static_cast<unsigned long long>(sum.built),
+                 static_cast<unsigned long long>(sum.rejected),
+                 static_cast<unsigned long long>(sum.crashes),
+                 static_cast<unsigned long long>(sum.digest));
+  return sum;
+}
+
+}  // namespace essent::fuzz

@@ -1,0 +1,56 @@
+// Mutation-based crash fuzzer for the front end and resource governance.
+//
+// Where the differential fuzzer (fuzzer.h) asks "do the five engines
+// agree on well-formed circuits?", the mutate campaign asks "does the
+// front end survive ARBITRARY bytes?". Each case takes a generated (valid)
+// circuit, applies seeded byte- and token-level mutations, and pushes the
+// result through the diag-collecting build path under resource-guard
+// ceilings. The only acceptable outcomes are:
+//   * the mutant still builds → a short guarded simulation must also run
+//     cleanly;
+//   * the mutant is rejected with structured diagnostics.
+// An escaped C++ exception is counted as a crash and fails the campaign;
+// a signal or sanitizer abort kills the process, which the CI job treats
+// the same way. Never a hang: ceilings bound the work per case.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "support/resource_guard.h"
+
+namespace essent::fuzz {
+
+// Applies 1..maxMutations seeded mutations to `text`: byte flips, byte
+// insertion/deletion, token duplication/deletion/swap, chunk splicing,
+// truncation, and indentation scrambling. Deterministic in (text, seed).
+std::string mutateText(const std::string& text, uint64_t seed, uint32_t maxMutations = 8);
+
+struct MutateConfig {
+  uint64_t seed = 1;
+  uint64_t budget = 1000;      // number of mutated cases
+  uint32_t maxMutations = 8;
+  uint64_t cycles = 16;        // guarded sim cycles for mutants that build
+  bool verbose = false;
+  // Ceilings applied to every case; the defaults are deliberately tighter
+  // than ResourceLimits' global defaults so a mutated depth/width cannot
+  // stall the campaign on one case.
+  support::ResourceLimits limits{200'000, 64ull << 20, 0, 10'000};
+};
+
+struct MutateSummary {
+  uint64_t cases = 0;
+  uint64_t built = 0;      // mutant still built and simulated cleanly
+  uint64_t rejected = 0;   // mutant rejected with structured diagnostics
+  uint64_t crashes = 0;    // escaped exception — always a bug
+  // Order-sensitive digest over case outcomes; reruns must match.
+  uint64_t digest = 0;
+
+  bool failed() const { return crashes != 0; }
+};
+
+// Runs `config.budget` cases; crash details go to `log` (may be null).
+MutateSummary runMutateCampaign(const MutateConfig& config, std::FILE* log);
+
+}  // namespace essent::fuzz

@@ -52,6 +52,7 @@ const char* divKindName(Divergence::Kind k) {
     case Divergence::Kind::MemMismatch: return "memory mismatch";
     case Divergence::Kind::EngineException: return "engine exception";
     case Divergence::Kind::CompileFailure: return "compile failure";
+    case Divergence::Kind::Timeout: return "subprocess timeout";
   }
   return "?";
 }
@@ -370,16 +371,26 @@ OracleResult runOracle(const std::string& firrtlText, const Stimulus& stim,
   std::string srcPath = dir.file("sim.cpp");
   {
     std::ofstream f(srcPath);
-    f << code << buildCodegenHarness(irOpt, stim, trace.signals);
+    std::string harness = buildCodegenHarness(irOpt, stim, trace.signals);
+    if (opts.injectHangForTest) {
+      // Wedge the simulator before it produces any output; only the
+      // watchdog can get the oracle past this.
+      size_t brace = harness.find('{');
+      if (brace != std::string::npos) harness.insert(brace + 1, "\n  for (;;) {}\n");
+    }
+    f << code << harness;
   }
+  support::RunOptions runOpts;
+  runOpts.timeoutMs = opts.subprocessTimeoutMs;
   std::string binPath = dir.file("sim");
   support::ExecResult cc = support::runShell(opts.compilerCmd + " -o " +
-                                             support::shellQuote(binPath) + " " +
-                                             support::shellQuote(srcPath));
+                                                 support::shellQuote(binPath) + " " +
+                                                 support::shellQuote(srcPath),
+                                             runOpts);
   if (!cc.ok()) {
     dir.keep();
     Divergence d;
-    d.kind = Divergence::Kind::CompileFailure;
+    d.kind = cc.timedOut ? Divergence::Kind::Timeout : Divergence::Kind::CompileFailure;
     d.engineA = "full";
     d.engineB = "codegen";
     d.detail = strfmt("%s (source kept at %s)", cc.describe().c_str(), srcPath.c_str());
@@ -388,11 +399,12 @@ OracleResult runOracle(const std::string& firrtlText, const Stimulus& stim,
   }
   std::string outPath = dir.file("out.txt");
   support::ExecResult run = support::runShell(support::shellQuote(binPath) + " > " +
-                                              support::shellQuote(outPath));
-  if (!run.ran || !run.exited || run.exitCode != 0) {
+                                                  support::shellQuote(outPath),
+                                              runOpts);
+  if (!run.ran || !run.exited || run.exitCode != 0 || run.timedOut) {
     dir.keep();
     Divergence d;
-    d.kind = Divergence::Kind::EngineException;
+    d.kind = run.timedOut ? Divergence::Kind::Timeout : Divergence::Kind::EngineException;
     d.engineA = "full";
     d.engineB = "codegen";
     d.detail = strfmt("compiled simulator %s (artifacts kept at %s)",

@@ -42,6 +42,7 @@ struct Divergence {
     MemMismatch,      // final memory contents differ
     EngineException,  // an engine threw while ticking
     CompileFailure,   // host compilation of the emitted simulator failed
+    Timeout,          // the watchdog killed a compile or run subprocess
   };
   Kind kind = Kind::ValueMismatch;
   uint64_t cycle = 0;
@@ -62,6 +63,14 @@ struct OracleOptions {
   // while still letting the optimizer exploit any UB in the emitted code.
   std::string compilerCmd = "c++ -std=c++20 -O1";
   bool keepCompiledArtifacts = false;  // keep the temp dir for debugging
+  // Wall-clock watchdog for each codegen subprocess (compile, then run);
+  // 0 disables. A killed subprocess surfaces as Divergence::Kind::Timeout,
+  // never as a hang. Applied on every oracle invocation, including each
+  // shrink attempt.
+  int64_t subprocessTimeoutMs = 0;
+  // Test hook: prepend an infinite loop to the compiled harness's main(),
+  // proving the watchdog path end to end.
+  bool injectHangForTest = false;
 };
 
 struct OracleResult {

@@ -1,5 +1,6 @@
 #include "sim/builder.h"
 
+#include <functional>
 #include <map>
 #include <unordered_map>
 #include <unordered_set>
@@ -73,6 +74,7 @@ class Builder {
     declareBody(mod_.body);
     buildBody(mod_.body);
     buildMemReads();
+    checkDriven();
     topoSortOps();
     if (opts_.constProp) constantPropagate(ir_);
     if (opts_.cse) eliminateCommonSubexprs(ir_);
@@ -94,6 +96,7 @@ class Builder {
   };
   std::map<std::string, PendingReg> pendingRegs_;
   std::unordered_map<std::string, size_t> memByName_;
+  std::unordered_set<std::string> memReadDataNames_;
   std::unordered_map<std::string, int32_t> constIntern_;
 
   int32_t newSignal(std::string name, uint32_t width, bool isSigned, SigKind kind) {
@@ -199,6 +202,7 @@ class Builder {
         // value is the combinational read (sampled with old memory contents).
         rd.data = newSignal(base + ".data", m.width, sgn, SigKind::Register);
       }
+      memReadDataNames_.insert(base + ".data");
       m.readers.push_back(rd);
     }
     for (const auto& w : s.writers) {
@@ -272,7 +276,19 @@ class Builder {
       finishRegister(s.name, regIt->second, rhs);
       return;
     }
-    buildExprInto(*s.expr, lookup(s.name));
+    // Illegal connect targets are rejected here rather than left for the IR
+    // validator, which would report them as internal invariant violations.
+    int32_t dest = lookup(s.name);
+    const Signal& dsig = ir_.signals[static_cast<size_t>(dest)];
+    if (dsig.kind == SigKind::Input)
+      throw BuildError("cannot connect to input port '" + s.name + "'");
+    if (memReadDataNames_.count(s.name))
+      throw BuildError("cannot connect to memory read port '" + s.name + "'");
+    if (dsig.kind == SigKind::Register)
+      throw BuildError("register '" + s.name + "' is driven more than once");
+    if (dsig.defOp >= 0)
+      throw BuildError("'" + s.name + "' is driven more than once");
+    buildExprInto(*s.expr, dest);
   }
 
   // Folds the reset mux and records RegInfo. `rhs` is the raw next value.
@@ -412,6 +428,29 @@ class Builder {
     op.signedOp = ir_.signals[src].isSigned;
   }
 
+  // Every signal an op, register next-value, or memory port reads must be
+  // produced by something: an input, a register, or an op. A read of a
+  // never-driven wire or output (legal to write in a malformed .fir) would
+  // otherwise surface much later as an IR-validator internal invariant
+  // violation instead of a front-end error.
+  void checkDriven() const {
+    auto require = [&](int32_t sig) {
+      const Signal& sg = ir_.signals[static_cast<size_t>(sig)];
+      if (sg.kind == SigKind::Input || sg.kind == SigKind::Register || sg.defOp >= 0) return;
+      throw BuildError("signal '" + sg.name + "' is read but never driven");
+    };
+    for (const Op& op : ir_.ops)
+      for (int k = 0, n = op.numArgs(); k < n; k++) require(op.args[k]);
+    for (const RegInfo& r : ir_.regs) require(r.next);
+    for (const MemInfo& m : ir_.mems)
+      for (const MemWriter& w : m.writers) {
+        require(w.addr);
+        require(w.en);
+        require(w.data);
+        require(w.mask);
+      }
+  }
+
   void topoSortOps() {
     size_t n = ir_.ops.size();
     // Dependency graph: op i depends on defOp(arg) for each arg.
@@ -505,6 +544,185 @@ SimIR buildFromFirrtl(const std::string& firrtlText, const BuildOptions& opts) {
     lowered = firrtl::lowerCircuit(*circuit);
   }
   return buildSimIR(*lowered, opts);
+}
+
+namespace {
+
+uint64_t satAdd(uint64_t a, uint64_t b) {
+  uint64_t s = a + b;
+  return s < a ? UINT64_MAX : s;
+}
+
+uint64_t satMul(uint64_t a, uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > UINT64_MAX / b) return UINT64_MAX;
+  return a * b;
+}
+
+// Ground leaves a declaration of this type expands to during lowering.
+uint64_t typeScalarCount(const firrtl::Type& t) {
+  switch (t.kind) {
+    case TypeKind::Bundle: {
+      uint64_t total = 0;
+      for (const auto& f : *t.fields) total = satAdd(total, typeScalarCount(f.type));
+      return total;
+    }
+    case TypeKind::Vector:
+      return satMul(t.size, typeScalarCount(*t.elem));
+    default:
+      return 1;
+  }
+}
+
+struct AstCost {
+  uint64_t decls = 0;     // scalar declarations/connects after lowering
+  uint64_t memBytes = 0;  // memory state bytes
+};
+
+void accumulateStmts(const std::vector<firrtl::StmtPtr>& body,
+                     const std::function<uint64_t(const std::string&)>& instCost, AstCost& c) {
+  for (const auto& s : body) {
+    switch (s->kind) {
+      case StmtKind::Wire:
+      case StmtKind::Reg:
+        c.decls = satAdd(c.decls, typeScalarCount(s->type));
+        break;
+      case StmtKind::Node:
+      case StmtKind::Connect:
+      case StmtKind::Invalidate:
+        c.decls = satAdd(c.decls, 1);
+        break;
+      case StmtKind::Mem: {
+        uint64_t rowBytes = (static_cast<uint64_t>(s->type.simWidth()) + 7) / 8;
+        c.memBytes = satAdd(c.memBytes, satMul(s->depth, rowBytes == 0 ? 1 : rowBytes));
+        c.decls = satAdd(c.decls, satMul(5, s->readers.size() + s->writers.size()) + 1);
+        break;
+      }
+      case StmtKind::Inst:
+        c.decls = satAdd(c.decls, instCost(s->moduleName));
+        break;
+      case StmtKind::When:
+        accumulateStmts(s->thenBody, instCost, c);
+        accumulateStmts(s->elseBody, instCost, c);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+// Post-lowering footprint estimated from the AST, with instance fan-out
+// multiplied through the hierarchy (a k-wide chain of depth d costs k^d —
+// the classic blow-up a crafted input uses, and exactly what must be
+// refused before flattenInstances materializes it). Instance cycles are
+// flattenInstances' problem; they count as a single unit here.
+void checkCircuitResources(const firrtl::Circuit& circuit, const support::ResourceGuard& guard) {
+  std::unordered_map<std::string, AstCost> memo;
+  std::unordered_set<std::string> inProgress;
+  std::function<AstCost(const firrtl::Module&)> costOf = [&](const firrtl::Module& m) -> AstCost {
+    auto it = memo.find(m.name);
+    if (it != memo.end()) return it->second;
+    if (!inProgress.insert(m.name).second) return AstCost{1, 0};
+    AstCost c;
+    for (const auto& p : m.ports) c.decls = satAdd(c.decls, typeScalarCount(p.type));
+    AstCost mem;  // aggregate child memBytes alongside decls
+    auto instCost = [&](const std::string& name) -> uint64_t {
+      const firrtl::Module* child = circuit.findModule(name);
+      if (!child) return 1;
+      AstCost cc = costOf(*child);
+      mem.memBytes = satAdd(mem.memBytes, cc.memBytes);
+      return cc.decls;
+    };
+    accumulateStmts(m.body, instCost, c);
+    c.memBytes = satAdd(c.memBytes, mem.memBytes);
+    inProgress.erase(m.name);
+    memo[m.name] = c;
+    return c;
+  };
+  const firrtl::Module* main = circuit.mainModule();
+  if (!main) return;
+  AstCost total = costOf(*main);
+  guard.checkIrOps(total.decls);
+  guard.checkSimMem(total.memBytes);
+}
+
+}  // namespace
+
+uint64_t estimateStateBytes(const SimIR& ir) {
+  uint64_t bytes = 0;
+  for (const auto& s : ir.signals)
+    bytes = satAdd(bytes, (static_cast<uint64_t>(s.width) + 7) / 8);
+  for (const auto& m : ir.mems) {
+    uint64_t rowBytes = (static_cast<uint64_t>(m.width) + 7) / 8;
+    bytes = satAdd(bytes, satMul(m.depth, rowBytes == 0 ? 1 : rowBytes));
+  }
+  return bytes;
+}
+
+std::optional<SimIR> buildFromFirrtlDiag(const std::string& firrtlText, const BuildOptions& opts,
+                                         diag::DiagEngine& de,
+                                         const support::ResourceLimits& limits) {
+  support::ResourceGuard guard(limits);
+  std::unique_ptr<firrtl::Circuit> circuit;
+  {
+    obs::ScopedPhaseTimer timer("parse");
+    circuit = firrtl::parseCircuit(firrtlText, de);
+  }
+  if (de.hasErrors()) return std::nullopt;
+
+  try {
+    checkCircuitResources(*circuit, guard);
+  } catch (const support::ResourceExhausted& e) {
+    de.error(e.code(), e.what(), {});
+    return std::nullopt;
+  }
+
+  std::unique_ptr<firrtl::Module> lowered;
+  try {
+    obs::ScopedPhaseTimer timer("lower");
+    // lowerCircuit's phases, but with diag-collecting width inference so
+    // every width error in the module surfaces in this one pass.
+    firrtl::Circuit copy;
+    copy.name = circuit->name;
+    for (const auto& m : circuit->modules) {
+      auto cm = std::make_unique<firrtl::Module>();
+      cm->name = m->name;
+      cm->ports = m->ports;
+      for (const auto& s : m->body) cm->body.push_back(s->clone());
+      copy.modules.push_back(std::move(cm));
+    }
+    firrtl::lowerAggregates(copy);
+    lowered = firrtl::flattenInstances(copy);
+    firrtl::expandWhens(*lowered);
+    if (!firrtl::inferUnknownWidths(*lowered, de)) return std::nullopt;
+    firrtl::inferModuleWidths(*lowered, de);
+    if (de.hasErrors()) return std::nullopt;
+  } catch (const firrtl::WidthError& e) {
+    // Structural failures from the lowering passes themselves (unknown
+    // module, instantiation cycle, aggregate misuse) fail as a unit.
+    std::string msg = e.what();
+    const std::string pfx = "firrtl width error: ";
+    if (msg.rfind(pfx, 0) == 0) msg = msg.substr(pfx.size());
+    de.error("E0305", msg, {});
+    return std::nullopt;
+  }
+
+  try {
+    SimIR ir = buildSimIR(*lowered, opts);
+    guard.checkIrOps(ir.ops.size());
+    guard.checkSimMem(estimateStateBytes(ir));
+    guard.checkDeadline();
+    return ir;
+  } catch (const BuildError& e) {
+    std::string msg = e.what();
+    const std::string pfx = "sim build error: ";
+    if (msg.rfind(pfx, 0) == 0) msg = msg.substr(pfx.size());
+    de.error("E0401", msg, {});
+    return std::nullopt;
+  } catch (const support::ResourceExhausted& e) {
+    de.error(e.code(), e.what(), {});
+    return std::nullopt;
+  }
 }
 
 }  // namespace essent::sim

@@ -10,10 +10,13 @@
 //    `reset ? init : next`).
 #pragma once
 
+#include <optional>
 #include <stdexcept>
 
+#include "diag/diag.h"
 #include "firrtl/ast.h"
 #include "sim/sim_ir.h"
+#include "support/resource_guard.h"
 
 namespace essent::sim {
 
@@ -39,5 +42,21 @@ SimIR buildSimIR(const firrtl::Module& lowered, const BuildOptions& opts = {});
 
 // Convenience: parse + lower + build from FIRRTL text.
 SimIR buildFromFirrtl(const std::string& firrtlText, const BuildOptions& opts = {});
+
+// Diag-collecting front door (essentc, the mutate fuzzer): parses with
+// recovery so every lexical/syntax error (E01xx/E02xx) surfaces in one
+// pass, then lowers with diag-collecting width inference (E03xx), then
+// builds the IR (build failures → E04xx). Resource ceilings are enforced
+// twice — on the AST before lowering (vector sizes, mem depths, and
+// instance fan-out multiply during flattening, so explosions are refused
+// before they allocate) and on the finished IR — reporting E05xx.
+// Returns nullopt whenever any error was reported through `de`.
+std::optional<SimIR> buildFromFirrtlDiag(const std::string& firrtlText, const BuildOptions& opts,
+                                         diag::DiagEngine& de,
+                                         const support::ResourceLimits& limits = {});
+
+// Estimated resident state bytes for a built IR (signals + registers +
+// memories); the quantity governed by ResourceLimits::maxSimMemBytes.
+uint64_t estimateStateBytes(const SimIR& ir);
 
 }  // namespace essent::sim

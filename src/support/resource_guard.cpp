@@ -1,0 +1,54 @@
+#include "support/resource_guard.h"
+
+#include <chrono>
+
+#include "support/strutil.h"
+
+namespace essent::support {
+
+namespace {
+
+int64_t nowMs() {
+  using namespace std::chrono;
+  return duration_cast<milliseconds>(steady_clock::now().time_since_epoch()).count();
+}
+
+}  // namespace
+
+ResourceGuard::ResourceGuard(ResourceLimits limits) : limits_(limits), startMs_(nowMs()) {}
+
+void ResourceGuard::checkIrOps(uint64_t ops) const {
+  if (limits_.maxIrOps && ops > limits_.maxIrOps)
+    throw ResourceExhausted(
+        "E0501", strfmt("design too large: %llu IR operations (limit %llu)",
+                        static_cast<unsigned long long>(ops),
+                        static_cast<unsigned long long>(limits_.maxIrOps)));
+}
+
+void ResourceGuard::checkSimMem(uint64_t bytes) const {
+  if (limits_.maxSimMemBytes && bytes > limits_.maxSimMemBytes)
+    throw ResourceExhausted(
+        "E0502", strfmt("simulation state too large: %llu bytes (limit %llu)",
+                        static_cast<unsigned long long>(bytes),
+                        static_cast<unsigned long long>(limits_.maxSimMemBytes)));
+}
+
+void ResourceGuard::checkCycles(uint64_t cycles) const {
+  if (limits_.maxCycles && cycles > limits_.maxCycles)
+    throw ResourceExhausted(
+        "E0503", strfmt("cycle budget exhausted: %llu cycles (limit %llu)",
+                        static_cast<unsigned long long>(cycles),
+                        static_cast<unsigned long long>(limits_.maxCycles)));
+}
+
+void ResourceGuard::checkDeadline() const {
+  if (!limits_.wallDeadlineMs) return;
+  int64_t elapsed = nowMs() - startMs_;
+  if (elapsed > limits_.wallDeadlineMs)
+    throw ResourceExhausted(
+        "E0504", strfmt("wall-clock deadline exceeded: %lld ms (limit %lld)",
+                        static_cast<long long>(elapsed),
+                        static_cast<long long>(limits_.wallDeadlineMs)));
+}
+
+}  // namespace essent::support

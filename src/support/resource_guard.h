@@ -1,0 +1,54 @@
+// Resource governance for elaboration and simulation: hard ceilings on IR
+// size, estimated simulation memory, cycle counts, and wall-clock time.
+//
+// The guard exists so hostile or degenerate inputs (a mem with depth 2^40,
+// a vector type that explodes during lowering, a runaway stimulus) fail
+// with a structured ResourceExhausted error — convertible to an E05xx
+// diagnostic — instead of OOM-killing the process or spinning forever.
+// All limits default to "generous but finite"; 0 disables a limit.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace essent::support {
+
+struct ResourceLimits {
+  uint64_t maxIrOps = 5'000'000;             // IR nodes after lowering/building
+  uint64_t maxSimMemBytes = 1ull << 32;      // estimated state bytes (regs+mems)
+  uint64_t maxCycles = 0;                    // simulated cycles per run (0 = off)
+  int64_t wallDeadlineMs = 0;                // wall budget from guard creation (0 = off)
+
+  static ResourceLimits unlimited() { return ResourceLimits{0, 0, 0, 0}; }
+};
+
+class ResourceExhausted : public std::runtime_error {
+ public:
+  ResourceExhausted(std::string code, const std::string& msg)
+      : std::runtime_error(msg), code_(std::move(code)) {}
+  // Diagnostic code, E05xx.
+  const std::string& code() const { return code_; }
+
+ private:
+  std::string code_;
+};
+
+class ResourceGuard {
+ public:
+  explicit ResourceGuard(ResourceLimits limits);
+
+  const ResourceLimits& limits() const { return limits_; }
+
+  // Each check throws ResourceExhausted when its limit is exceeded.
+  void checkIrOps(uint64_t ops) const;         // E0501
+  void checkSimMem(uint64_t bytes) const;      // E0502
+  void checkCycles(uint64_t cycles) const;     // E0503
+  void checkDeadline() const;                  // E0504
+
+ private:
+  ResourceLimits limits_;
+  int64_t startMs_;  // steady-clock epoch at construction
+};
+
+}  // namespace essent::support

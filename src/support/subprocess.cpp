@@ -1,8 +1,13 @@
 #include "support/subprocess.h"
 
+#include <signal.h>
 #include <sys/wait.h>
+#include <unistd.h>
 
+#include <cerrno>
+#include <chrono>
 #include <cstdlib>
+#include <thread>
 
 #include "support/strutil.h"
 
@@ -20,22 +25,79 @@ std::string shellQuote(const std::string& s) {
   return out;
 }
 
-ExecResult runShell(const std::string& cmd) {
-  ExecResult r;
-  int status = std::system(cmd.c_str());
-  if (status == -1) return r;  // could not spawn a shell at all
-  r.ran = true;
+namespace {
+
+void decodeStatus(int status, ExecResult& r) {
   if (WIFEXITED(status)) {
     r.exited = true;
     r.exitCode = WEXITSTATUS(status);
   } else if (WIFSIGNALED(status)) {
     r.signal = WTERMSIG(status);
   }
+}
+
+}  // namespace
+
+ExecResult runShell(const std::string& cmd, const RunOptions& opts) {
+  using Clock = std::chrono::steady_clock;
+  ExecResult r;
+  Clock::time_point start = Clock::now();
+
+  pid_t pid = fork();
+  if (pid < 0) return r;
+  if (pid == 0) {
+    // New process group so the watchdog can kill the shell AND everything
+    // it spawned (the compiler, the compiled simulator, ...).
+    setpgid(0, 0);
+    execl("/bin/sh", "sh", "-c", cmd.c_str(), static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  // Racing the child's own setpgid; one of the two calls wins, both settle
+  // on the same group, and EACCES/EPERM here is benign.
+  setpgid(pid, pid);
+  r.ran = true;
+
+  auto elapsedMs = [&] {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - start).count();
+  };
+
+  bool sentTerm = false;
+  int64_t termAtMs = 0;
+  for (;;) {
+    int status = 0;
+    pid_t w = waitpid(pid, &status, WNOHANG);
+    if (w == pid) {
+      decodeStatus(status, r);
+      break;
+    }
+    if (w < 0 && errno != EINTR) {
+      // Child vanished without a reapable status; report what we know.
+      break;
+    }
+    int64_t now = elapsedMs();
+    if (opts.timeoutMs > 0 && !sentTerm && now >= opts.timeoutMs) {
+      r.timedOut = true;
+      kill(-pid, SIGTERM);
+      sentTerm = true;
+      termAtMs = now;
+    } else if (sentTerm && now - termAtMs >= opts.killGraceMs) {
+      kill(-pid, SIGKILL);
+      // Reap the corpse blocking: SIGKILL cannot be ignored.
+      int st = 0;
+      if (waitpid(pid, &st, 0) == pid) decodeStatus(st, r);
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  r.wallMs = elapsedMs();
   return r;
 }
 
+ExecResult runShell(const std::string& cmd) { return runShell(cmd, RunOptions{}); }
+
 std::string ExecResult::describe() const {
   if (!ran) return "failed to spawn shell";
+  if (timedOut) return strfmt("timed out after %lld ms", static_cast<long long>(wallMs));
   if (!exited) return strfmt("killed by signal %d", signal);
   return strfmt("exited %d", exitCode);
 }

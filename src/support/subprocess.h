@@ -1,9 +1,17 @@
 // Shell subprocess helpers shared by the tool flow: POSIX-safe quoting and
-// a std::system wrapper that decodes the wait status, so callers can
+// a fork/exec wrapper that decodes the wait status, so callers can
 // distinguish "ran and exited N" from "killed by a signal" and never build
 // commands by unquoted string concatenation.
+//
+// Commands run in their own process group under an optional wall-clock
+// watchdog: when the deadline passes the whole group gets SIGTERM, then
+// SIGKILL after a short grace period, and the result is flagged timedOut.
+// This is what keeps a wedged compiler or a generated simulator with an
+// infinite loop from hanging the tool flow (essentc --compile-run, the
+// fuzz oracle's compiled path, and every shrink re-run).
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 namespace essent::support {
@@ -12,17 +20,29 @@ namespace essent::support {
 // is safe to splice into a /bin/sh command line.
 std::string shellQuote(const std::string& s);
 
-struct ExecResult {
-  bool ran = false;     // fork/exec itself succeeded
-  bool exited = false;  // terminated normally (vs. signal)
-  int exitCode = -1;    // WEXITSTATUS when exited, else -1
-  int signal = 0;       // terminating signal when !exited
+struct RunOptions {
+  // Wall-clock budget in milliseconds; 0 means no watchdog.
+  int64_t timeoutMs = 0;
+  // After SIGTERM, how long to wait before escalating to SIGKILL.
+  int64_t killGraceMs = 2000;
+};
 
-  bool ok() const { return ran && exited && exitCode == 0; }
+struct ExecResult {
+  bool ran = false;       // fork/exec itself succeeded
+  bool exited = false;    // terminated normally (vs. signal)
+  int exitCode = -1;      // WEXITSTATUS when exited, else -1
+  int signal = 0;         // terminating signal when !exited
+  bool timedOut = false;  // watchdog fired (process was killed)
+  int64_t wallMs = 0;     // observed wall-clock runtime
+
+  bool ok() const { return ran && exited && exitCode == 0 && !timedOut; }
   std::string describe() const;
 };
 
-// Runs `cmd` through std::system and decodes the result.
+// Runs `cmd` through /bin/sh -c and decodes the result.
 ExecResult runShell(const std::string& cmd);
+
+// Watchdog-governed variant; see RunOptions.
+ExecResult runShell(const std::string& cmd, const RunOptions& opts);
 
 }  // namespace essent::support

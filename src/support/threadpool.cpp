@@ -1,8 +1,24 @@
 #include "support/threadpool.h"
 
+#include <cerrno>
 #include <cstdlib>
+#include <system_error>
 
 namespace essent::support {
+
+namespace {
+
+// 0 = hook disabled; N > 0 = the Nth+1 spawn and beyond fail. Plain int is
+// fine: tests set it before constructing a pool on the same thread.
+unsigned g_failSpawnsAfter = 0;
+bool g_failSpawnsArmed = false;
+
+}  // namespace
+
+void ThreadPool::failSpawnsAfterForTest(unsigned spawned) {
+  g_failSpawnsAfter = spawned;
+  g_failSpawnsArmed = true;
+}
 
 namespace {
 
@@ -23,8 +39,20 @@ constexpr int kYieldIters = 64;
 
 ThreadPool::ThreadPool(unsigned threads) : numThreads_(threads == 0 ? 1 : threads) {
   workers_.reserve(numThreads_ - 1);
-  for (unsigned lane = 1; lane < numThreads_; lane++)
-    workers_.emplace_back([this, lane] { workerLoop(lane); });
+  for (unsigned lane = 1; lane < numThreads_; lane++) {
+    try {
+      if (g_failSpawnsArmed && workers_.size() >= g_failSpawnsAfter)
+        throw std::system_error(EAGAIN, std::generic_category(), "injected spawn failure");
+      workers_.emplace_back([this, lane] { workerLoop(lane); });
+    } catch (const std::system_error&) {
+      // OS thread exhaustion. Run degraded with the lanes that did spawn
+      // (possibly just the caller) rather than crashing; the engine factory
+      // turns the reduced lane count into a warning diagnostic.
+      numThreads_ = static_cast<unsigned>(workers_.size()) + 1;
+      break;
+    }
+  }
+  g_failSpawnsArmed = false;
 }
 
 ThreadPool::~ThreadPool() {

@@ -46,6 +46,11 @@ class ThreadPool {
   // concurrency (minimum 1).
   static unsigned defaultThreadCount();
 
+  // Test hook: when nonzero, worker spawns fail (throwing std::system_error
+  // as an exhausted OS would) once `spawned` workers exist. Used to exercise
+  // the graceful-degradation path without actually exhausting the machine.
+  static void failSpawnsAfterForTest(unsigned spawned);
+
  private:
   void workerLoop(unsigned lane);
 

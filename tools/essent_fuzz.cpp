@@ -8,9 +8,16 @@
 //   essent_fuzz [--seed S] [--budget N] [--cycles N]
 //               [--engines full,event,ccss,par,codegen] [--threads N]
 //               [--codegen-every N] [--wide-every N]
-//               [--corpus DIR] [--no-shrink] [-v]
+//               [--corpus DIR] [--no-shrink] [--timeout-ms N] [-v]
+//   essent_fuzz --mode mutate [--seed S] [--budget N] [--max-mutations N]
 //   essent_fuzz --replay CASESEED [other options]
 //   essent_fuzz --replay-file CASE.fir [--stim CASE.stim]
+//
+// --mode mutate is the crash fuzzer: byte/token mutations of generated
+// circuits pushed through the diag-collecting front end under resource
+// ceilings; the only acceptable outcomes are clean builds or structured
+// diagnostics — any escaped exception fails the run (and a signal or
+// sanitizer abort fails it harder).
 //
 // Deterministic: the same --seed always generates the same circuits and
 // verdicts; --replay CASESEED reproduces a single case from any campaign.
@@ -23,6 +30,7 @@
 #include <string>
 
 #include "fuzz/fuzzer.h"
+#include "fuzz/mutator.h"
 #include "sim/builder.h"
 #include "support/strutil.h"
 
@@ -35,7 +43,8 @@ void usage() {
                "usage: essent_fuzz [--seed S] [--budget N] [--cycles N]\n"
                "                   [--engines full,event,ccss,par,codegen] [--threads N]\n"
                "                   [--codegen-every N] [--wide-every N]\n"
-               "                   [--corpus DIR] [--no-shrink] [-v]\n"
+               "                   [--corpus DIR] [--no-shrink] [--timeout-ms N] [-v]\n"
+               "                   [--mode differential|mutate] [--max-mutations N]\n"
                "                   [--replay CASESEED | --replay-file F.fir [--stim F.stim]]\n");
   std::exit(2);
 }
@@ -57,6 +66,8 @@ int main(int argc, char** argv) {
   fuzz::FuzzConfig cfg;
   std::optional<uint64_t> replaySeed;
   std::string replayFile, stimFile;
+  std::string mode = "differential";
+  uint32_t maxMutations = 8;
 
   for (int i = 1; i < argc; i++) {
     std::string a = argv[i];
@@ -74,6 +85,9 @@ int main(int argc, char** argv) {
     else if (a == "--no-shrink") cfg.shrinkFailures = false;
     else if (a == "--shrink-attempts") cfg.shrinkAttempts = static_cast<uint32_t>(std::strtoul(next(), nullptr, 0));
     else if (a == "-v" || a == "--verbose") cfg.verbose = true;
+    else if (a == "--mode") mode = next();
+    else if (a == "--max-mutations") maxMutations = static_cast<uint32_t>(std::strtoul(next(), nullptr, 0));
+    else if (a == "--timeout-ms") cfg.subprocessTimeoutMs = std::strtoll(next(), nullptr, 0);
     else if (a == "--replay") replaySeed = std::strtoull(next(), nullptr, 0);
     else if (a == "--replay-file") replayFile = next();
     else if (a == "--stim") stimFile = next();
@@ -90,6 +104,20 @@ int main(int argc, char** argv) {
     } else {
       usage();
     }
+  }
+
+  if (mode == "mutate") {
+    fuzz::MutateConfig mc;
+    mc.seed = cfg.seed;
+    mc.budget = cfg.budget;
+    mc.maxMutations = maxMutations;
+    mc.verbose = cfg.verbose;
+    fuzz::MutateSummary sum = fuzz::runMutateCampaign(mc, stdout);
+    return sum.failed() ? 1 : 0;
+  }
+  if (mode != "differential") {
+    std::fprintf(stderr, "essent_fuzz: unknown mode '%s'\n", mode.c_str());
+    usage();
   }
 
   if (!replayFile.empty()) {

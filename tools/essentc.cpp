@@ -29,11 +29,28 @@
 //                         the level-synchronous parallel engine)
 //   --stats-json FILE     write design/partitioning/timing stats as JSON
 //   --top-hot N           after --run, print the N hottest partitions
+//   --diag-json FILE      write all diagnostics as JSON (machine-readable
+//                         mirror of the stderr rendering)
+//   --timeout-ms N        wall-clock watchdog for each --compile-run
+//                         subprocess (compile and execute); a process that
+//                         exceeds it is killed (SIGTERM, then SIGKILL)
+//   --max-ir-ops N        refuse designs lowering to more than N IR ops
+//   --max-sim-mem BYTES   refuse designs whose simulation state exceeds this
+//   --max-cycles N        refuse --run/--compile-run requests beyond N cycles
+//   --deadline-ms N       overall wall-clock budget for build + simulation
+//
+// Exit codes:
+//   0    success
+//   1    input rejected with diagnostics (parse/width/build/resource errors)
+//   2    usage error or internal error
+//   124  wall-clock timeout (--timeout-ms subprocess watchdog or
+//        --deadline-ms overall budget)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -42,12 +59,14 @@
 #include "core/activity_engine.h"
 #include "core/parallel_engine.h"
 #include "core/obs_export.h"
+#include "diag/diag.h"
 #include "obs/json.h"
 #include "obs/phase_timer.h"
 #include "sim/builder.h"
 #include "sim/event_driven.h"
 #include "sim/full_cycle.h"
 #include "sim/vcd.h"
+#include "support/resource_guard.h"
 #include "support/strutil.h"
 #include "support/subprocess.h"
 #include "support/tempdir.h"
@@ -70,9 +89,13 @@ struct Args {
   std::string vcdPath;
   std::string profilePath;
   std::string statsJsonPath;
+  std::string diagJsonPath;
   uint32_t profileWindow = 256;
   uint32_t topHot = 0;
   uint32_t threads = 0;  // 0 = unset: ESSENT_THREADS, else 1
+  int64_t timeoutMs = 0;  // --compile-run subprocess watchdog; 0 = off
+  bool injectHang = false;  // undocumented: watchdog self-test hook
+  support::ResourceLimits limits;
 };
 
 [[noreturn]] void usage(const char* msg = nullptr) {
@@ -83,7 +106,11 @@ struct Args {
                "               [--engine full|event|ccss] [--baseline] [--no-hints]\n"
                "               [--cp N] [--poke NAME=VALUE]... [--vcd FILE]\n"
                "               [--profile FILE] [--profile-window N] [--threads N]\n"
-               "               [--stats-json FILE] [--top-hot N] design.fir\n");
+               "               [--stats-json FILE] [--top-hot N] [--diag-json FILE]\n"
+               "               [--timeout-ms N] [--max-ir-ops N] [--max-sim-mem BYTES]\n"
+               "               [--max-cycles N] [--deadline-ms N] design.fir\n"
+               "exit codes: 0 success; 1 input rejected with diagnostics;\n"
+               "            2 usage or internal error; 124 wall-clock timeout\n");
   std::exit(2);
 }
 
@@ -120,12 +147,21 @@ Args parseArgs(int argc, char** argv) {
     else if (arg == "--profile-window")
       a.profileWindow = static_cast<uint32_t>(std::strtoul(next().c_str(), nullptr, 0));
     else if (arg == "--stats-json") a.statsJsonPath = next();
+    else if (arg == "--diag-json") a.diagJsonPath = next();
     else if (arg == "--top-hot")
       a.topHot = static_cast<uint32_t>(std::strtoul(next().c_str(), nullptr, 0));
     else if (arg == "--threads") {
       a.threads = static_cast<uint32_t>(std::strtoul(next().c_str(), nullptr, 0));
       if (a.threads == 0) usage("--threads expects a positive integer");
     }
+    else if (arg == "--timeout-ms") a.timeoutMs = std::strtoll(next().c_str(), nullptr, 0);
+    else if (arg == "--max-ir-ops") a.limits.maxIrOps = std::strtoull(next().c_str(), nullptr, 0);
+    else if (arg == "--max-sim-mem")
+      a.limits.maxSimMemBytes = std::strtoull(next().c_str(), nullptr, 0);
+    else if (arg == "--max-cycles") a.limits.maxCycles = std::strtoull(next().c_str(), nullptr, 0);
+    else if (arg == "--deadline-ms")
+      a.limits.wallDeadlineMs = std::strtoll(next().c_str(), nullptr, 0);
+    else if (arg == "--inject-hang") a.injectHang = true;
     else if (arg == "--help" || arg == "-h") usage();
     else if (!arg.empty() && arg[0] == '-') usage(("unknown option " + arg).c_str());
     else if (a.inputPath.empty()) a.inputPath = arg;
@@ -136,6 +172,8 @@ Args parseArgs(int argc, char** argv) {
     usage("--profile / --top-hot require --run");
   if ((!a.profilePath.empty() || a.topHot > 0) && a.engine != "ccss")
     usage("--profile / --top-hot require the ccss engine (partition profiles)");
+  if (a.injectHang && a.mode != Args::Mode::CompileRun)
+    usage("--inject-hang requires --compile-run");
   if (a.threads == 0) {
     if (const char* env = std::getenv("ESSENT_THREADS")) {
       long v = std::strtol(env, nullptr, 10);
@@ -238,7 +276,9 @@ int runStats(const Args& a, const sim::SimIR& ir) {
   return 0;
 }
 
-int runSim(const Args& a, const sim::SimIR& ir) {
+int runSim(const Args& a, const sim::SimIR& ir, diag::DiagEngine& de,
+           const support::ResourceGuard& guard) {
+  guard.checkCycles(a.runCycles);
   std::unique_ptr<sim::Engine> eng;
   if (a.engine == "full") eng = std::make_unique<sim::FullCycleEngine>(ir);
   else if (a.engine == "event") eng = std::make_unique<sim::EventDrivenEngine>(ir);
@@ -246,10 +286,15 @@ int runSim(const Args& a, const sim::SimIR& ir) {
     core::ScheduleOptions so;
     so.partition.smallThreshold = a.cp;
     // --threads 1 keeps the serial engine: the existing hot path, no pool.
-    if (a.threads > 1)
-      eng = std::make_unique<core::ParallelActivityEngine>(ir, so, a.threads);
-    else
+    if (a.threads > 1) {
+      // Graceful degradation: thread-pool or spawn failures fall back to
+      // the serial engine with a W0601 warning instead of aborting.
+      std::vector<std::string> warnings;
+      eng = core::makeCcssEngine(ir, so, a.threads, &warnings);
+      for (const std::string& w : warnings) de.warning("W0601", w, {});
+    } else {
       eng = std::make_unique<core::ActivityEngine>(ir, so);
+    }
   } else usage("unknown engine (expected full|event|ccss)");
 
   for (const auto& [name, value] : a.pokes) eng->poke(name, value);
@@ -271,6 +316,7 @@ int runSim(const Args& a, const sim::SimIR& ir) {
   for (; c < a.runCycles && !eng->stopped(); c++) {
     eng->tick();
     if (vcd) vcd->sample(c + 1);
+    if ((c & 1023) == 1023) guard.checkDeadline();
   }
   std::fputs(eng->printOutput().c_str(), stdout);
   std::printf("ran %llu cycles on %s engine%s\n", static_cast<unsigned long long>(c),
@@ -312,8 +358,10 @@ int runSim(const Args& a, const sim::SimIR& ir) {
 
 // Generates the CCSS simulator, compiles it with the host toolchain, runs
 // it for the requested cycles with the pokes applied, and cross-checks
-// every output port against the in-process interpreter.
-int runCompileRun(const Args& a, const sim::SimIR& ir) {
+// every output port against the in-process interpreter. Both subprocesses
+// run under the --timeout-ms watchdog; a timeout exits 124.
+int runCompileRun(const Args& a, const sim::SimIR& ir, const support::ResourceGuard& guard) {
+  guard.checkCycles(a.runCycles);
   core::ScheduleOptions so;
   so.partition.smallThreshold = a.cp;
   core::CondPartSchedule sched = core::buildSchedule(core::Netlist::build(ir), so);
@@ -331,6 +379,7 @@ int runCompileRun(const Args& a, const sim::SimIR& ir) {
     std::ofstream f(src);
     f << code;
     f << "\nint main() {\n  essent_gen::Simulator sim;\n";
+    if (a.injectHang) f << "  for (;;) {}\n";  // watchdog self-test
     for (const auto& [name2, value] : a.pokes) {
       int32_t sig = ir.findSignal(name2);
       if (sig < 0) {
@@ -347,12 +396,20 @@ int runCompileRun(const Args& a, const sim::SimIR& ir) {
         << codegen::memberName(ir, o) << ");\n";
     f << "  return sim.exit_code_;\n}\n";
   }
+  support::RunOptions ro;
+  ro.timeoutMs = a.timeoutMs;
   std::string bin = dir.file("sim");
   std::string cmd =
       "c++ -std=c++20 -O2 -o " + support::shellQuote(bin) + " " + support::shellQuote(src);
   std::fprintf(stderr, "essentc: compiling generated simulator (%zu bytes)...\n",
                code.size());
-  support::ExecResult cc = support::runShell(cmd);
+  support::ExecResult cc = support::runShell(cmd, ro);
+  if (cc.timedOut) {
+    std::fprintf(stderr, "essentc: host compilation %s (source kept at %s)\n",
+                 cc.describe().c_str(), src.c_str());
+    dir.keep();
+    return 124;
+  }
   if (!cc.ok()) {
     std::fprintf(stderr, "essentc: host compilation failed (%s; source kept at %s)\n",
                  cc.describe().c_str(), src.c_str());
@@ -360,13 +417,20 @@ int runCompileRun(const Args& a, const sim::SimIR& ir) {
     return 1;
   }
   std::string outFile = dir.file("out.txt");
-  support::ExecResult run =
-      support::runShell(support::shellQuote(bin) + " > " + support::shellQuote(outFile));
+  support::ExecResult run = support::runShell(
+      support::shellQuote(bin) + " > " + support::shellQuote(outFile), ro);
+  if (run.timedOut) {
+    std::fprintf(stderr, "essentc: compiled simulator %s\n", run.describe().c_str());
+    return 124;
+  }
 
   // Interpreter cross-check.
   core::ActivityEngine eng(ir, so);
   for (const auto& [name2, value] : a.pokes) eng.poke(name2, value);
-  for (uint64_t c = 0; c < a.runCycles && !eng.stopped(); c++) eng.tick();
+  for (uint64_t c = 0; c < a.runCycles && !eng.stopped(); c++) {
+    eng.tick();
+    if ((c & 1023) == 1023) guard.checkDeadline();
+  }
 
   // The generated main() returns the design's stop exit code, so a nonzero
   // status is a failure only when the interpreter disagrees (or the process
@@ -428,43 +492,75 @@ int runDot(const Args& a, const sim::SimIR& ir) {
   return 0;
 }
 
+// Renders collected diagnostics to stderr (with an "essentc: N error(s)"
+// trailer) and writes the --diag-json mirror. Called on every exit path
+// that reaches the front end, including success with warnings only.
+void flushDiagnostics(const Args& a, const diag::DiagEngine& de) {
+  if (!de.diagnostics().empty()) {
+    std::fputs(de.render().c_str(), stderr);
+    std::fprintf(stderr, "essentc: %zu error(s), %zu warning(s)\n", de.errorCount(),
+                 de.warningCount());
+  }
+  if (!a.diagJsonPath.empty()) writeJsonReport("diagnostics", a.diagJsonPath, de.toJson());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Args a = parseArgs(argc, argv);
+  diag::DiagEngine de;
+  int rc = 0;
   try {
+    std::string text = readFile(a.inputPath);
+    de.setSource(a.inputPath, text);
+    // The deadline clock starts here and covers elaboration + simulation.
+    support::ResourceGuard guard(a.limits);
     sim::BuildOptions bo;
     if (a.baseline) bo.constProp = bo.cse = bo.dce = false;
     bo.allowCombLoops = a.allowCombLoops;
-    sim::SimIR ir = sim::buildFromFirrtl(readFile(a.inputPath), bo);
-    switch (a.mode) {
-      case Args::Mode::Stats:
-        return runStats(a, ir);
-      case Args::Mode::Run:
-        return runSim(a, ir);
-      case Args::Mode::CompileRun:
-        return runCompileRun(a, ir);
-      case Args::Mode::Dot:
-        return runDot(a, ir);
-      case Args::Mode::EmitCpp: {
-        codegen::CodegenOptions co;
-        co.ccss = !a.baseline;
-        co.branchHints = a.hints;
-        if (co.ccss) {
-          core::ScheduleOptions so;
-          so.partition.smallThreshold = a.cp;
-          core::CondPartSchedule sched =
-              core::buildSchedule(core::Netlist::build(ir), so);
-          writeOut(a, codegen::emitCpp(ir, &sched, co));
-        } else {
-          writeOut(a, codegen::emitCpp(ir, nullptr, co));
+    std::optional<sim::SimIR> ir = sim::buildFromFirrtlDiag(text, bo, de, a.limits);
+    if (!ir) {
+      rc = 1;
+    } else {
+      switch (a.mode) {
+        case Args::Mode::Stats:
+          rc = runStats(a, *ir);
+          break;
+        case Args::Mode::Run:
+          rc = runSim(a, *ir, de, guard);
+          break;
+        case Args::Mode::CompileRun:
+          rc = runCompileRun(a, *ir, guard);
+          break;
+        case Args::Mode::Dot:
+          rc = runDot(a, *ir);
+          break;
+        case Args::Mode::EmitCpp: {
+          codegen::CodegenOptions co;
+          co.ccss = !a.baseline;
+          co.branchHints = a.hints;
+          if (co.ccss) {
+            core::ScheduleOptions so;
+            so.partition.smallThreshold = a.cp;
+            core::CondPartSchedule sched =
+                core::buildSchedule(core::Netlist::build(*ir), so);
+            writeOut(a, codegen::emitCpp(*ir, &sched, co));
+          } else {
+            writeOut(a, codegen::emitCpp(*ir, nullptr, co));
+          }
+          rc = 0;
+          break;
         }
-        return 0;
       }
     }
+  } catch (const support::ResourceExhausted& e) {
+    de.error(e.code(), e.what(), {});
+    rc = e.code() == "E0504" ? 124 : 1;
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "essentc: %s\n", e.what());
-    return 1;
+    std::fprintf(stderr, "essentc: internal error: %s\n", e.what());
+    flushDiagnostics(a, de);
+    return 2;
   }
-  return 0;
+  flushDiagnostics(a, de);
+  return rc;
 }
