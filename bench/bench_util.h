@@ -72,19 +72,23 @@ struct BenchEnv {
 };
 
 // CCSS engine honoring the thread knob: the serial ActivityEngine at 1
-// thread (the untouched hot path), the wave-parallel engine above.
+// thread (the untouched hot path), the wave-parallel engine above. Both
+// paths go through the shared compiled structure (CompiledCcss), matching
+// how sim::makeEngine and core::SimFarm construct engines.
 inline std::unique_ptr<core::ActivityEngine> makeCcssEngine(const sim::SimIR& ir,
                                                             const core::ScheduleOptions& opts,
                                                             unsigned threads) {
-  if (threads <= 1) return std::make_unique<core::ActivityEngine>(ir, opts);
-  return std::make_unique<core::ParallelActivityEngine>(ir, opts, threads);
+  auto cc = core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), opts);
+  if (threads <= 1) return std::make_unique<core::ActivityEngine>(std::move(cc));
+  return std::make_unique<core::ParallelActivityEngine>(std::move(cc), threads);
 }
 
 inline std::unique_ptr<core::ActivityEngine> makeCcssEngine(const sim::SimIR& ir,
                                                             core::CondPartSchedule schedule,
                                                             unsigned threads) {
-  if (threads <= 1) return std::make_unique<core::ActivityEngine>(ir, std::move(schedule));
-  return std::make_unique<core::ParallelActivityEngine>(ir, std::move(schedule), threads);
+  auto cc = core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), std::move(schedule));
+  if (threads <= 1) return std::make_unique<core::ActivityEngine>(std::move(cc));
+  return std::make_unique<core::ParallelActivityEngine>(std::move(cc), threads);
 }
 
 // Interleaved A/B(/C/...) repetition timing: candidates run round-robin

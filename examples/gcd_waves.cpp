@@ -7,10 +7,10 @@
 #include <fstream>
 #include <numeric>
 
-#include "core/activity_engine.h"
+#include <essent/engine.h>
+#include <essent/vcd.h>
+
 #include "designs/gcd.h"
-#include "sim/builder.h"
-#include "sim/vcd.h"
 
 using namespace essent;
 

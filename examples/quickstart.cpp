@@ -4,10 +4,12 @@
 //   CCSS activity engine -> simulate.
 //
 // Build and run:  ./build/examples/quickstart
+//
+// Everything used here comes from the stable public API (<essent/...>,
+// policy in docs/API.md).
 #include <cstdio>
 
-#include "core/activity_engine.h"
-#include "sim/builder.h"
+#include <essent/engine.h>
 
 int main() {
   // A small en-gated counter, written directly in FIRRTL.
@@ -29,11 +31,18 @@ circuit Counter :
   std::printf("design '%s': %zu ops, %zu registers, %zu inputs\n", ir.name.c_str(),
               ir.ops.size(), ir.regs.size(), ir.inputs.size());
 
-  // Build the ESSENT-style conditional/coarsened/singular/static schedule
-  // and instantiate the activity engine.
-  essent::core::ActivityEngine sim(ir, essent::core::ScheduleOptions{});
-  std::printf("partitions: %zu (elided registers: %zu)\n", sim.schedule().numPartitions(),
-              sim.schedule().elidedRegs);
+  // Compile the immutable structure once, then construct an engine from it
+  // through the single public factory. (Any number of engines can share one
+  // CompiledDesign — that is what core::SimFarm builds on.)
+  auto design = essent::sim::CompiledDesign::compile(ir);
+  auto eng = essent::sim::makeEngine(essent::sim::EngineKind::Ccss, design);
+  auto& sim = *eng;
+
+  // CCSS-specific introspection (the schedule, the activity factor) lives
+  // on the concrete ActivityEngine type.
+  auto& act = dynamic_cast<essent::core::ActivityEngine&>(sim);
+  std::printf("partitions: %zu (elided registers: %zu)\n", act.schedule().numPartitions(),
+              act.schedule().elidedRegs);
 
   // Drive it: reset two cycles, count for ten, pause for five.
   sim.poke("reset", 1);
@@ -51,6 +60,6 @@ circuit Counter :
               static_cast<unsigned long long>(sim.peek("count")));
 
   // The point of the paper: idle cycles cost almost nothing.
-  std::printf("effective activity factor over the run: %.3f\n", sim.effectiveActivity());
+  std::printf("effective activity factor over the run: %.3f\n", act.effectiveActivity());
   return 0;
 }

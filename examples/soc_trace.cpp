@@ -6,11 +6,9 @@
 #include <cstdio>
 #include <cstring>
 
-#include "core/activity_engine.h"
+#include <essent/engine.h>
+
 #include "designs/tinysoc.h"
-#include "sim/builder.h"
-#include "sim/event_driven.h"
-#include "sim/full_cycle.h"
 #include "workloads/driver.h"
 
 using namespace essent;

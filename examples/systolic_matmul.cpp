@@ -8,9 +8,9 @@
 #include <cstdlib>
 #include <vector>
 
-#include "core/activity_engine.h"
+#include <essent/engine.h>
+
 #include "designs/systolic.h"
-#include "sim/builder.h"
 #include "support/strutil.h"
 
 using namespace essent;

@@ -1,0 +1,18 @@
+// ESSENT public API — the batch simulation farm.
+//
+// core::SimFarm runs N concurrent engine instances that share ONE compiled
+// schedule (see src/core/sim_farm.h for the design notes):
+//
+//   #include <essent/farm.h>
+//   auto design = essent::sim::CompiledDesign::compile(ir);
+//   essent::core::FarmOptions fo;                 // kind, workers, knobs
+//   essent::core::SimFarm farm(design, fo);
+//   std::vector<essent::core::FarmJob> jobs(8);
+//   for (auto& j : jobs) j.maxCycles = 10000;
+//   essent::core::FarmReport report = farm.run(jobs);
+//
+// Compatibility policy: docs/API.md.
+#pragma once
+
+#include "core/sim_farm.h"           // SimFarm, FarmJob, FarmOptions, FarmReport
+#include "sim/engine_factory.h"      // EngineKind, EngineOptions

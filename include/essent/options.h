@@ -1,0 +1,15 @@
+// ESSENT public API — every option struct a client configures:
+//
+//   sim::BuildOptions     FIRRTL lowering + IR optimization knobs
+//   sim::EngineOptions    makeEngine knobs (threads, C_p, elision, profiling)
+//   core::ScheduleOptions CCSS partitioner/schedule knobs (advanced use;
+//                         EngineOptions covers the common subset)
+//   core::FarmOptions     batch-farm kind/engine/worker knobs
+//
+// Compatibility policy: docs/API.md.
+#pragma once
+
+#include "core/schedule.h"           // ScheduleOptions (+ PartitionOptions)
+#include "core/sim_farm.h"           // FarmOptions
+#include "sim/builder.h"             // BuildOptions
+#include "sim/engine_factory.h"      // EngineOptions

@@ -1,0 +1,15 @@
+// ESSENT public API — everything a simulation run reports:
+//
+//   sim::EngineStats          per-engine work counters (cycles, ops, ...)
+//   sim::RunResult            one harness run (cycles, stop, wall time)
+//   sim::runEngine            drive an engine with a stimulus callback
+//   sim::compareEngines       lock-step cross-engine equivalence check
+//   core::FarmInstanceResult  one farm instance's results
+//   core::FarmReport          whole-batch aggregates
+//
+// Compatibility policy: docs/API.md.
+#pragma once
+
+#include "core/sim_farm.h"           // FarmInstanceResult, FarmReport
+#include "sim/engine.h"              // EngineStats
+#include "sim/harness.h"             // RunResult, runEngine, compareEngines

@@ -1,0 +1,12 @@
+// ESSENT public API — VCD waveform dumping for any Engine.
+//
+//   #include <essent/vcd.h>
+//   std::ofstream out("waves.vcd");
+//   essent::sim::VcdWriter vcd(out, *eng);
+//   eng->tick();
+//   vcd.sample(1);
+//
+// Compatibility policy: docs/API.md.
+#pragma once
+
+#include "sim/vcd.h"                 // VcdWriter

@@ -8,26 +8,82 @@ using sim::ExecOp;
 using sim::MemInfo;
 using sim::RegInfo;
 
-ActivityEngine::ActivityEngine(const sim::SimIR& ir, CondPartSchedule schedule)
-    : Engine(ir), sched_(std::move(schedule)) {
-  active_.assign(sched_.parts.size(), 1);
-  prevInputs_.assign(layout_.totalWords, 0);
+namespace {
+
+std::shared_ptr<const CcssSchedule> buildCcssSchedule(const sim::CompiledDesign& design,
+                                                      CondPartSchedule sched) {
+  auto body = std::make_shared<CcssSchedule>();
+  body->sched = std::move(sched);
   // Lay out the flat old-value save area, one slot span per output.
   uint32_t off = 0;
-  partOutBase_.reserve(sched_.parts.size());
-  for (const auto& part : sched_.parts) {
-    partOutBase_.push_back(outputSaveOff_.size());
+  body->partOutBase.reserve(body->sched.parts.size());
+  for (const auto& part : body->sched.parts) {
+    body->partOutBase.push_back(body->outputSaveOff.size());
     for (const auto& o : part.outputs) {
-      outputSaveOff_.push_back(off);
-      off += layout_.nwords[o.sig];
+      body->outputSaveOff.push_back(off);
+      off += design.layout.nwords[o.sig];
     }
   }
-  outputSave_.assign(off, 0);
+  body->saveWords = off;
+  return body;
+}
+
+}  // namespace
+
+std::shared_ptr<const CompiledCcss> CompiledCcss::compile(
+    std::shared_ptr<const sim::CompiledDesign> design, CondPartSchedule sched) {
+  auto cc = std::make_shared<CompiledCcss>();
+  cc->body = buildCcssSchedule(*design, std::move(sched));
+  cc->design = std::move(design);
+  return cc;
+}
+
+std::shared_ptr<const CompiledCcss> CompiledCcss::compile(
+    std::shared_ptr<const sim::CompiledDesign> design, const ScheduleOptions& opts) {
+  CondPartSchedule sched = buildSchedule(Netlist::build(design->ir), opts);
+  return compile(std::move(design), std::move(sched));
+}
+
+std::shared_ptr<const CompiledCcss> CompiledCcss::get(
+    const std::shared_ptr<const sim::CompiledDesign>& design, const ScheduleOptions& opts) {
+  // The key encodes every option the schedule build depends on.
+  const PartitionOptions& po = opts.partition;
+  std::string key = "ccss/cp=" + std::to_string(po.smallThreshold) +
+                    "/pA=" + std::to_string(po.phaseSingleParent) +
+                    "/pB=" + std::to_string(po.phaseSmallSiblings) +
+                    "/pC=" + std::to_string(po.phaseAnySibling) +
+                    "/mp=" + std::to_string(po.maxPasses) +
+                    "/elide=" + std::to_string(opts.stateElision);
+  // Only the design-free schedule body lives in the cache (see
+  // CcssSchedule); the wrapper pairing it with the design is rebuilt per
+  // call and is two shared_ptr copies.
+  auto cc = std::make_shared<CompiledCcss>();
+  cc->body = design->getOrBuildExt<CcssSchedule>(key, [&design, &opts]() {
+    return buildCcssSchedule(*design,
+                             buildSchedule(Netlist::build(design->ir), opts));
+  });
+  cc->design = design;
+  return cc;
+}
+
+ActivityEngine::ActivityEngine(std::shared_ptr<const CompiledCcss> ccss)
+    : Engine(ccss->design),
+      ccss_(std::move(ccss)),
+      sched_(ccss_->body->sched),
+      outputSaveOff_(ccss_->body->outputSaveOff),
+      partOutBase_(ccss_->body->partOutBase) {
+  active_.assign(sched_.parts.size(), 1);
+  prevInputs_.assign(layout_.totalWords, 0);
+  outputSave_.assign(ccss_->body->saveWords, 0);
   firstCycle_ = true;
 }
 
+ActivityEngine::ActivityEngine(const sim::SimIR& ir, CondPartSchedule schedule)
+    : ActivityEngine(
+          CompiledCcss::compile(sim::CompiledDesign::compile(ir), std::move(schedule))) {}
+
 ActivityEngine::ActivityEngine(const sim::SimIR& ir, const ScheduleOptions& opts)
-    : ActivityEngine(ir, buildSchedule(Netlist::build(ir), opts)) {}
+    : ActivityEngine(CompiledCcss::compile(sim::CompiledDesign::compile(ir), opts)) {}
 
 void ActivityEngine::resetState() {
   Engine::resetState();

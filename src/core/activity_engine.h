@@ -47,12 +47,51 @@ struct ActivityProfile {
   std::vector<uint64_t> activationsPerWindow;
 };
 
+// The design-independent half of the compiled CCSS structure: the
+// CondPartSchedule plus the static layout of the flat old-value save area
+// for partition outputs (the save buffer itself is per-instance mutable
+// state). This is what CompiledCcss::get caches inside the design's
+// extension cache, and it deliberately holds no pointer back to the
+// design: a back-pointer from a cache entry would close a shared_ptr
+// cycle (design -> ext_ -> schedule -> design) and leak both.
+struct CcssSchedule {
+  CondPartSchedule sched;
+  std::vector<uint32_t> outputSaveOff;  // parallel to flattened outputs
+  std::vector<size_t> partOutBase;      // partition -> first flattened output
+  size_t saveWords = 0;                 // words in the per-instance save buffer
+};
+
+// Immutable CCSS structure shared by every activity-engine instance over
+// the same design: the design plus its (possibly cache-shared) schedule
+// body. Cheap to copy — two shared_ptrs.
+struct CompiledCcss {
+  std::shared_ptr<const sim::CompiledDesign> design;
+  std::shared_ptr<const CcssSchedule> body;
+
+  // Wraps an already-built schedule (must come from a Netlist over the
+  // same SimIR).
+  static std::shared_ptr<const CompiledCcss> compile(
+      std::shared_ptr<const sim::CompiledDesign> design, CondPartSchedule sched);
+  // Builds netlist + partitioning + schedule with the options.
+  static std::shared_ptr<const CompiledCcss> compile(
+      std::shared_ptr<const sim::CompiledDesign> design, const ScheduleOptions& opts);
+  // Cached variant: one schedule per (design, options), shared through the
+  // design's extension cache — what sim::makeEngine and core::SimFarm use
+  // so N concurrent instances pay for one schedule build.
+  static std::shared_ptr<const CompiledCcss> get(
+      const std::shared_ptr<const sim::CompiledDesign>& design, const ScheduleOptions& opts);
+};
+
 class ActivityEngine : public sim::Engine {
  public:
-  // The schedule must have been built from a Netlist over the same SimIR.
-  ActivityEngine(const sim::SimIR& ir, CondPartSchedule schedule);
+  // Shares a previously compiled schedule; the engine owns only its
+  // mutable state (arena, wake flags, save buffer, profile).
+  explicit ActivityEngine(std::shared_ptr<const CompiledCcss> ccss);
 
-  // Convenience: build netlist + partitioning + schedule with the options.
+  // Deprecated thin wrappers (see docs/API.md): compile a private snapshot
+  // of `ir`. Prefer sim::makeEngine or the CompiledCcss overload so
+  // concurrent instances share one build.
+  ActivityEngine(const sim::SimIR& ir, CondPartSchedule schedule);
   ActivityEngine(const sim::SimIR& ir, const ScheduleOptions& opts);
 
   void tick() override;
@@ -89,13 +128,16 @@ class ActivityEngine : public sim::Engine {
 
   // Shared with ParallelActivityEngine (which overrides only the partition
   // sweep; phases 1, 3, and 4 of the tick stay sequential).
-  CondPartSchedule sched_;
+  // Immutable structure (shared across instances) ...
+  std::shared_ptr<const CompiledCcss> ccss_;
+  const CondPartSchedule& sched_;              // = ccss_->body->sched
+  const std::vector<uint32_t>& outputSaveOff_; // = ccss_->body->outputSaveOff
+  const std::vector<size_t>& partOutBase_;     // = ccss_->body->partOutBase
+  // ... and this instance's mutable state.
   std::vector<uint8_t> active_;
   std::vector<uint64_t> prevInputs_;
   // Flat old-value buffer for all partition outputs.
   std::vector<uint64_t> outputSave_;
-  std::vector<uint32_t> outputSaveOff_;  // parallel to flattened outputs
-  std::vector<size_t> partOutBase_;      // partition -> first flattened output
   bool firstCycle_ = true;
   bool profiling_ = false;
   ActivityProfile prof_;

@@ -104,6 +104,42 @@ obs::Json activityProfileJson(const ActivityEngine& engine) {
   return j;
 }
 
+obs::Json farmReportJson(const FarmReport& report) {
+  obs::Json j = obs::Json::object();
+  j["engine"] = sim::engineKindName(report.kind);
+  j["workers"] = report.workers;
+  j["instances"] = report.instances.size();
+  j["wall_seconds"] = report.wallSeconds;
+  j["total_cycles"] = report.totalCycles;
+  j["instances_per_sec"] = report.instancesPerSec;
+  j["aggregate_cycles_per_sec"] = report.aggregateCyclesPerSec;
+  if (!report.warnings.empty()) {
+    obs::Json warns = obs::Json::array();
+    for (const std::string& w : report.warnings) warns.push(w);
+    j["warnings"] = std::move(warns);
+  }
+  obs::Json rows = obs::Json::array();
+  for (const FarmInstanceResult& r : report.instances) {
+    obs::Json row = obs::Json::object();
+    row["index"] = r.index;
+    row["name"] = r.name;
+    if (!r.error.empty()) {
+      row["error"] = r.error;
+      rows.push(std::move(row));
+      continue;
+    }
+    row["cycles"] = r.cycles;
+    row["stopped"] = r.stopped;
+    row["exit_code"] = r.exitCode;
+    row["seconds"] = r.seconds;
+    row["effective_activity"] = r.effectiveActivity;
+    row["stats"] = engineStatsJson(r.stats);
+    rows.push(std::move(row));
+  }
+  j["instance_results"] = std::move(rows);
+  return j;
+}
+
 std::vector<size_t> topHotPartitions(const ActivityProfile& prof, size_t n) {
   std::vector<size_t> order(prof.parts.size());
   for (size_t i = 0; i < order.size(); i++) order[i] = i;

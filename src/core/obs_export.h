@@ -11,6 +11,7 @@
 #include "core/activity_engine.h"
 #include "core/partitioner.h"
 #include "core/schedule.h"
+#include "core/sim_farm.h"
 #include "obs/json.h"
 #include "sim/sim_ir.h"
 
@@ -40,5 +41,9 @@ obs::Json activityProfileJson(const ActivityEngine& engine);
 // Partition indices ordered hottest-first by profiled ops evaluated
 // (ties: more activations first, then lower index), truncated to n.
 std::vector<size_t> topHotPartitions(const ActivityProfile& prof, size_t n);
+
+// Aggregate + per-instance report of one SimFarm batch (the `farm` section
+// of essentc --batch --stats-json; fields in docs/OBSERVABILITY.md).
+obs::Json farmReportJson(const FarmReport& report);
 
 }  // namespace essent::core

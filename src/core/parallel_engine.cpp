@@ -10,9 +10,9 @@ namespace essent::core {
 using sim::MemInfo;
 using sim::RegInfo;
 
-ParallelActivityEngine::ParallelActivityEngine(const sim::SimIR& ir, CondPartSchedule schedule,
+ParallelActivityEngine::ParallelActivityEngine(std::shared_ptr<const CompiledCcss> ccss,
                                                unsigned threads)
-    : ActivityEngine(ir, std::move(schedule)),
+    : ActivityEngine(std::move(ccss)),
       pool_(threads == 0 ? support::ThreadPool::defaultThreadCount() : threads),
       lane_(pool_.numThreads()),
       sweepFn_([this](unsigned lane) { sweepWave(lane); }),
@@ -20,9 +20,16 @@ ParallelActivityEngine::ParallelActivityEngine(const sim::SimIR& ir, CondPartSch
       // flag checks it distributes.
       minForkWidth_(static_cast<size_t>(pool_.numThreads()) * 4) {}
 
+ParallelActivityEngine::ParallelActivityEngine(const sim::SimIR& ir, CondPartSchedule schedule,
+                                               unsigned threads)
+    : ParallelActivityEngine(
+          CompiledCcss::compile(sim::CompiledDesign::compile(ir), std::move(schedule)),
+          threads) {}
+
 ParallelActivityEngine::ParallelActivityEngine(const sim::SimIR& ir, const ScheduleOptions& opts,
                                                unsigned threads)
-    : ParallelActivityEngine(ir, buildSchedule(Netlist::build(ir), opts), threads) {}
+    : ParallelActivityEngine(
+          CompiledCcss::compile(sim::CompiledDesign::compile(ir), opts), threads) {}
 
 void ParallelActivityEngine::wakeOnLane(const std::vector<int32_t>& parts, LaneCounters& lc) {
   // Idempotent set-to-1: concurrent setters of the same flag race only with
@@ -171,13 +178,13 @@ void ParallelActivityEngine::tick() {
   finishCycle();
 }
 
-std::unique_ptr<ActivityEngine> makeCcssEngine(const sim::SimIR& ir,
-                                               const ScheduleOptions& opts,
-                                               unsigned threads,
-                                               std::vector<std::string>* warnings) {
+std::unique_ptr<ActivityEngine> makeCcssEngine(
+    std::shared_ptr<const sim::CompiledDesign> design, const ScheduleOptions& opts,
+    unsigned threads, std::vector<std::string>* warnings) {
   auto warn = [&](const std::string& msg) {
     if (warnings) warnings->push_back(msg);
   };
+  std::shared_ptr<const CompiledCcss> ccss = CompiledCcss::get(design, opts);
   unsigned requested = threads == 0 ? support::ThreadPool::defaultThreadCount() : threads;
   unsigned hw = std::thread::hardware_concurrency();
   if (hw > 0 && requested > hw) {
@@ -185,13 +192,13 @@ std::unique_ptr<ActivityEngine> makeCcssEngine(const sim::SimIR& ir,
          std::to_string(hw) + "); clamping");
     requested = hw;
   }
-  if (requested <= 1) return std::make_unique<ActivityEngine>(ir, opts);
+  if (requested <= 1) return std::make_unique<ActivityEngine>(std::move(ccss));
   try {
-    auto eng = std::make_unique<ParallelActivityEngine>(ir, opts, requested);
+    auto eng = std::make_unique<ParallelActivityEngine>(ccss, requested);
     unsigned got = eng->threadCount();
     if (got == 1) {
       warn("no worker threads could be created; falling back to serial CCSS engine");
-      return std::make_unique<ActivityEngine>(ir, opts);
+      return std::make_unique<ActivityEngine>(std::move(ccss));
     }
     if (got < requested)
       warn("only " + std::to_string(got) + " of " + std::to_string(requested) +
@@ -200,8 +207,15 @@ std::unique_ptr<ActivityEngine> makeCcssEngine(const sim::SimIR& ir,
   } catch (const std::system_error& e) {
     warn(std::string("parallel engine unavailable (") + e.what() +
          "); falling back to serial CCSS engine");
-    return std::make_unique<ActivityEngine>(ir, opts);
+    return std::make_unique<ActivityEngine>(std::move(ccss));
   }
+}
+
+std::unique_ptr<ActivityEngine> makeCcssEngine(const sim::SimIR& ir,
+                                               const ScheduleOptions& opts,
+                                               unsigned threads,
+                                               std::vector<std::string>* warnings) {
+  return makeCcssEngine(sim::CompiledDesign::compile(ir), opts, threads, warnings);
 }
 
 }  // namespace essent::core

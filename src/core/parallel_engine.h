@@ -38,7 +38,12 @@ namespace essent::core {
 
 class ParallelActivityEngine : public ActivityEngine {
  public:
-  // `threads` == 0 resolves to ThreadPool::defaultThreadCount().
+  // Shares a previously compiled schedule; `threads` == 0 resolves to
+  // ThreadPool::defaultThreadCount().
+  ParallelActivityEngine(std::shared_ptr<const CompiledCcss> ccss, unsigned threads);
+
+  // Deprecated thin wrappers (see docs/API.md): compile a private snapshot
+  // of `ir`. Prefer sim::makeEngine or the CompiledCcss overload.
   ParallelActivityEngine(const sim::SimIR& ir, CondPartSchedule schedule, unsigned threads);
   ParallelActivityEngine(const sim::SimIR& ir, const ScheduleOptions& opts, unsigned threads);
 
@@ -83,5 +88,12 @@ std::unique_ptr<ActivityEngine> makeCcssEngine(const sim::SimIR& ir,
                                                const ScheduleOptions& opts,
                                                unsigned threads,
                                                std::vector<std::string>* warnings = nullptr);
+
+// Shared-structure variant: the schedule is built (or fetched) through the
+// design's extension cache, so repeated calls over the same design — e.g.
+// every instance of a core::SimFarm batch — pay for one schedule build.
+std::unique_ptr<ActivityEngine> makeCcssEngine(
+    std::shared_ptr<const sim::CompiledDesign> design, const ScheduleOptions& opts,
+    unsigned threads, std::vector<std::string>* warnings = nullptr);
 
 }  // namespace essent::core

@@ -1,0 +1,115 @@
+#include "core/sim_farm.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+
+#include "core/activity_engine.h"
+#include "support/threadpool.h"
+
+namespace essent::core {
+
+SimFarm::SimFarm(std::shared_ptr<const sim::CompiledDesign> design, FarmOptions opts)
+    : design_(std::move(design)), opts_(std::move(opts)) {
+  if (!design_) throw std::invalid_argument("SimFarm requires a compiled design");
+  if (opts_.kind == sim::EngineKind::Codegen)
+    throw std::invalid_argument(
+        "SimFarm cannot run engine kind 'codegen' (out-of-process simulator)");
+}
+
+FarmInstanceResult SimFarm::runOne(size_t index, const FarmJob& job,
+                                   std::vector<std::string>& warnings) const {
+  FarmInstanceResult r;
+  r.index = index;
+  r.name = job.name.empty() ? "job" + std::to_string(index) : job.name;
+  sim::EngineOptions eo = opts_.engine;
+  eo.warnings = &warnings;  // per-instance vector; merged by the caller
+  std::unique_ptr<sim::Engine> eng = sim::makeEngine(opts_.kind, design_, eo);
+  if (job.init) job.init(*eng);
+  sim::RunResult run = sim::runEngine(*eng, job.maxCycles, job.stimulus);
+  r.cycles = run.cycles;
+  r.stopped = run.stopped;
+  r.exitCode = run.exitCode;
+  r.seconds = run.seconds;
+  r.stats = run.stats;
+  if (auto* act = dynamic_cast<const ActivityEngine*>(eng.get()))
+    r.effectiveActivity = act->effectiveActivity();
+  r.printOutput = eng->printOutput();
+  const sim::SimIR& ir = design_->ir;
+  r.outputs.reserve(ir.outputs.size());
+  for (int32_t o : ir.outputs)
+    r.outputs.emplace_back(ir.signals[static_cast<size_t>(o)].name,
+                           eng->peekSigBV(o).toHexString());
+  return r;
+}
+
+FarmReport SimFarm::run(const std::vector<FarmJob>& jobs) {
+  FarmReport report;
+  report.kind = opts_.kind;
+  if (jobs.empty()) return report;
+
+  // Build the kind-specific derived structure (schedule, event groups, ...)
+  // once, up front, by constructing and discarding one engine: otherwise the
+  // first claimed instance on every worker would serialize on the extension
+  // cache mutex inside the timed region.
+  {
+    sim::EngineOptions eo = opts_.engine;
+    eo.warnings = nullptr;
+    sim::makeEngine(opts_.kind, design_, eo);
+  }
+
+  unsigned workers = opts_.workers == 0 ? support::ThreadPool::defaultThreadCount()
+                                        : opts_.workers;
+  workers = std::max(1u, std::min<unsigned>(workers, static_cast<unsigned>(jobs.size())));
+  report.workers = workers;
+  report.instances.resize(jobs.size());
+
+  std::atomic<size_t> cursor{0};
+  std::mutex mergeMu;  // guards report.warnings (instances are index-disjoint)
+  auto body = [&](unsigned) {
+    for (;;) {
+      size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) break;
+      std::vector<std::string> warnings;
+      // ThreadPool tasks must not throw; trap per-instance failures into
+      // the result so one bad job cannot take down the batch.
+      try {
+        report.instances[i] = runOne(i, jobs[i], warnings);
+      } catch (const std::exception& e) {
+        report.instances[i].index = i;
+        report.instances[i].name =
+            jobs[i].name.empty() ? "job" + std::to_string(i) : jobs[i].name;
+        report.instances[i].error = e.what();
+      }
+      if (!warnings.empty()) {
+        std::lock_guard<std::mutex> lock(mergeMu);
+        for (std::string& w : warnings)
+          if (std::find(report.warnings.begin(), report.warnings.end(), w) ==
+              report.warnings.end())
+            report.warnings.push_back(std::move(w));
+      }
+    }
+  };
+
+  auto t0 = std::chrono::steady_clock::now();
+  if (workers == 1) {
+    body(0);  // no pool: keeps single-worker farms usable from pool tasks
+  } else {
+    support::ThreadPool pool(workers);
+    report.workers = pool.numThreads();
+    pool.run(body);
+  }
+  report.wallSeconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  for (const FarmInstanceResult& r : report.instances) report.totalCycles += r.cycles;
+  if (report.wallSeconds > 0) {
+    report.instancesPerSec = static_cast<double>(jobs.size()) / report.wallSeconds;
+    report.aggregateCyclesPerSec =
+        static_cast<double>(report.totalCycles) / report.wallSeconds;
+  }
+  return report;
+}
+
+}  // namespace essent::core

@@ -17,31 +17,6 @@
 
 namespace essent::fuzz {
 
-const char* engineKindName(EngineKind k) {
-  switch (k) {
-    case EngineKind::FullCycle: return "full";
-    case EngineKind::EventDriven: return "event";
-    case EngineKind::Ccss: return "ccss";
-    case EngineKind::CcssPar: return "par";
-    case EngineKind::Codegen: return "codegen";
-  }
-  return "?";
-}
-
-bool parseEngineKind(const std::string& token, EngineKind& out) {
-  for (EngineKind k : allEngineKinds())
-    if (token == engineKindName(k)) {
-      out = k;
-      return true;
-    }
-  return false;
-}
-
-std::vector<EngineKind> allEngineKinds() {
-  return {EngineKind::FullCycle, EngineKind::EventDriven, EngineKind::Ccss,
-          EngineKind::CcssPar, EngineKind::Codegen};
-}
-
 namespace {
 
 const char* divKindName(Divergence::Kind k) {
@@ -302,16 +277,18 @@ OracleResult runOracle(const std::string& firrtlText, const Stimulus& stim,
     return std::find(opts.engines.begin(), opts.engines.end(), k) != opts.engines.end();
   };
 
-  sim::SimIR irRef, irOpt;
+  std::shared_ptr<const sim::CompiledDesign> refDesign, optDesign;
   try {
     sim::BuildOptions noOpt;
     noOpt.constProp = noOpt.cse = noOpt.dce = false;
-    irRef = sim::buildFromFirrtl(firrtlText, noOpt);
-    irOpt = sim::buildFromFirrtl(firrtlText, sim::BuildOptions{});
+    refDesign = sim::CompiledDesign::compile(sim::buildFromFirrtl(firrtlText, noOpt));
+    optDesign = sim::CompiledDesign::compile(sim::buildFromFirrtl(firrtlText, sim::BuildOptions{}));
   } catch (const std::exception& e) {
     res.buildError = e.what();
     return res;
   }
+  const sim::SimIR& irRef = refDesign->ir;
+  const sim::SimIR& irOpt = optDesign->ir;
 
   bool wantCodegen = wants(EngineKind::Codegen);
   std::string code;
@@ -333,20 +310,20 @@ OracleResult runOracle(const std::string& firrtlText, const Stimulus& stim,
   // the comparison, and the codegen trace needs an in-process twin).
   std::vector<std::unique_ptr<sim::Engine>> own;
   std::vector<std::pair<std::string, sim::Engine*>> list;
-  own.push_back(std::make_unique<sim::FullCycleEngine>(irRef));
-  list.push_back({"full", own.back().get()});
-  if (wants(EngineKind::EventDriven)) {
-    own.push_back(std::make_unique<sim::EventDrivenEngine>(irOpt));
-    list.push_back({"event", own.back().get()});
-  }
-  if (wants(EngineKind::Ccss)) {
-    own.push_back(std::make_unique<core::ActivityEngine>(irOpt, so));
-    list.push_back({"ccss", own.back().get()});
-  }
+  auto addEngine = [&](EngineKind k, const std::shared_ptr<const sim::CompiledDesign>& d) {
+    own.push_back(sim::makeEngine(k, d));
+    list.push_back({engineKindName(k), own.back().get()});
+  };
+  addEngine(EngineKind::FullCycle, refDesign);
+  if (wants(EngineKind::EventDriven)) addEngine(EngineKind::EventDriven, optDesign);
+  if (wants(EngineKind::Ccss)) addEngine(EngineKind::Ccss, optDesign);
   if (wants(EngineKind::CcssPar)) {
+    // Deliberately NOT makeEngine: the oracle must exercise the real
+    // parallel sweep even on a single-core host, so it bypasses the
+    // factory's graceful hardware-concurrency clamping.
     own.push_back(std::make_unique<core::ParallelActivityEngine>(
-        irOpt, so, std::max(2u, opts.parThreads)));
-    list.push_back({"par", own.back().get()});
+        core::CompiledCcss::get(optDesign, so), std::max(2u, opts.parThreads)));
+    list.push_back({engineKindName(EngineKind::CcssPar), own.back().get()});
   }
 
   // Traced signals for the codegen comparison: outputs and registers of the

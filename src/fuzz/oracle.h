@@ -23,16 +23,16 @@
 
 #include "fuzz/stimulus.h"
 #include "sim/engine.h"
+#include "sim/engine_factory.h"
 
 namespace essent::fuzz {
 
-enum class EngineKind { FullCycle, EventDriven, Ccss, CcssPar, Codegen };
-
-const char* engineKindName(EngineKind k);  // "full" / "event" / "ccss" / "par" / "codegen"
-// Parses a canonical token; returns false on unknown names.
-bool parseEngineKind(const std::string& token, EngineKind& out);
-
-std::vector<EngineKind> allEngineKinds();
+// The oracle's engine set is exactly the unified sim::EngineKind (one name
+// table for every tool; essentc parses the same tokens).
+using sim::EngineKind;
+using sim::allEngineKinds;
+using sim::engineKindName;
+using sim::parseEngineKind;
 
 struct Divergence {
   enum class Kind {

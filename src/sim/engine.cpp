@@ -8,15 +8,37 @@
 
 namespace essent::sim {
 
-Engine::Engine(const SimIR& ir)
-    : ir_(&ir),
-      layout_(Layout::build(ir)),
-      exec_(compileExec(ir, layout_)),
-      state_(SimState::build(ir, layout_)) {
-  for (const auto& s : ir.signals)
+std::shared_ptr<const CompiledDesign> CompiledDesign::compile(SimIR ir) {
+  auto d = std::make_shared<CompiledDesign>();
+  d->ir = std::move(ir);
+  d->layout = Layout::build(d->ir);
+  d->exec = compileExec(d->ir, d->layout);
+  return d;
+}
+
+std::shared_ptr<const void> CompiledDesign::getOrBuildExtErased(
+    const std::string& key,
+    const std::function<std::shared_ptr<const void>()>& build) const {
+  std::lock_guard<std::mutex> lock(extMu_);
+  auto it = ext_.find(key);
+  if (it != ext_.end()) return it->second;
+  std::shared_ptr<const void> value = build();
+  ext_.emplace(key, value);
+  return value;
+}
+
+Engine::Engine(std::shared_ptr<const CompiledDesign> design)
+    : design_(std::move(design)),
+      ir_(&design_->ir),
+      layout_(design_->layout),
+      exec_(design_->exec),
+      state_(SimState::build(design_->ir, design_->layout)) {
+  for (const auto& s : ir_->signals)
     if (s.kind != SigKind::Dead && s.kind != SigKind::Temp) designSignals_++;
   evalConstOps();
 }
+
+Engine::Engine(const SimIR& ir) : Engine(CompiledDesign::compile(ir)) {}
 
 void Engine::evalConstOps() {
   for (const ExecOp& op : exec_)

@@ -16,12 +16,55 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "sim/sim_ir.h"
 
 namespace essent::sim {
+
+// Immutable compiled structure shared by every engine instance simulating
+// the same design: the lowered SimIR plus its arena layout and precompiled
+// op stream. Compile once, then instantiate any number of engines against
+// the same `std::shared_ptr<const CompiledDesign>` — each instance owns
+// only its mutable SimState, so a batch of N concurrent simulations (see
+// core::SimFarm) pays for one build instead of N.
+struct CompiledDesign {
+  SimIR ir;
+  Layout layout;
+  std::vector<ExecOp> exec;
+
+  // Takes the IR by value: move in to avoid the copy, or pass an lvalue to
+  // compile a private snapshot.
+  static std::shared_ptr<const CompiledDesign> compile(SimIR ir);
+
+  // Backend extension cache. Each engine kind derives additional immutable
+  // structure from the design (the full-cycle hot-op stream, the
+  // event-driven group graph, the CCSS partition schedule); attaching it
+  // here means N instances — and future backends — share one build per
+  // (design, key). `key` must encode every option the build depends on.
+  // Thread-safe: concurrent callers of the same key serialize and all
+  // receive the single built value.
+  template <typename T>
+  std::shared_ptr<const T> getOrBuildExt(
+      const std::string& key,
+      const std::function<std::shared_ptr<const T>()>& build) const {
+    return std::static_pointer_cast<const T>(getOrBuildExtErased(
+        key, [&build]() { return std::static_pointer_cast<const void>(build()); }));
+  }
+
+ private:
+  std::shared_ptr<const void> getOrBuildExtErased(
+      const std::string& key,
+      const std::function<std::shared_ptr<const void>()>& build) const;
+
+  mutable std::mutex extMu_;
+  mutable std::map<std::string, std::shared_ptr<const void>> ext_;
+};
 
 struct EngineStats {
   uint64_t cycles = 0;
@@ -43,6 +86,11 @@ struct EngineStats {
 
 class Engine {
  public:
+  // Shares a previously compiled structure; the engine owns only state.
+  explicit Engine(std::shared_ptr<const CompiledDesign> design);
+  // Deprecated (kept as a thin wrapper for one release, see docs/API.md):
+  // compiles a private snapshot of `ir`. Prefer sim::makeEngine or the
+  // CompiledDesign overload so concurrent instances share one build.
   explicit Engine(const SimIR& ir);
   virtual ~Engine() = default;
 
@@ -50,6 +98,8 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
 
   const SimIR& ir() const { return *ir_; }
+  // The shared immutable structure this engine executes.
+  const std::shared_ptr<const CompiledDesign>& design() const { return design_; }
 
   // Input driving; unknown names throw std::out_of_range.
   void poke(const std::string& name, uint64_t value);
@@ -114,9 +164,12 @@ class Engine {
   std::string& printOutput() { return printBuf_; }
 
  protected:
-  const SimIR* ir_;
-  Layout layout_;
-  std::vector<ExecOp> exec_;
+  // Immutable structure (shared across instances) ...
+  std::shared_ptr<const CompiledDesign> design_;
+  const SimIR* ir_;            // = &design_->ir
+  const Layout& layout_;       // = design_->layout
+  const std::vector<ExecOp>& exec_;  // = design_->exec
+  // ... and this instance's mutable state.
   SimState state_;
   EngineStats stats_;
   bool trackActivity_ = false;

@@ -1,0 +1,92 @@
+// The single public way to construct a simulation engine.
+//
+// sim::makeEngine(kind, design, options) replaces the five per-engine
+// constructors: it resolves the engine kind, builds (or fetches from the
+// design's extension cache) the kind-specific immutable structure, and
+// returns a ready engine that owns only its mutable state. Every tool in
+// the repository — essentc, essent_fuzz, the benches, the harness-based
+// tests — constructs engines through it, so a new backend only has to be
+// added here to become reachable everywhere (docs/API.md has the policy).
+//
+// Layering note: this header lives in sim/ (it is part of the stable
+// engine interface, re-exported as <essent/engine.h>), but makeEngine's
+// definition lives in the core library, which provides the CCSS backends.
+// Link against essent_core (or anything that depends on it) to use it.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace essent::sim {
+
+// Every execution path a design can be simulated through. The first four
+// are in-process interpreters constructible via makeEngine; Codegen is the
+// ahead-of-time compiled simulator (codegen::emitCpp + host toolchain),
+// which runs out of process — the fuzz oracle and essentc --compile-run
+// drive it, and makeEngine rejects it with std::invalid_argument.
+enum class EngineKind : uint8_t { FullCycle, EventDriven, Ccss, CcssPar, Codegen };
+
+// Canonical short name: "full" / "event" / "ccss" / "par" / "codegen".
+// These are the tokens every CLI accepts and prints.
+const char* engineKindName(EngineKind k);
+
+// Long descriptive name, matching Engine::name() for the in-process kinds:
+// "full-cycle" / "event-driven" / "essent-ccss" / "essent-ccss-par" /
+// "codegen".
+const char* engineKindLongName(EngineKind k);
+
+// Parses a kind token — canonical short names and the long aliases above —
+// shared by essentc and essent_fuzz so the tools can never drift apart.
+// Returns false on unknown tokens.
+bool parseEngineKind(const std::string& token, EngineKind& out);
+
+// All five kinds, in a stable order (FullCycle first: the oracle uses the
+// first entry as its reference engine).
+std::vector<EngineKind> allEngineKinds();
+
+// The four kinds makeEngine can construct (everything except Codegen).
+std::vector<EngineKind> inProcessEngineKinds();
+
+// "full|event|ccss|par|codegen" — for usage strings.
+std::string engineKindList();
+
+// Options honored by makeEngine. Plain fields rather than the core-layer
+// option structs so this header stays dependency-free; the factory maps
+// them onto core::ScheduleOptions for the CCSS kinds.
+struct EngineOptions {
+  // Worker threads for CcssPar (0 = ThreadPool::defaultThreadCount()).
+  // Ignored by the serial kinds.
+  unsigned threads = 0;
+  // Partitioner C_p small-threshold (paper §IV) for the CCSS kinds.
+  uint32_t partitionSmallThreshold = 8;
+  // State-element update elision (paper §III-B1) for the CCSS kinds.
+  bool stateElision = true;
+  // Enable per-partition runtime profiling (CCSS kinds only).
+  bool profiling = false;
+  // Activity-timeline bucket width in cycles when profiling is on.
+  uint32_t profileWindow = 256;
+  // When non-null, graceful-degradation messages (thread clamping, spawn
+  // failure fallbacks — surfaced as W06xx diagnostics) are appended here
+  // instead of being dropped.
+  std::vector<std::string>* warnings = nullptr;
+};
+
+// Constructs an engine of `kind` sharing `design`'s compiled structure;
+// the instance owns only its mutable state, so any number of engines can
+// be created from one CompiledDesign (see core::SimFarm). Kind-specific
+// derived structure (CCSS schedule, event groups, hot-op stream) is built
+// once per (design, options) through the design's extension cache.
+// Throws std::invalid_argument for EngineKind::Codegen.
+std::unique_ptr<Engine> makeEngine(EngineKind kind,
+                                   std::shared_ptr<const CompiledDesign> design,
+                                   const EngineOptions& opts = {});
+
+// Convenience overload: compiles a private CompiledDesign from `ir` first.
+// Prefer the shared-design overload when constructing more than one engine.
+std::unique_ptr<Engine> makeEngine(EngineKind kind, const SimIR& ir,
+                                   const EngineOptions& opts = {});
+
+}  // namespace essent::sim

@@ -6,65 +6,81 @@
 
 namespace essent::sim {
 
-EventDrivenEngine::EventDrivenEngine(const SimIR& ir) : Engine(ir) {
-  // Scheduling groups: one per op, with supernode members fused.
-  groupOfOp_.assign(ir.ops.size(), -1);
-  for (size_t i = 0; i < ir.ops.size(); i++) {
-    if (groupOfOp_[i] != -1) continue;
-    int32_t super = ir.superOf(i);
-    int32_t gid = static_cast<int32_t>(groups_.size());
-    groups_.emplace_back();
-    if (super < 0) {
-      groups_.back().push_back(static_cast<int32_t>(i));
-      groupOfOp_[i] = gid;
-    } else {
-      for (int32_t m : ir.supers[static_cast<size_t>(super)]) {
-        groups_.back().push_back(m);
-        groupOfOp_[static_cast<size_t>(m)] = gid;
+std::shared_ptr<const CompiledEventDriven> CompiledEventDriven::get(const CompiledDesign& design) {
+  return design.getOrBuildExt<CompiledEventDriven>("event-driven", [&design]() {
+    const SimIR& ir = design.ir;
+    auto ed = std::make_shared<CompiledEventDriven>();
+    // Scheduling groups: one per op, with supernode members fused.
+    ed->groupOfOp.assign(ir.ops.size(), -1);
+    for (size_t i = 0; i < ir.ops.size(); i++) {
+      if (ed->groupOfOp[i] != -1) continue;
+      int32_t super = ir.superOf(i);
+      int32_t gid = static_cast<int32_t>(ed->groups.size());
+      ed->groups.emplace_back();
+      if (super < 0) {
+        ed->groups.back().push_back(static_cast<int32_t>(i));
+        ed->groupOfOp[i] = gid;
+      } else {
+        for (int32_t m : ir.supers[static_cast<size_t>(super)]) {
+          ed->groups.back().push_back(m);
+          ed->groupOfOp[static_cast<size_t>(m)] = gid;
+        }
       }
     }
-  }
 
-  consumersOf_.resize(ir.signals.size());
-  memReadGroups_.resize(ir.mems.size());
-  for (size_t i = 0; i < ir.ops.size(); i++) {
-    const Op& op = ir.ops[i];
-    int32_t gid = groupOfOp_[i];
-    int n = op.numArgs();
-    for (int k = 0; k < n; k++) {
-      auto& lst = consumersOf_[op.args[k]];
-      if (lst.empty() || lst.back() != gid) lst.push_back(gid);
-    }
-    if (op.code == OpCode::MemRead) {
-      auto& lst = memReadGroups_[static_cast<size_t>(op.imm0)];
-      if (lst.empty() || lst.back() != gid) lst.push_back(gid);
-    }
-  }
-
-  // Levelization over the group condensation: a single pass works because
-  // groups are numbered in (condensed) topological order.
-  groupLevel_.assign(groups_.size(), 0);
-  for (size_t g = 0; g < groups_.size(); g++) {
-    int32_t lvl = 0;
-    for (int32_t opIdx : groups_[g]) {
-      const Op& op = ir.ops[static_cast<size_t>(opIdx)];
+    ed->consumersOf.resize(ir.signals.size());
+    ed->memReadGroups.resize(ir.mems.size());
+    for (size_t i = 0; i < ir.ops.size(); i++) {
+      const Op& op = ir.ops[i];
+      int32_t gid = ed->groupOfOp[i];
       int n = op.numArgs();
       for (int k = 0; k < n; k++) {
-        int32_t d = ir.signals[op.args[k]].defOp;
-        if (d < 0) continue;
-        int32_t gd = groupOfOp_[static_cast<size_t>(d)];
-        if (gd != static_cast<int32_t>(g))
-          lvl = std::max(lvl, groupLevel_[static_cast<size_t>(gd)] + 1);
+        auto& lst = ed->consumersOf[op.args[k]];
+        if (lst.empty() || lst.back() != gid) lst.push_back(gid);
+      }
+      if (op.code == OpCode::MemRead) {
+        auto& lst = ed->memReadGroups[static_cast<size_t>(op.imm0)];
+        if (lst.empty() || lst.back() != gid) lst.push_back(gid);
       }
     }
-    groupLevel_[g] = lvl;
-    maxLevel_ = std::max(maxLevel_, lvl);
-  }
 
-  buckets_.resize(static_cast<size_t>(maxLevel_) + 1);
+    // Levelization over the group condensation: a single pass works because
+    // groups are numbered in (condensed) topological order.
+    ed->groupLevel.assign(ed->groups.size(), 0);
+    for (size_t g = 0; g < ed->groups.size(); g++) {
+      int32_t lvl = 0;
+      for (int32_t opIdx : ed->groups[g]) {
+        const Op& op = ir.ops[static_cast<size_t>(opIdx)];
+        int n = op.numArgs();
+        for (int k = 0; k < n; k++) {
+          int32_t d = ir.signals[op.args[k]].defOp;
+          if (d < 0) continue;
+          int32_t gd = ed->groupOfOp[static_cast<size_t>(d)];
+          if (gd != static_cast<int32_t>(g))
+            lvl = std::max(lvl, ed->groupLevel[static_cast<size_t>(gd)] + 1);
+        }
+      }
+      ed->groupLevel[g] = lvl;
+      ed->maxLevel = std::max(ed->maxLevel, lvl);
+    }
+    return ed;
+  });
+}
+
+EventDrivenEngine::EventDrivenEngine(std::shared_ptr<const CompiledDesign> design)
+    : Engine(std::move(design)),
+      ed_(CompiledEventDriven::get(*design_)),
+      groups_(ed_->groups),
+      consumersOf_(ed_->consumersOf),
+      groupLevel_(ed_->groupLevel),
+      memReadGroups_(ed_->memReadGroups) {
+  buckets_.resize(static_cast<size_t>(ed_->maxLevel) + 1);
   inQueue_.assign(groups_.size(), false);
   prevInputs_.assign(layout_.totalWords, 0);
 }
+
+EventDrivenEngine::EventDrivenEngine(const SimIR& ir)
+    : EventDrivenEngine(CompiledDesign::compile(ir)) {}
 
 void EventDrivenEngine::resetState() {
   Engine::resetState();

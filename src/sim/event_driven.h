@@ -15,12 +15,34 @@
 // has them.
 #pragma once
 
+#include <memory>
+
 #include "sim/engine.h"
 
 namespace essent::sim {
 
+// Immutable event-driven structure derived from a CompiledDesign: the
+// scheduling-group graph (groups = ops, or supernodes fused), the
+// signal-to-consumer-group map, and the group levelization. Shared by
+// every EventDrivenEngine instance via the CompiledDesign extension cache.
+struct CompiledEventDriven {
+  std::vector<std::vector<int32_t>> groups;        // group -> member op indices
+  std::vector<int32_t> groupOfOp;                  // op -> group
+  std::vector<std::vector<int32_t>> consumersOf;   // signal -> group ids
+  std::vector<int32_t> groupLevel;
+  std::vector<std::vector<int32_t>> memReadGroups; // mem -> group ids
+  int32_t maxLevel = 0;
+
+  static std::shared_ptr<const CompiledEventDriven> get(const CompiledDesign& design);
+};
+
 class EventDrivenEngine : public Engine {
  public:
+  // Shares the compiled structure; this instance owns only its SimState
+  // plus the dynamic event queue.
+  explicit EventDrivenEngine(std::shared_ptr<const CompiledDesign> design);
+  // Deprecated thin wrapper (see docs/API.md): compiles a private snapshot
+  // of `ir`. Prefer sim::makeEngine or the CompiledDesign overload.
   explicit EventDrivenEngine(const SimIR& ir);
 
   void tick() override;
@@ -31,15 +53,14 @@ class EventDrivenEngine : public Engine {
   void onStateClobbered() override { evalAll_ = true; }
 
  private:
-  // Static structure (groups = ops, or supernodes fused).
-  std::vector<std::vector<int32_t>> groups_;     // group -> member op indices
-  std::vector<int32_t> groupOfOp_;               // op -> group
-  std::vector<std::vector<int32_t>> consumersOf_;  // signal -> group ids
-  std::vector<int32_t> groupLevel_;
-  std::vector<std::vector<int32_t>> memReadGroups_;  // mem -> group ids
-  int32_t maxLevel_ = 0;
+  // Static structure, shared across instances.
+  std::shared_ptr<const CompiledEventDriven> ed_;
+  const std::vector<std::vector<int32_t>>& groups_;
+  const std::vector<std::vector<int32_t>>& consumersOf_;
+  const std::vector<int32_t>& groupLevel_;
+  const std::vector<std::vector<int32_t>>& memReadGroups_;
 
-  // Dynamic queue.
+  // Dynamic queue (per instance).
   std::vector<std::vector<int32_t>> buckets_;  // per level
   std::vector<bool> inQueue_;
   bool evalAll_ = true;  // first cycle after reset evaluates everything

@@ -4,13 +4,26 @@
 
 namespace essent::sim {
 
-FullCycleEngine::FullCycleEngine(const SimIR& ir) : Engine(ir) {
-  for (size_t i = 0; i < exec_.size(); i++) {
-    if (exec_[i].code == OpCode::Const) continue;  // evaluated once at init
-    hotOps_.push_back(exec_[i]);
-    hotSuper_.push_back(ir.superOf(i));
-  }
+std::shared_ptr<const CompiledFullCycle> CompiledFullCycle::get(const CompiledDesign& design) {
+  return design.getOrBuildExt<CompiledFullCycle>("full-cycle", [&design]() {
+    auto fc = std::make_shared<CompiledFullCycle>();
+    for (size_t i = 0; i < design.exec.size(); i++) {
+      if (design.exec[i].code == OpCode::Const) continue;  // evaluated once at init
+      fc->hotOps.push_back(design.exec[i]);
+      fc->hotSuper.push_back(design.ir.superOf(i));
+    }
+    return fc;
+  });
 }
+
+FullCycleEngine::FullCycleEngine(std::shared_ptr<const CompiledDesign> design)
+    : Engine(std::move(design)),
+      fc_(CompiledFullCycle::get(*design_)),
+      hotOps_(fc_->hotOps),
+      hotSuper_(fc_->hotSuper) {}
+
+FullCycleEngine::FullCycleEngine(const SimIR& ir)
+    : FullCycleEngine(CompiledDesign::compile(ir)) {}
 
 void FullCycleEngine::resetState() {
   Engine::resetState();

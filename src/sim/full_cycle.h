@@ -4,12 +4,30 @@
 // Verilator-class simulators (when built with optimizations enabled).
 #pragma once
 
+#include <memory>
+
 #include "sim/engine.h"
 
 namespace essent::sim {
 
+// Immutable full-cycle structure derived from a CompiledDesign: the
+// per-cycle schedule (every op except constants, which evaluate once at
+// init) plus parallel supernode ids. Shared by every FullCycleEngine
+// instance over the same design via the CompiledDesign extension cache.
+struct CompiledFullCycle {
+  std::vector<ExecOp> hotOps;
+  // Parallel supernode ids (-1 for plain ops); members stay contiguous.
+  std::vector<int32_t> hotSuper;
+
+  static std::shared_ptr<const CompiledFullCycle> get(const CompiledDesign& design);
+};
+
 class FullCycleEngine : public Engine {
  public:
+  // Shares the compiled structure; this instance owns only its SimState.
+  explicit FullCycleEngine(std::shared_ptr<const CompiledDesign> design);
+  // Deprecated thin wrapper (see docs/API.md): compiles a private snapshot
+  // of `ir`. Prefer sim::makeEngine or the CompiledDesign overload.
   explicit FullCycleEngine(const SimIR& ir);
 
   void tick() override;
@@ -17,10 +35,9 @@ class FullCycleEngine : public Engine {
   const char* name() const override { return "full-cycle"; }
 
  private:
-  // Per-cycle schedule (all ops except constants, which evaluate once).
-  std::vector<ExecOp> hotOps_;
-  // Parallel supernode ids (-1 for plain ops); members stay contiguous.
-  std::vector<int32_t> hotSuper_;
+  std::shared_ptr<const CompiledFullCycle> fc_;
+  const std::vector<ExecOp>& hotOps_;
+  const std::vector<int32_t>& hotSuper_;
   // Snapshot of the whole arena for activity tracking mode.
   std::vector<uint64_t> prevVals_;
 

@@ -146,6 +146,51 @@ TEST(Cli, CompileRunCrossChecksInterpreter) {
   EXPECT_NE(bad.exitCode, 0);
 }
 
+TEST(Cli, EngineLongAliasesAccepted) {
+  std::string fir = writeFir(kCounterFir);
+  for (const char* engine : {"essent-ccss", "full-cycle", "event-driven"}) {
+    auto res = runCli(std::string("--run 10 --engine ") + engine + " --poke en=1 " + fir);
+    EXPECT_EQ(res.exitCode, 0) << engine << res.output;
+    EXPECT_NE(res.output.find("count = 0x9"), std::string::npos) << engine << res.output;
+  }
+  auto bad = runCli("--run 5 --engine verilator " + fir);
+  EXPECT_EQ(bad.exitCode, 2);
+  EXPECT_NE(bad.output.find("unknown engine"), std::string::npos);
+  auto codegen = runCli("--run 5 --engine codegen " + fir);
+  EXPECT_EQ(codegen.exitCode, 2);
+  EXPECT_NE(codegen.output.find("--compile-run"), std::string::npos);
+}
+
+TEST(Cli, BatchRunsFarmAndAgreesWithSolo) {
+  std::string fir = writeFir(kCounterFir);
+  auto res = runCli("--run 10 --batch 3 --threads 2 --poke en=1 --poke reset=0 " + fir);
+  EXPECT_EQ(res.exitCode, 0) << res.output;
+  EXPECT_NE(res.output.find("farm: 3 instances on ccss engine"), std::string::npos)
+      << res.output;
+  // Every instance ran the full budget and reports the farm aggregates.
+  EXPECT_NE(res.output.find("10 cycles"), std::string::npos);
+  EXPECT_NE(res.output.find("instances/s"), std::string::npos);
+  // --batch gates on --run and rejects per-instance output flags.
+  auto noRun = runCli("--stats --batch 2 " + fir);
+  EXPECT_EQ(noRun.exitCode, 2);
+  auto withVcd = runCli("--run 5 --batch 2 --vcd /tmp/x.vcd " + fir);
+  EXPECT_EQ(withVcd.exitCode, 2);
+}
+
+TEST(Cli, BatchStimulusDirDrivesInstances) {
+  std::string fir = writeFir(kCounterFir);
+  char dirTemplate[] = "/tmp/essent_cli_stim_XXXXXX";
+  std::string dir = mkdtemp(dirTemplate);
+  std::ofstream(dir + "/on.stim") << "inputs en reset\nwidths 1 1\n1 0\n1 0\n1 0\n1 0\n";
+  std::ofstream(dir + "/off.stim") << "inputs en reset\nwidths 1 1\n0 0\n0 0\n0 0\n0 0\n";
+  auto res = runCli("--run 4 --batch 2 --stimulus-dir " + dir + " " + fir);
+  EXPECT_EQ(res.exitCode, 0) << res.output;
+  EXPECT_NE(res.output.find("off.stim"), std::string::npos) << res.output;
+  EXPECT_NE(res.output.find("on.stim"), std::string::npos) << res.output;
+  auto empty = runCli("--run 4 --batch 2 --stimulus-dir /nonexistent-dir " + fir);
+  EXPECT_EQ(empty.exitCode, 1);
+}
+
 TEST(Cli, ErrorsAreUsable) {
   auto noFile = runCli("--stats /nonexistent.fir");
   EXPECT_NE(noFile.exitCode, 0);

@@ -14,7 +14,10 @@
 //
 // Options:
 //   -o FILE               output file for --emit-cpp / --dot
-//   --engine E            full | event | ccss          (--run; default ccss)
+//   --engine E            full | event | ccss | par    (--run; default ccss;
+//                         long aliases full-cycle|event-driven|essent-ccss|
+//                         essent-ccss-par also accepted — sim::parseEngineKind
+//                         is the single name table shared with essent_fuzz)
 //   --baseline            emit/run with all optimizations disabled
 //   --no-hints            disable branch hints in generated code
 //   --cp N                partitioner small threshold C_p (default 8)
@@ -26,7 +29,14 @@
 //   --profile-window N    timeline bucket width in cycles (default 256)
 //   --threads N           worker threads for --run with the ccss engine
 //                         (default $ESSENT_THREADS, else 1; N > 1 selects
-//                         the level-synchronous parallel engine)
+//                         the level-synchronous parallel engine); with
+//                         --batch, the farm worker count instead
+//   --batch N             with --run: simulate N concurrent instances that
+//                         share one compiled schedule (core::SimFarm) and
+//                         report aggregate farm throughput
+//   --stimulus-dir DIR    with --batch: drive instance i from the i-th
+//                         (sorted, wrapping) stimulus file in DIR; the file
+//                         format is the fuzzer's Stimulus serialization
 //   --stats-json FILE     write design/partitioning/timing stats as JSON
 //   --top-hot N           after --run, print the N hottest partitions
 //   --diag-json FILE      write all diagnostics as JSON (machine-readable
@@ -45,9 +55,11 @@
 //   2    usage error or internal error
 //   124  wall-clock timeout (--timeout-ms subprocess watchdog or
 //        --deadline-ms overall budget)
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <optional>
@@ -57,14 +69,14 @@
 
 #include "codegen/emitter.h"
 #include "core/activity_engine.h"
-#include "core/parallel_engine.h"
 #include "core/obs_export.h"
+#include "core/sim_farm.h"
 #include "diag/diag.h"
+#include "fuzz/stimulus.h"
 #include "obs/json.h"
 #include "obs/phase_timer.h"
 #include "sim/builder.h"
-#include "sim/event_driven.h"
-#include "sim/full_cycle.h"
+#include "sim/engine_factory.h"
 #include "sim/vcd.h"
 #include "support/resource_guard.h"
 #include "support/strutil.h"
@@ -79,7 +91,7 @@ struct Args {
   enum class Mode { Stats, EmitCpp, Run, CompileRun, Dot } mode = Mode::Stats;
   std::string inputPath;
   std::string outputPath;
-  std::string engine = "ccss";
+  sim::EngineKind engineKind = sim::EngineKind::Ccss;
   bool baseline = false;
   bool allowCombLoops = false;
   bool hints = true;
@@ -93,6 +105,8 @@ struct Args {
   uint32_t profileWindow = 256;
   uint32_t topHot = 0;
   uint32_t threads = 0;  // 0 = unset: ESSENT_THREADS, else 1
+  uint32_t batch = 0;    // --run instance count; 0 = solo (no farm)
+  std::string stimulusDir;
   int64_t timeoutMs = 0;  // --compile-run subprocess watchdog; 0 = off
   bool injectHang = false;  // undocumented: watchdog self-test hook
   support::ResourceLimits limits;
@@ -103,9 +117,10 @@ struct Args {
   std::fprintf(stderr,
                "usage: essentc [--stats | --emit-cpp | --run N | --compile-run N | --dot]\n"
                "               [-o FILE] [--allow-comb-loops]\n"
-               "               [--engine full|event|ccss] [--baseline] [--no-hints]\n"
+               "               [--engine full|event|ccss|par] [--baseline] [--no-hints]\n"
                "               [--cp N] [--poke NAME=VALUE]... [--vcd FILE]\n"
                "               [--profile FILE] [--profile-window N] [--threads N]\n"
+               "               [--batch N] [--stimulus-dir DIR]\n"
                "               [--stats-json FILE] [--top-hot N] [--diag-json FILE]\n"
                "               [--timeout-ms N] [--max-ir-ops N] [--max-sim-mem BYTES]\n"
                "               [--max-cycles N] [--deadline-ms N] design.fir\n"
@@ -132,7 +147,11 @@ Args parseArgs(int argc, char** argv) {
       a.mode = Args::Mode::CompileRun;
       a.runCycles = std::strtoull(next().c_str(), nullptr, 0);
     } else if (arg == "-o") a.outputPath = next();
-    else if (arg == "--engine") a.engine = next();
+    else if (arg == "--engine") {
+      std::string token = next();
+      if (!sim::parseEngineKind(token, a.engineKind))
+        usage(("unknown engine '" + token + "' (expected " + sim::engineKindList() + ")").c_str());
+    }
     else if (arg == "--baseline") a.baseline = true;
     else if (arg == "--allow-comb-loops") a.allowCombLoops = true;
     else if (arg == "--no-hints") a.hints = false;
@@ -154,6 +173,11 @@ Args parseArgs(int argc, char** argv) {
       a.threads = static_cast<uint32_t>(std::strtoul(next().c_str(), nullptr, 0));
       if (a.threads == 0) usage("--threads expects a positive integer");
     }
+    else if (arg == "--batch") {
+      a.batch = static_cast<uint32_t>(std::strtoul(next().c_str(), nullptr, 0));
+      if (a.batch == 0) usage("--batch expects a positive instance count");
+    }
+    else if (arg == "--stimulus-dir") a.stimulusDir = next();
     else if (arg == "--timeout-ms") a.timeoutMs = std::strtoll(next().c_str(), nullptr, 0);
     else if (arg == "--max-ir-ops") a.limits.maxIrOps = std::strtoull(next().c_str(), nullptr, 0);
     else if (arg == "--max-sim-mem")
@@ -168,12 +192,20 @@ Args parseArgs(int argc, char** argv) {
     else usage("multiple input files");
   }
   if (a.inputPath.empty()) usage("no input file");
+  bool ccssKind =
+      a.engineKind == sim::EngineKind::Ccss || a.engineKind == sim::EngineKind::CcssPar;
   if ((!a.profilePath.empty() || a.topHot > 0) && a.mode != Args::Mode::Run)
     usage("--profile / --top-hot require --run");
-  if ((!a.profilePath.empty() || a.topHot > 0) && a.engine != "ccss")
+  if ((!a.profilePath.empty() || a.topHot > 0) && !ccssKind)
     usage("--profile / --top-hot require the ccss engine (partition profiles)");
   if (a.injectHang && a.mode != Args::Mode::CompileRun)
     usage("--inject-hang requires --compile-run");
+  if (a.mode == Args::Mode::Run && a.engineKind == sim::EngineKind::Codegen)
+    usage("engine 'codegen' runs out of process; use --compile-run N instead of --run");
+  if (a.batch > 0 && a.mode != Args::Mode::Run) usage("--batch requires --run");
+  if (!a.stimulusDir.empty() && a.batch == 0) usage("--stimulus-dir requires --batch");
+  if (a.batch > 0 && (!a.vcdPath.empty() || !a.profilePath.empty() || a.topHot > 0))
+    usage("--batch does not support --vcd / --profile / --top-hot (per-instance output)");
   if (a.threads == 0) {
     if (const char* env = std::getenv("ESSENT_THREADS")) {
       long v = std::strtol(env, nullptr, 10);
@@ -181,8 +213,16 @@ Args parseArgs(int argc, char** argv) {
     }
     if (a.threads == 0) a.threads = 1;
   }
-  if (a.threads > 1 && a.mode == Args::Mode::Run && a.engine != "ccss")
-    usage("--threads > 1 requires the ccss engine");
+  if (a.batch == 0) {
+    if (a.threads > 1 && a.mode == Args::Mode::Run && !ccssKind)
+      usage("--threads > 1 requires the ccss engine");
+    // `--engine ccss --threads N>1` has always meant the wave-parallel
+    // engine; keep that spelling equivalent to the explicit `--engine par`.
+    if (a.engineKind == sim::EngineKind::Ccss && a.threads > 1)
+      a.engineKind = sim::EngineKind::CcssPar;
+  }
+  // Under --batch, --threads sets the farm worker count and every instance
+  // runs the kind as selected (serial unless `par` was explicit).
   return a;
 }
 
@@ -217,8 +257,9 @@ obs::Json statsJsonDoc(const Args& a, const sim::SimIR& ir,
   obs::Json options = obs::Json::object();
   options["cp"] = a.cp;
   options["baseline"] = a.baseline;
-  options["engine"] = a.engine;
+  options["engine"] = sim::engineKindName(a.engineKind);
   options["threads"] = a.threads;
+  if (a.batch > 0) options["batch"] = a.batch;
   doc["options"] = std::move(options);
   doc["design"] = core::designSummaryJson(ir);
   if (sched) {
@@ -279,31 +320,23 @@ int runStats(const Args& a, const sim::SimIR& ir) {
 int runSim(const Args& a, const sim::SimIR& ir, diag::DiagEngine& de,
            const support::ResourceGuard& guard) {
   guard.checkCycles(a.runCycles);
-  std::unique_ptr<sim::Engine> eng;
-  if (a.engine == "full") eng = std::make_unique<sim::FullCycleEngine>(ir);
-  else if (a.engine == "event") eng = std::make_unique<sim::EventDrivenEngine>(ir);
-  else if (a.engine == "ccss") {
-    core::ScheduleOptions so;
-    so.partition.smallThreshold = a.cp;
-    // --threads 1 keeps the serial engine: the existing hot path, no pool.
-    if (a.threads > 1) {
-      // Graceful degradation: thread-pool or spawn failures fall back to
-      // the serial engine with a W0601 warning instead of aborting.
-      std::vector<std::string> warnings;
-      eng = core::makeCcssEngine(ir, so, a.threads, &warnings);
-      for (const std::string& w : warnings) de.warning("W0601", w, {});
-    } else {
-      eng = std::make_unique<core::ActivityEngine>(ir, so);
-    }
-  } else usage("unknown engine (expected full|event|ccss)");
+  // Single construction path: the factory resolves the kind, builds (or
+  // reuses) the kind-specific compiled structure, and applies the profiling
+  // knobs. Graceful degradation (thread clamping, spawn-failure fallback to
+  // the serial engine) surfaces through `warnings` as W0601 diagnostics.
+  sim::EngineOptions eo;
+  eo.threads = a.threads;
+  eo.partitionSmallThreshold = a.cp;
+  eo.profiling = !a.profilePath.empty() || a.topHot > 0;
+  eo.profileWindow = a.profileWindow;
+  std::vector<std::string> warnings;
+  eo.warnings = &warnings;
+  std::unique_ptr<sim::Engine> eng = sim::makeEngine(a.engineKind, ir, eo);
+  for (const std::string& w : warnings) de.warning("W0601", w, {});
 
   for (const auto& [name, value] : a.pokes) eng->poke(name, value);
 
   auto* act = dynamic_cast<core::ActivityEngine*>(eng.get());
-  if (act && (!a.profilePath.empty() || a.topHot > 0)) {
-    act->setProfileWindow(a.profileWindow);
-    act->setProfiling(true);
-  }
 
   std::unique_ptr<std::ofstream> vcdFile;
   std::unique_ptr<sim::VcdWriter> vcd;
@@ -354,6 +387,103 @@ int runSim(const Args& a, const sim::SimIR& ir, diag::DiagEngine& de,
     writeJsonReport("stats", a.statsJsonPath,
                     statsJsonDoc(a, ir, act ? &act->schedule() : nullptr, eng.get()));
   return 0;
+}
+
+// --run --batch N: N concurrent instances of the design sharing one
+// compiled schedule through core::SimFarm. Pokes apply to every instance;
+// --stimulus-dir assigns instance i the i-th (sorted, wrapping) stimulus
+// file. Prints the aggregate farm throughput plus one line per instance;
+// --stats-json gains a "farm" section (core::farmReportJson).
+int runBatch(const Args& a, const sim::SimIR& ir, diag::DiagEngine& de,
+             const support::ResourceGuard& guard) {
+  // The cycle budget covers the whole batch (saturating multiply).
+  uint64_t total = a.runCycles;
+  if (a.runCycles != 0 && a.batch > UINT64_MAX / a.runCycles) total = UINT64_MAX;
+  else total = a.runCycles * a.batch;
+  guard.checkCycles(total);
+
+  struct NamedStim {
+    std::string name;
+    fuzz::Stimulus stim;
+  };
+  std::vector<NamedStim> stims;
+  if (!a.stimulusDir.empty()) {
+    std::vector<std::filesystem::path> files;
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(a.stimulusDir, ec))
+      if (entry.is_regular_file()) files.push_back(entry.path());
+    if (ec) {
+      std::fprintf(stderr, "essentc: cannot read --stimulus-dir %s: %s\n",
+                   a.stimulusDir.c_str(), ec.message().c_str());
+      return 1;
+    }
+    std::sort(files.begin(), files.end());
+    for (const auto& p : files) {
+      try {
+        stims.push_back({p.filename().string(), fuzz::Stimulus::parse(readFile(p.string()))});
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "essentc: bad stimulus file %s: %s\n", p.c_str(), e.what());
+        return 1;
+      }
+    }
+    if (stims.empty()) {
+      std::fprintf(stderr, "essentc: --stimulus-dir %s holds no stimulus files\n",
+                   a.stimulusDir.c_str());
+      return 1;
+    }
+  }
+
+  core::FarmOptions fo;
+  fo.kind = a.engineKind;
+  fo.workers = a.threads;
+  fo.engine.partitionSmallThreshold = a.cp;
+  std::vector<core::FarmJob> jobs(a.batch);
+  for (uint32_t i = 0; i < a.batch; i++) {
+    core::FarmJob& job = jobs[i];
+    job.maxCycles = a.runCycles;
+    job.init = [&a](sim::Engine& eng) {
+      for (const auto& [name, value] : a.pokes) eng.poke(name, value);
+    };
+    if (!stims.empty()) {
+      const NamedStim& ns = stims[i % stims.size()];
+      job.name = ns.name;
+      const fuzz::Stimulus* s = &ns.stim;
+      job.stimulus = [s](sim::Engine& eng, uint64_t c) {
+        if (c < s->numCycles()) s->apply(eng, c);
+      };
+    }
+  }
+
+  core::SimFarm farm(sim::CompiledDesign::compile(ir), fo);
+  core::FarmReport report = farm.run(jobs);
+  guard.checkDeadline();
+  for (const std::string& w : report.warnings) de.warning("W0601", w, {});
+
+  std::printf("farm: %zu instances on %s engine, %u worker%s\n", report.instances.size(),
+              sim::engineKindName(report.kind), report.workers,
+              report.workers == 1 ? "" : "s");
+  int failures = 0;
+  for (const core::FarmInstanceResult& r : report.instances) {
+    if (!r.error.empty()) {
+      std::printf("  %-12s ERROR: %s\n", r.name.c_str(), r.error.c_str());
+      failures++;
+      continue;
+    }
+    std::printf("  %-12s %llu cycles%s", r.name.c_str(),
+                static_cast<unsigned long long>(r.cycles),
+                r.stopped ? strfmt(" (stopped, exit %d)", r.exitCode).c_str() : "");
+    if (r.effectiveActivity > 0) std::printf(", effective activity %.4f", r.effectiveActivity);
+    std::printf("\n");
+  }
+  std::printf("farm wall %.4f s, %.1f instances/s, %.0f cycles/s aggregate\n",
+              report.wallSeconds, report.instancesPerSec, report.aggregateCyclesPerSec);
+
+  if (!a.statsJsonPath.empty()) {
+    obs::Json doc = statsJsonDoc(a, ir, nullptr, nullptr);
+    doc["farm"] = core::farmReportJson(report);
+    writeJsonReport("stats", a.statsJsonPath, doc);
+  }
+  return failures ? 1 : 0;
 }
 
 // Generates the CCSS simulator, compiles it with the host toolchain, runs
@@ -425,7 +555,8 @@ int runCompileRun(const Args& a, const sim::SimIR& ir, const support::ResourceGu
   }
 
   // Interpreter cross-check.
-  core::ActivityEngine eng(ir, so);
+  core::ActivityEngine eng(
+      core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), so));
   for (const auto& [name2, value] : a.pokes) eng.poke(name2, value);
   for (uint64_t c = 0; c < a.runCycles && !eng.stopped(); c++) {
     eng.tick();
@@ -527,7 +658,7 @@ int main(int argc, char** argv) {
           rc = runStats(a, *ir);
           break;
         case Args::Mode::Run:
-          rc = runSim(a, *ir, de, guard);
+          rc = a.batch > 0 ? runBatch(a, *ir, de, guard) : runSim(a, *ir, de, guard);
           break;
         case Args::Mode::CompileRun:
           rc = runCompileRun(a, *ir, guard);
