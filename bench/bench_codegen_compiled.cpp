@@ -12,12 +12,14 @@
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 #include "bench_util.h"
 #include "codegen/emitter.h"
 #include "core/netlist.h"
 #include "support/strutil.h"
+#include "support/tempdir.h"
 
 using namespace essent;
 
@@ -34,13 +36,17 @@ struct CompiledRun {
 CompiledRun compileAndTime(const std::string& code, const workloads::Program& prog,
                            uint64_t maxCycles) {
   CompiledRun res;
-  char dirTemplate[] = "/tmp/essent_bench_XXXXXX";
-  char* dir = mkdtemp(dirTemplate);
-  if (!dir) {
-    res.detail = "mkdtemp failed";
+  // RAII scratch dir: removed on every return path (compile failure, run
+  // failure, success) — matching essentc --compile-run and the fuzz oracle.
+  std::optional<support::TempDir> dirGuard;
+  try {
+    dirGuard.emplace("essent_bench_XXXXXX");
+  } catch (const std::exception& e) {
+    res.detail = e.what();
     return res;
   }
-  std::string src = std::string(dir) + "/sim.cpp";
+  const std::string& dir = dirGuard->path();
+  std::string src = dirGuard->file("sim.cpp");
   {
     std::ofstream f(src);
     f << code;
@@ -64,16 +70,17 @@ CompiledRun compileAndTime(const std::string& code, const workloads::Program& pr
          "              (unsigned long long)sim.mem_dmem[21]);\n"
          "  return 0;\n}\n";
   }
-  std::string bin = std::string(dir) + "/sim";
+  std::string bin = dirGuard->file("sim");
   auto c0 = std::chrono::steady_clock::now();
-  std::string cmd = "c++ -std=c++20 -O2 -o " + bin + " " + src + " 2>" + std::string(dir) + "/cc.log";
+  std::string cmd = "c++ -std=c++20 -O2 -o " + bin + " " + src + " 2>" + dir + "/cc.log";
   if (std::system(cmd.c_str()) != 0) {
-    res.detail = "compile failed (see " + std::string(dir) + "/cc.log)";
+    // Keep the scratch dir so the referenced log survives for inspection.
+    res.detail = "compile failed (see " + dirGuard->keep() + "/cc.log)";
     return res;
   }
   res.compileSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - c0).count();
-  std::string outFile = std::string(dir) + "/out.txt";
+  std::string outFile = dirGuard->file("out.txt");
   if (std::system((bin + " > " + outFile).c_str()) != 0) {
     res.detail = "run failed";
     return res;

@@ -25,6 +25,7 @@
 #include "core/netlist.h"
 #include "designs/blocks.h"
 #include "designs/systolic.h"
+#include "obs/trace.h"
 
 using namespace essent;
 
@@ -54,9 +55,9 @@ int main(int argc, char** argv) {
   std::printf("Parallel scaling — wave-parallel CCSS vs serial (extension exhibit)\n");
   std::printf("reps=%u  (ESSENT_BENCH_REPS)  hardware threads=%u\n", report.env().reps,
               std::thread::hardware_concurrency());
-  std::printf("%-14s %8s %8s %10s %12s %10s\n", "design", "threads", "levels", "max_wave",
-              "seconds", "speedup");
-  bench::printRule(68);
+  std::printf("%-14s %8s %8s %10s %12s %10s   %s\n", "design", "threads", "levels",
+              "max_wave", "seconds", "speedup", "attribution (traced rep)");
+  bench::printRule(92);
 
   struct Case {
     std::string name;
@@ -134,8 +135,28 @@ int main(int argc, char** argv) {
     std::vector<double> best = bench::interleavedBestSeconds(candidates, report.env().reps);
     for (size_t i = 0; i < candidates.size(); i++) {
       double speedup = best[0] / best[i];
-      std::printf("%-14s %8u %8zu %10zu %12.4f %9.2fx\n", c.name.c_str(), kThreadGrid[i],
-                  levels, maxWave, best[i], speedup);
+
+      // One extra, untimed rep per candidate with a trace session recording:
+      // the attribution summary (per-thread busy/barrier/idle fractions,
+      // per-level wave imbalance) lands in the JSON artifact so the
+      // Open-item-2 super-step redesign has a before/after baseline.
+      obs::TraceSession session({obs::TraceDetail::Wave, 1 << 16});
+      session.install();
+      session.nameThread("main");
+      candidates[i]();
+      session.uninstall();
+      obs::TraceSummary attribution = session.summary();
+
+      double busy = 0, barrier = 0;
+      for (const obs::TraceThreadSummary& t : attribution.threads) {
+        busy += t.busyFrac;
+        barrier += t.barrierFrac;
+      }
+      size_t n = attribution.threads.empty() ? 1 : attribution.threads.size();
+      std::printf("%-14s %8u %8zu %10zu %12.4f %9.2fx   busy %4.1f%% barrier %4.1f%%\n",
+                  c.name.c_str(), kThreadGrid[i], levels, maxWave, best[i], speedup,
+                  100.0 * busy / static_cast<double>(n),
+                  100.0 * barrier / static_cast<double>(n));
       std::fflush(stdout);
       obs::Json row = obs::Json::object();
       row["design"] = c.name;
@@ -144,6 +165,9 @@ int main(int argc, char** argv) {
       row["max_wave_width"] = maxWave;
       row["seconds"] = best[i];
       row["speedup_vs_serial"] = speedup;
+      // Full per-thread fractions + per-level wave stats from the traced rep
+      // (obs::TraceSummary::toJson schema; see docs/OBSERVABILITY.md).
+      row["parallel"] = attribution.toJson();
       report.addRow(std::move(row));
     }
   }

@@ -1,5 +1,6 @@
 #include "core/activity_engine.h"
 
+#include "obs/trace.h"
 #include "sim/op_eval.h"
 
 namespace essent::core {
@@ -148,6 +149,8 @@ void ActivityEngine::applyMemWrite(const SchedMemWrite& mw) {
 }
 
 void ActivityEngine::runPartition(size_t pos, const CondPart& part) {
+  obs::TraceSpan span("part", obs::TraceCat::None, obs::TraceDetail::Partition,
+                      "part", pos);
   stats_.partitionActivations++;
   const uint64_t wakesBefore = stats_.triggerSets;
 
@@ -248,6 +251,12 @@ void ActivityEngine::finishCycle() {
 }
 
 void ActivityEngine::tick() {
+  // Busy on its own thread; None when nested inside a pool.work span (a
+  // SimFarm worker already owns this interval's attribution).
+  obs::TraceSpan span("tick", obs::trace_detail::inPooledWork()
+                                  ? obs::TraceCat::None
+                                  : obs::TraceCat::Busy,
+                      obs::TraceDetail::Wave, "cycle", stats_.cycles);
   sweepInputs();
 
   // 2. Partition sweep (static schedule; the per-partition flag check is

@@ -113,6 +113,8 @@ obs::Json farmReportJson(const FarmReport& report) {
   j["total_cycles"] = report.totalCycles;
   j["instances_per_sec"] = report.instancesPerSec;
   j["aggregate_cycles_per_sec"] = report.aggregateCyclesPerSec;
+  if (report.instanceLatency.count > 0)
+    j["instance_latency"] = report.instanceLatency.toJson();
   if (!report.warnings.empty()) {
     obs::Json warns = obs::Json::array();
     for (const std::string& w : report.warnings) warns.push(w);

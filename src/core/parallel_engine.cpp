@@ -3,6 +3,7 @@
 #include <system_error>
 #include <thread>
 
+#include "obs/trace.h"
 #include "sim/op_eval.h"
 
 namespace essent::core {
@@ -69,6 +70,8 @@ void ParallelActivityEngine::applyMemWriteOnLane(const SchedMemWrite& mw, LaneCo
 }
 
 void ParallelActivityEngine::runPartitionOnLane(size_t pos, LaneCounters& lc) {
+  obs::TraceSpan span("part", obs::TraceCat::None, obs::TraceDetail::Partition,
+                      "part", pos);
   const CondPart& part = sched_.parts[pos];
   lc.activations++;
   const uint64_t wakesBefore = lc.triggerSets;
@@ -127,6 +130,11 @@ void ParallelActivityEngine::runPartitionOnLane(size_t pos, LaneCounters& lc) {
 }
 
 void ParallelActivityEngine::sweepWave(unsigned lane) {
+  // Per-lane wave span: TraceCat::None because the enclosing pool.work span
+  // already owns this interval's Busy attribution. The level arg feeds the
+  // per-level imbalance report.
+  obs::TraceSpan span("wave", obs::TraceCat::None, obs::TraceDetail::Wave,
+                      "level", waveLevel_);
   LaneCounters& lc = lane_[lane];
   const std::vector<int32_t>& wave = *wave_;
   for (;;) {
@@ -151,14 +159,34 @@ void ParallelActivityEngine::mergeLaneCounters() {
 }
 
 void ParallelActivityEngine::tick() {
-  sweepInputs();
+  // The session pointer is resolved once per tick; when no trace is
+  // recording every added branch below is off a nullptr/false check.
+  obs::TraceSession* ts = obs::TraceSession::current();
+  if (ts && !ts->wants(obs::TraceDetail::Wave)) ts = nullptr;
+  // Sequential phases are Busy on this thread unless a pool.work span above
+  // us (e.g. a SimFarm worker running this engine) already claims them.
+  const obs::TraceCat seqCat = obs::trace_detail::inPooledWork()
+                                   ? obs::TraceCat::None
+                                   : obs::TraceCat::Busy;
+
+  {
+    obs::TraceSpan pre("tick.pre", seqCat, obs::TraceDetail::Wave);
+    sweepInputs();
+  }
 
   // 2. Partition sweep, one fork/join per levelization wave. Narrow waves
   //    (including every wave when the pool has one lane) run inline.
   stats_.partitionChecks += sched_.parts.size();
   const uint64_t activationsBefore = stats_.partitionActivations;
+  uint64_t activeAccum = 0, skippedAccum = 0;
+  size_t level = 0;
   for (const auto& wave : sched_.waves) {
+    uint64_t waveActivations = 0;
+    if (ts) {
+      for (const LaneCounters& lc : lane_) waveActivations -= lc.activations;
+    }
     if (wave.size() < minForkWidth_ || pool_.numThreads() == 1) {
+      obs::TraceSpan span("wave", seqCat, obs::TraceDetail::Wave, "level", level);
       LaneCounters& lc = lane_[0];
       for (int32_t p : wave) {
         size_t pos = static_cast<size_t>(p);
@@ -168,14 +196,30 @@ void ParallelActivityEngine::tick() {
       }
     } else {
       wave_ = &wave;
+      waveLevel_ = level;
       cursor_.store(0, std::memory_order_relaxed);
       pool_.run(sweepFn_);
     }
+    if (ts) {
+      // Counter tracks: partitions evaluated vs skipped, cumulative across
+      // the run so the Perfetto track shows activity-factor slope.
+      for (const LaneCounters& lc : lane_) waveActivations += lc.activations;
+      activeAccum += waveActivations;
+      skippedAccum += wave.size() - waveActivations;
+      ts->counter("parts_active", stats_.partitionActivations + activeAccum);
+      ts->counter("parts_skipped", partsSkippedBase_ + skippedAccum);
+    }
+    level++;
   }
-  mergeLaneCounters();
-  if (profiling_) recordProfiledCycle(stats_.partitionActivations - activationsBefore);
+  partsSkippedBase_ += skippedAccum;
 
-  finishCycle();
+  {
+    obs::TraceSpan post("tick.post", seqCat, obs::TraceDetail::Wave);
+    mergeLaneCounters();
+    if (profiling_) recordProfiledCycle(stats_.partitionActivations - activationsBefore);
+
+    finishCycle();
+  }
 }
 
 std::unique_ptr<ActivityEngine> makeCcssEngine(

@@ -71,6 +71,12 @@ class ParallelActivityEngine : public ActivityEngine {
   std::vector<LaneCounters> lane_;
   std::function<void(unsigned)> sweepFn_;
   const std::vector<int32_t>* wave_ = nullptr;
+  // Levelization depth of wave_, for per-lane trace spans; written before
+  // the fork (published like wave_ by the pool's epoch handoff).
+  size_t waveLevel_ = 0;
+  // Cumulative skipped-partition count feeding the parts_skipped trace
+  // counter track (only advanced while a trace session is recording).
+  uint64_t partsSkippedBase_ = 0;
   std::atomic<size_t> cursor_{0};
   // Waves narrower than this run inline on the calling thread: forking
   // costs more than sweeping a handful of flags.

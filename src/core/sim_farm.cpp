@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "core/activity_engine.h"
+#include "obs/trace.h"
 #include "support/threadpool.h"
 
 namespace essent::core {
@@ -68,15 +69,37 @@ FarmReport SimFarm::run(const std::vector<FarmJob>& jobs) {
 
   std::atomic<size_t> cursor{0};
   std::mutex mergeMu;  // guards report.warnings (instances are index-disjoint)
+
+  // Per-batch wall-time histogram (snapshotted into the report) plus the
+  // process-wide aggregates that merge into --stats-json. The references
+  // are resolved once, outside the claim loop; recording is lock-free.
+  obs::LatencyHistogram batchHist;
+  obs::LatencyHistogram& globalHist =
+      obs::MetricsRegistry::global().histogram("farm.instance_wall_ns");
+  obs::LatencyHistogram& claimHist =
+      obs::MetricsRegistry::global().histogram("farm.claim_wait_ns");
+
+  auto t0 = std::chrono::steady_clock::now();
   auto body = [&](unsigned) {
     for (;;) {
       size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= jobs.size()) break;
+      claimHist.record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()));
+      obs::traceInstant("farm.claim", "instance", i);
+      obs::TraceSpan span("farm.instance", obs::TraceCat::None,
+                          obs::TraceDetail::Phase, "instance", i);
       std::vector<std::string> warnings;
       // ThreadPool tasks must not throw; trap per-instance failures into
       // the result so one bad job cannot take down the batch.
       try {
         report.instances[i] = runOne(i, jobs[i], warnings);
+        uint64_t wallNs =
+            static_cast<uint64_t>(report.instances[i].seconds * 1e9);
+        batchHist.record(wallNs);
+        globalHist.record(wallNs);
       } catch (const std::exception& e) {
         report.instances[i].index = i;
         report.instances[i].name =
@@ -93,15 +116,29 @@ FarmReport SimFarm::run(const std::vector<FarmJob>& jobs) {
     }
   };
 
-  auto t0 = std::chrono::steady_clock::now();
   if (workers == 1) {
-    body(0);  // no pool: keeps single-worker farms usable from pool tasks
+    // No pool: keeps single-worker farms usable from pool tasks. The farm
+    // records the Busy span a pool worker would have, unless a pool.work
+    // span above us already owns this interval.
+    obs::TraceSession* s = obs::TraceSession::current();
+    if (s && s->wants(obs::TraceDetail::Wave)) {
+      bool nested = obs::trace_detail::inPooledWork();
+      uint64_t w0 = s->nowNs();
+      if (!nested) obs::trace_detail::setInPooledWork(true);
+      body(0);
+      if (!nested) obs::trace_detail::setInPooledWork(false);
+      s->complete("farm.work", w0,
+                  nested ? obs::TraceCat::None : obs::TraceCat::Busy);
+    } else {
+      body(0);
+    }
   } else {
     support::ThreadPool pool(workers);
     report.workers = pool.numThreads();
     pool.run(body);
   }
   report.wallSeconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  report.instanceLatency = batchHist.snapshot();
 
   for (const FarmInstanceResult& r : report.instances) report.totalCycles += r.cycles;
   if (report.wallSeconds > 0) {

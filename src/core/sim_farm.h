@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sim/engine_factory.h"
 #include "sim/harness.h"
 
@@ -76,6 +77,9 @@ struct FarmReport {
   // Graceful-degradation messages from engine construction (thread
   // clamping etc.), deduplicated across instances.
   std::vector<std::string> warnings;
+  // Distribution of per-instance wall times (ns) across the batch —
+  // p50/p99 here are the daemon-facing latency numbers (Open item 3).
+  obs::LatencySnapshot instanceLatency;
   std::vector<FarmInstanceResult> instances;  // one per job, in job order
 
   bool allOk() const {

@@ -1,0 +1,123 @@
+// Lock-free runtime metrics: monotonic counters, gauges, and log2-bucketed
+// latency histograms with quantile snapshots. Complements the tracing layer
+// (obs/trace.h): traces answer "where did this run's time go", metrics
+// accumulate cheap aggregates that merge into --stats-json.
+//
+// Instruments are created through a MetricsRegistry (mutex on creation,
+// idempotent by name); recording on an instrument is a handful of relaxed
+// atomic ops — safe from any thread, no locks, no allocation. Snapshots are
+// racy-but-coherent-per-field, which is fine for reporting.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/json.h"
+
+namespace essent::obs {
+
+// Monotonically increasing event count.
+class MetricCounter {
+ public:
+  void add(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+// Last-write-wins double value (e.g. a ratio or queue depth).
+class MetricGauge {
+ public:
+  void set(double v) { bits_.store(std::bit_cast<uint64_t>(v), std::memory_order_relaxed); }
+  double value() const { return std::bit_cast<double>(bits_.load(std::memory_order_relaxed)); }
+
+ private:
+  std::atomic<uint64_t> bits_{std::bit_cast<uint64_t>(0.0)};
+};
+
+struct LatencySnapshot {
+  uint64_t count = 0;
+  uint64_t sumNs = 0;
+  uint64_t minNs = 0;
+  uint64_t maxNs = 0;
+  double meanNs = 0.0;
+  double p50Ns = 0.0;
+  double p90Ns = 0.0;
+  double p99Ns = 0.0;
+
+  Json toJson() const;
+};
+
+// Power-of-two bucketed histogram of nanosecond durations. Bucket 0 holds
+// zeros; bucket i (i >= 1) holds [2^(i-1), 2^i). Quantiles interpolate
+// linearly within a bucket, so they carry at most ~2x relative error —
+// plenty for p50/p99 latency reporting.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 64;
+
+  void record(uint64_t ns) {
+    buckets_[bucketIndex(ns)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(ns, std::memory_order_relaxed);
+    atomicMin(min_, ns);
+    atomicMax(max_, ns);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  LatencySnapshot snapshot() const;
+
+  static size_t bucketIndex(uint64_t ns) {
+    size_t i = static_cast<size_t>(std::bit_width(ns));  // 0 for ns == 0
+    return i < kBuckets ? i : kBuckets - 1;
+  }
+
+ private:
+  static void atomicMin(std::atomic<uint64_t>& a, uint64_t v) {
+    uint64_t cur = a.load(std::memory_order_relaxed);
+    while (v < cur && !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {}
+  }
+  static void atomicMax(std::atomic<uint64_t>& a, uint64_t v) {
+    uint64_t cur = a.load(std::memory_order_relaxed);
+    while (v > cur && !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {}
+  }
+
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+// Named instrument store. counter()/gauge()/histogram() take a creation
+// mutex on first use of a name and return a stable reference — cache the
+// reference on hot paths. Instruments live until the registry does.
+class MetricsRegistry {
+ public:
+  MetricCounter& counter(const std::string& name);
+  MetricGauge& gauge(const std::string& name);
+  LatencyHistogram& histogram(const std::string& name);
+
+  bool empty() const;
+  // {"counters": {...}, "gauges": {...}, "histograms": {name: snapshot}}
+  Json toJson() const;
+  // Drops every instrument (invalidates outstanding references); test-only.
+  void clear();
+
+  // Process-wide registry, merged into essentc --stats-json.
+  static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<MetricCounter>> counters_;
+  std::map<std::string, std::unique_ptr<MetricGauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace essent::obs

@@ -2,6 +2,8 @@
 
 #include <mutex>
 
+#include "obs/trace.h"
+
 namespace essent::obs {
 
 namespace {
@@ -20,6 +22,10 @@ Registry& timingRegistry() {
 
 ScopedPhaseTimer::~ScopedPhaseTimer() {
   double elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  // Existing phase timers double as trace spans, so compile phases land on
+  // the timeline without re-instrumenting every call site.
+  if (TraceSession* s = TraceSession::current())
+    s->complete(phase_, s->toNs(start_), TraceCat::Busy);
   std::lock_guard<std::mutex> lock(timingMutex());
   timingRegistry().timer(phase_).record(elapsed);
 }

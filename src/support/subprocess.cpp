@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <thread>
 
+#include "obs/trace.h"
 #include "support/strutil.h"
 
 namespace essent::support {
@@ -40,6 +41,9 @@ void decodeStatus(int status, ExecResult& r) {
 
 ExecResult runShell(const std::string& cmd, const RunOptions& opts) {
   using Clock = std::chrono::steady_clock;
+  // Structural span (not Busy: a caller-side phase span may already cover
+  // this interval); watchdog escalations land as instant events.
+  obs::TraceSpan span("subprocess", obs::TraceCat::None, obs::TraceDetail::Phase);
   ExecResult r;
   Clock::time_point start = Clock::now();
 
@@ -77,10 +81,13 @@ ExecResult runShell(const std::string& cmd, const RunOptions& opts) {
     int64_t now = elapsedMs();
     if (opts.timeoutMs > 0 && !sentTerm && now >= opts.timeoutMs) {
       r.timedOut = true;
+      obs::traceInstant("subprocess.timeout_term", "elapsed_ms",
+                        static_cast<uint64_t>(now));
       kill(-pid, SIGTERM);
       sentTerm = true;
       termAtMs = now;
     } else if (sentTerm && now - termAtMs >= opts.killGraceMs) {
+      obs::traceInstant("subprocess.kill", "elapsed_ms", static_cast<uint64_t>(now));
       kill(-pid, SIGKILL);
       // Reap the corpse blocking: SIGKILL cannot be ignored.
       int st = 0;

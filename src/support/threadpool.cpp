@@ -2,7 +2,10 @@
 
 #include <cerrno>
 #include <cstdlib>
+#include <string>
 #include <system_error>
+
+#include "obs/trace.h"
 
 namespace essent::support {
 
@@ -66,8 +69,24 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run(const std::function<void(unsigned)>& fn) {
+  // Attribution contract: each lane's fn execution is one "pool.work" Busy
+  // span, the caller's join spin is a "pool.join" Barrier span, and a
+  // worker's park between forks is a "pool.wait" Barrier span — so every
+  // categorized interval on a pool thread is disjoint. Engine spans emitted
+  // inside fn stay TraceCat::None (see inPooledWork).
+  obs::TraceSession* s = obs::TraceSession::current();
+  if (s && !s->wants(obs::TraceDetail::Wave)) s = nullptr;
+
   if (numThreads_ == 1) {
-    fn(0);
+    if (s) {
+      uint64_t t0 = s->nowNs();
+      obs::trace_detail::setInPooledWork(true);
+      fn(0);
+      obs::trace_detail::setInPooledWork(false);
+      s->complete("pool.work", t0, obs::TraceCat::Busy, "lane", 0);
+    } else {
+      fn(0);
+    }
     return;
   }
   fn_ = &fn;
@@ -82,9 +101,18 @@ void ThreadPool::run(const std::function<void(unsigned)>& fn) {
   }
   if (sleepers_.load(std::memory_order_acquire) > 0) cv_.notify_all();
 
-  fn(0);
+  if (s) {
+    uint64_t t0 = s->nowNs();
+    obs::trace_detail::setInPooledWork(true);
+    fn(0);
+    obs::trace_detail::setInPooledWork(false);
+    s->complete("pool.work", t0, obs::TraceCat::Busy, "lane", 0);
+  } else {
+    fn(0);
+  }
 
   // Join: spin-then-yield; the join gap is bounded by one wave's work.
+  uint64_t joinT0 = s ? s->nowNs() : 0;
   int spins = 0;
   while (pending_.load(std::memory_order_acquire) != 0) {
     if (++spins >= spinBudget()) {
@@ -92,12 +120,21 @@ void ThreadPool::run(const std::function<void(unsigned)>& fn) {
       spins = 0;
     }
   }
+  if (s) s->complete("pool.join", joinT0, obs::TraceCat::Barrier);
   fn_ = nullptr;
 }
 
 void ThreadPool::workerLoop(unsigned lane) {
   uint64_t seen = 0;
   for (;;) {
+    // Park-span begin: capture the session only if one is recording. The
+    // span is completed at the next fork only if the SAME session is still
+    // current — a session swapped out while we were parked is never touched
+    // again (its buffers may be gone).
+    obs::TraceSession* parkS = obs::TraceSession::current();
+    if (parkS && !parkS->wants(obs::TraceDetail::Wave)) parkS = nullptr;
+    uint64_t parkT0 = parkS ? parkS->nowNs() : 0;
+
     int spins = 0;
     while (epoch_.load(std::memory_order_acquire) == seen) {
       spins++;
@@ -116,7 +153,22 @@ void ThreadPool::workerLoop(unsigned lane) {
     // stop_ is stored before the final epoch bump; the acquire load of
     // epoch_ above orders this load after it.
     if (stop_.load(std::memory_order_acquire)) return;
-    (*fn_)(lane);
+
+    obs::TraceSession* s = obs::TraceSession::current();
+    if (s && !s->wants(obs::TraceDetail::Wave)) s = nullptr;
+    if (s) {
+      if (s == parkS) s->complete("pool.wait", parkT0, obs::TraceCat::Barrier);
+      s->nameThread("worker-" + std::to_string(lane));
+      uint64_t t0 = s->nowNs();
+      obs::trace_detail::setInPooledWork(true);
+      (*fn_)(lane);
+      obs::trace_detail::setInPooledWork(false);
+      // Record before the pending_ release-decrement so the write is inside
+      // the window the caller's join acquire synchronizes with.
+      s->complete("pool.work", t0, obs::TraceCat::Busy, "lane", lane);
+    } else {
+      (*fn_)(lane);
+    }
     pending_.fetch_sub(1, std::memory_order_release);
   }
 }

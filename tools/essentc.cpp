@@ -38,6 +38,15 @@
 //                         (sorted, wrapping) stimulus file in DIR; the file
 //                         format is the fuzzer's Stimulus serialization
 //   --stats-json FILE     write design/partitioning/timing stats as JSON
+//                         (gains "parallel" + "metrics" sections when
+//                         tracing / metrics are active)
+//   --trace FILE          record an execution trace and write it as Chrome
+//                         trace-event JSON (open in https://ui.perfetto.dev)
+//   --trace-detail D      phase | wave | partition (default wave); each
+//                         level adds events, see docs/OBSERVABILITY.md
+//   --trace-summary       print the post-run attribution report (per-thread
+//                         busy/barrier/idle fractions, per-level imbalance);
+//                         implies recording even without --trace
 //   --top-hot N           after --run, print the N hottest partitions
 //   --diag-json FILE      write all diagnostics as JSON (machine-readable
 //                         mirror of the stderr rendering)
@@ -74,7 +83,9 @@
 #include "diag/diag.h"
 #include "fuzz/stimulus.h"
 #include "obs/json.h"
+#include "obs/metrics.h"
 #include "obs/phase_timer.h"
+#include "obs/trace.h"
 #include "sim/builder.h"
 #include "sim/engine_factory.h"
 #include "sim/vcd.h"
@@ -102,6 +113,9 @@ struct Args {
   std::string profilePath;
   std::string statsJsonPath;
   std::string diagJsonPath;
+  std::string tracePath;
+  obs::TraceDetail traceDetail = obs::TraceDetail::Wave;
+  bool traceSummary = false;
   uint32_t profileWindow = 256;
   uint32_t topHot = 0;
   uint32_t threads = 0;  // 0 = unset: ESSENT_THREADS, else 1
@@ -122,6 +136,8 @@ struct Args {
                "               [--profile FILE] [--profile-window N] [--threads N]\n"
                "               [--batch N] [--stimulus-dir DIR]\n"
                "               [--stats-json FILE] [--top-hot N] [--diag-json FILE]\n"
+               "               [--trace FILE] [--trace-detail phase|wave|partition]\n"
+               "               [--trace-summary]\n"
                "               [--timeout-ms N] [--max-ir-ops N] [--max-sim-mem BYTES]\n"
                "               [--max-cycles N] [--deadline-ms N] design.fir\n"
                "exit codes: 0 success; 1 input rejected with diagnostics;\n"
@@ -167,6 +183,13 @@ Args parseArgs(int argc, char** argv) {
       a.profileWindow = static_cast<uint32_t>(std::strtoul(next().c_str(), nullptr, 0));
     else if (arg == "--stats-json") a.statsJsonPath = next();
     else if (arg == "--diag-json") a.diagJsonPath = next();
+    else if (arg == "--trace") a.tracePath = next();
+    else if (arg == "--trace-detail") {
+      std::string token = next();
+      if (!obs::parseTraceDetail(token, a.traceDetail))
+        usage(("unknown trace detail '" + token + "' (expected phase|wave|partition)").c_str());
+    }
+    else if (arg == "--trace-summary") a.traceSummary = true;
     else if (arg == "--top-hot")
       a.topHot = static_cast<uint32_t>(std::strtoul(next().c_str(), nullptr, 0));
     else if (arg == "--threads") {
@@ -275,6 +298,13 @@ obs::Json statsJsonDoc(const Args& a, const sim::SimIR& ir,
     doc["engine"] = std::move(e);
   }
   doc["phase_timings"] = obs::phaseTimingsJson();
+  // Thread attribution from the live trace session (quiescent by now: the
+  // simulation finished before stats are assembled) and any lock-free
+  // metrics recorded along the way (farm latency histograms etc.).
+  if (obs::TraceSession* s = obs::TraceSession::current())
+    doc["parallel"] = s->summary().toJson();
+  if (!obs::MetricsRegistry::global().empty())
+    doc["metrics"] = obs::MetricsRegistry::global().toJson();
   return doc;
 }
 
@@ -346,10 +376,15 @@ int runSim(const Args& a, const sim::SimIR& ir, diag::DiagEngine& de,
   }
 
   uint64_t c = 0;
-  for (; c < a.runCycles && !eng->stopped(); c++) {
-    eng->tick();
-    if (vcd) vcd->sample(c + 1);
-    if ((c & 1023) == 1023) guard.checkDeadline();
+  {
+    // Structural wrapper (None: the engine's own tick/wave spans carry the
+    // Busy attribution for this interval).
+    obs::TraceSpan span("sim.run", obs::TraceCat::None, obs::TraceDetail::Phase);
+    for (; c < a.runCycles && !eng->stopped(); c++) {
+      eng->tick();
+      if (vcd) vcd->sample(c + 1);
+      if ((c & 1023) == 1023) guard.checkDeadline();
+    }
   }
   std::fputs(eng->printOutput().c_str(), stdout);
   std::printf("ran %llu cycles on %s engine%s\n", static_cast<unsigned long long>(c),
@@ -533,7 +568,11 @@ int runCompileRun(const Args& a, const sim::SimIR& ir, const support::ResourceGu
       "c++ -std=c++20 -O2 -o " + support::shellQuote(bin) + " " + support::shellQuote(src);
   std::fprintf(stderr, "essentc: compiling generated simulator (%zu bytes)...\n",
                code.size());
-  support::ExecResult cc = support::runShell(cmd, ro);
+  support::ExecResult cc;
+  {
+    obs::TraceSpan span("compile-run.cc", obs::TraceCat::Busy, obs::TraceDetail::Phase);
+    cc = support::runShell(cmd, ro);
+  }
   if (cc.timedOut) {
     std::fprintf(stderr, "essentc: host compilation %s (source kept at %s)\n",
                  cc.describe().c_str(), src.c_str());
@@ -547,8 +586,12 @@ int runCompileRun(const Args& a, const sim::SimIR& ir, const support::ResourceGu
     return 1;
   }
   std::string outFile = dir.file("out.txt");
-  support::ExecResult run = support::runShell(
-      support::shellQuote(bin) + " > " + support::shellQuote(outFile), ro);
+  support::ExecResult run;
+  {
+    obs::TraceSpan span("compile-run.exec", obs::TraceCat::Busy, obs::TraceDetail::Phase);
+    run = support::runShell(
+        support::shellQuote(bin) + " > " + support::shellQuote(outFile), ro);
+  }
   if (run.timedOut) {
     std::fprintf(stderr, "essentc: compiled simulator %s\n", run.describe().c_str());
     return 124;
@@ -640,6 +683,17 @@ void flushDiagnostics(const Args& a, const diag::DiagEngine& de) {
 int main(int argc, char** argv) {
   Args a = parseArgs(argc, argv);
   diag::DiagEngine de;
+  // The trace session covers everything from elaboration to teardown and
+  // outlives every engine/pool, matching the session lifetime contract in
+  // obs/trace.h. --trace-summary without --trace records but writes no file.
+  std::unique_ptr<obs::TraceSession> trace;
+  if (!a.tracePath.empty() || a.traceSummary) {
+    obs::TraceOptions to;
+    to.detail = a.traceDetail;
+    trace = std::make_unique<obs::TraceSession>(to);
+    trace->install();
+    trace->nameThread("main");
+  }
   int rc = 0;
   try {
     std::string text = readFile(a.inputPath);
@@ -691,6 +745,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "essentc: internal error: %s\n", e.what());
     flushDiagnostics(a, de);
     return 2;
+  }
+  if (trace) {
+    // Stop recording before reading: every engine (and its pool) created in
+    // the mode handlers has been destroyed, so the buffers are quiescent.
+    trace->uninstall();
+    if (!a.tracePath.empty()) {
+      obs::writeJsonFile(a.tracePath, trace->toJson());
+      std::fprintf(stderr, "essentc: wrote trace (%llu events, %llu dropped) to %s\n",
+                   static_cast<unsigned long long>(trace->eventCount()),
+                   static_cast<unsigned long long>(trace->droppedCount()),
+                   a.tracePath.c_str());
+    }
+    if (a.traceSummary) std::fputs(trace->summary().render().c_str(), stdout);
   }
   flushDiagnostics(a, de);
   return rc;
