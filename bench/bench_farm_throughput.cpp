@@ -21,10 +21,23 @@
 // NOTE: farm speedup > 1 requires real cores; on a 1-core container the
 // farm rows measure pure claim/dispatch overhead and should sit at ~1.0x.
 // The setup-amortization ratio does not depend on core count.
+//
+// Third effect (this is the headline): SIMD instance parallelism — the
+// same 64-job batch swept over worker count × lane count (1/8/16/64,
+// EngineKind::Lane; lanes=1 is the scalar CCSS farm baseline). One
+// core::LaneEngine decodes each ExecOp once for a whole lane group, so
+// aggregate cycles/sec scales with lane count even on ONE core — unlike
+// worker parallelism. The batch uses a SHARED control schedule (every
+// instance selects the same bank on the same cycle) with per-instance
+// data, the regression/sweep shape lanes are built for; divergent control
+// would drive the union activity mask up and shrink the win (see
+// docs/SIMD.md). A forced-portable row documents the no-intrinsics floor.
 #include <chrono>
 #include <thread>
 
 #include "bench_util.h"
+#include "core/lane_engine.h"
+#include "core/lane_simd.h"
 #include "core/sim_farm.h"
 #include "designs/blocks.h"
 
@@ -126,7 +139,84 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- SIMD lane sweep: worker count x lane count over one 64-job batch ---
+  constexpr size_t kLaneJobs = 64;
+  std::vector<core::FarmJob> laneJobs;
+  for (size_t i = 0; i < kLaneJobs; i++) {
+    core::FarmJob job;
+    job.name = "inst" + std::to_string(i);
+    job.maxCycles = kCycles;
+    // Shared control (same bank selected by every instance on a given
+    // cycle), per-instance data — the lane-friendly batch shape.
+    job.init = [i](sim::Engine& e) {
+      e.poke("reset", 0);
+      e.poke("wdata", 1 + i);
+    };
+    job.stimulus = [](sim::Engine& e, uint64_t cyc) {
+      e.poke("bankSel", (cyc & 1) ? (cyc / 2) % kBanks : 999);
+    };
+    laneJobs.push_back(std::move(job));
+  }
+
+  std::printf("\nSIMD lane sweep — %zu jobs, worker count x lane count (lanes=1 = scalar ccss)\n",
+              kLaneJobs);
+  std::printf("%-8s %7s %5s %10s %12s %10s %12s\n", "backend", "workers", "lanes", "groups",
+              "farm(s)", "speedup", "agg Mc/s");
+  bench::printRule(70);
+
+  double scalarBaselineS = 0.0;  // workers=1, lanes=1 cell
+  auto runLaneCell = [&](unsigned workers, unsigned lanes, bool forcePortable) {
+    if (forcePortable) core::laneSimdForceTier(core::LaneSimdTier::Portable);
+    core::FarmOptions fo;
+    fo.kind = lanes > 1 ? sim::EngineKind::Lane : sim::EngineKind::Ccss;
+    fo.engine.lanes = lanes;
+    fo.workers = workers;
+    core::SimFarm farm(design, fo);
+    core::FarmReport r;
+    double best = std::numeric_limits<double>::infinity();
+    for (unsigned rep = 0; rep < report.env().reps; rep++) {
+      core::FarmReport cur = farm.run(laneJobs);
+      if (cur.wallSeconds < best) {
+        best = cur.wallSeconds;
+        r = std::move(cur);
+      }
+    }
+    if (forcePortable) core::laneSimdResetTier();
+    const std::string backend =
+        lanes > 1 ? r.lane.simdBackend : std::string("scalar");
+    if (workers == 1 && lanes == 1) scalarBaselineS = best;
+    const double speedup = scalarBaselineS > 0 ? scalarBaselineS / best : 0.0;
+    const double agg =
+        best > 0 ? static_cast<double>(r.totalCycles) / best : 0.0;
+
+    std::printf("%-8s %7u %5u %10llu %12.4f %9.2fx %12.2f\n", backend.c_str(), workers,
+                lanes, static_cast<unsigned long long>(r.lane.groups), best, speedup,
+                agg / 1e6);
+    std::fflush(stdout);
+
+    obs::Json row = obs::Json::object();
+    row["engine"] = lanes > 1 ? "lane" : "ccss";
+    row["simd_backend"] = backend;
+    row["instances"] = kLaneJobs;
+    row["farm_workers"] = workers;
+    row["lanes"] = lanes;
+    row["lane_groups"] = r.lane.groups;
+    row["group_partition_runs"] = r.lane.groupPartitionRuns;
+    row["group_partition_skips"] = r.lane.groupPartitionSkips;
+    row["masked_lane_skips"] = r.lane.maskedLaneSkips;
+    row["farm_seconds"] = best;
+    row["speedup_vs_sequential"] = speedup;
+    row["aggregate_cycles_per_sec"] = agg;
+    report.addRow(std::move(row));
+  };
+
+  for (unsigned workers : {1u, 2u})
+    for (unsigned lanes : {1u, 8u, 16u, 64u}) runLaneCell(workers, lanes, false);
+  // No-intrinsics floor: the portable loops still amortize dispatch.
+  runLaneCell(1, 64, true);
+
   std::printf("\nexpected shape: setup-shr stays flat-ish in N (structure built once) while\n"
-              "setup-prv grows linearly; farm speedup tracks min(N, workers, cores).\n");
+              "setup-prv grows linearly; farm speedup tracks min(N, workers, cores);\n"
+              "lane speedup tracks lane count (dispatch amortization) independent of cores.\n");
   return 0;
 }

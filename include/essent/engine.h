@@ -16,6 +16,7 @@
 #pragma once
 
 #include "core/activity_engine.h"    // ActivityEngine (CCSS) + CompiledCcss
+#include "core/lane_engine.h"        // LaneEngine + LaneBroadcastEngine (SIMD lanes)
 #include "core/parallel_engine.h"    // ParallelActivityEngine + makeCcssEngine
 #include "sim/builder.h"             // buildFromFirrtl: FIRRTL text -> SimIR
 #include "sim/engine.h"              // Engine, CompiledDesign, EngineStats

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/activity_engine.h"
+#include "core/lane_engine.h"
 #include "core/parallel_engine.h"
 #include "sim/engine_factory.h"
 #include "sim/event_driven.h"
@@ -51,6 +52,12 @@ std::unique_ptr<Engine> makeEngine(EngineKind kind,
       eng = core::makeCcssEngine(std::move(design), scheduleOptionsFrom(opts), opts.threads,
                                  opts.warnings);
       break;
+    case EngineKind::Lane: {
+      const unsigned lanes = opts.lanes < 1 ? 1 : (opts.lanes > 64 ? 64 : opts.lanes);
+      eng = std::make_unique<core::LaneBroadcastEngine>(
+          core::CompiledCcss::get(design, scheduleOptionsFrom(opts)), lanes);
+      break;
+    }
     case EngineKind::Codegen:
       throw std::invalid_argument(
           "engine kind 'codegen' is the out-of-process compiled simulator "

@@ -115,6 +115,17 @@ obs::Json farmReportJson(const FarmReport& report) {
   j["aggregate_cycles_per_sec"] = report.aggregateCyclesPerSec;
   if (report.instanceLatency.count > 0)
     j["instance_latency"] = report.instanceLatency.toJson();
+  if (report.lane.lanes > 0) {
+    obs::Json lane = obs::Json::object();
+    lane["lanes"] = report.lane.lanes;
+    lane["simd_backend"] = report.lane.simdBackend;
+    lane["groups"] = report.lane.groups;
+    lane["scalar_fallbacks"] = report.lane.scalarFallbacks;
+    lane["group_partition_runs"] = report.lane.groupPartitionRuns;
+    lane["group_partition_skips"] = report.lane.groupPartitionSkips;
+    lane["masked_lane_skips"] = report.lane.maskedLaneSkips;
+    j["lane"] = std::move(lane);
+  }
   if (!report.warnings.empty()) {
     obs::Json warns = obs::Json::array();
     for (const std::string& w : report.warnings) warns.push(w);

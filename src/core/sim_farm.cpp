@@ -7,10 +7,24 @@
 #include <stdexcept>
 
 #include "core/activity_engine.h"
+#include "core/lane_engine.h"
 #include "obs/trace.h"
 #include "support/threadpool.h"
 
 namespace essent::core {
+
+namespace {
+
+ScheduleOptions farmScheduleOptions(const sim::EngineOptions& eo) {
+  ScheduleOptions so;
+  so.partition.smallThreshold = eo.partitionSmallThreshold;
+  so.stateElision = eo.stateElision;
+  return so;
+}
+
+unsigned clampLanes(unsigned lanes) { return lanes < 1 ? 1 : (lanes > 64 ? 64 : lanes); }
+
+}  // namespace
 
 SimFarm::SimFarm(std::shared_ptr<const sim::CompiledDesign> design, FarmOptions opts)
     : design_(std::move(design)), opts_(std::move(opts)) {
@@ -20,14 +34,14 @@ SimFarm::SimFarm(std::shared_ptr<const sim::CompiledDesign> design, FarmOptions 
         "SimFarm cannot run engine kind 'codegen' (out-of-process simulator)");
 }
 
-FarmInstanceResult SimFarm::runOne(size_t index, const FarmJob& job,
+FarmInstanceResult SimFarm::runOne(size_t index, const FarmJob& job, sim::EngineKind kind,
                                    std::vector<std::string>& warnings) const {
   FarmInstanceResult r;
   r.index = index;
   r.name = job.name.empty() ? "job" + std::to_string(index) : job.name;
   sim::EngineOptions eo = opts_.engine;
   eo.warnings = &warnings;  // per-instance vector; merged by the caller
-  std::unique_ptr<sim::Engine> eng = sim::makeEngine(opts_.kind, design_, eo);
+  std::unique_ptr<sim::Engine> eng = sim::makeEngine(kind, design_, eo);
   if (job.init) job.init(*eng);
   sim::RunResult run = sim::runEngine(*eng, job.maxCycles, job.stimulus);
   r.cycles = run.cycles;
@@ -46,6 +60,129 @@ FarmInstanceResult SimFarm::runOne(size_t index, const FarmJob& job,
   return r;
 }
 
+// One claimed lane block: `count` jobs starting at `base` run on a single
+// LaneEngine — each ExecOp decoded once per instruction for all lanes, each
+// lane bit-identical to a solo scalar run. Lanes leave the live mask when
+// they stop or exhaust their cycle budget; lanes that error (init, stimulus,
+// or a group-wide tick failure) are retired and their jobs re-run on scalar
+// CCSS engines so the batch result never depends on the SIMD path working.
+void SimFarm::runLaneGroup(size_t base, unsigned count, const std::vector<FarmJob>& jobs,
+                           FarmReport& report, std::vector<std::string>& warnings,
+                           std::mutex& mergeMu) const {
+  std::vector<uint8_t> failed(count, 0);
+  std::vector<std::string> failReason(count);
+  double groupWall = 0.0;
+  uint64_t groups = 0;
+
+  try {
+    LaneEngine group(CompiledCcss::get(design_, farmScheduleOptions(opts_.engine)), count);
+    groups = 1;
+    for (unsigned l = 0; l < count; l++) {
+      const FarmJob& job = jobs[base + l];
+      if (!job.init) continue;
+      try {
+        job.init(group.lane(l));
+      } catch (const std::exception& e) {
+        failed[l] = 1;
+        failReason[l] = e.what();
+        group.retireLane(l);
+      }
+    }
+
+    auto g0 = std::chrono::steady_clock::now();
+    for (uint64_t c = 0; group.liveMask() != 0; c++) {
+      // Budget check first, mirroring sim::runEngine's loop condition: a
+      // lane ticks exactly min(maxCycles, cycles-until-stop) times.
+      for (unsigned l = 0; l < count; l++)
+        if (group.laneLive(l) && c >= jobs[base + l].maxCycles) group.retireLane(l);
+      if (group.liveMask() == 0) break;
+      for (unsigned l = 0; l < count; l++) {
+        const FarmJob& job = jobs[base + l];
+        if (!group.laneLive(l) || !job.stimulus) continue;
+        try {
+          job.stimulus(group.lane(l), c);
+        } catch (const std::exception& e) {
+          failed[l] = 1;
+          failReason[l] = e.what();
+          group.retireLane(l);
+        }
+      }
+      if (group.liveMask() == 0) break;
+      try {
+        group.tick();
+      } catch (const std::exception& e) {
+        // A tick failure is group-wide (the lanes advance together): every
+        // lane still in flight falls back to a scalar re-run.
+        for (unsigned l = 0; l < count; l++)
+          if (group.laneLive(l)) {
+            failed[l] = 1;
+            failReason[l] = e.what();
+            group.retireLane(l);
+          }
+      }
+    }
+    groupWall = std::chrono::duration<double>(std::chrono::steady_clock::now() - g0).count();
+
+    const sim::SimIR& ir = design_->ir;
+    for (unsigned l = 0; l < count; l++) {
+      if (failed[l]) continue;
+      const size_t index = base + l;
+      sim::Engine& lane = group.lane(l);
+      FarmInstanceResult& r = report.instances[index];
+      r.index = index;
+      r.name = jobs[index].name.empty() ? "job" + std::to_string(index) : jobs[index].name;
+      r.cycles = lane.cycleCount();
+      r.stopped = lane.stopped();
+      r.exitCode = lane.exitCode();
+      // Wall time is shared by construction; attribute an even split so
+      // batch latency percentiles stay meaningful.
+      r.seconds = count > 0 ? groupWall / count : groupWall;
+      r.stats = lane.stats();
+      r.effectiveActivity = group.laneEffectiveActivity(l);
+      r.printOutput = lane.printOutput();
+      r.outputs.reserve(ir.outputs.size());
+      for (int32_t o : ir.outputs)
+        r.outputs.emplace_back(ir.signals[static_cast<size_t>(o)].name,
+                               lane.peekSigBV(o).toHexString());
+    }
+
+    std::lock_guard<std::mutex> lock(mergeMu);
+    if (report.lane.simdBackend.empty()) report.lane.simdBackend = group.simdBackend();
+    report.lane.groups += groups;
+    report.lane.groupPartitionRuns += group.groupPartitionRuns();
+    report.lane.groupPartitionSkips += group.groupPartitionSkips();
+    report.lane.maskedLaneSkips += group.maskedLaneSkips();
+  } catch (const std::exception& e) {
+    // Group construction failed entirely: every job falls back.
+    for (unsigned l = 0; l < count; l++)
+      if (!failed[l]) {
+        failed[l] = 1;
+        failReason[l] = e.what();
+      }
+  }
+
+  obs::MetricCounter& fallbackCounter =
+      obs::MetricsRegistry::global().counter("farm.lane_scalar_fallbacks");
+  for (unsigned l = 0; l < count; l++) {
+    if (!failed[l]) continue;
+    const size_t index = base + l;
+    fallbackCounter.add(1);
+    {
+      std::lock_guard<std::mutex> lock(mergeMu);
+      report.lane.scalarFallbacks++;
+    }
+    try {
+      report.instances[index] = runOne(index, jobs[index], sim::EngineKind::Ccss, warnings);
+    } catch (const std::exception& e) {
+      report.instances[index].index = index;
+      report.instances[index].name =
+          jobs[index].name.empty() ? "job" + std::to_string(index) : jobs[index].name;
+      report.instances[index].error =
+          failReason[l].empty() ? e.what() : failReason[l] + "; scalar retry: " + e.what();
+    }
+  }
+}
+
 FarmReport SimFarm::run(const std::vector<FarmJob>& jobs) {
   FarmReport report;
   report.kind = opts_.kind;
@@ -61,14 +198,24 @@ FarmReport SimFarm::run(const std::vector<FarmJob>& jobs) {
     sim::makeEngine(opts_.kind, design_, eo);
   }
 
+  // Work units the claim cursor walks: one unit per job, or — for
+  // EngineKind::Lane — one unit per lane BLOCK of `engine.lanes` jobs, with
+  // the remainder jobs as scalar-fallback singles at the tail.
+  const bool laneMode = opts_.kind == sim::EngineKind::Lane;
+  const unsigned laneWidth = laneMode ? clampLanes(opts_.engine.lanes) : 1;
+  const size_t numGroups = laneMode ? jobs.size() / laneWidth : 0;
+  const size_t numSingles = jobs.size() - numGroups * laneWidth;
+  const size_t numUnits = laneMode ? numGroups + numSingles : jobs.size();
+  if (laneMode) report.lane.lanes = laneWidth;
+
   unsigned workers = opts_.workers == 0 ? support::ThreadPool::defaultThreadCount()
                                         : opts_.workers;
-  workers = std::max(1u, std::min<unsigned>(workers, static_cast<unsigned>(jobs.size())));
+  workers = std::max(1u, std::min<unsigned>(workers, static_cast<unsigned>(numUnits)));
   report.workers = workers;
   report.instances.resize(jobs.size());
 
   std::atomic<size_t> cursor{0};
-  std::mutex mergeMu;  // guards report.warnings (instances are index-disjoint)
+  std::mutex mergeMu;  // guards report.warnings + report.lane (instances are index-disjoint)
 
   // Per-batch wall-time histogram (snapshotted into the report) plus the
   // process-wide aggregates that merge into --stats-json. The references
@@ -79,32 +226,61 @@ FarmReport SimFarm::run(const std::vector<FarmJob>& jobs) {
   obs::LatencyHistogram& claimHist =
       obs::MetricsRegistry::global().histogram("farm.claim_wait_ns");
 
+  obs::MetricCounter& groupCounter =
+      obs::MetricsRegistry::global().counter("farm.lane_groups");
+
   auto t0 = std::chrono::steady_clock::now();
   auto body = [&](unsigned) {
     for (;;) {
-      size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (i >= jobs.size()) break;
+      size_t u = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (u >= numUnits) break;
       claimHist.record(static_cast<uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(
               std::chrono::steady_clock::now() - t0)
               .count()));
-      obs::traceInstant("farm.claim", "instance", i);
-      obs::TraceSpan span("farm.instance", obs::TraceCat::None,
-                          obs::TraceDetail::Phase, "instance", i);
       std::vector<std::string> warnings;
-      // ThreadPool tasks must not throw; trap per-instance failures into
-      // the result so one bad job cannot take down the batch.
-      try {
-        report.instances[i] = runOne(i, jobs[i], warnings);
-        uint64_t wallNs =
-            static_cast<uint64_t>(report.instances[i].seconds * 1e9);
-        batchHist.record(wallNs);
-        globalHist.record(wallNs);
-      } catch (const std::exception& e) {
-        report.instances[i].index = i;
-        report.instances[i].name =
-            jobs[i].name.empty() ? "job" + std::to_string(i) : jobs[i].name;
-        report.instances[i].error = e.what();
+      if (laneMode && u < numGroups) {
+        // Lane block: laneWidth jobs on one SIMD group engine.
+        const size_t base = u * laneWidth;
+        obs::traceInstant("farm.claim", "group", u);
+        obs::TraceSpan span("farm.lane_group", obs::TraceCat::None,
+                            obs::TraceDetail::Phase, "group", u);
+        groupCounter.add(1);
+        runLaneGroup(base, laneWidth, jobs, report, warnings, mergeMu);
+        for (unsigned l = 0; l < laneWidth; l++) {
+          const FarmInstanceResult& r = report.instances[base + l];
+          if (!r.error.empty()) continue;
+          uint64_t wallNs = static_cast<uint64_t>(r.seconds * 1e9);
+          batchHist.record(wallNs);
+          globalHist.record(wallNs);
+        }
+      } else {
+        // Single job: remainder of a lane batch (scalar CCSS fallback) or
+        // the ordinary per-job path.
+        const size_t i = laneMode ? numGroups * laneWidth + (u - numGroups) : u;
+        obs::traceInstant("farm.claim", "instance", i);
+        obs::TraceSpan span("farm.instance", obs::TraceCat::None,
+                            obs::TraceDetail::Phase, "instance", i);
+        const sim::EngineKind kind = laneMode ? sim::EngineKind::Ccss : opts_.kind;
+        if (laneMode) {
+          obs::MetricsRegistry::global().counter("farm.lane_scalar_fallbacks").add(1);
+          std::lock_guard<std::mutex> lock(mergeMu);
+          report.lane.scalarFallbacks++;
+        }
+        // ThreadPool tasks must not throw; trap per-instance failures into
+        // the result so one bad job cannot take down the batch.
+        try {
+          report.instances[i] = runOne(i, jobs[i], kind, warnings);
+          uint64_t wallNs =
+              static_cast<uint64_t>(report.instances[i].seconds * 1e9);
+          batchHist.record(wallNs);
+          globalHist.record(wallNs);
+        } catch (const std::exception& e) {
+          report.instances[i].index = i;
+          report.instances[i].name =
+              jobs[i].name.empty() ? "job" + std::to_string(i) : jobs[i].name;
+          report.instances[i].error = e.what();
+        }
       }
       if (!warnings.empty()) {
         std::lock_guard<std::mutex> lock(mergeMu);

@@ -28,6 +28,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -67,6 +68,24 @@ struct FarmInstanceResult {
   std::string error;
 };
 
+// Lane-farm bookkeeping (FarmOptions::kind == EngineKind::Lane only; zeroed
+// otherwise). A lane farm chunks the batch into groups of
+// EngineOptions::lanes jobs, runs each group on one core::LaneEngine (every
+// ExecOp decoded once for all lanes), and falls back to scalar CCSS engines
+// for the remainder jobs and for any lane that errors.
+struct FarmLaneStats {
+  unsigned lanes = 0;           // configured lane-group width
+  std::string simdBackend;      // resolved tier ("avx512"/"avx2"/"portable")
+  uint64_t groups = 0;          // lane groups executed
+  uint64_t scalarFallbacks = 0; // jobs run on scalar engines (remainder + errors)
+  // Summed over groups: partitions executed / skipped at group granularity,
+  // and per-lane skips inside executed partitions (lanes riding along
+  // inactive — the masked-activity composition at work).
+  uint64_t groupPartitionRuns = 0;
+  uint64_t groupPartitionSkips = 0;
+  uint64_t maskedLaneSkips = 0;
+};
+
 struct FarmReport {
   sim::EngineKind kind{};
   unsigned workers = 0;       // actual farm worker lanes used
@@ -80,6 +99,8 @@ struct FarmReport {
   // Distribution of per-instance wall times (ns) across the batch —
   // p50/p99 here are the daemon-facing latency numbers (Open item 3).
   obs::LatencySnapshot instanceLatency;
+  // Lane-farm counters (kind == Lane only).
+  FarmLaneStats lane;
   std::vector<FarmInstanceResult> instances;  // one per job, in job order
 
   bool allOk() const {
@@ -91,6 +112,10 @@ struct FarmReport {
 
 struct FarmOptions {
   // Engine kind every instance runs (Codegen is rejected: out of process).
+  // EngineKind::Lane switches the farm into lane-group mode: workers claim
+  // blocks of EngineOptions::lanes jobs and run each block on one SIMD
+  // core::LaneEngine; remainder jobs and errored lanes fall back to scalar
+  // CCSS engines. Results stay bit-identical to solo runs either way.
   sim::EngineKind kind = sim::EngineKind::Ccss;
   // Per-instance engine options (schedule knobs, profiling). The warnings
   // pointer is ignored — degradation messages land in FarmReport::warnings.
@@ -119,8 +144,11 @@ class SimFarm {
   const FarmOptions& options() const { return opts_; }
 
  private:
-  FarmInstanceResult runOne(size_t index, const FarmJob& job,
+  FarmInstanceResult runOne(size_t index, const FarmJob& job, sim::EngineKind kind,
                             std::vector<std::string>& warnings) const;
+  void runLaneGroup(size_t base, unsigned count, const std::vector<FarmJob>& jobs,
+                    FarmReport& report, std::vector<std::string>& warnings,
+                    std::mutex& mergeMu) const;
 
   std::shared_ptr<const sim::CompiledDesign> design_;
   FarmOptions opts_;

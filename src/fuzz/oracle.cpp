@@ -310,9 +310,13 @@ OracleResult runOracle(const std::string& firrtlText, const Stimulus& stim,
   // the comparison, and the codegen trace needs an in-process twin).
   std::vector<std::unique_ptr<sim::Engine>> own;
   std::vector<std::pair<std::string, sim::Engine*>> list;
-  auto addEngine = [&](EngineKind k, const std::shared_ptr<const sim::CompiledDesign>& d) {
-    own.push_back(sim::makeEngine(k, d));
+  auto addEngineOpts = [&](EngineKind k, const std::shared_ptr<const sim::CompiledDesign>& d,
+                           const sim::EngineOptions& eo) {
+    own.push_back(sim::makeEngine(k, d, eo));
     list.push_back({engineKindName(k), own.back().get()});
+  };
+  auto addEngine = [&](EngineKind k, const std::shared_ptr<const sim::CompiledDesign>& d) {
+    addEngineOpts(k, d, {});
   };
   addEngine(EngineKind::FullCycle, refDesign);
   if (wants(EngineKind::EventDriven)) addEngine(EngineKind::EventDriven, optDesign);
@@ -324,6 +328,14 @@ OracleResult runOracle(const std::string& firrtlText, const Stimulus& stim,
     own.push_back(std::make_unique<core::ParallelActivityEngine>(
         core::CompiledCcss::get(optDesign, so), std::max(2u, opts.parThreads)));
     list.push_back({engineKindName(EngineKind::CcssPar), own.back().get()});
+  }
+  if (wants(EngineKind::Lane)) {
+    // Broadcast adapter over a multi-lane group: every lane computes the
+    // same run through the SoA/SIMD path, so a divergence here pins a
+    // lane-kernel bug against the scalar engines.
+    sim::EngineOptions laneOpts;
+    laneOpts.lanes = opts.laneCount;
+    addEngineOpts(EngineKind::Lane, optDesign, laneOpts);
   }
 
   // Traced signals for the codegen comparison: outputs and registers of the

@@ -1,4 +1,4 @@
-// Differential oracle: runs one circuit + stimulus through up to five
+// Differential oracle: runs one circuit + stimulus through up to six
 // execution paths and reports the first observable disagreement.
 //
 //   full    — FullCycleEngine on an UNOPTIMIZED SimIR (reference semantics;
@@ -7,6 +7,9 @@
 //   event   — EventDrivenEngine on the optimized SimIR;
 //   ccss    — ActivityEngine (conditional partition scheduling);
 //   par     — ParallelActivityEngine with 2+ worker threads;
+//   lane    — LaneBroadcastEngine: the SIMD instance-parallel LaneEngine
+//             with the same stimulus broadcast to every lane (lane 0 is
+//             compared; all lanes must agree by construction);
 //   codegen — the compiled simulator emitted by codegen::emitCpp, built
 //             with the host toolchain and compared through a trace protocol
 //             over its stdout.
@@ -59,6 +62,10 @@ struct Divergence {
 struct OracleOptions {
   std::vector<EngineKind> engines = allEngineKinds();
   unsigned parThreads = 2;
+  // Lane count for the EngineKind::Lane oracle member (broadcast across
+  // lanes; every lane runs the full SIMD path on the same stimulus). 8
+  // fills one AVX-512 vector while keeping the arena small.
+  unsigned laneCount = 8;
   // Host compiler for the codegen path; -O1 keeps fuzz turnaround fast
   // while still letting the optimizer exploit any UB in the emitted code.
   std::string compilerCmd = "c++ -std=c++20 -O1";

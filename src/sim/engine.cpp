@@ -40,6 +40,17 @@ Engine::Engine(std::shared_ptr<const CompiledDesign> design)
 
 Engine::Engine(const SimIR& ir) : Engine(CompiledDesign::compile(ir)) {}
 
+Engine::Engine(std::shared_ptr<const CompiledDesign> design, ViewTag)
+    : design_(std::move(design)),
+      ir_(&design_->ir),
+      layout_(design_->layout),
+      exec_(design_->exec) {
+  // No SimState, no const-op evaluation: the derived view overrides every
+  // state accessor and keeps its values elsewhere.
+  for (const auto& s : ir_->signals)
+    if (s.kind != SigKind::Dead && s.kind != SigKind::Temp) designSignals_++;
+}
+
 void Engine::evalConstOps() {
   for (const ExecOp& op : exec_)
     if (op.code == OpCode::Const) evalExecOp(*ir_, layout_, state_, op);
@@ -108,12 +119,7 @@ void Engine::resetState() {
 void Engine::randomizeState(uint64_t seed) {
   // SplitMix-style draws keyed by (seed, slot) so every engine produces the
   // same randomization for the same IR.
-  auto draw = [seed](uint64_t slot) {
-    uint64_t z = seed + slot * 0x9e3779b97f4a7c15ULL + 0x9e3779b97f4a7c15ULL;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return z ^ (z >> 31);
-  };
+  auto draw = [seed](uint64_t slot) { return stateRandomDraw(seed, slot); };
   uint64_t slot = 0;
   for (const RegInfo& r : ir_->regs) {
     uint32_t off = layout_.offset[r.sig];

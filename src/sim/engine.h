@@ -27,6 +27,16 @@
 
 namespace essent::sim {
 
+// One SplitMix-style draw keyed by (seed, slot): the shared randomizeState
+// sequence. Same seed + same slot order => identical state in every engine,
+// including per-lane views that replay the sequence into a lane arena.
+inline uint64_t stateRandomDraw(uint64_t seed, uint64_t slot) {
+  uint64_t z = seed + slot * 0x9e3779b97f4a7c15ULL + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 // Immutable compiled structure shared by every engine instance simulating
 // the same design: the lowered SimIR plus its arena layout and precompiled
 // op stream. Compile once, then instantiate any number of engines against
@@ -101,22 +111,25 @@ class Engine {
   // The shared immutable structure this engine executes.
   const std::shared_ptr<const CompiledDesign>& design() const { return design_; }
 
-  // Input driving; unknown names throw std::out_of_range.
-  void poke(const std::string& name, uint64_t value);
-  void pokeBV(const std::string& name, const BitVec& value);
+  // Input driving; unknown names throw std::out_of_range. Virtual so that
+  // engine *views* (core::LaneEngine's per-lane handles, which keep their
+  // state in a structure-of-arrays arena instead of a private SimState) can
+  // redirect state access while reusing everything else.
+  virtual void poke(const std::string& name, uint64_t value);
+  virtual void pokeBV(const std::string& name, const BitVec& value);
 
   // Value observation (any named signal).
-  uint64_t peek(const std::string& name) const;
-  BitVec peekBV(const std::string& name) const;
-  uint64_t peekSig(int32_t sig) const { return state_.vals[layout_.offset[sig]]; }
-  BitVec peekSigBV(int32_t sig) const;
+  virtual uint64_t peek(const std::string& name) const;
+  virtual BitVec peekBV(const std::string& name) const;
+  virtual uint64_t peekSig(int32_t sig) const { return state_.vals[layout_.offset[sig]]; }
+  virtual BitVec peekSigBV(int32_t sig) const;
 
   // Backdoor memory access (testbench-style $readmemh loading). Must be
   // used before the first tick (or after resetState) so every engine's
   // activity bookkeeping sees a consistent initial state. Unknown memory
   // names throw std::out_of_range.
-  void pokeMem(const std::string& memName, uint64_t addr, uint64_t value);
-  uint64_t peekMem(const std::string& memName, uint64_t addr) const;
+  virtual void pokeMem(const std::string& memName, uint64_t addr, uint64_t value);
+  virtual uint64_t peekMem(const std::string& memName, uint64_t addr) const;
 
   // One full clock cycle.
   virtual void tick() = 0;
@@ -128,7 +141,7 @@ class Engine {
   // --x-initial style): catches designs that rely on zero-initialized
   // state. Same seed + same IR => identical state in every engine. Must be
   // used between tick()s (it re-arms activity tracking like a restore).
-  void randomizeState(uint64_t seed);
+  virtual void randomizeState(uint64_t seed);
 
   // Checkpointing: captures/restores the complete simulation state (arena,
   // memories, stop status). Restore re-arms conditional engines so the next
@@ -140,8 +153,8 @@ class Engine {
     bool stopped = false;
     int exitCode = 0;
   };
-  Snapshot saveState() const;
-  void restoreState(const Snapshot& snapshot);
+  virtual Snapshot saveState() const;
+  virtual void restoreState(const Snapshot& snapshot);
 
   virtual const char* name() const = 0;
 
@@ -164,6 +177,14 @@ class Engine {
   std::string& printOutput() { return printBuf_; }
 
  protected:
+  // Tag constructor for engine views: binds the shared immutable structure
+  // but builds no SimState and evaluates no const ops — the derived view
+  // redirects every state access (the virtuals above) into an external
+  // arena, while the inherited stats_/stopped_/exitCode_/printBuf_ members
+  // still hold the view's own per-instance bookkeeping.
+  struct ViewTag {};
+  Engine(std::shared_ptr<const CompiledDesign> design, ViewTag);
+
   // Immutable structure (shared across instances) ...
   std::shared_ptr<const CompiledDesign> design_;
   const SimIR* ir_;            // = &design_->ir

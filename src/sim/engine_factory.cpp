@@ -10,6 +10,7 @@ const char* engineKindName(EngineKind k) {
     case EngineKind::EventDriven: return "event";
     case EngineKind::Ccss: return "ccss";
     case EngineKind::CcssPar: return "par";
+    case EngineKind::Lane: return "lane";
     case EngineKind::Codegen: return "codegen";
   }
   return "?";
@@ -21,6 +22,7 @@ const char* engineKindLongName(EngineKind k) {
     case EngineKind::EventDriven: return "event-driven";
     case EngineKind::Ccss: return "essent-ccss";
     case EngineKind::CcssPar: return "essent-ccss-par";
+    case EngineKind::Lane: return "essent-lane";
     case EngineKind::Codegen: return "codegen";
   }
   return "?";
@@ -38,12 +40,12 @@ bool parseEngineKind(const std::string& token, EngineKind& out) {
 
 std::vector<EngineKind> allEngineKinds() {
   return {EngineKind::FullCycle, EngineKind::EventDriven, EngineKind::Ccss,
-          EngineKind::CcssPar, EngineKind::Codegen};
+          EngineKind::CcssPar, EngineKind::Lane, EngineKind::Codegen};
 }
 
 std::vector<EngineKind> inProcessEngineKinds() {
   return {EngineKind::FullCycle, EngineKind::EventDriven, EngineKind::Ccss,
-          EngineKind::CcssPar};
+          EngineKind::CcssPar, EngineKind::Lane};
 }
 
 std::string engineKindList() {

@@ -22,20 +22,26 @@
 
 namespace essent::sim {
 
-// Every execution path a design can be simulated through. The first four
+// Every execution path a design can be simulated through. The first five
 // are in-process interpreters constructible via makeEngine; Codegen is the
 // ahead-of-time compiled simulator (codegen::emitCpp + host toolchain),
 // which runs out of process — the fuzz oracle and essentc --compile-run
 // drive it, and makeEngine rejects it with std::invalid_argument.
-enum class EngineKind : uint8_t { FullCycle, EventDriven, Ccss, CcssPar, Codegen };
+//
+// Lane is the SIMD instance-parallel engine (core::LaneEngine): it
+// simulates `EngineOptions::lanes` copies of the design in one
+// structure-of-arrays arena; through makeEngine it surfaces as a scalar
+// engine that broadcasts inputs to every lane (core::LaneBroadcastEngine),
+// exercising the full SIMD path while staying bit-identical to a solo run.
+enum class EngineKind : uint8_t { FullCycle, EventDriven, Ccss, CcssPar, Lane, Codegen };
 
-// Canonical short name: "full" / "event" / "ccss" / "par" / "codegen".
-// These are the tokens every CLI accepts and prints.
+// Canonical short name: "full" / "event" / "ccss" / "par" / "lane" /
+// "codegen". These are the tokens every CLI accepts and prints.
 const char* engineKindName(EngineKind k);
 
 // Long descriptive name, matching Engine::name() for the in-process kinds:
 // "full-cycle" / "event-driven" / "essent-ccss" / "essent-ccss-par" /
-// "codegen".
+// "essent-lane" / "codegen".
 const char* engineKindLongName(EngineKind k);
 
 // Parses a kind token — canonical short names and the long aliases above —
@@ -43,14 +49,14 @@ const char* engineKindLongName(EngineKind k);
 // Returns false on unknown tokens.
 bool parseEngineKind(const std::string& token, EngineKind& out);
 
-// All five kinds, in a stable order (FullCycle first: the oracle uses the
+// All six kinds, in a stable order (FullCycle first: the oracle uses the
 // first entry as its reference engine).
 std::vector<EngineKind> allEngineKinds();
 
-// The four kinds makeEngine can construct (everything except Codegen).
+// The five kinds makeEngine can construct (everything except Codegen).
 std::vector<EngineKind> inProcessEngineKinds();
 
-// "full|event|ccss|par|codegen" — for usage strings.
+// "full|event|ccss|par|lane|codegen" — for usage strings.
 std::string engineKindList();
 
 // Options honored by makeEngine. Plain fields rather than the core-layer
@@ -64,6 +70,9 @@ struct EngineOptions {
   uint32_t partitionSmallThreshold = 8;
   // State-element update elision (paper §III-B1) for the CCSS kinds.
   bool stateElision = true;
+  // SIMD lanes for EngineKind::Lane (clamped to [1, 64]). Ignored by the
+  // other kinds.
+  unsigned lanes = 4;
   // Enable per-partition runtime profiling (CCSS kinds only).
   bool profiling = false;
   // Activity-timeline bucket width in cycles when profiling is on.

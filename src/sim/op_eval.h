@@ -35,14 +35,13 @@ void storeBV(SimState& st, const Layout& lay, const SimIR& ir, int32_t sig, cons
 // Out-of-line evaluation for multi-word operands.
 void evalExecOpSlow(const SimIR& ir, const Layout& lay, SimState& st, const ExecOp& op);
 
-inline void evalExecOp(const SimIR& ir, const Layout& lay, SimState& st, const ExecOp& op) {
-  if (!op.fast) {
-    evalExecOpSlow(ir, lay, st, op);
-    return;
-  }
-  uint64_t* vals = st.vals.data();
-  const uint64_t a = op.aOff != UINT32_MAX ? vals[op.aOff] : 0;
-  const uint64_t b = op.bOff != UINT32_MAX ? vals[op.bOff] : 0;
+// Fast-path semantics for one single-word op, shared by the scalar engines
+// (evalExecOp below) and the lane engine's per-lane kernels. `c` is read
+// only by Mux; MemRead is NOT handled here (it needs memory state — callers
+// route it separately). The result is unmasked: callers apply
+// `& maskW(op.destW)` before storing.
+inline uint64_t evalFastScalar(const SimIR& ir, const ExecOp& op, uint64_t a, uint64_t b,
+                               uint64_t c) {
   uint64_t r = 0;
   switch (op.code) {
     case OpCode::Add:
@@ -150,7 +149,6 @@ inline void evalExecOp(const SimIR& ir, const Layout& lay, SimState& st, const E
       r = a;  // masked to destW below
       break;
     case OpCode::Mux: {
-      const uint64_t c = vals[op.cOff];
       uint64_t tv = op.signedOp ? static_cast<uint64_t>(sx(b, op.bW)) : b;
       uint64_t fv = op.signedOp ? static_cast<uint64_t>(sx(c, op.cW)) : c;
       r = a != 0 ? tv : fv;
@@ -159,11 +157,26 @@ inline void evalExecOp(const SimIR& ir, const Layout& lay, SimState& st, const E
     case OpCode::Const:
       r = ir.constPool[static_cast<size_t>(op.imm0)].word(0);
       break;
-    case OpCode::MemRead: {
-      const MemInfo& m = ir.mems[static_cast<size_t>(op.imm0)];
-      r = (b != 0 && a < m.depth) ? st.memWords[static_cast<size_t>(op.imm0)][a] : 0;
-      break;
-    }
+    case OpCode::MemRead:
+      break;  // handled by the caller (needs memory state)
+  }
+  return r;
+}
+
+inline void evalExecOp(const SimIR& ir, const Layout& lay, SimState& st, const ExecOp& op) {
+  if (!op.fast) {
+    evalExecOpSlow(ir, lay, st, op);
+    return;
+  }
+  uint64_t* vals = st.vals.data();
+  const uint64_t a = op.aOff != UINT32_MAX ? vals[op.aOff] : 0;
+  const uint64_t b = op.bOff != UINT32_MAX ? vals[op.bOff] : 0;
+  uint64_t r;
+  if (op.code == OpCode::MemRead) {
+    const MemInfo& m = ir.mems[static_cast<size_t>(op.imm0)];
+    r = (b != 0 && a < m.depth) ? st.memWords[static_cast<size_t>(op.imm0)][a] : 0;
+  } else {
+    r = evalFastScalar(ir, op, a, b, op.code == OpCode::Mux ? vals[op.cOff] : 0);
   }
   vals[op.destOff] = r & maskW(op.destW);
 }

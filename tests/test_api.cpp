@@ -22,6 +22,9 @@
 #ifndef EXAMPLES_DIR
 #error "EXAMPLES_DIR must be defined by the build"
 #endif
+#ifndef FUZZ_CORPUS_DIR
+#error "FUZZ_CORPUS_DIR must be defined by the build"
+#endif
 
 namespace {
 
@@ -279,6 +282,115 @@ TEST(ApiFarm, EmptyBatchIsANoop) {
   core::FarmReport report = farm.run({});
   EXPECT_TRUE(report.instances.empty());
   EXPECT_EQ(report.totalCycles, 0u);
+}
+
+// --- SIMD lane engine conformance (docs/SIMD.md) -------------------------
+
+std::string readCorpus(const char* name) {
+  std::ifstream f(std::string(FUZZ_CORPUS_DIR) + "/" + name);
+  EXPECT_TRUE(f.good()) << "missing corpus file " << name;
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+// Generic divergent stimulus: every input gets a lane- and cycle-dependent
+// value (poke masks to the port width), so it works unchanged on the
+// examples and on fuzz-corpus corner circuits.
+void driveLaneMix(sim::Engine& eng, uint64_t cycle, unsigned lane) {
+  const sim::SimIR& ir = eng.ir();
+  for (size_t i = 0; i < ir.inputs.size(); i++) {
+    const auto& sig = ir.signals[static_cast<size_t>(ir.inputs[i])];
+    if (sig.name == "reset") {
+      eng.poke("reset", cycle < 2 ? 1 : 0);
+      continue;
+    }
+    eng.poke(sig.name, (cycle * 2654435761ull + lane * 40503ull) >> (i % 13));
+  }
+}
+
+TEST(ApiLane, GroupsBitIdenticalToSoloCcssAcrossLaneCounts) {
+  const std::pair<const char*, std::string> designsUnderTest[] = {
+      {"gcd.fir", readExample("gcd.fir")},
+      {"counterbanks.fir", readExample("counterbanks.fir")},
+      {"corner_mux_deep.fir", readCorpus("corner_mux_deep.fir")},
+  };
+  for (const auto& [name, text] : designsUnderTest) {
+    auto design = sim::CompiledDesign::compile(sim::buildFromFirrtl(text));
+    auto ccss = core::CompiledCcss::get(design, core::ScheduleOptions{});
+    for (unsigned lanes : {1u, 4u, 8u, 64u}) {
+      core::LaneEngine group(ccss, lanes);
+      std::vector<std::unique_ptr<sim::Engine>> solo;
+      for (unsigned l = 0; l < lanes; l++)
+        solo.push_back(sim::makeEngine(sim::EngineKind::Ccss, design));
+
+      const uint64_t cycles = lanes == 64 ? 60 : 200;
+      for (uint64_t c = 0; c < cycles; c++) {
+        for (unsigned l = 0; l < lanes; l++) {
+          driveLaneMix(group.lane(l), c, l);
+          driveLaneMix(*solo[l], c, l);
+        }
+        group.tick();
+        for (unsigned l = 0; l < lanes; l++) solo[l]->tick();
+      }
+      for (unsigned l = 0; l < lanes; l++) {
+        const sim::Engine& a = group.lane(l);
+        const sim::Engine& b = *solo[l];
+        EXPECT_EQ(finalOutputs(a), finalOutputs(b))
+            << name << " lanes=" << lanes << " lane " << l;
+        // Per-lane counters mirror the solo engine exactly, and obey the
+        // same invariants every kind does.
+        EXPECT_EQ(a.stats().cycles, b.stats().cycles);
+        EXPECT_EQ(a.stats().opsEvaluated, b.stats().opsEvaluated)
+            << name << " lanes=" << lanes << " lane " << l;
+        EXPECT_EQ(a.stats().partitionActivations, b.stats().partitionActivations);
+        EXPECT_EQ(a.stats().partitionChecks, b.stats().partitionChecks);
+        EXPECT_LE(a.stats().partitionActivations, a.stats().partitionChecks);
+        EXPECT_GE(group.laneEffectiveActivity(l), 0.0);
+        EXPECT_LE(group.laneEffectiveActivity(l), 1.0);
+      }
+    }
+  }
+}
+
+TEST(ApiLane, EarlyStopRetiresLanesIndependently) {
+  auto design = sim::CompiledDesign::compile(sim::buildFromFirrtl(R"(
+circuit S :
+  module S :
+    input clock : Clock
+    input reset : UInt<1>
+    input target : UInt<8>
+    reg c : UInt<8>, clock with : (reset => (reset, UInt<8>(0)))
+    c <= tail(add(c, UInt<8>(1)), 1)
+    stop(clock, eq(c, target), 1)
+)"));
+  core::LaneEngine group(core::CompiledCcss::get(design, core::ScheduleOptions{}), 8);
+  for (unsigned l = 0; l < 8; l++) {
+    group.lane(l).poke("reset", 0);
+    group.lane(l).poke("target", 3 + 2 * l);
+  }
+  uint64_t lastMask = group.liveMask();
+  EXPECT_EQ(lastMask, 0xffu);
+  while (group.liveMask() != 0) {
+    group.tick();
+    // The live mask only ever loses lanes, in target order.
+    EXPECT_EQ(group.liveMask() & ~lastMask, 0u);
+    lastMask = group.liveMask();
+  }
+  for (unsigned l = 0; l < 8; l++) {
+    EXPECT_TRUE(group.lane(l).stopped()) << l;
+    EXPECT_EQ(group.lane(l).stats().cycles, 4u + 2 * l) << l;
+  }
+}
+
+TEST(ApiLane, BroadcastEngineTracksScalarThroughFactory) {
+  auto design = compileExample("counterbanks.fir");
+  sim::EngineOptions eo;
+  eo.lanes = 8;
+  auto lane = sim::makeEngine(sim::EngineKind::Lane, design, eo);
+  auto ref = sim::makeEngine(sim::EngineKind::Ccss, design);
+  auto mismatch = sim::compareEngines(*ref, *lane, 300, driveExample);
+  EXPECT_FALSE(mismatch.has_value()) << mismatch->describe();
 }
 
 }  // namespace

@@ -1,12 +1,12 @@
-// essent-fuzz — differential FIRRTL fuzzer across all five execution paths
-// (full-cycle reference, event-driven, CCSS, parallel CCSS, and the
-// compiled codegen simulator). Generates seeded random circuits + stimulus,
+// essent-fuzz — differential FIRRTL fuzzer across all six execution paths
+// (full-cycle reference, event-driven, CCSS, parallel CCSS, the SIMD lane
+// engine, and the compiled codegen simulator). Generates seeded random circuits + stimulus,
 // compares every output signal every cycle plus final register/memory
 // state, shrinks failures with delta debugging, and saves reproducers.
 //
 // Usage:
 //   essent_fuzz [--seed S] [--budget N] [--cycles N]
-//               [--engines full,event,ccss,par,codegen] [--threads N]
+//               [--engines full,event,ccss,par,lane,codegen] [--threads N]
 //               [--codegen-every N] [--wide-every N]
 //               [--corpus DIR] [--no-shrink] [--timeout-ms N] [-v]
 //   essent_fuzz --mode mutate [--seed S] [--budget N] [--max-mutations N]
@@ -41,7 +41,7 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: essent_fuzz [--seed S] [--budget N] [--cycles N]\n"
-               "                   [--engines full,event,ccss,par,codegen] [--threads N]\n"
+               "                   [--engines full,event,ccss,par,lane,codegen] [--threads N]\n"
                "                   [--codegen-every N] [--wide-every N]\n"
                "                   [--corpus DIR] [--no-shrink] [--timeout-ms N] [-v]\n"
                "                   [--mode differential|mutate] [--max-mutations N]\n"

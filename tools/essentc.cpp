@@ -78,6 +78,7 @@
 
 #include "codegen/emitter.h"
 #include "core/activity_engine.h"
+#include "core/lane_engine.h"
 #include "core/obs_export.h"
 #include "core/sim_farm.h"
 #include "diag/diag.h"
@@ -120,6 +121,7 @@ struct Args {
   uint32_t topHot = 0;
   uint32_t threads = 0;  // 0 = unset: ESSENT_THREADS, else 1
   uint32_t batch = 0;    // --run instance count; 0 = solo (no farm)
+  uint32_t lanes = 0;    // SIMD lanes for the lane engine; 0 = unset
   std::string stimulusDir;
   int64_t timeoutMs = 0;  // --compile-run subprocess watchdog; 0 = off
   bool injectHang = false;  // undocumented: watchdog self-test hook
@@ -131,10 +133,10 @@ struct Args {
   std::fprintf(stderr,
                "usage: essentc [--stats | --emit-cpp | --run N | --compile-run N | --dot]\n"
                "               [-o FILE] [--allow-comb-loops]\n"
-               "               [--engine full|event|ccss|par] [--baseline] [--no-hints]\n"
+               "               [--engine full|event|ccss|par|lane] [--baseline] [--no-hints]\n"
                "               [--cp N] [--poke NAME=VALUE]... [--vcd FILE]\n"
                "               [--profile FILE] [--profile-window N] [--threads N]\n"
-               "               [--batch N] [--stimulus-dir DIR]\n"
+               "               [--batch N] [--lanes N] [--stimulus-dir DIR]\n"
                "               [--stats-json FILE] [--top-hot N] [--diag-json FILE]\n"
                "               [--trace FILE] [--trace-detail phase|wave|partition]\n"
                "               [--trace-summary]\n"
@@ -200,6 +202,10 @@ Args parseArgs(int argc, char** argv) {
       a.batch = static_cast<uint32_t>(std::strtoul(next().c_str(), nullptr, 0));
       if (a.batch == 0) usage("--batch expects a positive instance count");
     }
+    else if (arg == "--lanes") {
+      a.lanes = static_cast<uint32_t>(std::strtoul(next().c_str(), nullptr, 0));
+      if (a.lanes == 0 || a.lanes > 64) usage("--lanes expects a count in [1, 64]");
+    }
     else if (arg == "--stimulus-dir") a.stimulusDir = next();
     else if (arg == "--timeout-ms") a.timeoutMs = std::strtoll(next().c_str(), nullptr, 0);
     else if (arg == "--max-ir-ops") a.limits.maxIrOps = std::strtoull(next().c_str(), nullptr, 0);
@@ -215,8 +221,19 @@ Args parseArgs(int argc, char** argv) {
     else usage("multiple input files");
   }
   if (a.inputPath.empty()) usage("no input file");
+  // --lanes selects the SIMD lane engine: with the default ccss kind it
+  // upgrades the kind (like --threads upgrades ccss to par); an explicit
+  // non-CCSS kind conflicts.
+  if (a.lanes > 0 && a.mode != Args::Mode::Run) usage("--lanes requires --run");
+  if (a.lanes > 0) {
+    if (a.engineKind == sim::EngineKind::Ccss) a.engineKind = sim::EngineKind::Lane;
+    else if (a.engineKind != sim::EngineKind::Lane)
+      usage("--lanes requires the ccss or lane engine");
+  }
+  if (a.engineKind == sim::EngineKind::Lane && a.lanes == 0) a.lanes = 4;
   bool ccssKind =
       a.engineKind == sim::EngineKind::Ccss || a.engineKind == sim::EngineKind::CcssPar;
+  bool laneKind = a.engineKind == sim::EngineKind::Lane;
   if ((!a.profilePath.empty() || a.topHot > 0) && a.mode != Args::Mode::Run)
     usage("--profile / --top-hot require --run");
   if ((!a.profilePath.empty() || a.topHot > 0) && !ccssKind)
@@ -237,7 +254,7 @@ Args parseArgs(int argc, char** argv) {
     if (a.threads == 0) a.threads = 1;
   }
   if (a.batch == 0) {
-    if (a.threads > 1 && a.mode == Args::Mode::Run && !ccssKind)
+    if (a.threads > 1 && a.mode == Args::Mode::Run && !ccssKind && !laneKind)
       usage("--threads > 1 requires the ccss engine");
     // `--engine ccss --threads N>1` has always meant the wave-parallel
     // engine; keep that spelling equivalent to the explicit `--engine par`.
@@ -283,6 +300,7 @@ obs::Json statsJsonDoc(const Args& a, const sim::SimIR& ir,
   options["engine"] = sim::engineKindName(a.engineKind);
   options["threads"] = a.threads;
   if (a.batch > 0) options["batch"] = a.batch;
+  if (a.lanes > 0) options["lanes"] = a.lanes;
   doc["options"] = std::move(options);
   doc["design"] = core::designSummaryJson(ir);
   if (sched) {
@@ -295,6 +313,18 @@ obs::Json statsJsonDoc(const Args& a, const sim::SimIR& ir,
     e["stats"] = core::engineStatsJson(eng->stats());
     if (auto* act = dynamic_cast<const core::ActivityEngine*>(eng))
       e["effective_activity"] = act->effectiveActivity();
+    if (auto* lbe = dynamic_cast<const core::LaneBroadcastEngine*>(eng)) {
+      e["effective_activity"] = lbe->effectiveActivity();
+      const core::LaneEngine& g = lbe->group();
+      obs::Json lane = obs::Json::object();
+      lane["lanes"] = g.lanes();
+      lane["simd_backend"] = g.simdBackend();
+      lane["group_ticks"] = g.groupTicks();
+      lane["group_partition_runs"] = g.groupPartitionRuns();
+      lane["group_partition_skips"] = g.groupPartitionSkips();
+      lane["masked_lane_skips"] = g.maskedLaneSkips();
+      e["lane"] = std::move(lane);
+    }
     doc["engine"] = std::move(e);
   }
   doc["phase_timings"] = obs::phaseTimingsJson();
@@ -357,6 +387,7 @@ int runSim(const Args& a, const sim::SimIR& ir, diag::DiagEngine& de,
   sim::EngineOptions eo;
   eo.threads = a.threads;
   eo.partitionSmallThreshold = a.cp;
+  if (a.lanes > 0) eo.lanes = a.lanes;
   eo.profiling = !a.profilePath.empty() || a.topHot > 0;
   eo.profileWindow = a.profileWindow;
   std::vector<std::string> warnings;
@@ -393,6 +424,9 @@ int runSim(const Args& a, const sim::SimIR& ir, diag::DiagEngine& de,
     std::printf("  %s = 0x%s\n", ir.signals[static_cast<size_t>(o)].name.c_str(),
                 eng->peekSigBV(o).toHexString().c_str());
   if (act) std::printf("effective activity factor: %.4f\n", act->effectiveActivity());
+  if (auto* lbe = dynamic_cast<core::LaneBroadcastEngine*>(eng.get()))
+    std::printf("effective activity factor: %.4f (%u lanes, %s backend)\n",
+                lbe->effectiveActivity(), lbe->group().lanes(), lbe->group().simdBackend());
 
   if (act && a.topHot > 0) {
     auto hot = core::topHotPartitions(act->profile(), a.topHot);
@@ -472,6 +506,7 @@ int runBatch(const Args& a, const sim::SimIR& ir, diag::DiagEngine& de,
   fo.kind = a.engineKind;
   fo.workers = a.threads;
   fo.engine.partitionSmallThreshold = a.cp;
+  if (a.lanes > 0) fo.engine.lanes = a.lanes;
   std::vector<core::FarmJob> jobs(a.batch);
   for (uint32_t i = 0; i < a.batch; i++) {
     core::FarmJob& job = jobs[i];
@@ -497,6 +532,13 @@ int runBatch(const Args& a, const sim::SimIR& ir, diag::DiagEngine& de,
   std::printf("farm: %zu instances on %s engine, %u worker%s\n", report.instances.size(),
               sim::engineKindName(report.kind), report.workers,
               report.workers == 1 ? "" : "s");
+  if (report.lane.lanes > 0)
+    std::printf("  lanes %u (%s backend): %llu group%s, %llu scalar fallback%s\n",
+                report.lane.lanes, report.lane.simdBackend.c_str(),
+                static_cast<unsigned long long>(report.lane.groups),
+                report.lane.groups == 1 ? "" : "s",
+                static_cast<unsigned long long>(report.lane.scalarFallbacks),
+                report.lane.scalarFallbacks == 1 ? "" : "s");
   int failures = 0;
   for (const core::FarmInstanceResult& r : report.instances) {
     if (!r.error.empty()) {
