@@ -1,28 +1,36 @@
 // Parallel-scaling exhibit (extension; not a paper table): wall-clock of
-// the wave-parallel CCSS engine at 1/2/4/8 worker threads against the
-// serial engine, across three activity regimes:
+// the statically-placed BSP CCSS engine at 1/2/4/8 worker threads against
+// the serial engine, across three activity regimes:
 //   * counterbanks — gated register banks, mostly idle (low activity
-//     factor; the paper's sweet spot, and the regime where the per-wave
-//     fork/join barrier must NOT erase the activity savings);
+//     factor; the paper's sweet spot — the serial-cutoff path must keep
+//     these cycles barrier-free);
 //   * systolic    — a busy 16x16 array (high activity, wide waves: the
-//     regime where parallelism has real work to distribute);
+//     regime where the super-step placement has real work to distribute);
 //   * tinysoc-r16 — the Table I r16 SoC running dhrystone (mixed).
 //
 // Thread counts are interleaved round-robin per design (A B C D A B C D…)
 // so drift hits every candidate equally; each reports its best-of-reps.
-// Honors ESSENT_BENCH_REPS / ESSENT_THREADS (the latter only widens the
-// sweep's upper bound, the {1,2,4,8} grid itself is fixed) and emits
-// BENCH_parallel_scaling.json with per-row schedule shape so the artifact
-// records how much wave parallelism each design actually exposes.
+// Honors ESSENT_BENCH_REPS / --reps and emits BENCH_parallel_scaling.json.
+// Each row records the static placement shape (super-steps vs levelization
+// depth, cut-edge fraction, load balance) AND the post-degradation
+// effective thread count: engine construction goes through the
+// degradation-aware factory, so a 1-core host clamps every multi-thread
+// row to serial and the artifact says so instead of faking scaling.
+//
+// The per-candidate traced rep sizes its ring from the workload (cycles x
+// events-per-cycle upper bound) so the attribution summary normally covers
+// the whole run; when it still wraps, the row's `parallel.truncated` flag
+// is set and the stdout table marks the row — never silently partial.
 //
 // NOTE: speedup > 1 requires real cores. On a 1-core container every
-// multi-thread row measures pure barrier/handoff overhead — still useful
-// as a regression floor for the fork/join cost.
+// multi-thread row degrades to the serial engine (effective_threads 1),
+// making the artifact a regression floor rather than a scaling exhibit.
 #include <chrono>
 #include <thread>
 
 #include "bench_util.h"
 #include "core/netlist.h"
+#include "core/placement.h"
 #include "designs/blocks.h"
 #include "designs/systolic.h"
 #include "obs/trace.h"
@@ -48,16 +56,28 @@ double timeStimulus(sim::Engine& e, const std::function<void(sim::Engine&, int)>
   return seconds(t0);
 }
 
+// Per-thread ring capacity covering `cycles` fully-pooled cycles: one step
+// span + one barrier span per super-step per cycle, plus main-thread
+// tick/counter slack. Clamped to [2^16, 2^20] events (48 B each, so the
+// ceiling is ~48 MB per recording thread); overflow past the ceiling is
+// reported through TraceSummary::truncated rather than hidden.
+size_t ringCapacityFor(uint64_t cycles, size_t numSteps) {
+  uint64_t need = cycles * (2 * static_cast<uint64_t>(numSteps) + 8) + 1024;
+  size_t cap = size_t{1} << 16;
+  while (cap < need && cap < (size_t{1} << 20)) cap <<= 1;
+  return cap;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::JsonReporter report("parallel_scaling", argc, argv);
-  std::printf("Parallel scaling — wave-parallel CCSS vs serial (extension exhibit)\n");
+  std::printf("Parallel scaling — statically-placed BSP CCSS vs serial (extension exhibit)\n");
   std::printf("reps=%u  (ESSENT_BENCH_REPS)  hardware threads=%u\n", report.env().reps,
               std::thread::hardware_concurrency());
-  std::printf("%-14s %8s %8s %10s %12s %10s   %s\n", "design", "threads", "levels",
-              "max_wave", "seconds", "speedup", "attribution (traced rep)");
-  bench::printRule(92);
+  std::printf("%-14s %4s %4s %7s %6s %10s %12s %10s   %s\n", "design", "req", "eff",
+              "levels", "steps", "max_wave", "seconds", "speedup", "attribution (traced rep)");
+  bench::printRule(100);
 
   struct Case {
     std::string name;
@@ -65,6 +85,7 @@ int main(int argc, char** argv) {
     std::function<double(core::ActivityEngine&)> run;  // one timed rep
     bool freshEnginePerRep = false;                    // workload designs
     workloads::Program prog;                           // when freshEnginePerRep
+    uint64_t cycles = 0;  // per rep; workload cases fill this on first run
   };
   std::vector<Case> cases;
 
@@ -72,6 +93,7 @@ int main(int argc, char** argv) {
     Case c;
     c.name = "counterbanks";
     c.ir = sim::buildFromFirrtl(designs::gatedBanksFirrtl(64, 32));
+    c.cycles = 20000;
     c.run = [](core::ActivityEngine& e) {
       e.poke("reset", 0);
       e.poke("wdata", 7);
@@ -89,6 +111,7 @@ int main(int argc, char** argv) {
     Case c;
     c.name = "systolic16";
     c.ir = sim::buildFromFirrtl(designs::systolicFirrtl(cfg));
+    c.cycles = 4000;
     c.run = [](core::ActivityEngine& e) {
       e.poke("reset", 0);
       e.poke("en", 1);
@@ -117,30 +140,46 @@ int main(int argc, char** argv) {
 
     // Persistent engines for stimulus-loop designs; workload designs get a
     // fresh engine per rep (loadProgram's backdoor contract requires it).
+    // The per-candidate probe records what the degradation-aware factory
+    // actually built (effective width + warnings) and the static placement
+    // for the requested width — compile-time shape, host-independent.
     std::vector<std::unique_ptr<core::ActivityEngine>> engines;
     std::vector<std::function<double()>> candidates;
+    std::vector<unsigned> effective;
+    std::vector<std::vector<std::string>> degradations;
+    std::vector<core::BspPlacement> placements;
     for (unsigned t : kThreadGrid) {
+      std::vector<std::string> warn;
+      auto eng = bench::makeCcssEngine(c.ir, sched, t, &warn);
+      effective.push_back(eng->threadCount());
+      degradations.push_back(std::move(warn));
+      core::PlacementOptions popts;
+      popts.threads = t;
+      placements.push_back(core::buildPlacement(sched, popts));
       if (c.freshEnginePerRep) {
         candidates.push_back([&c, &sched, t] {
-          auto eng = bench::makeCcssEngine(c.ir, sched, t);
-          return bench::timeEngine(*eng, c.prog).seconds;
+          auto fresh = bench::makeCcssEngine(c.ir, sched, t);
+          bench::EngineRun run = bench::timeEngine(*fresh, c.prog);
+          c.cycles = run.cycles;
+          return run.seconds;
         });
       } else {
-        engines.push_back(bench::makeCcssEngine(c.ir, sched, t));
-        core::ActivityEngine* eng = engines.back().get();
-        candidates.push_back([&c, eng] { return c.run(*eng); });
+        engines.push_back(std::move(eng));
+        core::ActivityEngine* raw = engines.back().get();
+        candidates.push_back([&c, raw] { return c.run(*raw); });
       }
     }
 
     std::vector<double> best = bench::interleavedBestSeconds(candidates, report.env().reps);
     for (size_t i = 0; i < candidates.size(); i++) {
       double speedup = best[0] / best[i];
+      const core::BspPlacement& placement = placements[i];
 
       // One extra, untimed rep per candidate with a trace session recording:
-      // the attribution summary (per-thread busy/barrier/idle fractions,
-      // per-level wave imbalance) lands in the JSON artifact so the
-      // Open-item-2 super-step redesign has a before/after baseline.
-      obs::TraceSession session({obs::TraceDetail::Wave, 1 << 16});
+      // per-thread busy/barrier/idle fractions and per-super-step imbalance
+      // land in the JSON artifact as the barrier-cost regression record.
+      obs::TraceSession session(
+          {obs::TraceDetail::Wave, ringCapacityFor(c.cycles, placement.numSteps())});
       session.install();
       session.nameThread("main");
       candidates[i]();
@@ -153,27 +192,41 @@ int main(int argc, char** argv) {
         barrier += t.barrierFrac;
       }
       size_t n = attribution.threads.empty() ? 1 : attribution.threads.size();
-      std::printf("%-14s %8u %8zu %10zu %12.4f %9.2fx   busy %4.1f%% barrier %4.1f%%\n",
-                  c.name.c_str(), kThreadGrid[i], levels, maxWave, best[i], speedup,
+      std::printf("%-14s %4u %4u %7zu %6zu %10zu %12.4f %9.2fx   busy %4.1f%% barrier %4.1f%%%s\n",
+                  c.name.c_str(), kThreadGrid[i], effective[i], levels,
+                  placement.numSteps(), maxWave, best[i], speedup,
                   100.0 * busy / static_cast<double>(n),
-                  100.0 * barrier / static_cast<double>(n));
+                  100.0 * barrier / static_cast<double>(n),
+                  attribution.truncated ? "  [ring truncated]" : "");
       std::fflush(stdout);
       obs::Json row = obs::Json::object();
       row["design"] = c.name;
       row["threads"] = kThreadGrid[i];
+      // What actually ran after hardware/useful-width clamping and any
+      // spawn degradation — on a 1-core host this is 1 for every row.
+      row["effective_threads"] = effective[i];
+      if (!degradations[i].empty()) {
+        obs::Json warns = obs::Json::array();
+        for (const std::string& w : degradations[i]) warns.push(w);
+        row["degradations"] = std::move(warns);
+      }
       row["levels"] = levels;
       row["max_wave_width"] = maxWave;
+      // Static placement shape for the REQUESTED width (host-independent):
+      // super-step count vs levelization depth, cut fraction, load balance.
+      row["placement"] = core::placementReportJson(placement);
       row["seconds"] = best[i];
       row["speedup_vs_serial"] = speedup;
-      // Full per-thread fractions + per-level wave stats from the traced rep
-      // (obs::TraceSummary::toJson schema; see docs/OBSERVABILITY.md).
+      // Full per-thread fractions + per-super-step stats from the traced
+      // rep (obs::TraceSummary::toJson schema; see docs/OBSERVABILITY.md).
+      // `parallel.truncated` flags a wrapped ring explicitly.
       row["parallel"] = attribution.toJson();
       report.addRow(std::move(row));
     }
   }
 
-  std::printf("\nexpected shape (multi-core host): counterbanks near-flat (waves too\n"
-              "narrow to fork — serial path retained); systolic improving with threads\n"
-              "until wave width / barrier cost saturates; tinysoc in between.\n");
+  std::printf("\nexpected shape (multi-core host): counterbanks near-flat (low activity —\n"
+              "the serial cutoff keeps those cycles barrier-free); systolic improving with\n"
+              "threads until cut-edge/barrier cost saturates; tinysoc in between.\n");
   return 0;
 }

@@ -18,6 +18,7 @@
 #include <limits>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -72,23 +73,28 @@ struct BenchEnv {
 };
 
 // CCSS engine honoring the thread knob: the serial ActivityEngine at 1
-// thread (the untouched hot path), the wave-parallel engine above. Both
+// thread (the untouched hot path), the statically-placed BSP engine above —
+// through the degradation-aware core factory, so a request beyond the host's
+// concurrency or the placement's useful width is clamped rather than timed
+// as if it had real lanes. Degradations land in `warnings` (when non-null);
+// benches record the post-degradation engine->threadCount() per row so
+// artifacts from narrow hosts are honest about what actually ran. Both
 // paths go through the shared compiled structure (CompiledCcss), matching
 // how sim::makeEngine and core::SimFarm construct engines.
-inline std::unique_ptr<core::ActivityEngine> makeCcssEngine(const sim::SimIR& ir,
-                                                            const core::ScheduleOptions& opts,
-                                                            unsigned threads) {
+inline std::unique_ptr<core::ActivityEngine> makeCcssEngine(
+    const sim::SimIR& ir, const core::ScheduleOptions& opts, unsigned threads,
+    std::vector<std::string>* warnings = nullptr) {
   auto cc = core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), opts);
   if (threads <= 1) return std::make_unique<core::ActivityEngine>(std::move(cc));
-  return std::make_unique<core::ParallelActivityEngine>(std::move(cc), threads);
+  return core::makeCcssEngine(std::move(cc), threads, warnings);
 }
 
-inline std::unique_ptr<core::ActivityEngine> makeCcssEngine(const sim::SimIR& ir,
-                                                            core::CondPartSchedule schedule,
-                                                            unsigned threads) {
+inline std::unique_ptr<core::ActivityEngine> makeCcssEngine(
+    const sim::SimIR& ir, core::CondPartSchedule schedule, unsigned threads,
+    std::vector<std::string>* warnings = nullptr) {
   auto cc = core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), std::move(schedule));
   if (threads <= 1) return std::make_unique<core::ActivityEngine>(std::move(cc));
-  return std::make_unique<core::ParallelActivityEngine>(std::move(cc), threads);
+  return core::makeCcssEngine(std::move(cc), threads, warnings);
 }
 
 // Interleaved A/B(/C/...) repetition timing: candidates run round-robin
@@ -182,9 +188,13 @@ class JsonReporter {
     doc_["schema_version"] = 1;
     doc_["meta"] = obs::Json::object();
     // Pinning knobs in the header makes every artifact reproducible from
-    // its own contents (reps/threads + the env they came from).
+    // its own contents (reps/threads + the env they came from), and
+    // hardware_concurrency makes degraded multi-thread rows interpretable:
+    // a 1-core container clamps every parallel engine to serial, and the
+    // artifact must say so rather than present fake scaling.
     doc_["meta"]["reps"] = env_.reps;
     doc_["meta"]["threads"] = env_.threads;
+    doc_["meta"]["hardware_concurrency"] = std::thread::hardware_concurrency();
     doc_["rows"] = obs::Json::array();
   }
 

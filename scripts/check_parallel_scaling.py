@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Gate the parallel-scaling bench against its committed artifact.
+
+Usage: check_parallel_scaling.py BASELINE.json FRESH.json [--tolerance 0.9]
+
+Compares the fresh BENCH_parallel_scaling.json row-by-row (keyed by
+design + requested threads) against the committed baseline and fails when
+any row's speedup_vs_serial drops below baseline * tolerance — the
+regression guard for the static-placement engine's barrier cost. Also
+enforces the artifact's honesty contract: a row whose traced rep dropped
+events must say so through parallel.truncated, and every row must record
+the post-degradation effective thread count.
+
+Rows present in only one artifact are reported but do not fail the check
+(the bench's case list may legitimately grow); a fresh artifact with NO
+matching rows fails, since then nothing was actually compared.
+"""
+import argparse
+import json
+import sys
+
+
+def rows_by_key(doc):
+    return {(r["design"], r["threads"]): r for r in doc["rows"]}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--tolerance", type=float, default=0.9,
+                    help="fresh speedup must be >= baseline * tolerance (default 0.9)")
+    ap.add_argument("--degraded-tolerance", type=float, default=0.75,
+                    help="tolerance for rows whose engine degraded to one "
+                         "effective thread: serial-vs-serial timing carries no "
+                         "scaling signal, only noise, so the gate is wider "
+                         "(default 0.75)")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base = rows_by_key(json.load(f))
+    with open(args.fresh) as f:
+        fresh_doc = json.load(f)
+    fresh = rows_by_key(fresh_doc)
+
+    hw = fresh_doc.get("meta", {}).get("hardware_concurrency")
+    print(f"fresh artifact: {len(fresh)} rows, hardware_concurrency={hw}")
+
+    failures = []
+    compared = 0
+    for key in sorted(base):
+        design, threads = key
+        if key not in fresh:
+            print(f"NOTE  {design} t={threads}: row missing from fresh artifact")
+            continue
+        b, f = base[key], fresh[key]
+        compared += 1
+        degraded = threads > 1 and f.get("effective_threads", 0) <= 1
+        tol = args.degraded_tolerance if degraded else args.tolerance
+        floor = b["speedup_vs_serial"] * tol
+        status = "ok(deg)" if degraded else "ok"
+        if f["speedup_vs_serial"] < floor:
+            status = "REGRESSED"
+            failures.append(
+                f"{design} t={threads}: speedup {f['speedup_vs_serial']:.3f} "
+                f"< floor {floor:.3f} (baseline {b['speedup_vs_serial']:.3f})")
+        if "effective_threads" not in f:
+            failures.append(f"{design} t={threads}: missing effective_threads")
+        par = f.get("parallel", {})
+        if par.get("dropped_events", 0) > 0 and not par.get("truncated", False):
+            failures.append(
+                f"{design} t={threads}: dropped {par['dropped_events']} trace "
+                f"events without setting parallel.truncated")
+        print(f"{status:9s} {design:14s} t={threads} eff={f.get('effective_threads')} "
+              f"steps={f.get('placement', {}).get('super_steps')} "
+              f"speedup {f['speedup_vs_serial']:.3f} (floor {floor:.3f}) "
+              f"dropped={par.get('dropped_events')} truncated={par.get('truncated')}")
+
+    for key in sorted(set(fresh) - set(base)):
+        print(f"NOTE  {key[0]} t={key[1]}: new row, no baseline")
+
+    if compared == 0:
+        failures.append("no rows in common with the baseline — nothing compared")
+    if failures:
+        print("\nFAIL:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"\nOK: {compared} rows within tolerance {args.tolerance}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

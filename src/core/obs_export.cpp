@@ -56,6 +56,25 @@ obs::Json scheduleSummaryJson(const CondPartSchedule& sched) {
   return j;
 }
 
+obs::Json placementReportJson(const BspPlacement& placement) {
+  obs::Json j = obs::Json::object();
+  j["threads"] = placement.threads;
+  j["partitions"] = placement.threadOf.size();
+  j["super_steps"] = placement.numSteps();
+  j["levels"] = placement.levels;
+  j["total_edges"] = placement.totalEdges;
+  j["cross_edges"] = placement.crossEdges;
+  j["cut_frac"] = placement.totalEdges > 0
+                      ? static_cast<double>(placement.crossEdges) /
+                            static_cast<double>(placement.totalEdges)
+                      : 0.0;
+  j["load_imbalance"] = placement.loadImbalance;
+  obs::Json costs = obs::Json::array();
+  for (uint64_t c : placement.threadCost) costs.push(c);
+  j["thread_cost"] = std::move(costs);
+  return j;
+}
+
 obs::Json engineStatsJson(const sim::EngineStats& stats) {
   obs::Json j = obs::Json::object();
   j["cycles"] = stats.cycles;

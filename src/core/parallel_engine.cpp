@@ -1,5 +1,6 @@
 #include "core/parallel_engine.h"
 
+#include <algorithm>
 #include <system_error>
 #include <thread>
 
@@ -11,15 +12,41 @@ namespace essent::core {
 using sim::MemInfo;
 using sim::RegInfo;
 
+namespace {
+
+// Pool width: the requested count clamped to the placement's useful width —
+// a lane with no partitions would only add barrier arrivals.
+unsigned usefulWidth(const CondPartSchedule& sched, unsigned threads) {
+  unsigned req = threads == 0 ? support::ThreadPool::defaultThreadCount() : threads;
+  size_t parts = sched.numPartitions();
+  if (parts == 0) return 1;
+  if (static_cast<size_t>(req) > parts) req = static_cast<unsigned>(parts);
+  return std::max(1u, req);
+}
+
+}  // namespace
+
 ParallelActivityEngine::ParallelActivityEngine(std::shared_ptr<const CompiledCcss> ccss,
                                                unsigned threads)
     : ActivityEngine(std::move(ccss)),
-      pool_(threads == 0 ? support::ThreadPool::defaultThreadCount() : threads),
+      pool_(usefulWidth(sched_, threads)),
       lane_(pool_.numThreads()),
-      sweepFn_([this](unsigned lane) { sweepWave(lane); }),
-      // Below ~4 partitions per lane the fork/join handoff dominates the
-      // flag checks it distributes.
-      minForkWidth_(static_cast<size_t>(pool_.numThreads()) * 4) {}
+      stepFn_([this](unsigned lane, size_t step) { runStep(lane, step); }),
+      // First cycle activates everything, so start on the pooled path.
+      lastActivations_(sched_.parts.size()),
+      // Below ~4 active partitions per lane the fork handoff dominates the
+      // work it distributes — those cycles run inline (the low-activity
+      // regime the whole engine exists to win).
+      serialCutoff_(static_cast<uint64_t>(pool_.numThreads()) * 4) {
+  // Built here rather than in the initializer list so a degraded pool
+  // (worker spawn failure) places onto the lanes that actually exist.
+  PlacementOptions popts;
+  popts.threads = pool_.numThreads();
+  placement_ = buildPlacement(sched_, popts);
+  const size_t T = placement_.threads;
+  mailbox_[0].assign(T * T, {});
+  mailbox_[1].assign(T * T, {});
+}
 
 ParallelActivityEngine::ParallelActivityEngine(const sim::SimIR& ir, CondPartSchedule schedule,
                                                unsigned threads)
@@ -32,23 +59,36 @@ ParallelActivityEngine::ParallelActivityEngine(const sim::SimIR& ir, const Sched
     : ParallelActivityEngine(
           CompiledCcss::compile(sim::CompiledDesign::compile(ir), opts), threads) {}
 
-void ParallelActivityEngine::wakeOnLane(const std::vector<int32_t>& parts, LaneCounters& lc) {
-  // Idempotent set-to-1: concurrent setters of the same flag race only with
-  // each other, and all write the same value with no read-modify-write.
-  for (int32_t p : parts)
-    std::atomic_ref<uint8_t>(active_[static_cast<size_t>(p)]).store(1, std::memory_order_relaxed);
+void ParallelActivityEngine::wakeOnLane(const std::vector<int32_t>& parts, unsigned lane,
+                                        std::vector<int32_t>* outbox, LaneCounters& lc) {
+  // Plain stores only: a flag is written by its owning lane (drain, clear,
+  // same-thread wake) or by the calling thread outside the fork. Wakes to
+  // another lane's partition travel through that lane's mailbox instead of
+  // touching the flag.
+  for (int32_t p : parts) {
+    const size_t pos = static_cast<size_t>(p);
+    const unsigned owner = static_cast<unsigned>(placement_.threadOf[pos]);
+    if (outbox == nullptr || owner == lane)
+      active_[pos] = 1;
+    else
+      outbox[owner].push_back(p);
+  }
   lc.triggerSets += parts.size();
 }
 
-void ParallelActivityEngine::applyRegWriteOnLane(const SchedRegWrite& rw, LaneCounters& lc) {
+void ParallelActivityEngine::applyRegWriteOnLane(const SchedRegWrite& rw, unsigned lane,
+                                                 std::vector<int32_t>* outbox,
+                                                 LaneCounters& lc) {
   const RegInfo& r = ir_->regs[static_cast<size_t>(rw.regIdx)];
   lc.outputComparisons++;
   if (sigValsEqual(r.sig, r.next)) return;
   copySigWords(r.sig, r.next);
-  wakeOnLane(rw.wakeParts, lc);
+  wakeOnLane(rw.wakeParts, lane, outbox, lc);
 }
 
-void ParallelActivityEngine::applyMemWriteOnLane(const SchedMemWrite& mw, LaneCounters& lc) {
+void ParallelActivityEngine::applyMemWriteOnLane(const SchedMemWrite& mw, unsigned lane,
+                                                 std::vector<int32_t>* outbox,
+                                                 LaneCounters& lc) {
   const MemInfo& mem = ir_->mems[static_cast<size_t>(mw.memIdx)];
   const sim::MemWriter& w = mem.writers[static_cast<size_t>(mw.writerIdx)];
   if (state_.vals[layout_.offset[w.en]] == 0) return;
@@ -66,10 +106,12 @@ void ParallelActivityEngine::applyMemWriteOnLane(const SchedMemWrite& mw, LaneCo
       changed = true;
     }
   }
-  if (changed) wakeOnLane(mw.wakeParts, lc);
+  if (changed) wakeOnLane(mw.wakeParts, lane, outbox, lc);
 }
 
-void ParallelActivityEngine::runPartitionOnLane(size_t pos, LaneCounters& lc) {
+void ParallelActivityEngine::runPartitionOnLane(size_t pos, unsigned lane,
+                                                std::vector<int32_t>* outbox,
+                                                LaneCounters& lc) {
   obs::TraceSpan span("part", obs::TraceCat::None, obs::TraceDetail::Partition,
                       "part", pos);
   const CondPart& part = sched_.parts[pos];
@@ -106,8 +148,8 @@ void ParallelActivityEngine::runPartitionOnLane(size_t pos, LaneCounters& lc) {
   }
   lc.opsEvaluated += part.ops.size();
 
-  for (const auto& rw : part.regWrites) applyRegWriteOnLane(rw, lc);
-  for (const auto& mw : part.memWrites) applyMemWriteOnLane(mw, lc);
+  for (const auto& rw : part.regWrites) applyRegWriteOnLane(rw, lane, outbox, lc);
+  for (const auto& mw : part.memWrites) applyMemWriteOnLane(mw, lane, outbox, lc);
 
   for (size_t oi = 0; oi < part.outputs.size(); oi++) {
     const PartOutput& o = part.outputs[oi];
@@ -117,11 +159,11 @@ void ParallelActivityEngine::runPartitionOnLane(size_t pos, LaneCounters& lc) {
     for (uint32_t i = 0; i < layout_.nwords[o.sig]; i++)
       diff |= outputSave_[so + i] ^ state_.vals[vo + i];
     lc.outputComparisons++;
-    if (diff != 0) wakeOnLane(o.consumers, lc);
+    if (diff != 0) wakeOnLane(o.consumers, lane, outbox, lc);
   }
 
   if (profiling_) {
-    // prof_.parts[pos] is touched only by the lane that claimed pos.
+    // prof_.parts[pos] is touched only by the lane that owns pos.
     PartitionProfile& pp = prof_.parts[pos];
     pp.activations++;
     pp.opsEvaluated += part.ops.size();
@@ -129,22 +171,55 @@ void ParallelActivityEngine::runPartitionOnLane(size_t pos, LaneCounters& lc) {
   }
 }
 
-void ParallelActivityEngine::sweepWave(unsigned lane) {
-  // Per-lane wave span: TraceCat::None because the enclosing pool.work span
-  // already owns this interval's Busy attribution. The level arg feeds the
-  // per-level imbalance report.
-  obs::TraceSpan span("wave", obs::TraceCat::None, obs::TraceDetail::Wave,
-                      "level", waveLevel_);
+void ParallelActivityEngine::runStep(unsigned lane, size_t step) {
+  const size_t T = placement_.threads;
+  const size_t parity = step & 1;
   LaneCounters& lc = lane_[lane];
-  const std::vector<int32_t>& wave = *wave_;
-  for (;;) {
-    size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
-    if (i >= wave.size()) return;
-    size_t pos = static_cast<size_t>(wave[i]);
-    std::atomic_ref<uint8_t> flag(active_[pos]);
-    if (flag.load(std::memory_order_relaxed) == 0) continue;
-    flag.store(0, std::memory_order_relaxed);  // deactivate-first, as serial
-    runPartitionOnLane(pos, lc);
+
+  // Drain phase: wakes posted to this lane during the previous super-step
+  // (the inter-step barrier separates the writers' pushes from this read).
+  std::vector<int32_t>* inbox = mailbox_[parity].data();
+  for (size_t src = 0; src < T; src++) {
+    std::vector<int32_t>& box = inbox[src * T + lane];
+    if (box.empty()) continue;
+    for (int32_t p : box) active_[static_cast<size_t>(p)] = 1;
+    box.clear();
+  }
+
+  // Run phase: this lane's positions for this step, ascending schedule
+  // order (a topological order of the same-thread dependency edges).
+  std::vector<int32_t>* outbox = mailbox_[parity ^ 1].data() + lane * T;
+  for (int32_t p : placement_.steps[step].runs[lane]) {
+    const size_t pos = static_cast<size_t>(p);
+    if (!active_[pos]) continue;
+    active_[pos] = 0;  // deactivate-first, as serial
+    runPartitionOnLane(pos, lane, outbox, lc);
+  }
+}
+
+void ParallelActivityEngine::serialSweep() {
+  // Identical to the serial engine's partition sweep; outbox == nullptr
+  // routes every wake straight to the flag.
+  LaneCounters& lc = lane_[0];
+  const size_t n = sched_.parts.size();
+  for (size_t pos = 0; pos < n; pos++) {
+    if (!active_[pos]) continue;
+    active_[pos] = 0;
+    runPartitionOnLane(pos, 0, nullptr, lc);
+  }
+}
+
+void ParallelActivityEngine::drainFinalMailboxes() {
+  // Wakes posted during the final super-step target positions whose step
+  // already passed; setting their flags now (caller-owned time, published
+  // by the join) makes them effective next cycle, as in the serial engine.
+  // Only the final step's write parity can be nonempty; clearing both keeps
+  // the empty-between-cycles invariant local.
+  for (auto& boxes : mailbox_) {
+    for (auto& box : boxes) {
+      for (int32_t p : box) active_[static_cast<size_t>(p)] = 1;
+      box.clear();
+    }
   }
 }
 
@@ -174,67 +249,58 @@ void ParallelActivityEngine::tick() {
     sweepInputs();
   }
 
-  // 2. Partition sweep, one fork/join per levelization wave. Narrow waves
-  //    (including every wave when the pool has one lane) run inline.
+  // 2. Partition sweep: one fork for ALL super-steps — or no fork at all
+  //    when the previous cycle's activity predicts too little work to
+  //    distribute.
   stats_.partitionChecks += sched_.parts.size();
   const uint64_t activationsBefore = stats_.partitionActivations;
-  uint64_t activeAccum = 0, skippedAccum = 0;
-  size_t level = 0;
-  for (const auto& wave : sched_.waves) {
-    uint64_t waveActivations = 0;
-    if (ts) {
-      for (const LaneCounters& lc : lane_) waveActivations -= lc.activations;
-    }
-    if (wave.size() < minForkWidth_ || pool_.numThreads() == 1) {
-      obs::TraceSpan span("wave", seqCat, obs::TraceDetail::Wave, "level", level);
-      LaneCounters& lc = lane_[0];
-      for (int32_t p : wave) {
-        size_t pos = static_cast<size_t>(p);
-        if (!active_[pos]) continue;
-        active_[pos] = 0;
-        runPartitionOnLane(pos, lc);
-      }
-    } else {
-      wave_ = &wave;
-      waveLevel_ = level;
-      cursor_.store(0, std::memory_order_relaxed);
-      pool_.run(sweepFn_);
-    }
-    if (ts) {
-      // Counter tracks: partitions evaluated vs skipped, cumulative across
-      // the run so the Perfetto track shows activity-factor slope.
-      for (const LaneCounters& lc : lane_) waveActivations += lc.activations;
-      activeAccum += waveActivations;
-      skippedAccum += wave.size() - waveActivations;
-      ts->counter("parts_active", stats_.partitionActivations + activeAccum);
-      ts->counter("parts_skipped", partsSkippedBase_ + skippedAccum);
-    }
-    level++;
+  const size_t numSteps = placement_.numSteps();
+  const bool inlineSweep = pool_.numThreads() == 1 || numSteps == 0 ||
+                           (serialCutoff_ > 0 && lastActivations_ <= serialCutoff_);
+  if (inlineSweep) {
+    obs::TraceSpan span("sweep.serial", seqCat, obs::TraceDetail::Wave);
+    serialSweep();
+  } else {
+    pool_.runSteps(numSteps, stepFn_);
+    drainFinalMailboxes();
   }
-  partsSkippedBase_ += skippedAccum;
+  mergeLaneCounters();
+  const uint64_t activations = stats_.partitionActivations - activationsBefore;
+  lastActivations_ = activations;
+  if (ts) {
+    // Counter tracks: partitions evaluated vs skipped, cumulative across
+    // the run so the Perfetto track shows activity-factor slope.
+    partsSkippedBase_ += sched_.parts.size() - activations;
+    ts->counter("parts_active", stats_.partitionActivations);
+    ts->counter("parts_skipped", partsSkippedBase_);
+  }
 
   {
     obs::TraceSpan post("tick.post", seqCat, obs::TraceDetail::Wave);
-    mergeLaneCounters();
-    if (profiling_) recordProfiledCycle(stats_.partitionActivations - activationsBefore);
-
+    if (profiling_) recordProfiledCycle(activations);
     finishCycle();
   }
 }
 
-std::unique_ptr<ActivityEngine> makeCcssEngine(
-    std::shared_ptr<const sim::CompiledDesign> design, const ScheduleOptions& opts,
-    unsigned threads, std::vector<std::string>* warnings) {
+std::unique_ptr<ActivityEngine> makeCcssEngine(std::shared_ptr<const CompiledCcss> ccss,
+                                               unsigned threads,
+                                               std::vector<std::string>* warnings) {
   auto warn = [&](const std::string& msg) {
     if (warnings) warnings->push_back(msg);
   };
-  std::shared_ptr<const CompiledCcss> ccss = CompiledCcss::get(design, opts);
   unsigned requested = threads == 0 ? support::ThreadPool::defaultThreadCount() : threads;
   unsigned hw = std::thread::hardware_concurrency();
   if (hw > 0 && requested > hw) {
     warn("requested " + std::to_string(requested) + " threads exceeds hardware concurrency (" +
          std::to_string(hw) + "); clamping");
     requested = hw;
+  }
+  const size_t parts = ccss->body->sched.numPartitions();
+  if (parts > 0 && static_cast<size_t>(requested) > parts) {
+    warn("requested " + std::to_string(requested) +
+         " threads exceeds the placement's useful width (" + std::to_string(parts) +
+         " partitions); clamping");
+    requested = static_cast<unsigned>(parts);
   }
   if (requested <= 1) return std::make_unique<ActivityEngine>(std::move(ccss));
   try {
@@ -253,6 +319,12 @@ std::unique_ptr<ActivityEngine> makeCcssEngine(
          "); falling back to serial CCSS engine");
     return std::make_unique<ActivityEngine>(std::move(ccss));
   }
+}
+
+std::unique_ptr<ActivityEngine> makeCcssEngine(
+    std::shared_ptr<const sim::CompiledDesign> design, const ScheduleOptions& opts,
+    unsigned threads, std::vector<std::string>* warnings) {
+  return makeCcssEngine(CompiledCcss::get(design, opts), threads, warnings);
 }
 
 std::unique_ptr<ActivityEngine> makeCcssEngine(const sim::SimIR& ir,

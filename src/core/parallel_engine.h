@@ -1,37 +1,54 @@
-// Level-synchronous parallel CCSS activity engine.
+// Statically-placed bulk-synchronous parallel CCSS activity engine.
 //
-// The Singular/Static properties make the ordered partition graph acyclic
-// with a schedule fixed at compile time, so partitions at the same
-// levelization depth (CondPartSchedule::waves) are mutually independent
-// within a cycle: their op outputs are disjoint by construction, every
-// value they read was produced in an earlier wave (combinational edges) or
-// an earlier cycle (state), and every elided state update is ordered after
-// all of its cross-partition readers by the elision ordering edges. The
-// engine therefore evaluates each wave's active partitions across a
-// persistent thread-pool fork/join, with sequential phases around the
-// sweep, and stays bit-exact with the serial ActivityEngine — including
-// every EngineStats counter and the per-partition profile.
+// The previous wave-parallel engine forked and joined the pool once per
+// levelization level — 2 x levels barrier crossings per cycle (67-77 levels
+// on the SoC designs), which erased the paper's activity savings at every
+// thread count. This engine moves the scheduling decision to compile time:
+// a BspPlacement (core/placement.h) pins every partition to one worker
+// thread and coarsens the levels into a handful of super-steps, so a cycle
+// costs ONE pool fork, (super-steps - 1) in-fork counting barriers, and one
+// join — regardless of how many levels the schedule has.
 //
-// Memory-ordering argument (docs/PARALLEL.md has the long form):
-//   * partition evaluation writes are plain; the pool's fork/join barrier
-//     publishes them between waves (release on join, acquire on fork);
-//   * wake flags are relaxed std::atomic_ref<uint8_t> stores of 1 —
-//     idempotent, no read-modify-write — racing only with other setters of
-//     the same flag in the same wave, never with the flag's own
-//     test-and-clear (combinational wakes target strictly later waves,
-//     state wakes strictly earlier ones, whose sweep already finished);
-//   * work counters accumulate into per-lane cache-line-padded slots and
-//     merge sequentially at the end of the sweep, so profiling sum checks
-//     hold exactly as in the serial engine.
+// Execution model per cycle:
+//   * input sweep (sequential, as serial);
+//   * if the previous cycle activated fewer partitions than the serial
+//     cutoff, the whole sweep runs inline on the calling thread in schedule
+//     order — exactly the serial engine's loop, so low-activity cycles (the
+//     paper's common case) never pay the fork;
+//   * otherwise ThreadPool::runSteps runs the placement: in super-step s,
+//     lane t first drains its wake mailboxes (cross-thread wakes posted in
+//     step s-1, barrier-separated), then runs its positions in ascending
+//     schedule order, testing-and-clearing wake flags;
+//   * sequential finish (side effects + non-elided state), as serial.
+//
+// Race-freedom is by OWNERSHIP, not atomics: a partition's wake flag is
+// written only by its owning lane inside the fork (drains set it, the run
+// loop clears it, same-thread wakes store it) and only by the calling
+// thread outside the fork (input/state wakes between cycles) — publication
+// in both directions rides the pool's epoch handoff and join. Cross-thread
+// wakes go through per-(src,dst) mailbox vectors double-buffered by
+// super-step parity: src pushes during step s into the parity-(s+1) box,
+// dst drains it at step s+1, and the inter-step barrier orders the two, so
+// every access to every byte is data-race-free with PLAIN loads and stores
+// (the tsan suite runs this engine as its oracle). Wakes posted in the
+// final step are drained by the caller after the join; they target
+// positions whose step already passed, so like the serial engine's state
+// wakes they take effect next cycle.
+//
+// EngineStats stay serial-identical: counters accumulate into per-lane
+// cache-line-padded slots merged after the sweep, triggerSets counts wake
+// targets (not mailbox hops), and the placement's edge rules (cross-thread
+// dependency edge => strictly earlier super-step; same-thread => earlier
+// position) reproduce the serial activation set exactly.
 #pragma once
 
-#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/activity_engine.h"
+#include "core/placement.h"
 #include "support/threadpool.h"
 
 namespace essent::core {
@@ -39,7 +56,8 @@ namespace essent::core {
 class ParallelActivityEngine : public ActivityEngine {
  public:
   // Shares a previously compiled schedule; `threads` == 0 resolves to
-  // ThreadPool::defaultThreadCount().
+  // ThreadPool::defaultThreadCount(). The effective width is clamped to
+  // the placement's useful width (never more lanes than partitions).
   ParallelActivityEngine(std::shared_ptr<const CompiledCcss> ccss, unsigned threads);
 
   // Deprecated thin wrappers (see docs/API.md): compile a private snapshot
@@ -51,6 +69,15 @@ class ParallelActivityEngine : public ActivityEngine {
   const char* name() const override { return "essent-ccss-par"; }
   unsigned threadCount() const override { return pool_.numThreads(); }
 
+  // The static placement this engine executes (exported in --stats-json).
+  const BspPlacement& placement() const { return placement_; }
+
+  // Cycles whose previous activation count is <= this run inline on the
+  // calling thread. Defaults to 4 x lanes; 0 forces the pooled path on
+  // every cycle (tests use this to exercise the BSP machinery).
+  void setSerialCutoff(uint64_t parts) { serialCutoff_ = parts; }
+  uint64_t serialCutoff() const { return serialCutoff_; }
+
  private:
   // Per-lane counter slab, padded to a cache line to avoid false sharing.
   struct alignas(64) LaneCounters {
@@ -60,36 +87,46 @@ class ParallelActivityEngine : public ActivityEngine {
     uint64_t triggerSets = 0;
   };
 
-  void sweepWave(unsigned lane);
-  void runPartitionOnLane(size_t pos, LaneCounters& lc);
-  void applyRegWriteOnLane(const SchedRegWrite& rw, LaneCounters& lc);
-  void applyMemWriteOnLane(const SchedMemWrite& mw, LaneCounters& lc);
-  void wakeOnLane(const std::vector<int32_t>& parts, LaneCounters& lc);
+  void runStep(unsigned lane, size_t step);
+  void serialSweep();
+  void runPartitionOnLane(size_t pos, unsigned lane, std::vector<int32_t>* outbox,
+                          LaneCounters& lc);
+  void applyRegWriteOnLane(const SchedRegWrite& rw, unsigned lane,
+                           std::vector<int32_t>* outbox, LaneCounters& lc);
+  void applyMemWriteOnLane(const SchedMemWrite& mw, unsigned lane,
+                           std::vector<int32_t>* outbox, LaneCounters& lc);
+  void wakeOnLane(const std::vector<int32_t>& parts, unsigned lane,
+                  std::vector<int32_t>* outbox, LaneCounters& lc);
   void mergeLaneCounters();
+  // After the join: flags for wakes posted during the final super-step
+  // (caller-owned time; everything is published by the join).
+  void drainFinalMailboxes();
 
+  // Declared before pool_ so the pool width can clamp to the useful width;
+  // rebuilt in the ctor body if worker spawning degraded the pool.
+  BspPlacement placement_;
   support::ThreadPool pool_;
   std::vector<LaneCounters> lane_;
-  std::function<void(unsigned)> sweepFn_;
-  const std::vector<int32_t>* wave_ = nullptr;
-  // Levelization depth of wave_, for per-lane trace spans; written before
-  // the fork (published like wave_ by the pool's epoch handoff).
-  size_t waveLevel_ = 0;
+  std::function<void(unsigned, size_t)> stepFn_;
+  // Cross-thread wake mailboxes: mailbox_[parity][src * threads + dst] is
+  // pushed only by lane src and drained only by lane dst, parities
+  // alternating per super-step (see file header).
+  std::vector<std::vector<int32_t>> mailbox_[2];
+  uint64_t lastActivations_;
+  uint64_t serialCutoff_;
   // Cumulative skipped-partition count feeding the parts_skipped trace
   // counter track (only advanced while a trace session is recording).
   uint64_t partsSkippedBase_ = 0;
-  std::atomic<size_t> cursor_{0};
-  // Waves narrower than this run inline on the calling thread: forking
-  // costs more than sweeping a handful of flags.
-  size_t minForkWidth_;
 };
 
 // Builds a CCSS engine for `threads` lanes (0 = default count) with
 // graceful degradation instead of hard failure: a request beyond the
-// hardware concurrency is clamped, and when worker threads cannot be
-// created (OS limits) the engine falls back to fewer lanes or to the
-// serial ActivityEngine. Every degradation appends a human-readable
-// message to `warnings` (when non-null) — callers surface them as W06xx
-// diagnostics. The returned engine is always usable.
+// hardware concurrency or beyond the placement's useful width (one lane
+// per partition) is clamped, and when worker threads cannot be created
+// (OS limits) the engine falls back to fewer lanes or to the serial
+// ActivityEngine. Every degradation appends a human-readable message to
+// `warnings` (when non-null) — callers surface them as W06xx diagnostics.
+// The returned engine is always usable.
 std::unique_ptr<ActivityEngine> makeCcssEngine(const sim::SimIR& ir,
                                                const ScheduleOptions& opts,
                                                unsigned threads,
@@ -101,5 +138,11 @@ std::unique_ptr<ActivityEngine> makeCcssEngine(const sim::SimIR& ir,
 std::unique_ptr<ActivityEngine> makeCcssEngine(
     std::shared_ptr<const sim::CompiledDesign> design, const ScheduleOptions& opts,
     unsigned threads, std::vector<std::string>* warnings = nullptr);
+
+// Same degradation contract over an already-compiled schedule (bench rows
+// share one schedule across thread counts through this).
+std::unique_ptr<ActivityEngine> makeCcssEngine(std::shared_ptr<const CompiledCcss> ccss,
+                                               unsigned threads,
+                                               std::vector<std::string>* warnings = nullptr);
 
 }  // namespace essent::core

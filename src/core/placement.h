@@ -1,0 +1,81 @@
+// Static bulk-synchronous partition placement (Manticore-style, PAPERS.md).
+//
+// The wave-parallel engine paid 2 x levels barrier crossings per cycle
+// (67-77 levels on tinysoc/systolic) because it synchronized at every
+// levelization depth. This module moves all of that to compile time: it
+// assigns every schedule position to a worker thread once (load-balanced by
+// estimated or profiled cost, with dependency chains kept on one thread so
+// cut edges are minimized) and then coarsens the levels into the minimum
+// number of BSP *super-steps* the placement admits — a dependency edge that
+// stays on one thread costs nothing (local program order covers it), only a
+// cross-thread edge forces a barrier between its endpoints.
+//
+// Execution contract (enforced by the engine, verified by tests/test_placement):
+//   * within a super-step each thread runs its assigned positions in
+//     ascending schedule order (a valid topological order);
+//   * a barrier separates consecutive super-steps;
+//   * therefore for every dependency edge u -> v of the ordered partition
+//     graph (combinational producer->consumer, elision ordering
+//     reader->writer, same-memory elided-writer hazard chains):
+//       - thread(u) != thread(v)  =>  step(u) <  step(v)   (barrier between)
+//       - thread(u) == thread(v)  =>  step(u) <= step(v)   (local order)
+// Those two rules are exactly what made the wave model race-free, so the
+// BSP engine inherits the serial-identical EngineStats invariant: the same
+// partitions activate, in an order indistinguishable from serial.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/schedule.h"
+
+namespace essent::core {
+
+struct PlacementOptions {
+  // Worker threads to place onto; clamped to [1, numPartitions]. The
+  // placement guarantees every returned thread has at least one partition
+  // (its `threads` field is the *useful* width — callers clamp pools to it).
+  unsigned threads = 1;
+  // Optional per-schedule-position cost estimate (e.g. profiled
+  // activations x ops). Empty = static estimate (op count).
+  std::vector<uint64_t> partCost;
+  // A chain (critical-path cluster) may grow to the ideal per-thread load
+  // times (1 + slack) before the placer splits it for balance; each split
+  // costs one cross-thread edge instead of fragmenting the whole chain.
+  double balanceSlack = 0.20;
+};
+
+// One BSP super-step: per-thread run lists (schedule positions, ascending).
+struct SuperStep {
+  std::vector<std::vector<int32_t>> runs;  // [thread] -> positions
+};
+
+struct BspPlacement {
+  unsigned threads = 1;               // useful width (every thread nonempty)
+  std::vector<int32_t> threadOf;      // schedule position -> thread
+  std::vector<int32_t> stepOf;        // schedule position -> super-step
+  std::vector<SuperStep> steps;
+
+  // Reporting (exported by core::placementReportJson).
+  size_t totalEdges = 0;              // dependency edges considered
+  size_t crossEdges = 0;              // edges crossing threads
+  uint64_t totalCost = 0;
+  std::vector<uint64_t> threadCost;   // per-thread summed cost
+  double loadImbalance = 1.0;         // max(threadCost) / mean(threadCost)
+  size_t levels = 0;                  // levelization depth it coarsened from
+
+  size_t numSteps() const { return steps.size(); }
+};
+
+// Places `sched` onto opts.threads workers. Deterministic: same schedule and
+// options yield the same placement on every call (no RNG, no timing).
+BspPlacement buildPlacement(const CondPartSchedule& sched, const PlacementOptions& opts);
+
+// The dependency edges the placement must respect, as (from, to) schedule
+// positions — combinational output->consumer edges, elision ordering
+// reader->writer edges, and same-memory elided-writer hazard chains.
+// Deduplicated and sorted. Exposed so tests and tools can verify the
+// super-step contract against the real edge set.
+std::vector<std::pair<int32_t, int32_t>> placementEdges(const CondPartSchedule& sched);
+
+}  // namespace essent::core

@@ -268,7 +268,7 @@ TraceSummary TraceSession::summary() const {
     for (const TraceEvent& ev : ts.events) last = std::max(last, ev.tsNs + ev.durNs);
     s.windowNs = std::max(s.windowNs, last);
   }
-  std::map<uint64_t, TraceLevelStats> levels;
+  std::map<uint64_t, TraceStepStats> steps;
   for (const ThreadSnapshot& ts : snaps) {
     TraceThreadSummary t;
     t.tid = ts.tid;
@@ -290,18 +290,19 @@ TraceSummary TraceSession::summary() const {
     s.threads.push_back(std::move(t));
 
     for (const TraceEvent& ev : ts.events) {
-      if (ev.ph != 'X' || std::strcmp(ev.name, "wave") != 0) continue;
-      TraceLevelStats& ls = levels[ev.value];
-      ls.level = ev.value;
+      if (ev.ph != 'X' || std::strcmp(ev.name, "pool.step") != 0) continue;
+      TraceStepStats& ls = steps[ev.value];
+      ls.step = ev.value;
       ls.spans++;
       ls.sumNs += ev.durNs;
       ls.maxNs = std::max(ls.maxNs, ev.durNs);
     }
   }
-  for (auto& [lvl, ls] : levels) {
+  s.truncated = s.dropped > 0;
+  for (auto& [step, ls] : steps) {
     ls.meanNs = ls.spans ? static_cast<double>(ls.sumNs) / static_cast<double>(ls.spans) : 0.0;
     ls.imbalance = ls.meanNs > 0 ? static_cast<double>(ls.maxNs) / ls.meanNs : 1.0;
-    s.levels.push_back(ls);
+    s.steps.push_back(ls);
   }
   return s;
 }
@@ -311,6 +312,7 @@ Json TraceSummary::toJson() const {
   j["window_ns"] = windowNs;
   j["events"] = events;
   j["dropped_events"] = dropped;
+  j["truncated"] = truncated;
   Json ts = Json::array();
   for (const TraceThreadSummary& t : threads) {
     Json row = Json::object();
@@ -328,9 +330,9 @@ Json TraceSummary::toJson() const {
   }
   j["threads"] = std::move(ts);
   Json ls = Json::array();
-  for (const TraceLevelStats& l : levels) {
+  for (const TraceStepStats& l : steps) {
     Json row = Json::object();
-    row["level"] = l.level;
+    row["step"] = l.step;
     row["spans"] = l.spans;
     row["sum_ns"] = l.sumNs;
     row["max_ns"] = l.maxNs;
@@ -338,36 +340,36 @@ Json TraceSummary::toJson() const {
     row["imbalance"] = l.imbalance;
     ls.push(std::move(row));
   }
-  j["levels"] = std::move(ls);
+  j["steps"] = std::move(ls);
   return j;
 }
 
 std::string TraceSummary::render() const {
   std::string out = fmt(
-      "trace summary: window %.3f ms, %llu events (%llu dropped)\n",
+      "trace summary: window %.3f ms, %llu events (%llu dropped%s)\n",
       static_cast<double>(windowNs) / 1e6, static_cast<unsigned long long>(events),
-      static_cast<unsigned long long>(dropped));
+      static_cast<unsigned long long>(dropped), truncated ? "; ring truncated" : "");
   out += fmt("  %-14s %8s %8s %8s %10s\n", "thread", "busy", "barrier", "idle", "events");
   for (const TraceThreadSummary& t : threads)
     out += fmt("  %-14s %7.1f%% %7.1f%% %7.1f%% %10llu\n", t.name.c_str(),
                   100.0 * t.busyFrac, 100.0 * t.barrierFrac, 100.0 * t.idleFrac,
                   static_cast<unsigned long long>(t.events));
-  if (!levels.empty()) {
-    // Rank by accumulated time so the expensive levels lead.
-    std::vector<TraceLevelStats> byCost = levels;
+  if (!steps.empty()) {
+    // Rank by accumulated time so the expensive super-steps lead.
+    std::vector<TraceStepStats> byCost = steps;
     std::sort(byCost.begin(), byCost.end(),
-              [](const TraceLevelStats& a, const TraceLevelStats& b) {
+              [](const TraceStepStats& a, const TraceStepStats& b) {
                 return a.sumNs > b.sumNs;
               });
     size_t n = std::min<size_t>(byCost.size(), 8);
-    out += fmt("  per-level wave imbalance (top %zu of %zu by time, ring window):\n", n,
+    out += fmt("  per-super-step imbalance (top %zu of %zu by time, ring window):\n", n,
                   byCost.size());
-    out += fmt("  %6s %8s %12s %12s %10s\n", "level", "spans", "mean_us", "max_us",
+    out += fmt("  %6s %8s %12s %12s %10s\n", "step", "spans", "mean_us", "max_us",
                   "imbalance");
     for (size_t i = 0; i < n; i++) {
-      const TraceLevelStats& l = byCost[i];
+      const TraceStepStats& l = byCost[i];
       out += fmt("  %6llu %8llu %12.2f %12.2f %9.2fx\n",
-                    static_cast<unsigned long long>(l.level),
+                    static_cast<unsigned long long>(l.step),
                     static_cast<unsigned long long>(l.spans), l.meanNs / 1e3,
                     static_cast<double>(l.maxNs) / 1e3, l.imbalance);
     }

@@ -124,6 +124,82 @@ void ThreadPool::run(const std::function<void(unsigned)>& fn) {
   fn_ = nullptr;
 }
 
+void ThreadPool::stepBarrier(uint64_t target) {
+  // Counting barrier: each arrival is an acq_rel RMW on barArrived_, and a
+  // waiter leaves once the count covers every lane's arrival for this step.
+  // Reading a value that includes all numThreads_ increments synchronizes
+  // with each of them (release sequence through the RMW chain), so plain
+  // writes made before any lane's arrival are visible after the wait.
+  barArrived_.fetch_add(1, std::memory_order_acq_rel);
+  int spins = 0;
+  while (barArrived_.load(std::memory_order_acquire) < target) {
+    if (++spins >= spinBudget()) {
+      std::this_thread::yield();
+      spins = 0;
+    }
+  }
+}
+
+void ThreadPool::runStepLoop(unsigned lane) {
+  // Per-lane attribution: one "pool.step" Busy span per super-step, one
+  // "pool.barrier" Barrier span per inter-step wait — disjoint categorized
+  // intervals, mirroring run()'s pool.work/pool.join contract.
+  obs::TraceSession* s = obs::TraceSession::current();
+  if (s && !s->wants(obs::TraceDetail::Wave)) s = nullptr;
+  const size_t nSteps = numSteps_;
+  for (size_t step = 0; step < nSteps; step++) {
+    if (s) {
+      uint64_t t0 = s->nowNs();
+      obs::trace_detail::setInPooledWork(true);
+      (*stepFn_)(lane, step);
+      obs::trace_detail::setInPooledWork(false);
+      s->complete("pool.step", t0, obs::TraceCat::Busy, "step", step);
+    } else {
+      (*stepFn_)(lane, step);
+    }
+    if (step + 1 < nSteps) {
+      uint64_t barT0 = s ? s->nowNs() : 0;
+      stepBarrier(static_cast<uint64_t>(step + 1) * numThreads_);
+      if (s) s->complete("pool.barrier", barT0, obs::TraceCat::Barrier);
+    }
+  }
+}
+
+void ThreadPool::runSteps(size_t numSteps, const std::function<void(unsigned, size_t)>& fn) {
+  if (numSteps == 0) return;
+  if (numThreads_ == 1) {
+    stepFn_ = &fn;
+    numSteps_ = numSteps;
+    runStepLoop(0);
+    stepFn_ = nullptr;
+    return;
+  }
+  stepFn_ = &fn;
+  numSteps_ = numSteps;
+  barArrived_.store(0, std::memory_order_relaxed);
+  pending_.store(numThreads_ - 1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
+  if (sleepers_.load(std::memory_order_acquire) > 0) cv_.notify_all();
+
+  runStepLoop(0);
+
+  obs::TraceSession* s = obs::TraceSession::current();
+  if (s && !s->wants(obs::TraceDetail::Wave)) s = nullptr;
+  uint64_t joinT0 = s ? s->nowNs() : 0;
+  int spins = 0;
+  while (pending_.load(std::memory_order_acquire) != 0) {
+    if (++spins >= spinBudget()) {
+      std::this_thread::yield();
+      spins = 0;
+    }
+  }
+  if (s) s->complete("pool.join", joinT0, obs::TraceCat::Barrier);
+  stepFn_ = nullptr;
+}
+
 void ThreadPool::workerLoop(unsigned lane) {
   uint64_t seen = 0;
   for (;;) {
@@ -159,6 +235,12 @@ void ThreadPool::workerLoop(unsigned lane) {
     if (s) {
       if (s == parkS) s->complete("pool.wait", parkT0, obs::TraceCat::Barrier);
       s->nameThread("worker-" + std::to_string(lane));
+    }
+    // stepFn_/fn_ are published by the epoch bump observed above; exactly
+    // one of them is set per fork.
+    if (stepFn_ != nullptr) {
+      runStepLoop(lane);
+    } else if (s) {
       uint64_t t0 = s->nowNs();
       obs::trace_detail::setInPooledWork(true);
       (*fn_)(lane);

@@ -253,11 +253,12 @@ TEST(TraceSession, PoolWorkSpansCategorizedBusyAndDisjoint) {
   EXPECT_TRUE(sawPoolWork);
 }
 
-// End-to-end: the wave-parallel engine under a trace session emits per-wave
+// End-to-end: the BSP parallel engine under a trace session emits per-step
 // spans and the summary's per-thread fractions stay normalized. Runs the
-// real ParallelActivityEngine (constructor path, no hardware clamp) so the
-// tsan job exercises recording from real engine workers.
-TEST(TraceEngine, ParallelEngineEmitsWaveSpansAndNormalizedSummary) {
+// real ParallelActivityEngine (constructor path, no hardware clamp) with
+// the serial cutoff disabled so every cycle takes the pooled super-step
+// path — the tsan job exercises recording from real engine workers.
+TEST(TraceEngine, ParallelEngineEmitsStepSpansAndNormalizedSummary) {
   sim::SimIR ir = sim::buildFromFirrtl(designs::gatedBanksFirrtl(32, 16));
   TraceSession s({TraceDetail::Wave, 1 << 14});
   s.install();
@@ -265,6 +266,7 @@ TEST(TraceEngine, ParallelEngineEmitsWaveSpansAndNormalizedSummary) {
     core::ParallelActivityEngine eng(
         core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), core::ScheduleOptions{}),
         3);
+    eng.setSerialCutoff(0);
     eng.poke("reset", 0);
     eng.poke("wdata", 5);
     for (int c = 0; c < 200; c++) {
@@ -275,13 +277,13 @@ TEST(TraceEngine, ParallelEngineEmitsWaveSpansAndNormalizedSummary) {
   s.uninstall();
 
   EXPECT_GT(s.eventCount(), 0u);
-  bool sawWave = false, sawCounter = false;
+  bool sawStep = false, sawCounter = false;
   for (const auto& snap : s.snapshot())
     for (const obs::TraceEvent& ev : snap.events) {
-      if (std::string(ev.name) == "wave" && ev.ph == 'X') sawWave = true;
+      if (std::string(ev.name) == "pool.step" && ev.ph == 'X') sawStep = true;
       if (std::string(ev.name) == "parts_active" && ev.ph == 'C') sawCounter = true;
     }
-  EXPECT_TRUE(sawWave);
+  EXPECT_TRUE(sawStep);
   EXPECT_TRUE(sawCounter);
 
   obs::TraceSummary sum = s.summary();
@@ -291,11 +293,14 @@ TEST(TraceEngine, ParallelEngineEmitsWaveSpansAndNormalizedSummary) {
     EXPECT_NEAR(t.busyFrac + t.barrierFrac + t.idleFrac, 1.0, 1e-9);
     EXPECT_LE(t.busyNs + t.barrierNs, sum.windowNs);
   }
+  EXPECT_FALSE(sum.steps.empty());
+  EXPECT_FALSE(sum.truncated);  // 200 low-activity cycles fit a 16k ring
   std::string rendered = sum.render();
   EXPECT_NE(rendered.find("trace summary"), std::string::npos);
   obs::Json j = sum.toJson();
   EXPECT_NE(j.find("threads"), nullptr);
-  EXPECT_NE(j.find("levels"), nullptr);
+  EXPECT_NE(j.find("steps"), nullptr);
+  EXPECT_NE(j.find("truncated"), nullptr);
 }
 
 TEST(TraceEngine, PartitionDetailAddsPartSpans) {

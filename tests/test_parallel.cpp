@@ -250,7 +250,10 @@ TEST_P(ParallelEquiv, MatchesSerialSignalsAndExactCounters) {
     CondPartSchedule sched = core::buildSchedule(core::Netlist::build(ir));
     ActivityEngine serial(ir, sched);           // copies
     ParallelActivityEngine par(ir, sched, threads);
-    EXPECT_EQ(par.threadCount(), threads);
+    // Effective width clamps to the placement's useful width (one lane per
+    // partition) — tiny designs may expose fewer partitions than lanes.
+    EXPECT_EQ(par.threadCount(),
+              std::min<unsigned>(threads, static_cast<unsigned>(sched.numPartitions())));
 
     auto stim = randomStimulus(threads * 1000 + 7, 0.3);
     for (uint64_t c = 0; c < 150; c++) {

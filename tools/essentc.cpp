@@ -29,8 +29,10 @@
 //   --profile-window N    timeline bucket width in cycles (default 256)
 //   --threads N           worker threads for --run with the ccss engine
 //                         (default $ESSENT_THREADS, else 1; N > 1 selects
-//                         the level-synchronous parallel engine); with
-//                         --batch, the farm worker count instead
+//                         the statically-placed BSP parallel engine,
+//                         clamped to hardware concurrency and to the
+//                         placement's useful width with W0601 warnings);
+//                         with --batch, the farm worker count instead
 //   --batch N             with --run: simulate N concurrent instances that
 //                         share one compiled schedule (core::SimFarm) and
 //                         report aggregate farm throughput
@@ -38,14 +40,18 @@
 //                         (sorted, wrapping) stimulus file in DIR; the file
 //                         format is the fuzzer's Stimulus serialization
 //   --stats-json FILE     write design/partitioning/timing stats as JSON
-//                         (gains "parallel" + "metrics" sections when
+//                         (gains a "placement" section when --threads > 1,
+//                         and "parallel" + "metrics" sections when
 //                         tracing / metrics are active)
 //   --trace FILE          record an execution trace and write it as Chrome
 //                         trace-event JSON (open in https://ui.perfetto.dev)
 //   --trace-detail D      phase | wave | partition (default wave); each
 //                         level adds events, see docs/OBSERVABILITY.md
+//   --trace-ring-kb N     per-thread trace ring size in KB (default 3072,
+//                         ~64k events); raise it when the summary reports
+//                         truncated: true
 //   --trace-summary       print the post-run attribution report (per-thread
-//                         busy/barrier/idle fractions, per-level imbalance);
+//                         busy/barrier/idle fractions, per-step imbalance);
 //                         implies recording even without --trace
 //   --top-hot N           after --run, print the N hottest partitions
 //   --diag-json FILE      write all diagnostics as JSON (machine-readable
@@ -79,6 +85,8 @@
 #include "codegen/emitter.h"
 #include "core/activity_engine.h"
 #include "core/lane_engine.h"
+#include "core/parallel_engine.h"
+#include "core/placement.h"
 #include "core/obs_export.h"
 #include "core/sim_farm.h"
 #include "diag/diag.h"
@@ -116,6 +124,7 @@ struct Args {
   std::string diagJsonPath;
   std::string tracePath;
   obs::TraceDetail traceDetail = obs::TraceDetail::Wave;
+  uint32_t traceRingKb = 0;  // per-thread ring size in KB; 0 = default
   bool traceSummary = false;
   uint32_t profileWindow = 256;
   uint32_t topHot = 0;
@@ -139,7 +148,7 @@ struct Args {
                "               [--batch N] [--lanes N] [--stimulus-dir DIR]\n"
                "               [--stats-json FILE] [--top-hot N] [--diag-json FILE]\n"
                "               [--trace FILE] [--trace-detail phase|wave|partition]\n"
-               "               [--trace-summary]\n"
+               "               [--trace-ring-kb N] [--trace-summary]\n"
                "               [--timeout-ms N] [--max-ir-ops N] [--max-sim-mem BYTES]\n"
                "               [--max-cycles N] [--deadline-ms N] design.fir\n"
                "exit codes: 0 success; 1 input rejected with diagnostics;\n"
@@ -190,6 +199,10 @@ Args parseArgs(int argc, char** argv) {
       std::string token = next();
       if (!obs::parseTraceDetail(token, a.traceDetail))
         usage(("unknown trace detail '" + token + "' (expected phase|wave|partition)").c_str());
+    }
+    else if (arg == "--trace-ring-kb") {
+      a.traceRingKb = static_cast<uint32_t>(std::strtoul(next().c_str(), nullptr, 0));
+      if (a.traceRingKb == 0) usage("--trace-ring-kb expects a positive integer");
     }
     else if (arg == "--trace-summary") a.traceSummary = true;
     else if (arg == "--top-hot")
@@ -306,6 +319,16 @@ obs::Json statsJsonDoc(const Args& a, const sim::SimIR& ir,
   if (sched) {
     doc["partitioning"] = core::partitionStatsJson(sched->partitionStats);
     doc["schedule"] = core::scheduleSummaryJson(*sched);
+  }
+  // Static BSP placement shape. The live engine's placement when one ran
+  // parallel; otherwise (e.g. --stats with --threads N) a fresh build over
+  // the schedule, so compile-only runs can inspect super-step coarsening.
+  if (auto* par = dynamic_cast<const core::ParallelActivityEngine*>(eng)) {
+    doc["placement"] = core::placementReportJson(par->placement());
+  } else if (sched && a.threads > 1) {
+    core::PlacementOptions popts;
+    popts.threads = a.threads;
+    doc["placement"] = core::placementReportJson(core::buildPlacement(*sched, popts));
   }
   if (eng) {
     obs::Json e = obs::Json::object();
@@ -732,6 +755,9 @@ int main(int argc, char** argv) {
   if (!a.tracePath.empty() || a.traceSummary) {
     obs::TraceOptions to;
     to.detail = a.traceDetail;
+    if (a.traceRingKb > 0)
+      to.ringCapacity = std::max<size_t>(
+          1024, (static_cast<size_t>(a.traceRingKb) * 1024) / sizeof(obs::TraceEvent));
     trace = std::make_unique<obs::TraceSession>(to);
     trace->install();
     trace->nameThread("main");
