@@ -43,7 +43,20 @@ FarmInstanceResult SimFarm::runOne(size_t index, const FarmJob& job, sim::Engine
   eo.warnings = &warnings;  // per-instance vector; merged by the caller
   std::unique_ptr<sim::Engine> eng = sim::makeEngine(kind, design_, eo);
   if (job.init) job.init(*eng);
-  sim::RunResult run = sim::runEngine(*eng, job.maxCycles, job.stimulus);
+  sim::StimulusFn stim = job.stimulus;
+  if (opts_.guard) {
+    // Thread the shared wall budget into the run loop: the deadline fires
+    // inside the instance (ResourceExhausted propagates to the trap site),
+    // not merely after the whole batch returns.
+    const support::ResourceGuard* guard = opts_.guard;
+    const uint32_t interval = std::max(1u, opts_.guardCheckInterval);
+    sim::StimulusFn inner = std::move(stim);
+    stim = [guard, interval, inner](sim::Engine& e, uint64_t c) {
+      if (c % interval == 0) guard->checkDeadline();
+      if (inner) inner(e, c);
+    };
+  }
+  sim::RunResult run = sim::runEngine(*eng, job.maxCycles, stim);
   r.cycles = run.cycles;
   r.stopped = run.stopped;
   r.exitCode = run.exitCode;
@@ -90,7 +103,24 @@ void SimFarm::runLaneGroup(size_t base, unsigned count, const std::vector<FarmJo
     }
 
     auto g0 = std::chrono::steady_clock::now();
+    const uint32_t guardInterval = std::max(1u, opts_.guardCheckInterval);
     for (uint64_t c = 0; group.liveMask() != 0; c++) {
+      if (opts_.guard && c % guardInterval == 0) {
+        try {
+          opts_.guard->checkDeadline();
+        } catch (const support::ResourceExhausted& e) {
+          // Shared budget exhausted: hard-fail every live lane (failed == 2
+          // means "no scalar retry" — a re-run would just blow the same
+          // deadline again after paying engine construction).
+          for (unsigned l = 0; l < count; l++)
+            if (group.laneLive(l)) {
+              failed[l] = 2;
+              failReason[l] = e.code() + ": " + e.what();
+              group.retireLane(l);
+            }
+          break;
+        }
+      }
       // Budget check first, mirroring sim::runEngine's loop condition: a
       // lane ticks exactly min(maxCycles, cycles-until-stop) times.
       for (unsigned l = 0; l < count; l++)
@@ -166,6 +196,15 @@ void SimFarm::runLaneGroup(size_t base, unsigned count, const std::vector<FarmJo
   for (unsigned l = 0; l < count; l++) {
     if (!failed[l]) continue;
     const size_t index = base + l;
+    if (failed[l] == 2) {
+      // Deadline-killed by the shared guard: record the structured error
+      // without a scalar retry.
+      report.instances[index].index = index;
+      report.instances[index].name =
+          jobs[index].name.empty() ? "job" + std::to_string(index) : jobs[index].name;
+      report.instances[index].error = failReason[l];
+      continue;
+    }
     fallbackCounter.add(1);
     {
       std::lock_guard<std::mutex> lock(mergeMu);
@@ -173,6 +212,11 @@ void SimFarm::runLaneGroup(size_t base, unsigned count, const std::vector<FarmJo
     }
     try {
       report.instances[index] = runOne(index, jobs[index], sim::EngineKind::Ccss, warnings);
+    } catch (const support::ResourceExhausted& e) {
+      report.instances[index].index = index;
+      report.instances[index].name =
+          jobs[index].name.empty() ? "job" + std::to_string(index) : jobs[index].name;
+      report.instances[index].error = e.code() + ": " + e.what();
     } catch (const std::exception& e) {
       report.instances[index].index = index;
       report.instances[index].name =
@@ -275,6 +319,13 @@ FarmReport SimFarm::run(const std::vector<FarmJob>& jobs) {
               static_cast<uint64_t>(report.instances[i].seconds * 1e9);
           batchHist.record(wallNs);
           globalHist.record(wallNs);
+        } catch (const support::ResourceExhausted& e) {
+          // Keep the E05xx code visible in the per-instance error so callers
+          // (essentc --batch, the daemon) can map it to their own taxonomy.
+          report.instances[i].index = i;
+          report.instances[i].name =
+              jobs[i].name.empty() ? "job" + std::to_string(i) : jobs[i].name;
+          report.instances[i].error = e.code() + ": " + e.what();
         } catch (const std::exception& e) {
           report.instances[i].index = i;
           report.instances[i].name =

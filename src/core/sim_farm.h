@@ -35,6 +35,7 @@
 #include "obs/metrics.h"
 #include "sim/engine_factory.h"
 #include "sim/harness.h"
+#include "support/resource_guard.h"
 
 namespace essent::core {
 
@@ -127,6 +128,14 @@ struct FarmOptions {
   // support::ThreadPool::defaultThreadCount() heuristic ($ESSENT_THREADS,
   // else hardware concurrency). Clamped to the job count at run time.
   unsigned workers = 0;
+  // Optional SHARED wall-clock/resource budget across every instance. The
+  // guard's deadline runs from guard construction, so N concurrent
+  // instances all stop within one check interval of the same wall moment —
+  // a per-instance deadline would let the batch overshoot N-fold. Instances
+  // cut off mid-run record an "E0504: ..." error; the guard must outlive
+  // run(). Checked every `guardCheckInterval` cycles per instance.
+  const support::ResourceGuard* guard = nullptr;
+  uint32_t guardCheckInterval = 1024;
 };
 
 class SimFarm {

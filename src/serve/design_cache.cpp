@@ -1,0 +1,118 @@
+#include "serve/design_cache.h"
+
+#include <algorithm>
+
+namespace essent::serve {
+
+obs::Json CacheStats::toJson() const {
+  obs::Json doc = obs::Json::object();
+  doc["entries"] = static_cast<uint64_t>(entries);
+  doc["capacity"] = static_cast<uint64_t>(capacity);
+  doc["hits"] = hits;
+  doc["misses"] = misses;
+  doc["coalesced"] = coalesced;
+  doc["evictions"] = evictions;
+  return doc;
+}
+
+DesignCache::DesignCache(size_t capacity) : capacity_(std::max<size_t>(1, capacity)) {
+  stats_.capacity = capacity_;
+}
+
+void DesignCache::touchLocked(const std::string& hash, Entry& e) {
+  lru_.erase(e.lruPos);
+  lru_.push_front(hash);
+  e.lruPos = lru_.begin();
+}
+
+void DesignCache::evictOverflowLocked() {
+  // Only completed entries live in the LRU list, so an in-flight build can
+  // never be evicted out from under its waiters.
+  while (lru_.size() > capacity_) {
+    const std::string victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+    stats_.evictions++;
+  }
+}
+
+DesignCache::Result DesignCache::getOrCompile(const std::string& hash,
+                                              const std::string& firrtlText,
+                                              const CompileFn& compileFn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = entries_.find(hash);
+    if (it == entries_.end()) break;
+    if (!it->second.building) {
+      stats_.hits++;
+      touchLocked(hash, it->second);
+      return {it->second.design, hash, true};
+    }
+    // Someone is compiling this key right now: wait for the verdict. The
+    // entry disappears on failure, so re-probe from scratch afterwards.
+    stats_.coalesced++;
+    buildDone_.wait(lock, [&] {
+      auto cur = entries_.find(hash);
+      return cur == entries_.end() || !cur->second.building;
+    });
+    auto cur = entries_.find(hash);
+    if (cur != entries_.end() && !cur->second.building) {
+      touchLocked(hash, cur->second);
+      return {cur->second.design, hash, true};
+    }
+    // The in-flight compile failed; fall through and try it ourselves.
+    break;
+  }
+
+  // Claim the in-flight slot, compile outside the lock.
+  stats_.misses++;
+  entries_[hash].building = true;
+  lock.unlock();
+  std::shared_ptr<const sim::CompiledDesign> design;
+  try {
+    design = compileFn(firrtlText);
+  } catch (...) {
+    lock.lock();
+    entries_.erase(hash);
+    buildDone_.notify_all();
+    throw;
+  }
+  lock.lock();
+  Entry& e = entries_[hash];
+  e.design = design;
+  e.building = false;
+  lru_.push_front(hash);
+  e.lruPos = lru_.begin();
+  evictOverflowLocked();
+  buildDone_.notify_all();
+  return {design, hash, false};
+}
+
+std::shared_ptr<const sim::CompiledDesign> DesignCache::lookup(const std::string& hash) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(hash);
+  if (it == entries_.end() || it->second.building) return nullptr;
+  stats_.hits++;
+  touchLocked(hash, it->second);
+  return it->second.design;
+}
+
+bool DesignCache::evict(const std::string& hash) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(hash);
+  if (it == entries_.end() || it->second.building) return false;
+  lru_.erase(it->second.lruPos);
+  entries_.erase(it);
+  stats_.evictions++;
+  return true;
+}
+
+CacheStats DesignCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheStats s = stats_;
+  s.entries = lru_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+}  // namespace essent::serve

@@ -1,0 +1,91 @@
+// Content-addressed cache of compiled designs: the compile-once/
+// simulate-many economics of the service (LightningSimV2's compile-then-
+// query model, GEM's one-time synthesis cost — PAPERS.md).
+//
+// Key  = designHash(firrtl text, compile-relevant options).
+// Value = shared immutable sim::CompiledDesign (engine-kind extensions —
+// CCSS schedules, event groups — attach lazily via the design's own
+// thread-safe extension cache, so they are shared too).
+//
+// Concurrency contract:
+//  * getOrCompile is safe from any number of worker threads;
+//  * concurrent requests for the SAME key compile ONCE — later arrivals
+//    block on the first compiler's in-flight slot and share its result
+//    (or its failure);
+//  * compile failures are never cached: a transient rejection does not
+//    poison the key.
+//
+// Eviction is LRU by entry count. Evicting an entry only drops the cache's
+// reference — in-flight requests holding the shared_ptr run to completion.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/json.h"
+#include "sim/engine.h"
+
+namespace essent::serve {
+
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;      // compiles performed (including failures)
+  uint64_t coalesced = 0;   // waiters that joined an in-flight compile
+  uint64_t evictions = 0;
+  size_t entries = 0;
+  size_t capacity = 0;
+
+  obs::Json toJson() const;
+};
+
+class DesignCache {
+ public:
+  explicit DesignCache(size_t capacity);
+
+  struct Result {
+    std::shared_ptr<const sim::CompiledDesign> design;
+    std::string hash;
+    bool cached = false;  // served from cache (or an in-flight compile)
+  };
+
+  // Returns the compiled design for `hash`, compiling `firrtlText` via
+  // `compileFn` on a miss. `compileFn` may throw; the exception propagates
+  // to every caller waiting on this key and nothing is cached.
+  using CompileFn =
+      std::function<std::shared_ptr<const sim::CompiledDesign>(const std::string& text)>;
+  Result getOrCompile(const std::string& hash, const std::string& firrtlText,
+                      const CompileFn& compileFn);
+
+  // Cache-only lookup (run-by-hash requests); null when absent.
+  std::shared_ptr<const sim::CompiledDesign> lookup(const std::string& hash);
+
+  // Drops `hash` if present; returns whether it was.
+  bool evict(const std::string& hash);
+
+  CacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const sim::CompiledDesign> design;  // null while building
+    bool building = false;
+    std::list<std::string>::iterator lruPos;  // valid only when !building
+  };
+
+  void touchLocked(const std::string& hash, Entry& e);
+  void evictOverflowLocked();
+
+  mutable std::mutex mu_;
+  std::condition_variable buildDone_;
+  std::map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recent
+  size_t capacity_;
+  CacheStats stats_;
+};
+
+}  // namespace essent::serve

@@ -1,0 +1,237 @@
+#include "serve/protocol.h"
+
+#include <cinttypes>
+
+#include "support/strutil.h"
+
+namespace essent::serve {
+
+namespace {
+
+// 64-bit FNV-1a with a caller-chosen offset basis; two bases give the
+// 128-bit content address.
+uint64_t fnv1a(const std::string& s, uint64_t h) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+bool isUIntNumber(const obs::Json& j) {
+  if (!j.isNumber()) return false;
+  if (j.kind() == obs::Json::Kind::Double) return false;  // exactness matters
+  return j.kind() != obs::Json::Kind::Int || j.asInt() >= 0;
+}
+
+}  // namespace
+
+const char* requestOpName(RequestOp op) {
+  switch (op) {
+    case RequestOp::Ping: return "ping";
+    case RequestOp::Compile: return "compile";
+    case RequestOp::Run: return "run";
+    case RequestOp::Status: return "status";
+    case RequestOp::Evict: return "evict";
+    case RequestOp::Shutdown: return "shutdown";
+  }
+  return "?";
+}
+
+std::string RequestOptions::cacheKey() const {
+  return strfmt("cp=%u;baseline=%d", cp, baseline ? 1 : 0);
+}
+
+std::string designHash(const std::string& firrtlText, const RequestOptions& opts) {
+  std::string key = opts.cacheKey();
+  uint64_t lo = fnv1a(key, fnv1a(firrtlText, 0xcbf29ce484222325ULL));
+  uint64_t hi = fnv1a(key, fnv1a(firrtlText, 0x84222325cbf29ce4ULL));
+  return strfmt("%016" PRIx64 "%016" PRIx64, hi, lo);
+}
+
+std::optional<Request> parseRequest(const obs::Json& doc, std::string& code,
+                                    std::string& message) {
+  code = kErrBadRequest;
+  if (!doc.isObject()) {
+    message = "request must be a JSON object";
+    return std::nullopt;
+  }
+  Request r;
+  bool sawOp = false;
+  for (const auto& [key, value] : doc.members()) {
+    if (key == "op") {
+      if (!value.isString()) {
+        message = "'op' must be a string";
+        return std::nullopt;
+      }
+      const std::string& op = value.asStr();
+      if (op == "ping") r.op = RequestOp::Ping;
+      else if (op == "compile") r.op = RequestOp::Compile;
+      else if (op == "run") r.op = RequestOp::Run;
+      else if (op == "status") r.op = RequestOp::Status;
+      else if (op == "evict") r.op = RequestOp::Evict;
+      else if (op == "shutdown") r.op = RequestOp::Shutdown;
+      else {
+        message = "unknown op '" + op + "'";
+        return std::nullopt;
+      }
+      sawOp = true;
+    } else if (key == "design") {
+      if (!value.isString()) {
+        message = "'design' must be a string of FIRRTL source";
+        return std::nullopt;
+      }
+      r.designText = value.asStr();
+    } else if (key == "design_hash") {
+      if (!value.isString()) {
+        message = "'design_hash' must be a hex string";
+        return std::nullopt;
+      }
+      r.designHash = value.asStr();
+    } else if (key == "cycles") {
+      if (!isUIntNumber(value)) {
+        message = "'cycles' must be a non-negative integer";
+        return std::nullopt;
+      }
+      r.cycles = value.asUInt();
+    } else if (key == "batch") {
+      if (!isUIntNumber(value)) {
+        message = "'batch' must be a non-negative integer";
+        return std::nullopt;
+      }
+      uint64_t b = value.asUInt();
+      if (b > 4096) {
+        message = "'batch' beyond the supported maximum (4096)";
+        return std::nullopt;
+      }
+      r.batch = static_cast<uint32_t>(b);
+    } else if (key == "sleep_ms") {
+      if (!isUIntNumber(value)) {
+        message = "'sleep_ms' must be a non-negative integer";
+        return std::nullopt;
+      }
+      r.sleepMs = value.asUInt();
+    } else if (key == "pokes") {
+      if (!value.isObject()) {
+        message = "'pokes' must be an object of name -> integer";
+        return std::nullopt;
+      }
+      for (const auto& [name, v] : value.members()) {
+        if (!isUIntNumber(v)) {
+          message = "poke '" + name + "' must be a non-negative integer";
+          return std::nullopt;
+        }
+        r.pokes[name] = v.asUInt();
+      }
+    } else if (key == "options") {
+      if (!value.isObject()) {
+        message = "'options' must be an object";
+        return std::nullopt;
+      }
+      for (const auto& [name, v] : value.members()) {
+        if (name == "cp") {
+          if (!isUIntNumber(v) || v.asUInt() == 0 || v.asUInt() > 1u << 20) {
+            message = "options.cp must be a positive integer";
+            return std::nullopt;
+          }
+          r.options.cp = static_cast<uint32_t>(v.asUInt());
+        } else if (name == "baseline") {
+          if (v.kind() != obs::Json::Kind::Bool) {
+            message = "options.baseline must be a boolean";
+            return std::nullopt;
+          }
+          r.options.baseline = v.asBool();
+        } else if (name == "engine") {
+          if (!v.isString() || !sim::parseEngineKind(v.asStr(), r.options.kind) ||
+              r.options.kind == sim::EngineKind::Codegen) {
+            message = "options.engine must be one of full|event|ccss|par|lane";
+            return std::nullopt;
+          }
+        } else if (name == "threads") {
+          if (!isUIntNumber(v) || v.asUInt() > 256) {
+            message = "options.threads must be an integer in [0, 256]";
+            return std::nullopt;
+          }
+          r.options.threads = static_cast<unsigned>(v.asUInt());
+        } else if (name == "lanes") {
+          if (!isUIntNumber(v) || v.asUInt() > 64) {
+            message = "options.lanes must be an integer in [0, 64]";
+            return std::nullopt;
+          }
+          r.options.lanes = static_cast<unsigned>(v.asUInt());
+        } else {
+          message = "unknown options field '" + name + "'";
+          return std::nullopt;
+        }
+      }
+    } else {
+      message = "unknown request field '" + key + "'";
+      return std::nullopt;
+    }
+  }
+  if (!sawOp) {
+    message = "missing required field 'op'";
+    return std::nullopt;
+  }
+  // Op-specific requirements, checked here so handlers can assume them.
+  if (r.op == RequestOp::Compile && r.designText.empty()) {
+    message = "'compile' requires 'design' (FIRRTL source text)";
+    return std::nullopt;
+  }
+  if (r.op == RequestOp::Run && r.designText.empty() && r.designHash.empty()) {
+    message = "'run' requires 'design' or 'design_hash'";
+    return std::nullopt;
+  }
+  if (r.op == RequestOp::Run && r.cycles == 0) {
+    message = "'run' requires a positive 'cycles'";
+    return std::nullopt;
+  }
+  if (r.op == RequestOp::Evict && r.designHash.empty()) {
+    message = "'evict' requires 'design_hash'";
+    return std::nullopt;
+  }
+  code.clear();
+  message.clear();
+  return r;
+}
+
+obs::Json okResponse(RequestOp op) {
+  obs::Json doc = obs::Json::object();
+  doc["ok"] = true;
+  doc["op"] = requestOpName(op);
+  return doc;
+}
+
+obs::Json errorResponse(const std::string& code, const std::string& message,
+                        int64_t retryAfterMs) {
+  obs::Json err = obs::Json::object();
+  err["code"] = code;
+  err["message"] = message;
+  if (retryAfterMs >= 0) err["retry_after_ms"] = retryAfterMs;
+  obs::Json doc = obs::Json::object();
+  doc["ok"] = false;
+  doc["error"] = std::move(err);
+  return doc;
+}
+
+std::optional<ResponseEnvelope> parseResponseEnvelope(const obs::Json& doc) {
+  if (!doc.isObject()) return std::nullopt;
+  const obs::Json* ok = doc.find("ok");
+  if (!ok || ok->kind() != obs::Json::Kind::Bool) return std::nullopt;
+  ResponseEnvelope env;
+  env.ok = ok->asBool();
+  if (env.ok) return env;
+  const obs::Json* err = doc.find("error");
+  if (!err || !err->isObject()) return std::nullopt;
+  const obs::Json* code = err->find("code");
+  if (!code || !code->isString() || code->asStr().size() != 5 || code->asStr()[0] != 'E')
+    return std::nullopt;
+  env.errorCode = code->asStr();
+  if (const obs::Json* msg = err->find("message"); msg && msg->isString())
+    env.errorMessage = msg->asStr();
+  if (const obs::Json* retry = err->find("retry_after_ms"); retry && retry->isNumber())
+    env.retryAfterMs = retry->asInt();
+  return env;
+}
+
+}  // namespace essent::serve

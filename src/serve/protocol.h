@@ -1,0 +1,99 @@
+// essentd wire protocol: request/response JSON documents inside
+// length-prefixed frames (support/socket.h), plus the E06xx service error
+// catalog.
+//
+// Frame   := uint32 big-endian payload length, then that many bytes of JSON.
+// Request := {"op": "ping"|"compile"|"run"|"status"|"evict"|"shutdown", ...}
+// Response:= {"ok": true, "op": ..., ...}
+//          | {"ok": false, "error": {"code": "E06xx", "message": ...,
+//             "retry_after_ms"?: N, "diagnostics"?: [...]}}
+//
+// Parsing is strict: unknown top-level fields, missing required fields, and
+// type mismatches are E0604 — hostile or version-skewed clients get a
+// structured rejection, never undefined behaviour. The full schema catalog
+// lives in docs/DAEMON.md.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "obs/json.h"
+#include "sim/engine_factory.h"
+
+namespace essent::serve {
+
+// --- E06xx service error catalog (docs/DIAGNOSTICS.md) -------------------
+inline constexpr const char* kErrMalformedFrame = "E0601";  // truncated frame / stream
+inline constexpr const char* kErrFrameTooLarge = "E0602";   // length prefix over ceiling
+inline constexpr const char* kErrBadJson = "E0603";         // payload not valid JSON
+inline constexpr const char* kErrBadRequest = "E0604";      // schema violation
+inline constexpr const char* kErrDesignRejected = "E0605";  // front-end diagnostics
+inline constexpr const char* kErrResourceLimit = "E0606";   // wraps E0501–E0503
+inline constexpr const char* kErrDeadline = "E0607";        // wraps E0504
+inline constexpr const char* kErrSimFailed = "E0608";       // engine/internal failure
+inline constexpr const char* kErrOverloaded = "E0609";      // load shed, retry_after_ms set
+inline constexpr const char* kErrDraining = "E0610";        // graceful shutdown in progress
+inline constexpr const char* kErrUnknownDesign = "E0611";   // design_hash not in cache
+inline constexpr const char* kErrInjectedFault = "E0612";   // chaos-mode injected failure
+
+enum class RequestOp { Ping, Compile, Run, Status, Evict, Shutdown };
+
+const char* requestOpName(RequestOp op);
+
+// Per-request engine/compile options. Everything here participates in the
+// design-cache key (a design compiled --baseline is a different artifact
+// than the optimized build of the same text).
+struct RequestOptions {
+  uint32_t cp = 8;            // partitioner small-threshold C_p
+  bool baseline = false;      // disable const-prop/CSE/DCE
+  sim::EngineKind kind = sim::EngineKind::Ccss;
+  unsigned threads = 1;       // CcssPar worker lanes
+  unsigned lanes = 0;         // Lane engine width (0 = engine default)
+
+  // Canonical cache-key fragment, stable across field reordering.
+  std::string cacheKey() const;
+};
+
+struct Request {
+  RequestOp op = RequestOp::Ping;
+  std::string designText;     // FIRRTL source ("design"); empty if by hash
+  std::string designHash;     // content address ("design_hash")
+  RequestOptions options;
+  uint64_t cycles = 0;        // run: tick budget
+  uint32_t batch = 0;         // run: farm instance count (0 = solo)
+  std::map<std::string, uint64_t> pokes;  // run: input name -> value
+  uint64_t sleepMs = 0;       // test hook (ping only, gated by the server)
+};
+
+// Strict request decode. Returns nullopt and fills code/message on any
+// schema violation (the code is kErrBadRequest except where a more precise
+// one applies).
+std::optional<Request> parseRequest(const obs::Json& doc, std::string& code,
+                                    std::string& message);
+
+// Response builders. Every daemon reply goes through one of these so the
+// wire shape can never drift from the documented schema.
+obs::Json okResponse(RequestOp op);
+obs::Json errorResponse(const std::string& code, const std::string& message,
+                        int64_t retryAfterMs = -1);
+
+// Reads "ok" / "error.code" out of a response document; tolerant of extra
+// fields but strict about the envelope (used by the client and the chaos
+// campaign validator).
+struct ResponseEnvelope {
+  bool ok = false;
+  std::string errorCode;     // empty when ok
+  std::string errorMessage;  // empty when ok
+  int64_t retryAfterMs = -1; // from error.retry_after_ms when present
+};
+std::optional<ResponseEnvelope> parseResponseEnvelope(const obs::Json& doc);
+
+// Content address of (firrtl text, options): 128-bit FNV-1a rendered as 32
+// hex chars. Not cryptographic — this keys a trusted in-process cache, the
+// property needed is stability + negligible collision odds, not
+// preimage resistance.
+std::string designHash(const std::string& firrtlText, const RequestOptions& opts);
+
+}  // namespace essent::serve

@@ -1,0 +1,166 @@
+// essentd core: a long-lived simulation service that stays up under
+// malformed, hostile, and overload traffic.
+//
+// Survival layer (the point of this subsystem):
+//  * admission control — accepted connections enter a BOUNDED queue; when
+//    it is full the acceptor answers E0609 ("overloaded", retry_after_ms)
+//    and closes, so load sheds instead of queueing unboundedly;
+//  * per-request governance — every request runs under its own
+//    support::ResourceGuard (IR-op / sim-mem / cycle ceilings and a
+//    wall-clock deadline checked inside the simulation loop), so one
+//    degenerate request ends in a structured E0606/E0607, never a wedged
+//    worker;
+//  * error isolation — each request handler is exception-walled; a
+//    poisoned design or engine fault renders as an E06xx response and the
+//    worker moves on;
+//  * graceful drain — requestDrain() (async-signal-safe: one pipe write)
+//    stops the acceptor, answers queued-but-unserved connections with
+//    E0610, lets in-flight requests finish under their deadlines, then
+//    joins all workers; stats()/metrics stay readable for the final flush;
+//  * chaos mode — opt-in seeded fault injection (request drops, slow
+//    reads, mid-response disconnects, injected failures) so the failure
+//    paths above are exercised deterministically by tests and CI.
+//
+// Threading model: one acceptor thread (poll over the unix/TCP listeners
+// and the drain pipe) + N worker threads popping connections from the
+// bounded queue. A worker serves one connection at a time, request by
+// request, so `workers` bounds simulation concurrency directly.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "serve/design_cache.h"
+#include "serve/protocol.h"
+#include "support/resource_guard.h"
+#include "support/socket.h"
+
+namespace essent::serve {
+
+// Opt-in fault injection. Probabilities are per-request decisions drawn
+// from a seeded per-connection RNG, so a campaign with a pinned seed
+// replays the same fault schedule.
+struct ChaosOptions {
+  bool enabled = false;
+  uint64_t seed = 1;
+  double dropProb = 0.05;        // close the connection instead of replying
+  double slowReadProb = 0.05;    // stall before reading the next frame
+  double disconnectProb = 0.05;  // close mid-response (partial frame written)
+  double failProb = 0.10;        // answer E0612 instead of handling
+  int64_t slowMs = 25;           // stall duration for slow-reads
+};
+
+struct ServerOptions {
+  std::string unixPath;      // empty = no unix listener
+  int tcpPort = -1;          // -1 = no TCP listener; 0 = ephemeral port
+  unsigned workers = 2;      // request-serving threads
+  size_t queueCapacity = 16; // accepted connections awaiting a worker
+  size_t maxFrameBytes = 16u << 20;
+  int64_t idleReadTimeoutMs = 30'000;  // per-frame read budget on a connection
+  int64_t requestDeadlineMs = 30'000;  // per-request wall budget (0 = off)
+  uint64_t maxCyclesPerRequest = 50'000'000;  // 0 = off
+  support::ResourceLimits limits;      // per-request IR/mem ceilings
+  size_t cacheCapacity = 64;           // CompiledDesign entries
+  unsigned farmWorkers = 1;            // SimFarm lanes for batch requests
+  int64_t retryAfterMs = 100;          // backpressure hint in E0609
+  bool allowRemoteShutdown = false;    // honor {"op": "shutdown"}
+  bool enableTestHooks = false;        // honor ping.sleep_ms (tests/bench)
+  ChaosOptions chaos;
+};
+
+struct ServerStats {
+  uint64_t connectionsAccepted = 0;
+  uint64_t connectionsSheded = 0;   // E0609 at the door
+  uint64_t connectionsDrained = 0;  // E0610 at/after drain
+  uint64_t requestsServed = 0;      // responses written (ok or error)
+  uint64_t requestsFailed = 0;      // error responses among those
+  uint64_t framingErrors = 0;       // E0601/E0602/E0603 replies
+  uint64_t chaosInjected = 0;       // chaos decisions taken
+  uint64_t queueDepthPeak = 0;
+  CacheStats cache;
+
+  obs::Json toJson() const;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opts);
+  ~Server();  // implies requestDrain() + waitDrained()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds listeners and spawns acceptor + workers. Throws std::runtime_error
+  // on bind failure (the caller owns turning that into a CLI error).
+  void start();
+
+  // Begins graceful shutdown. Async-signal-safe (a single write() to an
+  // internal pipe) — call it straight from a SIGTERM handler.
+  void requestDrain();
+
+  // Blocks until the acceptor and every worker have exited and all
+  // in-flight work is finished or deadline-killed.
+  void waitDrained();
+
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+  uint16_t boundTcpPort() const { return tcpPort_; }
+  const ServerOptions& options() const { return opts_; }
+  ServerStats stats() const;
+
+ private:
+  struct ChaosPlan {
+    bool drop = false;
+    bool slowRead = false;
+    bool disconnect = false;
+    bool fail = false;
+  };
+
+  void acceptLoop();
+  void workerLoop(unsigned id);
+  // Serves every frame on one connection; returns when the peer closes,
+  // a framing error poisons the stream, or drain begins.
+  void serveConnection(support::Socket conn, uint64_t connId);
+  // One request: parse, dispatch, respond. Returns false when the
+  // connection must close (stream desync or chaos disconnect).
+  bool serveOneFrame(support::Socket& conn, uint64_t& chaosState);
+  obs::Json handleRequest(const Request& req);
+  obs::Json handleCompile(const Request& req);
+  obs::Json handleRun(const Request& req);
+  obs::Json handleStatus(const Request& req);
+  bool writeResponse(support::Socket& conn, const obs::Json& doc, const ChaosPlan& plan);
+  ChaosPlan chaosDecide(uint64_t& state);
+  void bumpStat(uint64_t ServerStats::* field, uint64_t n = 1);
+
+  ServerOptions opts_;
+  DesignCache cache_;
+  support::Socket unixListener_;
+  support::Socket tcpListener_;
+  uint16_t tcpPort_ = 0;
+  int drainPipe_[2] = {-1, -1};  // [read, write]; write end is signal-safe
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<uint64_t> connSeq_{0};
+
+  // Bounded admission queue. Closed (queueClosed_) at drain; leftover
+  // connections are answered E0610 by the drain path.
+  std::mutex queueMu_;
+  std::condition_variable queueCv_;
+  std::deque<int> queue_;  // raw fds (ownership transferred in/out)
+  bool queueClosed_ = false;
+
+  mutable std::mutex statsMu_;
+  ServerStats stats_;
+};
+
+}  // namespace essent::serve

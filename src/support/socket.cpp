@@ -1,0 +1,216 @@
+#include "support/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+namespace essent::support {
+
+namespace {
+
+int64_t nowMs() {
+  using namespace std::chrono;
+  return duration_cast<milliseconds>(steady_clock::now().time_since_epoch()).count();
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+sockaddr_un unixAddr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw std::runtime_error("unix socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+int Socket::release() {
+  int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdownWrite() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+Socket listenUnix(const std::string& path, int backlog) {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket(AF_UNIX)");
+  Socket s(fd);
+  ::unlink(path.c_str());  // stale socket from a previous run
+  sockaddr_un addr = unixAddr(path);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0)
+    fail("bind(" + path + ")");
+  if (::listen(fd, backlog) < 0) fail("listen(" + path + ")");
+  return s;
+}
+
+Socket listenTcp(uint16_t port, int backlog) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket(AF_INET)");
+  Socket s(fd);
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0)
+    fail("bind(tcp:" + std::to_string(port) + ")");
+  if (::listen(fd, backlog) < 0) fail("listen(tcp)");
+  return s;
+}
+
+uint16_t boundPort(const Socket& s) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(s.fd(), reinterpret_cast<sockaddr*>(&addr), &len) < 0)
+    fail("getsockname");
+  return ntohs(addr.sin_port);
+}
+
+Socket connectUnix(const std::string& path) {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket(AF_UNIX)");
+  Socket s(fd);
+  sockaddr_un addr = unixAddr(path);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0)
+    fail("connect(" + path + ")");
+  return s;
+}
+
+Socket connectTcp(const std::string& host, uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket(AF_INET)");
+  Socket s(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw std::runtime_error("connectTcp: not an IPv4 address: " + host);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0)
+    fail("connect(" + host + ":" + std::to_string(port) + ")");
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return s;
+}
+
+Socket acceptOn(const Socket& listener) {
+  int fd = ::accept(listener.fd(), nullptr, nullptr);
+  return Socket(fd);  // invalid on failure; callers poll and retry
+}
+
+const char* frameStatusName(FrameStatus s) {
+  switch (s) {
+    case FrameStatus::Ok: return "ok";
+    case FrameStatus::Eof: return "eof";
+    case FrameStatus::Truncated: return "truncated";
+    case FrameStatus::Oversized: return "oversized";
+    case FrameStatus::TimedOut: return "timed-out";
+    case FrameStatus::IoError: return "io-error";
+  }
+  return "?";
+}
+
+// Receives exactly n bytes; `deadlineMs` is an absolute steady-clock
+// timestamp (0 = no deadline). Distinguishes a clean close at byte 0
+// (Eof) from one mid-buffer (Truncated) so framing errors are precise.
+FrameStatus recvAll(int fd, void* data, size_t n, int64_t deadlineMs) {
+  char* p = static_cast<char*>(data);
+  size_t got = 0;
+  while (got < n) {
+    if (deadlineMs > 0) {
+      int64_t remain = deadlineMs - nowMs();
+      if (remain <= 0) return FrameStatus::TimedOut;
+      pollfd pfd{fd, POLLIN, 0};
+      int pr = ::poll(&pfd, 1, static_cast<int>(remain > INT32_MAX ? INT32_MAX : remain));
+      if (pr == 0) return FrameStatus::TimedOut;
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        return FrameStatus::IoError;
+      }
+    }
+    ssize_t r = ::recv(fd, p + got, n - got, 0);
+    if (r == 0) return got == 0 ? FrameStatus::Eof : FrameStatus::Truncated;
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return FrameStatus::IoError;
+    }
+    got += static_cast<size_t>(r);
+  }
+  return FrameStatus::Ok;
+}
+
+bool sendAll(int fd, const void* data, size_t n) {
+  const char* p = static_cast<const char*>(data);
+  size_t sent = 0;
+  while (sent < n) {
+    ssize_t r = ::send(fd, p + sent, n - sent, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(r);
+  }
+  return true;
+}
+
+FrameStatus readFrame(int fd, std::string& payload, size_t maxBytes, int64_t timeoutMs,
+                      uint64_t* declaredLen) {
+  int64_t deadline = timeoutMs > 0 ? nowMs() + timeoutMs : 0;
+  unsigned char hdr[4];
+  FrameStatus st = recvAll(fd, hdr, sizeof(hdr), deadline);
+  if (st != FrameStatus::Ok) return st;
+  uint64_t len = (static_cast<uint64_t>(hdr[0]) << 24) | (static_cast<uint64_t>(hdr[1]) << 16) |
+                 (static_cast<uint64_t>(hdr[2]) << 8) | static_cast<uint64_t>(hdr[3]);
+  if (declaredLen) *declaredLen = len;
+  if (len > maxBytes) return FrameStatus::Oversized;
+  payload.resize(static_cast<size_t>(len));
+  if (len == 0) return FrameStatus::Ok;
+  st = recvAll(fd, payload.data(), payload.size(), deadline);
+  // A close inside the payload is a truncated frame, whatever recv said.
+  return st == FrameStatus::Eof ? FrameStatus::Truncated : st;
+}
+
+bool writeFrame(int fd, const std::string& payload) {
+  if (payload.size() > UINT32_MAX) return false;
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  unsigned char hdr[4] = {static_cast<unsigned char>(len >> 24),
+                          static_cast<unsigned char>(len >> 16),
+                          static_cast<unsigned char>(len >> 8),
+                          static_cast<unsigned char>(len)};
+  if (!sendAll(fd, hdr, sizeof(hdr))) return false;
+  return payload.empty() || sendAll(fd, payload.data(), payload.size());
+}
+
+}  // namespace essent::support

@@ -1,0 +1,87 @@
+// Stream sockets + length-prefixed framing for the simulation service.
+//
+// Two layers, both deliberately tiny:
+//  * Socket — RAII fd wrapper plus unix/TCP listen/connect helpers. Every
+//    send uses MSG_NOSIGNAL so a peer that disappears mid-write surfaces as
+//    an error return, never a SIGPIPE kill.
+//  * Frames — the essentd wire unit: a 4-byte big-endian payload length
+//    followed by that many bytes of UTF-8 JSON. readFrame() decodes one
+//    frame under a byte ceiling and a wall-clock timeout and reports
+//    *structured* failure reasons (truncated, oversized, timed out) so the
+//    daemon can answer malformed traffic with an E06xx error instead of
+//    dying or hanging on it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace essent::support {
+
+// Owning socket fd. Move-only; close() is idempotent.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Socket& operator=(Socket&& o) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  int release();  // caller takes ownership
+  void close();
+  // Half-close the write side (the peer sees EOF after draining).
+  void shutdownWrite();
+
+ private:
+  int fd_ = -1;
+};
+
+// Listener construction. All throw std::runtime_error with a
+// strerror-carrying message on failure.
+Socket listenUnix(const std::string& path, int backlog = 64);  // unlinks stale path first
+Socket listenTcp(uint16_t port, int backlog = 64);             // binds 127.0.0.1; port 0 = ephemeral
+uint16_t boundPort(const Socket& s);  // resolves the port a 0-bind received
+
+// Client connection; throws std::runtime_error on failure.
+Socket connectUnix(const std::string& path);
+Socket connectTcp(const std::string& host, uint16_t port);
+
+// Accepts one connection; returns an invalid Socket on transient failure
+// (EINTR, aborted handshake) — callers poll and retry.
+Socket acceptOn(const Socket& listener);
+
+// Frame transport outcome. Ok is the only success; every other value maps
+// onto a specific wire diagnostic in serve/protocol.h.
+enum class FrameStatus {
+  Ok,
+  Eof,        // clean close before the first length byte
+  Truncated,  // stream ended inside the length prefix or payload
+  Oversized,  // length prefix exceeds maxBytes
+  TimedOut,   // deadline expired mid-frame
+  IoError,    // recv/send failure (peer reset, ...)
+};
+
+const char* frameStatusName(FrameStatus s);
+
+// Reads one length-prefixed frame into `payload`. `timeoutMs` bounds the
+// whole frame (0 = wait forever); `maxBytes` bounds the declared payload
+// size. On Oversized the declared length is left in *declaredLen (when
+// non-null) and the payload is NOT drained — the stream is unusable and the
+// caller should respond-and-close.
+FrameStatus readFrame(int fd, std::string& payload, size_t maxBytes, int64_t timeoutMs,
+                      uint64_t* declaredLen = nullptr);
+
+// Writes one frame (length prefix + payload). Returns false on any short
+// write or I/O error (the connection is then unusable).
+bool writeFrame(int fd, const std::string& payload);
+
+// Raw helpers used by writeFrame and the fault-injection paths: send/recv
+// exactly n bytes with an optional wall-clock deadline.
+bool sendAll(int fd, const void* data, size_t n);
+FrameStatus recvAll(int fd, void* data, size_t n, int64_t deadlineMs);
+
+}  // namespace essent::support

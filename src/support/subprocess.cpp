@@ -4,15 +4,50 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <thread>
 
 #include "obs/trace.h"
 #include "support/strutil.h"
 
 namespace essent::support {
+
+namespace {
+
+// Process group of the runShell child currently in flight (0 = none).
+// Lock-free so the signal handler may read it.
+std::atomic<pid_t> g_activePgid{0};
+volatile sig_atomic_t g_interruptSig = 0;
+
+extern "C" void relaySignalHandler(int sig) {
+  g_interruptSig = sig;
+  // Forward to the live child group so the compiler/simulator dies with us.
+  // kill() is async-signal-safe; the pgid load is a lock-free atomic. If the
+  // store in runShell hasn't happened yet, the latched flag alone is enough:
+  // the poll loop checks it and performs the same escalation.
+  pid_t pgid = g_activePgid.load(std::memory_order_relaxed);
+  if (pgid > 0) kill(-pgid, sig);
+}
+
+}  // namespace
+
+void installSignalRelay() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = relaySignalHandler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocking waits should EINTR promptly
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool interruptRequested() { return g_interruptSig != 0; }
+
+int interruptSignal() { return static_cast<int>(g_interruptSig); }
 
 std::string shellQuote(const std::string& s) {
   std::string out = "'";
@@ -60,6 +95,12 @@ ExecResult runShell(const std::string& cmd, const RunOptions& opts) {
   // on the same group, and EACCES/EPERM here is benign.
   setpgid(pid, pid);
   r.ran = true;
+  g_activePgid.store(pid, std::memory_order_relaxed);
+  if (interruptRequested()) {
+    // The signal landed in the gap before the pgid was published; the
+    // handler could not forward it, so deliver it ourselves.
+    kill(-pid, interruptSignal());
+  }
 
   auto elapsedMs = [&] {
     return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - start).count();
@@ -79,6 +120,18 @@ ExecResult runShell(const std::string& cmd, const RunOptions& opts) {
       break;
     }
     int64_t now = elapsedMs();
+    if (interruptRequested() && !sentTerm) {
+      // Relay path: the handler already forwarded the signal to the group;
+      // from here the watchdog escalation machinery takes over (grace
+      // period, then SIGKILL) so an ignoring child still dies.
+      r.interrupted = true;
+      obs::traceInstant("subprocess.interrupt", "signal",
+                        static_cast<uint64_t>(interruptSignal()));
+      kill(-pid, SIGTERM);
+      sentTerm = true;
+      termAtMs = now;
+      continue;
+    }
     if (opts.timeoutMs > 0 && !sentTerm && now >= opts.timeoutMs) {
       r.timedOut = true;
       obs::traceInstant("subprocess.timeout_term", "elapsed_ms",
@@ -96,6 +149,8 @@ ExecResult runShell(const std::string& cmd, const RunOptions& opts) {
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
+  g_activePgid.store(0, std::memory_order_relaxed);
+  if (interruptRequested()) r.interrupted = true;
   r.wallMs = elapsedMs();
   return r;
 }
@@ -104,6 +159,9 @@ ExecResult runShell(const std::string& cmd) { return runShell(cmd, RunOptions{})
 
 std::string ExecResult::describe() const {
   if (!ran) return "failed to spawn shell";
+  if (interrupted)
+    return strfmt("interrupted by signal %d (relayed to the subprocess group)",
+                  interruptSignal());
   if (timedOut) return strfmt("timed out after %lld ms", static_cast<long long>(wallMs));
   if (!exited) return strfmt("killed by signal %d", signal);
   return strfmt("exited %d", exitCode);

@@ -33,9 +33,10 @@ struct ExecResult {
   int exitCode = -1;      // WEXITSTATUS when exited, else -1
   int signal = 0;         // terminating signal when !exited
   bool timedOut = false;  // watchdog fired (process was killed)
+  bool interrupted = false;  // killed because the TOOL received SIGINT/SIGTERM
   int64_t wallMs = 0;     // observed wall-clock runtime
 
-  bool ok() const { return ran && exited && exitCode == 0 && !timedOut; }
+  bool ok() const { return ran && exited && exitCode == 0 && !timedOut && !interrupted; }
   std::string describe() const;
 };
 
@@ -44,5 +45,25 @@ ExecResult runShell(const std::string& cmd);
 
 // Watchdog-governed variant; see RunOptions.
 ExecResult runShell(const std::string& cmd, const RunOptions& opts);
+
+// --- Interrupt relay -------------------------------------------------------
+//
+// A tool driving runShell (essentc --compile-run) must not orphan the
+// compiler/simulator process group when the user hits Ctrl-C, and must
+// still run its own RAII cleanup (TempDir removal). installSignalRelay()
+// installs SIGINT/SIGTERM handlers that (a) forward the signal to the
+// process group of the currently running runShell child — async-signal-safe:
+// one kill() on a lock-free atomic pgid — and (b) latch the signal so the
+// runShell poll loop escalates exactly like a watchdog timeout (SIGTERM,
+// grace, SIGKILL) and returns with `interrupted` set. The caller then
+// unwinds normally — destructors run — and exits 128+interruptSignal().
+//
+// Without the relay installed, behaviour is unchanged (default disposition:
+// the tool dies, the child group may leak until it finishes).
+void installSignalRelay();
+// True once SIGINT/SIGTERM has been received via the relay.
+bool interruptRequested();
+// The latched signal number (0 when none).
+int interruptSignal();
 
 }  // namespace essent::support

@@ -2,10 +2,15 @@
 // engine graceful degradation, the mutation crash fuzzer, the oracle's
 // hang watchdog, and the essentc CLI exit-code contract.
 #include <gtest/gtest.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -341,6 +346,108 @@ TEST(CliRobust, ResourceCeilingsExit1WithE05xx) {
   auto overOps = runCli("--stats --max-ir-ops 1 " + fir);
   EXPECT_EQ(overOps.exitCode, 1);
   EXPECT_NE(overOps.output.find("E0501"), std::string::npos) << overOps.output;
+}
+
+// --- SIGINT/SIGTERM relay during --compile-run ---
+
+// True when any live process's /proc cmdline mentions `needle` (cmdline is
+// NUL-separated; search the raw bytes). Used to prove the relayed signal
+// killed the whole compiler/simulator process group, not just essentc.
+bool anyProcessMentions(const std::string& needle) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  for (const fs::directory_entry& ent : fs::directory_iterator("/proc", ec)) {
+    std::string name = ent.path().filename().string();
+    if (name.empty() || name.find_first_not_of("0123456789") != std::string::npos) continue;
+    std::ifstream f(ent.path() / "cmdline", std::ios::binary);
+    if (!f.good()) continue;
+    std::stringstream ss;
+    ss << f.rdbuf();
+    if (ss.str().find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(CliRobust, CompileRunInterruptKillsChildrenCleansUpExits130) {
+  namespace fs = std::filesystem;
+  std::string fir = writeTemp(
+      "circuit T :\n  module T :\n    input clock : Clock\n"
+      "    input x : UInt<4>\n    output y : UInt<4>\n    y <= x\n");
+  // Private TMPDIR so the leak check below only sees this test's dirs.
+  char scratchT[] = "/tmp/essent_sigrelay_XXXXXX";
+  char* made = mkdtemp(scratchT);
+  ASSERT_NE(made, nullptr);
+  std::string scratch = made;
+
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    setenv("TMPDIR", scratch.c_str(), 1);
+    int devnull = open("/dev/null", O_WRONLY);
+    if (devnull >= 0) {
+      dup2(devnull, 1);
+      dup2(devnull, 2);
+    }
+    // --inject-hang: the generated simulator spins forever, so without the
+    // signal relay this test could only end via SIGKILL and a leaked dir.
+    execl(ESSENTC_PATH, ESSENTC_PATH, "--compile-run", "5", "--inject-hang", fir.c_str(),
+          static_cast<char*>(nullptr));
+    _exit(127);
+  }
+
+  // Wait for essentc's compile-run scratch dir: proof it is in a subprocess
+  // phase (host compile or the hung simulator). The relay must work in both,
+  // so any moment after this is a valid interrupt point.
+  bool sawScratch = false;
+  int64_t t0 = nowMs();
+  while (!sawScratch && nowMs() - t0 < 60'000) {
+    std::error_code ec;
+    for (const fs::directory_entry& ent : fs::directory_iterator(scratch, ec))
+      if (ent.path().filename().string().rfind("essentc_cr_", 0) == 0) sawScratch = true;
+    if (!sawScratch) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_TRUE(sawScratch) << "essentc never reached the --compile-run subprocess phase";
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  ASSERT_EQ(kill(pid, SIGINT), 0);
+
+  // The exit-code contract: 128 + SIGINT, reached by unwinding normally
+  // (not by the default terminate-on-SIGINT disposition).
+  int status = 0;
+  pid_t waited = 0;
+  t0 = nowMs();
+  while (nowMs() - t0 < 30'000) {
+    waited = waitpid(pid, &status, WNOHANG);
+    if (waited != 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  if (waited != pid) {
+    kill(pid, SIGKILL);
+    waitpid(pid, &status, 0);
+    FAIL() << "essentc did not exit after SIGINT";
+  }
+  ASSERT_TRUE(WIFEXITED(status)) << "essentc died of the signal instead of unwinding";
+  EXPECT_EQ(WEXITSTATUS(status), 130);
+
+  // Normal unwinding means TempDir cleanup ran: no essentc_cr_* leftovers.
+  std::vector<std::string> leftovers;
+  std::error_code ec;
+  for (const fs::directory_entry& ent : fs::directory_iterator(scratch, ec))
+    leftovers.push_back(ent.path().filename().string());
+  EXPECT_TRUE(leftovers.empty()) << "leaked scratch: " << leftovers.front();
+
+  // The relayed signal reached the whole subprocess group: nothing still
+  // alive references the scratch dir (allow a beat for children to die).
+  bool orphans = true;
+  t0 = nowMs();
+  while (orphans && nowMs() - t0 < 5'000) {
+    orphans = anyProcessMentions(scratch);
+    if (orphans) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_FALSE(orphans) << "a compiler/simulator child survived the interrupt";
+
+  fs::remove_all(scratch, ec);
+  std::remove(fir.c_str());
 }
 
 }  // namespace

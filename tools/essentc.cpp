@@ -70,6 +70,9 @@
 //   2    usage error or internal error
 //   124  wall-clock timeout (--timeout-ms subprocess watchdog or
 //        --deadline-ms overall budget)
+//   128+N  interrupted by signal N during --compile-run (130 = SIGINT,
+//        143 = SIGTERM); the signal is relayed to the compiler/simulator
+//        process group and scratch directories are still cleaned up
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -152,7 +155,8 @@ struct Args {
                "               [--timeout-ms N] [--max-ir-ops N] [--max-sim-mem BYTES]\n"
                "               [--max-cycles N] [--deadline-ms N] design.fir\n"
                "exit codes: 0 success; 1 input rejected with diagnostics;\n"
-               "            2 usage or internal error; 124 wall-clock timeout\n");
+               "            2 usage or internal error; 124 wall-clock timeout;\n"
+               "            128+N interrupted by signal N during --compile-run\n");
   std::exit(2);
 }
 
@@ -530,6 +534,10 @@ int runBatch(const Args& a, const sim::SimIR& ir, diag::DiagEngine& de,
   fo.workers = a.threads;
   fo.engine.partitionSmallThreshold = a.cp;
   if (a.lanes > 0) fo.engine.lanes = a.lanes;
+  // SHARED wall budget: N concurrent instances check --deadline-ms inside
+  // their run loops, so the batch stops within one check interval of the
+  // deadline instead of overshooting N-fold and only failing afterwards.
+  fo.guard = &guard;
   std::vector<core::FarmJob> jobs(a.batch);
   for (uint32_t i = 0; i < a.batch; i++) {
     core::FarmJob& job = jobs[i];
@@ -592,6 +600,11 @@ int runBatch(const Args& a, const sim::SimIR& ir, diag::DiagEngine& de,
 // run under the --timeout-ms watchdog; a timeout exits 124.
 int runCompileRun(const Args& a, const sim::SimIR& ir, const support::ResourceGuard& guard) {
   guard.checkCycles(a.runCycles);
+  // Ctrl-C / SIGTERM during the subprocess phases must kill the compiler or
+  // generated-simulator process group AND still unwind through this frame so
+  // the TempDir below is removed. Installed here (not in main) so plain
+  // --run keeps the default immediate-exit disposition.
+  support::installSignalRelay();
   core::ScheduleOptions so;
   so.partition.smallThreshold = a.cp;
   core::CondPartSchedule sched = core::buildSchedule(core::Netlist::build(ir), so);
@@ -638,6 +651,10 @@ int runCompileRun(const Args& a, const sim::SimIR& ir, const support::ResourceGu
     obs::TraceSpan span("compile-run.cc", obs::TraceCat::Busy, obs::TraceDetail::Phase);
     cc = support::runShell(cmd, ro);
   }
+  if (cc.interrupted) {
+    std::fprintf(stderr, "essentc: host compilation %s\n", cc.describe().c_str());
+    return 128 + support::interruptSignal();
+  }
   if (cc.timedOut) {
     std::fprintf(stderr, "essentc: host compilation %s (source kept at %s)\n",
                  cc.describe().c_str(), src.c_str());
@@ -657,6 +674,10 @@ int runCompileRun(const Args& a, const sim::SimIR& ir, const support::ResourceGu
     run = support::runShell(
         support::shellQuote(bin) + " > " + support::shellQuote(outFile), ro);
   }
+  if (run.interrupted) {
+    std::fprintf(stderr, "essentc: compiled simulator %s\n", run.describe().c_str());
+    return 128 + support::interruptSignal();
+  }
   if (run.timedOut) {
     std::fprintf(stderr, "essentc: compiled simulator %s\n", run.describe().c_str());
     return 124;
@@ -668,7 +689,10 @@ int runCompileRun(const Args& a, const sim::SimIR& ir, const support::ResourceGu
   for (const auto& [name2, value] : a.pokes) eng.poke(name2, value);
   for (uint64_t c = 0; c < a.runCycles && !eng.stopped(); c++) {
     eng.tick();
-    if ((c & 1023) == 1023) guard.checkDeadline();
+    if ((c & 1023) == 1023) {
+      guard.checkDeadline();
+      if (support::interruptRequested()) return 128 + support::interruptSignal();
+    }
   }
 
   // The generated main() returns the design's stop exit code, so a nonzero

@@ -1,0 +1,154 @@
+// essentd — the simulation-as-a-service daemon (docs/DAEMON.md).
+//
+// Serves compile/run requests over length-prefixed JSON frames on a unix
+// socket and/or a loopback TCP port, multiplexing them onto shared compiled
+// designs (content-addressed cache) and the in-process engines/SimFarm.
+//
+// Usage:
+//   essentd [--socket PATH] [--tcp PORT] [options]
+//
+// Options:
+//   --socket PATH         unix listener (removed+rebound on start)
+//   --tcp PORT            TCP listener on 127.0.0.1 (0 = ephemeral; the
+//                         chosen port is printed on startup)
+//   --workers N           request-serving threads (default 2)
+//   --queue N             bounded admission queue capacity (default 16);
+//                         a full queue sheds connections with E0609
+//   --deadline-ms N       per-request wall budget (default 30000; 0 = off)
+//   --max-cycles N        per-request cycle ceiling, batch included
+//                         (default 50000000; 0 = off)
+//   --max-frame BYTES     frame payload ceiling (default 16 MiB)
+//   --cache N             compiled-design cache capacity (default 64)
+//   --farm-workers N      SimFarm lanes for batch requests (default 1)
+//   --retry-after-ms N    backpressure hint carried in E0609/E0610
+//   --allow-shutdown      honor {"op": "shutdown"} from clients
+//   --test-hooks          honor ping.sleep_ms (tests/bench only)
+//   --chaos               enable fault injection (drops, slow reads,
+//                         disconnects, injected E0612 failures)
+//   --chaos-seed S        chaos RNG seed (default 1; pinned seeds replay)
+//   --metrics-json FILE   write the metrics registry + server stats as JSON
+//                         during drain, before exit
+//
+// Lifecycle: SIGTERM/SIGINT begin a graceful drain — stop accepting, answer
+// queued-but-unserved connections with E0610, let in-flight requests finish
+// under their deadlines, flush metrics, exit 0.
+#include <signal.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "serve/server.h"
+
+using namespace essent;
+
+namespace {
+
+serve::Server* g_server = nullptr;
+
+extern "C" void drainHandler(int) {
+  // requestDrain is async-signal-safe: one write() on an internal pipe.
+  if (g_server) g_server->requestDrain();
+}
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "essentd: %s\n", msg);
+  std::fprintf(stderr,
+               "usage: essentd [--socket PATH] [--tcp PORT] [--workers N] [--queue N]\n"
+               "               [--deadline-ms N] [--max-cycles N] [--max-frame BYTES]\n"
+               "               [--cache N] [--farm-workers N] [--retry-after-ms N]\n"
+               "               [--allow-shutdown] [--test-hooks]\n"
+               "               [--chaos] [--chaos-seed S] [--metrics-json FILE]\n"
+               "at least one of --socket / --tcp is required\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  serve::ServerOptions opts;
+  std::string metricsPath;
+  for (int i = 1; i < argc; i++) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (++i >= argc) usage(("missing value after " + arg).c_str());
+      return argv[i];
+    };
+    if (arg == "--socket") opts.unixPath = next();
+    else if (arg == "--tcp") opts.tcpPort = static_cast<int>(std::strtol(next().c_str(), nullptr, 0));
+    else if (arg == "--workers")
+      opts.workers = static_cast<unsigned>(std::strtoul(next().c_str(), nullptr, 0));
+    else if (arg == "--queue")
+      opts.queueCapacity = static_cast<size_t>(std::strtoull(next().c_str(), nullptr, 0));
+    else if (arg == "--deadline-ms") opts.requestDeadlineMs = std::strtoll(next().c_str(), nullptr, 0);
+    else if (arg == "--max-cycles") opts.maxCyclesPerRequest = std::strtoull(next().c_str(), nullptr, 0);
+    else if (arg == "--max-frame")
+      opts.maxFrameBytes = static_cast<size_t>(std::strtoull(next().c_str(), nullptr, 0));
+    else if (arg == "--cache")
+      opts.cacheCapacity = static_cast<size_t>(std::strtoull(next().c_str(), nullptr, 0));
+    else if (arg == "--farm-workers")
+      opts.farmWorkers = static_cast<unsigned>(std::strtoul(next().c_str(), nullptr, 0));
+    else if (arg == "--retry-after-ms") opts.retryAfterMs = std::strtoll(next().c_str(), nullptr, 0);
+    else if (arg == "--allow-shutdown") opts.allowRemoteShutdown = true;
+    else if (arg == "--test-hooks") opts.enableTestHooks = true;
+    else if (arg == "--chaos") opts.chaos.enabled = true;
+    else if (arg == "--chaos-seed") opts.chaos.seed = std::strtoull(next().c_str(), nullptr, 0);
+    else if (arg == "--metrics-json") metricsPath = next();
+    else if (arg == "--help" || arg == "-h") usage();
+    else usage(("unknown option " + arg).c_str());
+  }
+  if (opts.unixPath.empty() && opts.tcpPort < 0) usage("no listener configured");
+
+  serve::Server server(opts);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "essentd: %s\n", e.what());
+    return 2;
+  }
+  g_server = &server;
+
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = drainHandler;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+  signal(SIGPIPE, SIG_IGN);  // belt and braces on top of MSG_NOSIGNAL
+
+  if (!opts.unixPath.empty())
+    std::fprintf(stderr, "essentd: listening on unix:%s\n", opts.unixPath.c_str());
+  if (opts.tcpPort >= 0)
+    std::fprintf(stderr, "essentd: listening on tcp:127.0.0.1:%u\n", server.boundTcpPort());
+  if (opts.chaos.enabled)
+    std::fprintf(stderr, "essentd: CHAOS MODE enabled (seed %llu)\n",
+                 static_cast<unsigned long long>(opts.chaos.seed));
+  std::fflush(stderr);
+
+  server.waitDrained();
+
+  serve::ServerStats stats = server.stats();
+  std::fprintf(stderr,
+               "essentd: drained; served %llu request(s) (%llu failed), "
+               "shed %llu, drained %llu connection(s)\n",
+               static_cast<unsigned long long>(stats.requestsServed),
+               static_cast<unsigned long long>(stats.requestsFailed),
+               static_cast<unsigned long long>(stats.connectionsSheded),
+               static_cast<unsigned long long>(stats.connectionsDrained));
+  if (!metricsPath.empty()) {
+    obs::Json doc = obs::Json::object();
+    doc["server"] = stats.toJson();
+    doc["metrics"] = obs::MetricsRegistry::global().toJson();
+    try {
+      obs::writeJsonFile(metricsPath, doc);
+      std::fprintf(stderr, "essentd: wrote metrics to %s\n", metricsPath.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "essentd: cannot write metrics: %s\n", e.what());
+    }
+  }
+  g_server = nullptr;
+  return 0;
+}
