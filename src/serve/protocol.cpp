@@ -1,6 +1,7 @@
 #include "serve/protocol.h"
 
-#include <cinttypes>
+#include <algorithm>
+#include <cstring>
 
 #include "support/strutil.h"
 
@@ -8,15 +9,90 @@ namespace essent::serve {
 
 namespace {
 
-// 64-bit FNV-1a with a caller-chosen offset basis; two bases give the
-// 128-bit content address.
-uint64_t fnv1a(const std::string& s, uint64_t h) {
-  for (unsigned char c : s) {
-    h ^= c;
-    h *= 0x100000001b3ULL;
+// SHA-256 (FIPS 180-4), self-contained. The design cache is shared across
+// untrusted connections, so its content address must be collision-resistant
+// against adversarial inputs — FNV-style mixing is trivially collidable.
+struct Sha256 {
+  uint32_t h[8] = {0x6a09e667u, 0xbb67ae85u, 0x3c6ef372u, 0xa54ff53au,
+                   0x510e527fu, 0x9b05688cu, 0x1f83d9abu, 0x5be0cd19u};
+  unsigned char buf[64];
+  uint64_t total = 0;
+  size_t fill = 0;
+
+  static uint32_t rotr(uint32_t x, unsigned n) { return (x >> n) | (x << (32 - n)); }
+
+  void block(const unsigned char* p) {
+    static constexpr uint32_t K[64] = {
+        0x428a2f98u, 0x71374491u, 0xb5c0fbcfu, 0xe9b5dba5u, 0x3956c25bu, 0x59f111f1u,
+        0x923f82a4u, 0xab1c5ed5u, 0xd807aa98u, 0x12835b01u, 0x243185beu, 0x550c7dc3u,
+        0x72be5d74u, 0x80deb1feu, 0x9bdc06a7u, 0xc19bf174u, 0xe49b69c1u, 0xefbe4786u,
+        0x0fc19dc6u, 0x240ca1ccu, 0x2de92c6fu, 0x4a7484aau, 0x5cb0a9dcu, 0x76f988dau,
+        0x983e5152u, 0xa831c66du, 0xb00327c8u, 0xbf597fc7u, 0xc6e00bf3u, 0xd5a79147u,
+        0x06ca6351u, 0x14292967u, 0x27b70a85u, 0x2e1b2138u, 0x4d2c6dfcu, 0x53380d13u,
+        0x650a7354u, 0x766a0abbu, 0x81c2c92eu, 0x92722c85u, 0xa2bfe8a1u, 0xa81a664bu,
+        0xc24b8b70u, 0xc76c51a3u, 0xd192e819u, 0xd6990624u, 0xf40e3585u, 0x106aa070u,
+        0x19a4c116u, 0x1e376c08u, 0x2748774cu, 0x34b0bcb5u, 0x391c0cb3u, 0x4ed8aa4au,
+        0x5b9cca4fu, 0x682e6ff3u, 0x748f82eeu, 0x78a5636fu, 0x84c87814u, 0x8cc70208u,
+        0x90befffau, 0xa4506cebu, 0xbef9a3f7u, 0xc67178f2u};
+    uint32_t w[64];
+    for (int i = 0; i < 16; i++)
+      w[i] = (static_cast<uint32_t>(p[4 * i]) << 24) |
+             (static_cast<uint32_t>(p[4 * i + 1]) << 16) |
+             (static_cast<uint32_t>(p[4 * i + 2]) << 8) | static_cast<uint32_t>(p[4 * i + 3]);
+    for (int i = 16; i < 64; i++) {
+      uint32_t s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      uint32_t s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+    uint32_t a = h[0], b = h[1], c = h[2], d = h[3];
+    uint32_t e = h[4], f = h[5], g = h[6], hh = h[7];
+    for (int i = 0; i < 64; i++) {
+      uint32_t S1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+      uint32_t ch = (e & f) ^ (~e & g);
+      uint32_t t1 = hh + S1 + ch + K[i] + w[i];
+      uint32_t S0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+      uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      uint32_t t2 = S0 + maj;
+      hh = g; g = f; f = e; e = d + t1;
+      d = c; c = b; b = a; a = t1 + t2;
+    }
+    h[0] += a; h[1] += b; h[2] += c; h[3] += d;
+    h[4] += e; h[5] += f; h[6] += g; h[7] += hh;
   }
-  return h;
-}
+
+  void update(const void* data, size_t n) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    total += n;
+    while (n > 0) {
+      size_t take = std::min(n, sizeof(buf) - fill);
+      std::memcpy(buf + fill, p, take);
+      fill += take;
+      p += take;
+      n -= take;
+      if (fill == sizeof(buf)) {
+        block(buf);
+        fill = 0;
+      }
+    }
+  }
+
+  void finish(unsigned char out[32]) {
+    uint64_t bits = total * 8;
+    unsigned char pad = 0x80;
+    update(&pad, 1);
+    unsigned char zero = 0;
+    while (fill != 56) update(&zero, 1);
+    unsigned char len[8];
+    for (int i = 0; i < 8; i++) len[i] = static_cast<unsigned char>(bits >> (56 - 8 * i));
+    update(len, 8);
+    for (int i = 0; i < 8; i++) {
+      out[4 * i] = static_cast<unsigned char>(h[i] >> 24);
+      out[4 * i + 1] = static_cast<unsigned char>(h[i] >> 16);
+      out[4 * i + 2] = static_cast<unsigned char>(h[i] >> 8);
+      out[4 * i + 3] = static_cast<unsigned char>(h[i]);
+    }
+  }
+};
 
 bool isUIntNumber(const obs::Json& j) {
   if (!j.isNumber()) return false;
@@ -43,10 +119,20 @@ std::string RequestOptions::cacheKey() const {
 }
 
 std::string designHash(const std::string& firrtlText, const RequestOptions& opts) {
+  // Length-prefix the text so (text, key) pairs cannot collide by shifting
+  // bytes across the boundary.
   std::string key = opts.cacheKey();
-  uint64_t lo = fnv1a(key, fnv1a(firrtlText, 0xcbf29ce484222325ULL));
-  uint64_t hi = fnv1a(key, fnv1a(firrtlText, 0x84222325cbf29ce4ULL));
-  return strfmt("%016" PRIx64 "%016" PRIx64, hi, lo);
+  std::string prefix = strfmt("%zu:", firrtlText.size());
+  Sha256 sha;
+  sha.update(prefix.data(), prefix.size());
+  sha.update(firrtlText.data(), firrtlText.size());
+  sha.update(key.data(), key.size());
+  unsigned char digest[32];
+  sha.finish(digest);
+  std::string out;
+  out.reserve(32);
+  for (int i = 0; i < 16; i++) out += strfmt("%02x", digest[i]);
+  return out;
 }
 
 std::optional<Request> parseRequest(const obs::Json& doc, std::string& code,

@@ -90,10 +90,13 @@ struct ResponseEnvelope {
 };
 std::optional<ResponseEnvelope> parseResponseEnvelope(const obs::Json& doc);
 
-// Content address of (firrtl text, options): 128-bit FNV-1a rendered as 32
-// hex chars. Not cryptographic — this keys a trusted in-process cache, the
-// property needed is stability + negligible collision odds, not
-// preimage resistance.
+// Content address of (firrtl text, options): SHA-256 truncated to 128 bits,
+// rendered as 32 hex chars. The cache this keys is shared across untrusted
+// connections, so collision resistance against adversarial inputs is part
+// of the contract — a non-cryptographic hash would let one client craft a
+// design that serves under another design's address. The server never
+// trusts a client-supplied design_hash as a cache key: when text is
+// present the hash is recomputed and a mismatch is rejected (E0604).
 std::string designHash(const std::string& firrtlText, const RequestOptions& opts);
 
 }  // namespace essent::serve

@@ -49,6 +49,18 @@ struct DesignRejected : std::runtime_error {
   obs::Json diagnostics;
 };
 
+// A request carried both design text and a design_hash that is not the
+// content address of that text — a broken client or a cache-poisoning
+// attempt. Rendered as E0604 by the handlers.
+struct HashMismatch : std::runtime_error {
+  HashMismatch(std::string supplied_, std::string computed_)
+      : std::runtime_error("design_hash does not match the supplied design"),
+        supplied(std::move(supplied_)),
+        computed(std::move(computed_)) {}
+  std::string supplied;
+  std::string computed;
+};
+
 }  // namespace
 
 obs::Json ServerStats::toJson() const {
@@ -146,10 +158,12 @@ void Server::acceptLoop() {
       support::Socket conn =
           support::acceptOn(p.fd == unixListener_.fd() ? unixListener_ : tcpListener_);
       if (!conn.valid()) continue;
-      // A stuck peer must not wedge the acceptor (or a worker) in send():
-      // bound every write on this connection.
-      timeval tv{5, 0};
-      ::setsockopt(conn.fd(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+      // Door writes (shed/drain frames) are best-effort: a ~50ms send
+      // budget so a peer with a stuffed receive window cannot head-of-line
+      // block the single acceptor — exactly the overload condition that
+      // triggers shedding. Workers raise the budget before serving.
+      timeval doorTv{0, 50'000};
+      ::setsockopt(conn.fd(), SOL_SOCKET, SO_SNDTIMEO, &doorTv, sizeof(doorTv));
       bumpStat(&ServerStats::connectionsAccepted);
       if (draining()) {
         support::writeFrame(
@@ -205,6 +219,10 @@ void Server::workerLoop(unsigned) {
       depth.set(static_cast<double>(queue_.size()));
     }
     support::Socket conn(fd);
+    // A stuck peer must not wedge this worker in send(): bound every
+    // response write (the acceptor left only the tiny door budget).
+    timeval tv{5, 0};
+    ::setsockopt(conn.fd(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
     if (draining()) {
       // Admitted before the drain began but never served: answer with the
       // structured drain error rather than a silent close.
@@ -393,14 +411,19 @@ obs::Json Server::handleRequest(const Request& req) {
 // ceilings. Throws DesignRejected / ResourceExhausted on failure.
 static DesignCache::Result resolveDesign(DesignCache& cache, const ServerOptions& sopts,
                                          const Request& req) {
-  std::string hash =
-      req.designHash.empty() ? designHash(req.designText, req.options) : req.designHash;
   if (req.designText.empty()) {
-    std::shared_ptr<const sim::CompiledDesign> d = cache.lookup(hash);
+    std::shared_ptr<const sim::CompiledDesign> d = cache.lookup(req.designHash);
     if (!d)
       throw std::invalid_argument("");  // mapped to E0611 by the caller
-    return {std::move(d), std::move(hash), true};
+    return {std::move(d), req.designHash, true};
   }
+  // The cache key is ALWAYS the server-computed content address of the
+  // supplied text. A client hash is only ever verified, never trusted —
+  // trusting it would let one client cache arbitrary FIRRTL under a key
+  // other clients' designs legitimately hash to (cache poisoning).
+  std::string hash = designHash(req.designText, req.options);
+  if (!req.designHash.empty() && req.designHash != hash)
+    throw HashMismatch(req.designHash, hash);
   Clock::time_point t0 = Clock::now();
   DesignCache::Result res = cache.getOrCompile(
       hash, req.designText,
@@ -433,6 +456,10 @@ obs::Json Server::handleCompile(const Request& req) {
     doc["design"]["registers"] = static_cast<uint64_t>(res.design->ir.regs.size());
     doc["design"]["memories"] = static_cast<uint64_t>(res.design->ir.mems.size());
     return doc;
+  } catch (const HashMismatch& e) {
+    return errorResponse(kErrBadRequest, "design_hash '" + e.supplied +
+                                             "' is not the content address of the supplied "
+                                             "design (computed '" + e.computed + "')");
   } catch (const std::invalid_argument&) {
     return errorResponse(kErrUnknownDesign, "design_hash not present in the cache");
   }
@@ -442,6 +469,10 @@ obs::Json Server::handleRun(const Request& req) {
   DesignCache::Result res;
   try {
     res = resolveDesign(cache_, opts_, req);
+  } catch (const HashMismatch& e) {
+    return errorResponse(kErrBadRequest, "design_hash '" + e.supplied +
+                                             "' is not the content address of the supplied "
+                                             "design (computed '" + e.computed + "')");
   } catch (const std::invalid_argument&) {
     return errorResponse(kErrUnknownDesign,
                          "design_hash not present in the cache; resend with 'design' text");
@@ -465,7 +496,16 @@ obs::Json Server::handleRun(const Request& req) {
   support::ResourceLimits lim = opts_.limits;
   lim.wallDeadlineMs = opts_.requestDeadlineMs;
   support::ResourceGuard guard(lim);
-  guard.checkSimMem(sim::estimateStateBytes(res.design->ir));
+  // Admit against PEAK engine-state residency, not one instance: a batch
+  // keeps one live engine per farm worker (instances beyond that run
+  // sequentially on freed slots), so the ceiling scales with the smaller
+  // of the batch size and the worker count.
+  uint64_t stateBytes = sim::estimateStateBytes(res.design->ir);
+  uint64_t liveEngines =
+      req.batch == 0 ? 1
+                     : std::min<uint64_t>(req.batch, std::max(1u, opts_.farmWorkers));
+  guard.checkSimMem(stateBytes > UINT64_MAX / liveEngines ? UINT64_MAX
+                                                          : stateBytes * liveEngines);
 
   sim::EngineOptions eo;
   eo.threads = req.options.threads;

@@ -5,6 +5,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -64,10 +65,26 @@ void Socket::shutdownWrite() {
 }
 
 Socket listenUnix(const std::string& path, int backlog) {
+  // Only a STALE socket may be replaced. A regular file (or anything else)
+  // at the path is a caller mistake — deleting it would destroy data — and
+  // a unix socket that still accepts connections belongs to a live daemon
+  // whose listener must not be silently stolen.
+  struct stat st;
+  if (::lstat(path.c_str(), &st) == 0) {
+    if (!S_ISSOCK(st.st_mode))
+      throw std::runtime_error("listenUnix: refusing to replace non-socket path: " + path);
+    sockaddr_un probeAddr = unixAddr(path);
+    int probeFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (probeFd >= 0) {
+      Socket probe(probeFd);
+      if (::connect(probeFd, reinterpret_cast<sockaddr*>(&probeAddr), sizeof(probeAddr)) == 0)
+        throw std::runtime_error("listenUnix: another daemon is already serving " + path);
+    }
+    ::unlink(path.c_str());  // stale socket from a dead process
+  }
   int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) fail("socket(AF_UNIX)");
   Socket s(fd);
-  ::unlink(path.c_str());  // stale socket from a previous run
   sockaddr_un addr = unixAddr(path);
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0)
     fail("bind(" + path + ")");

@@ -42,7 +42,9 @@ class Socket {
 
 // Listener construction. All throw std::runtime_error with a
 // strerror-carrying message on failure.
-Socket listenUnix(const std::string& path, int backlog = 64);  // unlinks stale path first
+// Replaces a STALE socket at `path`; refuses (throws) if the path is a
+// non-socket or a live daemon still accepts connections on it.
+Socket listenUnix(const std::string& path, int backlog = 64);
 Socket listenTcp(uint16_t port, int backlog = 64);             // binds 127.0.0.1; port 0 = ephemeral
 uint16_t boundPort(const Socket& s);  // resolves the port a 0-bind received
 

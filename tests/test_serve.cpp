@@ -464,6 +464,89 @@ TEST(ServerTest, WireCorpusGolden) {
   EXPECT_GE(cases, 10u) << "wire corpus went missing";
 }
 
+TEST(ServerTest, ForgedDesignHashIsRejectedAndNeverCached) {
+  TestServer ts;
+  const std::string forged = "00112233445566778899aabbccddeeff";
+
+  // Text + mismatched hash: E0604, for both run and compile.
+  obs::Json req = runRequest(kCounterFir, 8, {{"en", 1}});
+  req["design_hash"] = forged;
+  serve::ResponseEnvelope env = envelope(rpc(ts, req.dump(0)));
+  EXPECT_FALSE(env.ok);
+  EXPECT_EQ(env.errorCode, serve::kErrBadRequest);
+  obs::Json creq = obs::Json::object();
+  creq["op"] = "compile";
+  creq["design"] = kCounterFir;
+  creq["design_hash"] = forged;
+  EXPECT_EQ(envelope(rpc(ts, creq.dump(0))).errorCode, serve::kErrBadRequest);
+
+  // The poisoning attempt populated nothing: the forged key still misses,
+  // so a victim whose design legitimately hashes there would compile fresh.
+  obs::Json byHash = obs::Json::object();
+  byHash["op"] = "run";
+  byHash["design_hash"] = forged;
+  byHash["cycles"] = uint64_t{8};
+  EXPECT_EQ(envelope(rpc(ts, byHash.dump(0))).errorCode, serve::kErrUnknownDesign);
+
+  // A client double-checking with the MATCHING hash is admitted.
+  obs::Json good = runRequest(kCounterFir, 8, {{"en", 1}});
+  good["design_hash"] = serve::designHash(kCounterFir, serve::RequestOptions{});
+  EXPECT_TRUE(envelope(rpc(ts, good.dump(0))).ok);
+}
+
+TEST(ServerTest, BatchMemoryAdmissionScalesWithLiveEngines) {
+  uint64_t stateBytes = sim::estimateStateBytes(sim::buildFromFirrtl(kCounterFir));
+  ASSERT_GT(stateBytes, 0u);
+  serve::ServerOptions opts;
+  opts.farmWorkers = 4;
+  opts.limits.maxSimMemBytes = stateBytes * 2;  // one engine fits, four do not
+  TestServer ts(opts);
+
+  // Solo and a 2-instance batch (2 live engines == ceiling) are admitted...
+  EXPECT_TRUE(envelope(rpc(ts, runRequest(kCounterFir, 16, {{"en", 1}}).dump(0))).ok);
+  obs::Json small = runRequest(kCounterFir, 16, {{"en", 1}});
+  small["batch"] = 2u;
+  EXPECT_TRUE(envelope(rpc(ts, small.dump(0))).ok);
+
+  // ...but batch=8 keeps min(8, farmWorkers)=4 engines live: 4x the state
+  // against a 2x ceiling must be rejected up front, not allocated.
+  obs::Json batched = runRequest(kCounterFir, 16, {{"en", 1}});
+  batched["batch"] = 8u;
+  serve::ResponseEnvelope env = envelope(rpc(ts, batched.dump(0)));
+  EXPECT_FALSE(env.ok);
+  EXPECT_EQ(env.errorCode, serve::kErrResourceLimit);
+}
+
+TEST(SocketTest, ListenUnixRefusesNonSocketPathsAndLiveDaemons) {
+  char tmpl[] = "/tmp/essent_sockguard_XXXXXX";
+  char* made = mkdtemp(tmpl);
+  ASSERT_NE(made, nullptr);
+  std::string dir = made;
+
+  // A regular file at the path is refused AND survives the attempt.
+  std::string file = dir + "/precious.txt";
+  { std::ofstream f(file); f << "do not delete"; }
+  EXPECT_THROW(support::listenUnix(file), std::runtime_error);
+  EXPECT_TRUE(std::filesystem::exists(file));
+  EXPECT_EQ(readFileOrDie(file), "do not delete");
+
+  // A second daemon must not steal a live listener's socket...
+  std::string sock = dir + "/live.sock";
+  {
+    support::Socket first = support::listenUnix(sock);
+    ASSERT_TRUE(first.valid());
+    EXPECT_THROW(support::listenUnix(sock), std::runtime_error);
+    EXPECT_TRUE(std::filesystem::exists(sock)) << "refusal unlinked the live socket";
+  }
+  // ...but a stale socket left by a dead process is replaced normally.
+  ASSERT_TRUE(std::filesystem::exists(sock));
+  support::Socket second = support::listenUnix(sock);
+  EXPECT_TRUE(second.valid());
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
 TEST(ServerTest, PerRequestErrorIsolationOnOneConnection) {
   TestServer ts;
   support::Socket conn = support::connectUnix(ts.sock);
