@@ -127,8 +127,8 @@ int main(int argc, char** argv) {
           e.poke("wdata", draw.next());
         }
       };
-      sim::FullCycleEngine fc(banks);
-      sim::EventDrivenEngine ev(banks);
+      sim::FullCycleEngine fc(sim::CompiledDesign::compile(banks));
+      sim::EventDrivenEngine ev(sim::CompiledDesign::compile(banks));
       auto act = bench::makeCcssEngine(banks, schedB, report.env().threads);
       double tFc = sim::runEngine(fc, 20000, stim).seconds;
       double tEv = sim::runEngine(ev, 20000, stim).seconds;

@@ -132,6 +132,7 @@ obs::Json mixRow(const std::string& mix, unsigned clients, unsigned requests,
 
 std::string runPayload(const std::string& designText, uint64_t cycles, uint32_t cp) {
   obs::Json req = obs::Json::object();
+  req["proto"] = uint64_t{serve::kProtoMax};
   req["op"] = "run";
   req["design"] = designText;
   req["cycles"] = cycles;

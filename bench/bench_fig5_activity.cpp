@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
   for (const auto& cfg : bench::evalDesigns()) {
     auto d = bench::buildDesign(cfg);
     for (const auto& prog : bench::evalWorkloads()) {
-      sim::FullCycleEngine eng(d.optimized);
+      sim::FullCycleEngine eng(sim::CompiledDesign::compile(d.optimized));
       eng.setTrackActivity(true);
       workloads::loadProgram(eng, prog);
       // Bound the boom runs; the distribution converges quickly.

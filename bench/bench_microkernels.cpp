@@ -9,7 +9,7 @@
 #include "core/partitioner.h"
 #include "designs/blocks.h"
 #include "designs/tinysoc.h"
-#include "sim/builder.h"
+#include "sim/compile.h"
 #include "sim/event_driven.h"
 #include "sim/full_cycle.h"
 
@@ -23,7 +23,7 @@ const sim::SimIR& aluIr() {
 }
 
 void BM_FullCycleTick(benchmark::State& state) {
-  sim::FullCycleEngine eng(aluIr());
+  sim::FullCycleEngine eng(sim::CompiledDesign::compile(aluIr()));
   eng.poke("reset", 0);
   uint64_t v = 0;
   for (auto _ : state) {
@@ -35,7 +35,7 @@ void BM_FullCycleTick(benchmark::State& state) {
 BENCHMARK(BM_FullCycleTick);
 
 void BM_EventDrivenTick(benchmark::State& state) {
-  sim::EventDrivenEngine eng(aluIr());
+  sim::EventDrivenEngine eng(sim::CompiledDesign::compile(aluIr()));
   eng.poke("reset", 0);
   uint64_t v = 0;
   for (auto _ : state) {
@@ -47,7 +47,7 @@ void BM_EventDrivenTick(benchmark::State& state) {
 BENCHMARK(BM_EventDrivenTick);
 
 void BM_CcssTick(benchmark::State& state) {
-  core::ActivityEngine eng(aluIr(), core::ScheduleOptions{});
+  core::ActivityEngine eng(core::CompiledCcss::compile(sim::CompiledDesign::compile(aluIr()), core::ScheduleOptions{}));
   eng.poke("reset", 0);
   uint64_t v = 0;
   for (auto _ : state) {
@@ -60,7 +60,7 @@ BENCHMARK(BM_CcssTick);
 
 void BM_CcssTickIdle(benchmark::State& state) {
   // Inputs never change: measures the pure static overhead floor.
-  core::ActivityEngine eng(aluIr(), core::ScheduleOptions{});
+  core::ActivityEngine eng(core::CompiledCcss::compile(sim::CompiledDesign::compile(aluIr()), core::ScheduleOptions{}));
   eng.poke("reset", 0);
   eng.tick();
   for (auto _ : state) eng.tick();

@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
       return seconds(s0) / cycles * 1e6;
     };
 
-    sim::FullCycleEngine fc(ir);
+    sim::FullCycleEngine fc(sim::CompiledDesign::compile(ir));
     auto busyEng = bench::makeCcssEngine(ir, core::ScheduleOptions{}, env.threads);
     auto idleEng = bench::makeCcssEngine(ir, core::ScheduleOptions{}, env.threads);
     double fullUs = perCycle(fc, true, 3000);

@@ -19,7 +19,7 @@ int main() {
               "description");
   bench::printRule(92);
   for (const auto& prog : bench::evalWorkloads()) {
-    sim::FullCycleEngine eng(d.optimized);
+    sim::FullCycleEngine eng(sim::CompiledDesign::compile(d.optimized));
     workloads::loadProgram(eng, prog);
     auto res = workloads::runWorkload(eng, 2'000'000);
     std::printf("%-10s %12llu %12llu %8.2f  %s%s\n", prog.name.c_str(),

@@ -33,9 +33,9 @@ int main(int argc, char** argv) {
   for (const auto& cfg : bench::evalDesigns()) {
     auto d = bench::buildDesign(cfg);
     for (const auto& prog : bench::evalWorkloads()) {
-      sim::EventDrivenEngine commver(d.optimized);
-      sim::FullCycleEngine verilator(d.optimized);
-      sim::FullCycleEngine baseline(d.baseline);
+      sim::EventDrivenEngine commver(sim::CompiledDesign::compile(d.optimized));
+      sim::FullCycleEngine verilator(sim::CompiledDesign::compile(d.optimized));
+      sim::FullCycleEngine baseline(sim::CompiledDesign::compile(d.baseline));
       auto essentEng = bench::makeCcssEngine(d.optimized, core::ScheduleOptions{},
                                              report.env().threads);
 

@@ -28,7 +28,7 @@
 #include "designs/tinysoc.h"
 #include "obs/json.h"
 #include "obs/phase_timer.h"
-#include "sim/builder.h"
+#include "sim/compile.h"
 #include "sim/event_driven.h"
 #include "sim/full_cycle.h"
 #include "workloads/driver.h"

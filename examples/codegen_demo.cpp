@@ -9,7 +9,7 @@
 #include "codegen/emitter.h"
 #include "core/schedule.h"
 #include "designs/gcd.h"
-#include "sim/builder.h"
+#include "sim/compile.h"
 
 using namespace essent;
 

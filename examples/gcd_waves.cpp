@@ -16,7 +16,7 @@ using namespace essent;
 
 int main(int argc, char** argv) {
   sim::SimIR ir = sim::buildFromFirrtl(designs::gcdFirrtl(16));
-  core::ActivityEngine eng(ir, core::ScheduleOptions{});
+  core::ActivityEngine eng(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), core::ScheduleOptions{}));
 
   const char* vcdPath = argc > 1 ? argv[1] : "gcd.vcd";
   std::ofstream vcdFile(vcdPath);

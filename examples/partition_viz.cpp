@@ -11,7 +11,7 @@
 #include "core/partitioner.h"
 #include "designs/blocks.h"
 #include "designs/gcd.h"
-#include "sim/builder.h"
+#include "sim/compile.h"
 
 using namespace essent;
 

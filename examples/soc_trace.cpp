@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
               ir.mems.size());
 
   // Trace run on the CCSS engine with a periodic architectural report.
-  core::ActivityEngine eng(ir, core::ScheduleOptions{});
+  core::ActivityEngine eng(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), core::ScheduleOptions{}));
   std::printf("  %zu partitions, %zu/%zu registers elided\n",
               eng.schedule().numPartitions(), eng.schedule().elidedRegs, ir.regs.size());
   workloads::loadProgram(eng, prog);
@@ -61,9 +61,9 @@ int main(int argc, char** argv) {
                 res.cycles / res.seconds / 1e3, static_cast<unsigned long long>(res.result));
     return res.seconds;
   };
-  sim::FullCycleEngine fc(ir);
-  sim::EventDrivenEngine ev(ir);
-  core::ActivityEngine act(ir, core::ScheduleOptions{});
+  sim::FullCycleEngine fc(sim::CompiledDesign::compile(ir));
+  sim::EventDrivenEngine ev(sim::CompiledDesign::compile(ir));
+  core::ActivityEngine act(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), core::ScheduleOptions{}));
   double tFc = timeIt(fc);
   timeIt(ev);
   double tAct = timeIt(act);

@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   cfg.cols = n;
 
   sim::SimIR ir = sim::buildFromFirrtl(designs::systolicFirrtl(cfg));
-  core::ActivityEngine eng(ir, core::ScheduleOptions{});
+  core::ActivityEngine eng(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), core::ScheduleOptions{}));
   std::printf("%ux%u systolic array: %zu IR ops, %zu partitions\n", n, n, ir.ops.size(),
               eng.schedule().numPartitions());
 

@@ -1,0 +1,17 @@
+// ESSENT public API — the compile pipeline.
+//
+// One call takes FIRRTL text through parse, width inference, lowering, IR
+// build, and optimization, returning the immutable CompiledDesign that
+// sim::makeEngine and core::SimFarm consume:
+//
+//   #include <essent/compile.h>
+//   essent::diag::DiagEngine de;
+//   essent::sim::CompileOptions copts;
+//   auto design = essent::sim::compileDesign(firrtlText, copts, de);
+//   if (!design) { /* inspect de */ }
+//
+// Everything reachable from this header follows the compatibility policy
+// in docs/API.md.
+#pragma once
+
+#include "sim/compile.h"  // CompileOptions, compileDesign (+ build layer)

@@ -1,15 +1,15 @@
 // ESSENT public API — engine construction and simulation.
 //
 // This is the stable entry point for embedding the simulator: compile a
-// design once (sim::CompiledDesign::compile or sim::buildFromFirrtl), then
-// construct any number of engines from it with sim::makeEngine. Everything
+// design once (sim::compileDesign, see <essent/compile.h>), then construct
+// any number of engines from it with sim::makeEngine. Everything
 // reachable from the include/essent/ headers follows the compatibility
 // policy in docs/API.md; internal headers (src/**) may change freely
 // between releases.
 //
+//   #include <essent/compile.h>
 //   #include <essent/engine.h>
-//   auto ir = essent::sim::buildFromFirrtl(firrtlText);
-//   auto design = essent::sim::CompiledDesign::compile(ir);
+//   auto design = essent::sim::compileDesign(firrtlText);
 //   auto eng = essent::sim::makeEngine(essent::sim::EngineKind::Ccss, design);
 //   eng->poke("en", 1);
 //   eng->tick();
@@ -18,7 +18,7 @@
 #include "core/activity_engine.h"    // ActivityEngine (CCSS) + CompiledCcss
 #include "core/lane_engine.h"        // LaneEngine + LaneBroadcastEngine (SIMD lanes)
 #include "core/parallel_engine.h"    // ParallelActivityEngine + makeCcssEngine
-#include "sim/builder.h"             // buildFromFirrtl: FIRRTL text -> SimIR
+#include "sim/compile.h"             // compileDesign: FIRRTL text -> CompiledDesign
 #include "sim/engine.h"              // Engine, CompiledDesign, EngineStats
 #include "sim/engine_factory.h"      // EngineKind, EngineOptions, makeEngine
 #include "sim/event_driven.h"        // EventDrivenEngine

@@ -1,5 +1,6 @@
 // ESSENT public API — every option struct a client configures:
 //
+//   sim::CompileOptions   text->CompiledDesign pipeline knobs (build + limits)
 //   sim::BuildOptions     FIRRTL lowering + IR optimization knobs
 //   sim::EngineOptions    makeEngine knobs (threads, C_p, elision, profiling)
 //   core::ScheduleOptions CCSS partitioner/schedule knobs (advanced use;
@@ -11,5 +12,5 @@
 
 #include "core/schedule.h"           // ScheduleOptions (+ PartitionOptions)
 #include "core/sim_farm.h"           // FarmOptions
-#include "sim/builder.h"             // BuildOptions
+#include "sim/compile.h"             // CompileOptions (+ BuildOptions)
 #include "sim/engine_factory.h"      // EngineOptions

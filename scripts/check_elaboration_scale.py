@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Gate the elaboration-scale bench against its committed artifact.
+
+Usage: check_elaboration_scale.py BASELINE.json FRESH.json
+           [--tolerance 0.15] [--share-floor 0.02]
+           [--exp-floor 0.1] [--max-exponent 1.8]
+
+Two machine-independent checks over BENCH_elaboration_scale.json (raw
+wall-clock is NOT gated — CI runners and the baseline machine differ in
+speed, so absolute seconds carry no regression signal):
+
+1. Per-phase share regression. For every (design) row present in both
+   artifacts, each compile-pipeline phase's share of the total elaboration
+   time (parse, build-ir, lower, netlist, mffc, merge-A/B/C, schedule)
+   must not exceed baseline_share * (1 + tolerance). A uniformly slower
+   host leaves shares unchanged; a phase that regressed relative to the
+   rest of the pipeline grows its share and fails. Share deltas under
+   --share-floor (absolute percentage points) are treated as noise.
+
+2. Intra-artifact scaling shape. Between the fresh artifact's smallest and
+   largest scale, every phase costing at least --exp-floor seconds at the
+   largest scale must scale with exponent
+   log(t_hi/t_lo) / log(nodes_hi/nodes_lo) <= --max-exponent. This catches
+   a quadratic merge pass reappearing (exponent 2.0) regardless of host
+   speed; the committed pipeline sits at 1.1-1.45 (the super-unit part is
+   cache-miss inflation, not algorithmic).
+
+Rows present in only one artifact are reported but do not fail the check
+(CI runs with --max-scale to skip the 1M row); a fresh artifact with NO
+matching rows fails, since then nothing was actually compared.
+"""
+import argparse
+import json
+import math
+import sys
+
+
+def rows_by_key(doc):
+    return {r["design"]: r for r in doc["rows"]}
+
+
+def phase_shares(row):
+    secs = {k: v["seconds"] for k, v in row.get("phases", {}).items()}
+    total = row.get("seconds", 0.0) or sum(secs.values())
+    return {k: s / total for k, s in secs.items()}, secs
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="max fractional growth of a phase's share of total "
+                         "elaboration time vs baseline (default 0.15 = 15%%)")
+    ap.add_argument("--share-floor", type=float, default=0.02,
+                    help="absolute share delta (fraction of total) below "
+                         "which a phase is treated as noise (default 0.02)")
+    ap.add_argument("--exp-floor", type=float, default=0.1,
+                    help="seconds at the largest scale below which a phase "
+                         "is skipped by the exponent check (default 0.1)")
+    ap.add_argument("--max-exponent", type=float, default=1.8,
+                    help="max allowed scaling exponent in nodes between the "
+                         "smallest and largest fresh scale (default 1.8; "
+                         "2.0 would be quadratic)")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base = rows_by_key(json.load(f))
+    with open(args.fresh) as f:
+        fresh_doc = json.load(f)
+    fresh = rows_by_key(fresh_doc)
+
+    print(f"fresh artifact: {len(fresh)} rows, "
+          f"reps={fresh_doc.get('meta', {}).get('reps')}")
+
+    failures = []
+    compared = 0
+
+    # 1. per-phase share regression against the committed baseline
+    for design in sorted(base):
+        if design not in fresh:
+            print(f"NOTE  {design}: row missing from fresh artifact")
+            continue
+        compared += 1
+        b_share, b_secs = phase_shares(base[design])
+        f_share, f_secs = phase_shares(fresh[design])
+        for phase in sorted(b_share):
+            if phase not in f_share:
+                failures.append(f"{design}/{phase}: phase missing from fresh artifact")
+                continue
+            ceil = b_share[phase] * (1 + args.tolerance)
+            noise = (f_share[phase] - b_share[phase]) < args.share_floor
+            status = "ok" if f_share[phase] <= ceil or noise else "REGRESSED"
+            if status == "REGRESSED":
+                failures.append(
+                    f"{design}/{phase}: share {f_share[phase]:.1%} > ceiling "
+                    f"{ceil:.1%} (baseline {b_share[phase]:.1%}; "
+                    f"{b_secs[phase]:.3f}s -> {f_secs[phase]:.3f}s)")
+            print(f"{status:9s} {design:10s} {phase:10s} share "
+                  f"{b_share[phase]:6.1%} -> {f_share[phase]:6.1%}  "
+                  f"({b_secs[phase] * 1000:7.1f}ms -> {f_secs[phase] * 1000:7.1f}ms)")
+
+    for design in sorted(set(fresh) - set(base)):
+        print(f"NOTE  {design}: new row, no baseline")
+
+    # 2. intra-artifact scaling exponent, smallest -> largest fresh scale
+    if len(fresh) >= 2:
+        rows = sorted(fresh.values(), key=lambda r: r["nodes"])
+        lo, hi = rows[0], rows[-1]
+        node_ratio = hi["nodes"] / lo["nodes"]
+        _, lo_secs = phase_shares(lo)
+        _, hi_secs = phase_shares(hi)
+        for phase in sorted(hi_secs):
+            if hi_secs[phase] < args.exp_floor or lo_secs.get(phase, 0) <= 0:
+                continue
+            exponent = math.log(hi_secs[phase] / lo_secs[phase]) / math.log(node_ratio)
+            status = "ok" if exponent <= args.max_exponent else "SUPERLINEAR"
+            if status == "SUPERLINEAR":
+                failures.append(
+                    f"{lo['design']}->{hi['design']}/{phase}: scaling exponent "
+                    f"{exponent:.2f} > {args.max_exponent} "
+                    f"({lo_secs[phase]:.3f}s -> {hi_secs[phase]:.3f}s over "
+                    f"{node_ratio:.1f}x nodes)")
+            print(f"{status:11s} {phase:10s} exponent {exponent:.2f} "
+                  f"over {node_ratio:.1f}x nodes")
+    else:
+        print("NOTE  fewer than 2 fresh rows; scaling-exponent check skipped")
+
+    if compared == 0:
+        failures.append("no rows in common with the baseline — nothing compared")
+    if failures:
+        print("\nFAIL:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"\nOK: {compared} rows, share tolerance {args.tolerance}, "
+          f"exponents <= {args.max_exponent}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -60,6 +60,133 @@ class Emitter {
     return out_;
   }
 
+  ShardedCpp runSharded(uint32_t shards, const std::string& base) {
+    ShardedCpp sh;
+    sh.headerName = base + ".h";
+    const std::string& cn = opts_.className;
+
+    // Work-function definitions, in schedule order: one per partition
+    // (CCSS) or one per contiguous op slice (baseline).
+    std::vector<std::string> decls, defs;
+    if (opts_.ccss) {
+      for (size_t pos = 0; pos < sched_->parts.size(); pos++) {
+        decls.push_back(strfmt("  void part_%zu();\n", pos));
+        out_.clear();
+        emitPartitionFunction(pos, strfmt("void %s::part_%zu()", cn.c_str(), pos), "  ",
+                              "}\n\n");
+        defs.push_back(std::move(out_));
+      }
+    } else {
+      std::vector<int32_t> all(ir_.ops.size());
+      for (size_t i = 0; i < all.size(); i++) all[i] = static_cast<int32_t>(i);
+      const size_t per = all.size() / std::max<uint32_t>(1, shards) + 1;
+      size_t from = 0;
+      while (from < all.size()) {
+        size_t to = std::min(all.size(), from + per);
+        // Never split a combinational-loop supernode's convergence run.
+        while (to < all.size() &&
+               ir_.superOf(static_cast<size_t>(all[to])) >= 0 &&
+               ir_.superOf(static_cast<size_t>(all[to])) ==
+                   ir_.superOf(static_cast<size_t>(all[to - 1])))
+          to++;
+        const size_t k = decls.size();
+        decls.push_back(strfmt("  void chunk_%zu();\n", k));
+        out_.clear();
+        out_ += strfmt("void %s::chunk_%zu() {\n", cn.c_str(), k);
+        emitOpSeq(std::vector<int32_t>(all.begin() + static_cast<ptrdiff_t>(from),
+                                       all.begin() + static_cast<ptrdiff_t>(to)),
+                  "  ");
+        out_ += "}\n\n";
+        defs.push_back(std::move(out_));
+        from = to;
+      }
+    }
+
+    // finish_(): side effects + phase-2 state updates + cycle count.
+    out_.clear();
+    out_ += strfmt("void %s::finish_() {\n", cn.c_str());
+    emitPrintsAndStops("  ");
+    if (opts_.ccss) {
+      for (const auto& rw : sched_->deferredRegs) emitRegWrite(rw.regIdx, &rw.wakeParts, "  ");
+      for (const auto& mw : sched_->deferredMemWrites)
+        emitMemWrite(mw.memIdx, mw.writerIdx, &mw.wakeParts, "  ");
+    } else {
+      for (size_t r = 0; r < ir_.regs.size(); r++)
+        emitRegWrite(static_cast<int32_t>(r), nullptr, "  ");
+      for (size_t m = 0; m < ir_.mems.size(); m++)
+        for (size_t w = 0; w < ir_.mems[m].writers.size(); w++)
+          emitMemWrite(static_cast<int32_t>(m), static_cast<int32_t>(w), nullptr, "  ");
+    }
+    out_ += "  cycles_++;\n}\n";
+    const std::string finishDef = std::move(out_);
+
+    // Contiguous assignment of work functions to units, balanced by
+    // emitted byte count (schedule order is preserved by the call sites,
+    // so placement only affects compile-time balance).
+    const uint32_t S = std::max<uint32_t>(
+        1, std::min<uint32_t>(shards, static_cast<uint32_t>(std::max<size_t>(1, defs.size()))));
+    size_t totalBytes = 0;
+    for (const auto& d : defs) totalBytes += d.size();
+    std::vector<std::pair<size_t, size_t>> range(S, {0, 0});
+    {
+      size_t i = 0, acc = 0;
+      for (uint32_t k = 0; k < S; k++) {
+        range[k].first = i;
+        const size_t goal = totalBytes * (k + 1) / S;
+        while (i < defs.size() && (acc < goal || k + 1 == S)) acc += defs[i++].size();
+        range[k].second = i;
+      }
+    }
+
+    // eval(): the only cross-unit glue; lives in unit 0.
+    out_.clear();
+    out_ += strfmt("void %s::eval() {\n", cn.c_str());
+    if (opts_.ccss) {
+      out_ += "  // 1. external input change detection\n";
+      emitInputSweep("  ");
+      out_ += "  first_cycle_ = false;\n";
+      out_ += "  // 2. singular static partition sweep, one chunk per unit\n";
+      for (uint32_t k = 0; k < S; k++) out_ += strfmt("  sweepChunk_%u();\n", k);
+    } else {
+      for (size_t j = 0; j < defs.size(); j++) out_ += strfmt("  chunk_%zu();\n", j);
+    }
+    out_ += "  // side effects + phase-2 state updates\n  finish_();\n}\n";
+    const std::string evalDef = std::move(out_);
+
+    // Header: struct definition with member state + method declarations.
+    out_.clear();
+    emitPreamble();
+    emitMembers();
+    out_ += strfmt("  // --- evaluation (definitions sharded across %u translation units) ---\n",
+                   S);
+    for (const auto& d : decls) out_ += d;
+    if (opts_.ccss)
+      for (uint32_t k = 0; k < S; k++) out_ += strfmt("  void sweepChunk_%u();\n", k);
+    out_ += "  void finish_();\n  void eval();\n";
+    out_ += "};\n\n}  // namespace essent_gen\n";
+    sh.header = "#pragma once\n" + out_;
+
+    for (uint32_t k = 0; k < S; k++) {
+      sh.unitNames.push_back(strfmt("%s_%u.cpp", base.c_str(), k));
+      std::string u = strfmt(
+          "// Generated by essent-cpp (unit %u of %u). Do not edit.\n"
+          "#include \"%s.h\"\n\nnamespace essent_gen {\n\n",
+          k, S, base.c_str());
+      for (size_t i = range[k].first; i < range[k].second; i++) u += defs[i];
+      if (opts_.ccss) {
+        u += strfmt("void %s::sweepChunk_%u() {\n", cn.c_str(), k);
+        for (size_t i = range[k].first; i < range[k].second; i++)
+          u += strfmt("  if (act_[%zu]) part_%zu();\n", i, i);
+        u += "}\n\n";
+      }
+      if (k + 1 == S) u += finishDef + "\n";
+      if (k == 0) u += evalDef + "\n";
+      u += "}  // namespace essent_gen\n";
+      sh.units.push_back(std::move(u));
+    }
+    return sh;
+  }
+
  private:
   const SimIR& ir_;
   const CondPartSchedule* sched_;
@@ -525,29 +652,47 @@ class Emitter {
     }
   }
 
-  void emitPartitionFunctions() {
-    for (size_t pos = 0; pos < sched_->parts.size(); pos++) {
-      const auto& part = sched_->parts[pos];
-      out_ += strfmt("  void part_%zu() {\n", pos);
-      out_ += strfmt("    act_[%zu] = false;\n", pos);
-      for (size_t oi = 0; oi < part.outputs.size(); oi++)
-        out_ += strfmt("    const uint64_t old%zu_ = %s;\n", oi,
-                       name(part.outputs[oi].sig).c_str());
-      emitOpSeq(part.ops, "    ");
-      for (const auto& rw : part.regWrites) emitRegWrite(rw.regIdx, &rw.wakeParts, "    ");
-      for (const auto& mw : part.memWrites)
-        emitMemWrite(mw.memIdx, mw.writerIdx, &mw.wakeParts, "    ");
-      for (size_t oi = 0; oi < part.outputs.size(); oi++) {
-        const auto& o = part.outputs[oi];
-        // Branchless OR-reduction trigger (Figure 1).
-        out_ += strfmt("    { const bool ch%zu_ = old%zu_ != %s;\n", oi, oi,
-                       name(o.sig).c_str());
-        for (int32_t c : o.consumers) out_ += strfmt("      act_[%d] |= ch%zu_;\n", c, oi);
-        out_ += "    }\n";
-      }
-      out_ += "  }\n";
+  // One partition function; `sig` is the full signature (in-class or
+  // out-of-line qualified), `ind` the body indentation, `close` the line
+  // ending the definition.
+  void emitPartitionFunction(size_t pos, const std::string& sig, const std::string& ind,
+                             const std::string& close) {
+    const auto& part = sched_->parts[pos];
+    out_ += sig + " {\n";
+    out_ += ind + strfmt("act_[%zu] = false;\n", pos);
+    for (size_t oi = 0; oi < part.outputs.size(); oi++)
+      out_ += ind + strfmt("const uint64_t old%zu_ = %s;\n", oi,
+                           name(part.outputs[oi].sig).c_str());
+    emitOpSeq(part.ops, ind);
+    for (const auto& rw : part.regWrites) emitRegWrite(rw.regIdx, &rw.wakeParts, ind);
+    for (const auto& mw : part.memWrites)
+      emitMemWrite(mw.memIdx, mw.writerIdx, &mw.wakeParts, ind);
+    for (size_t oi = 0; oi < part.outputs.size(); oi++) {
+      const auto& o = part.outputs[oi];
+      // Branchless OR-reduction trigger (Figure 1).
+      out_ += ind + strfmt("{ const bool ch%zu_ = old%zu_ != %s;\n", oi, oi,
+                           name(o.sig).c_str());
+      for (int32_t c : o.consumers) out_ += ind + strfmt("  act_[%d] |= ch%zu_;\n", c, oi);
+      out_ += ind + "}\n";
     }
+    out_ += close;
+  }
+
+  void emitPartitionFunctions() {
+    for (size_t pos = 0; pos < sched_->parts.size(); pos++)
+      emitPartitionFunction(pos, strfmt("  void part_%zu()", pos), "    ", "  }\n");
     out_ += "\n";
+  }
+
+  void emitInputSweep(const std::string& ind) {
+    for (size_t i = 0; i < ir_.inputs.size(); i++) {
+      int32_t in = ir_.inputs[i];
+      out_ += ind + strfmt("if (first_cycle_ || %s != prev_%s) {\n", name(in).c_str(),
+                           name(in).c_str());
+      for (int32_t p : sched_->inputConsumers[i]) out_ += ind + strfmt("  act_[%d] = true;\n", p);
+      out_ += ind + strfmt("  prev_%s = %s;\n", name(in).c_str(), name(in).c_str());
+      out_ += ind + "}\n";
+    }
   }
 
   void emitEval() {
@@ -566,14 +711,7 @@ class Emitter {
           emitMemWrite(static_cast<int32_t>(m), static_cast<int32_t>(w), nullptr, "    ");
     } else {
       out_ += "    // 1. external input change detection\n";
-      for (size_t i = 0; i < ir_.inputs.size(); i++) {
-        int32_t in = ir_.inputs[i];
-        out_ += strfmt("    if (first_cycle_ || %s != prev_%s) {\n", name(in).c_str(),
-                       name(in).c_str());
-        for (int32_t p : sched_->inputConsumers[i]) out_ += strfmt("      act_[%d] = true;\n", p);
-        out_ += strfmt("      prev_%s = %s;\n", name(in).c_str(), name(in).c_str());
-        out_ += "    }\n";
-      }
+      emitInputSweep("    ");
       out_ += "    first_cycle_ = false;\n";
       out_ += "    // 2. singular static partition sweep\n";
       for (size_t pos = 0; pos < sched_->parts.size(); pos++)
@@ -596,6 +734,14 @@ std::string emitCpp(const SimIR& ir, const CondPartSchedule* schedule,
   obs::ScopedPhaseTimer phaseTimer("codegen");
   Emitter e(ir, schedule, opts);
   return e.run();
+}
+
+ShardedCpp emitCppSharded(const SimIR& ir, const CondPartSchedule* schedule,
+                          const CodegenOptions& opts, uint32_t shards,
+                          const std::string& base) {
+  obs::ScopedPhaseTimer phaseTimer("codegen");
+  Emitter e(ir, schedule, opts);
+  return e.runSharded(shards, base);
 }
 
 std::string memberName(const SimIR& ir, int32_t sig) {

@@ -49,6 +49,27 @@ class CodegenError : public std::runtime_error {
 std::string emitCpp(const sim::SimIR& ir, const core::CondPartSchedule* schedule,
                     const CodegenOptions& opts = {});
 
+// Sharded emission for million-node designs, where a single translation
+// unit would stall (or OOM) the host C++ compiler: `header` declares the
+// simulator struct and `units[k]` defines a slice of its evaluation code,
+// so the units compile in parallel and each stays a tractable size.
+// Partition functions (CCSS) / schedule chunks (baseline) are assigned to
+// units in schedule order, balanced by emitted byte count; unit 0 defines
+// eval(). Write `header` as `<base>.h` and unit k as `<base>_<k>.cpp` —
+// every unit includes the header by that name.
+struct ShardedCpp {
+  std::string headerName;             // "<base>.h"
+  std::string header;
+  std::vector<std::string> unitNames; // "<base>_<k>.cpp"
+  std::vector<std::string> units;
+};
+
+// `shards` is clamped to [1, work functions]; `base` is the file-name stem
+// recorded in headerName/unitNames (and in each unit's #include line).
+ShardedCpp emitCppSharded(const sim::SimIR& ir, const core::CondPartSchedule* schedule,
+                          const CodegenOptions& opts, uint32_t shards,
+                          const std::string& base = "sim");
+
 // The C identifier used for a signal in generated code (stable mapping,
 // collision-free); exposed so harnesses can address generated members.
 std::string memberName(const sim::SimIR& ir, int32_t sig);

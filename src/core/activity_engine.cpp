@@ -79,13 +79,6 @@ ActivityEngine::ActivityEngine(std::shared_ptr<const CompiledCcss> ccss)
   firstCycle_ = true;
 }
 
-ActivityEngine::ActivityEngine(const sim::SimIR& ir, CondPartSchedule schedule)
-    : ActivityEngine(
-          CompiledCcss::compile(sim::CompiledDesign::compile(ir), std::move(schedule))) {}
-
-ActivityEngine::ActivityEngine(const sim::SimIR& ir, const ScheduleOptions& opts)
-    : ActivityEngine(CompiledCcss::compile(sim::CompiledDesign::compile(ir), opts)) {}
-
 void ActivityEngine::resetState() {
   Engine::resetState();
   std::fill(active_.begin(), active_.end(), uint8_t{1});

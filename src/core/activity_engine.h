@@ -88,12 +88,6 @@ class ActivityEngine : public sim::Engine {
   // mutable state (arena, wake flags, save buffer, profile).
   explicit ActivityEngine(std::shared_ptr<const CompiledCcss> ccss);
 
-  // Deprecated thin wrappers (see docs/API.md): compile a private snapshot
-  // of `ir`. Prefer sim::makeEngine or the CompiledCcss overload so
-  // concurrent instances share one build.
-  ActivityEngine(const sim::SimIR& ir, CondPartSchedule schedule);
-  ActivityEngine(const sim::SimIR& ir, const ScheduleOptions& opts);
-
   void tick() override;
   void resetState() override;
   const char* name() const override { return "essent-ccss"; }

@@ -48,17 +48,6 @@ ParallelActivityEngine::ParallelActivityEngine(std::shared_ptr<const CompiledCcs
   mailbox_[1].assign(T * T, {});
 }
 
-ParallelActivityEngine::ParallelActivityEngine(const sim::SimIR& ir, CondPartSchedule schedule,
-                                               unsigned threads)
-    : ParallelActivityEngine(
-          CompiledCcss::compile(sim::CompiledDesign::compile(ir), std::move(schedule)),
-          threads) {}
-
-ParallelActivityEngine::ParallelActivityEngine(const sim::SimIR& ir, const ScheduleOptions& opts,
-                                               unsigned threads)
-    : ParallelActivityEngine(
-          CompiledCcss::compile(sim::CompiledDesign::compile(ir), opts), threads) {}
-
 void ParallelActivityEngine::wakeOnLane(const std::vector<int32_t>& parts, unsigned lane,
                                         std::vector<int32_t>* outbox, LaneCounters& lc) {
   // Plain stores only: a flag is written by its owning lane (drain, clear,

@@ -60,11 +60,6 @@ class ParallelActivityEngine : public ActivityEngine {
   // the placement's useful width (never more lanes than partitions).
   ParallelActivityEngine(std::shared_ptr<const CompiledCcss> ccss, unsigned threads);
 
-  // Deprecated thin wrappers (see docs/API.md): compile a private snapshot
-  // of `ir`. Prefer sim::makeEngine or the CompiledCcss overload.
-  ParallelActivityEngine(const sim::SimIR& ir, CondPartSchedule schedule, unsigned threads);
-  ParallelActivityEngine(const sim::SimIR& ir, const ScheduleOptions& opts, unsigned threads);
-
   void tick() override;
   const char* name() const override { return "essent-ccss-par"; }
   unsigned threadCount() const override { return pool_.numThreads(); }

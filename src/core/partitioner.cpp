@@ -9,7 +9,6 @@
 #include "obs/phase_timer.h"
 
 namespace essent::core {
-
 namespace {
 
 // Incremental partition merger.
@@ -89,9 +88,31 @@ class Merger {
     if (a == b || !alive(a) || !alive(b)) return false;
     int32_t low = pos_[static_cast<size_t>(a)] < pos_[static_cast<size_t>(b)] ? a : b;
     int32_t high = low == a ? b : a;
+    int32_t hiPos = pos_[static_cast<size_t>(high)];
+    int32_t loPos = pos_[static_cast<size_t>(low)];
+    // Backward probe first: when every in-neighbor of high is either low
+    // itself or sits before low, nothing inside the window reaches high, so
+    // no external path low ->* C -> high can exist and the merged partition
+    // can simply take low's slot — no forward sweep, no window slide. This
+    // is every phase-A merge (the child has a single in-neighbor) and most
+    // sibling merges, and turns them O(in-degree) instead of O(window).
+    bool highOnlyFedFromBeforeLow = true;
+    for (const auto& [pred, cnt] : in_[static_cast<size_t>(high)]) {
+      (void)cnt;
+      if (pred != low && pos_[static_cast<size_t>(pred)] > loPos) {
+        highOnlyFedFromBeforeLow = false;
+        break;
+      }
+    }
+    if (highOnlyFedFromBeforeLow) {
+      contract(a, b);
+      order_[static_cast<size_t>(loPos)] = a;
+      pos_[static_cast<size_t>(a)] = loPos;
+      order_[static_cast<size_t>(hiPos)] = -1;  // hole
+      return true;
+    }
     // Window-bounded BFS from low. Any discovered intermediate with an edge
     // into high is an external path (the direct low->high edge is fine).
-    int32_t hiPos = pos_[static_cast<size_t>(high)];
     stamp_++;
     std::vector<int32_t> forward;  // visited, excluding low, in BFS order
     std::vector<int32_t> stack;
@@ -186,11 +207,9 @@ class Merger {
       throw std::logic_error("initial partitioning is cyclic");
   }
 
-  // Contracts b into a, placing the merged partition at high's position and
-  // sliding `forward` (everything reachable from low inside the window)
-  // directly after it. See the class comment for the validity argument.
-  void mergeInternal(int32_t a, int32_t b, int32_t low, int32_t high,
-                     const std::vector<int32_t>& forward) {
+  // Contracts b into a: members, contracted-graph edges, input-signal sets,
+  // liveness. Does NOT touch the topological order — callers handle that.
+  void contract(int32_t a, int32_t b) {
     auto& ma = members_[static_cast<size_t>(a)];
     auto& mb = members_[static_cast<size_t>(b)];
     for (int32_t n : mb) partOf_[static_cast<size_t>(n)] = a;
@@ -224,6 +243,14 @@ class Merger {
       else ++it;
     }
     alive_[static_cast<size_t>(b)] = false;
+  }
+
+  // Contracts b into a, placing the merged partition at high's position and
+  // sliding `forward` (everything reachable from low inside the window)
+  // directly after it. See the class comment for the validity argument.
+  void mergeInternal(int32_t a, int32_t b, int32_t low, int32_t high,
+                     const std::vector<int32_t>& forward) {
+    contract(a, b);
 
     // --- order maintenance ---
     int32_t loPos = pos_[static_cast<size_t>(low)];
@@ -269,31 +296,55 @@ Partitioning partitionNetlist(const Netlist& nl, const PartitionOptions& opts) {
   Merger merger(nl, std::move(initial), numParts);
 
   // --- Phase A: merge single-parent partitions into their parents. ---
+  // Worklist formulation: a partition can newly become single-parent only
+  // when one of its in-neighbors was just contracted away, so instead of
+  // re-sweeping every live partition until fixpoint (quadratic on deep
+  // merge chains), each merge re-enqueues exactly the partitions whose
+  // in-neighbor sets it changed — the merged survivor and its current
+  // out-neighbors. The fixpoint reached is the same: single-parent
+  // eligibility is monotone until the partition itself merges.
   if (opts.phaseSingleParent) {
     obs::ScopedPhaseTimer phaseTimer("merge-A");
-    bool progress = true;
-    while (progress) {
-      progress = false;
-      for (int32_t p : merger.alivePartitions()) {
-        if (!merger.alive(p)) continue;
-        if (merger.inNbrs(p).size() != 1) continue;
-        // All signals must come from the single parent: no source signals
-        // (external inputs / register outputs) may feed p.
-        bool pureSingleParent = true;
-        for (int32_t sig : merger.inputs(p)) {
-          if (merger.producerPart(sig) == -1) {
-            pureSingleParent = false;
-            break;
-          }
+    std::vector<int32_t> work = merger.alivePartitions();
+    std::vector<uint8_t> queued(static_cast<size_t>(numParts), 0);
+    for (int32_t p : work) queued[static_cast<size_t>(p)] = 1;
+    std::vector<int32_t> nbrScratch;
+    for (size_t head = 0; head < work.size(); head++) {
+      int32_t p = work[head];
+      queued[static_cast<size_t>(p)] = 0;
+      if (!merger.alive(p)) continue;
+      if (merger.inNbrs(p).size() != 1) continue;
+      // All signals must come from the single parent: no source signals
+      // (external inputs / register outputs) may feed p.
+      bool pureSingleParent = true;
+      for (int32_t sig : merger.inputs(p)) {
+        if (merger.producerPart(sig) == -1) {
+          pureSingleParent = false;
+          break;
         }
-        if (!pureSingleParent) continue;
-        int32_t parent = merger.inNbrs(p).begin()->first;
-        // Single-parent merges cannot create cycles (an external path
-        // parent->C->p would require a second in-neighbor of p), but they
-        // still go through tryMerge for order maintenance.
-        if (merger.tryMerge(parent, p)) {
-          stats.mergesA++;
-          progress = true;
+      }
+      if (!pureSingleParent) continue;
+      int32_t parent = merger.inNbrs(p).begin()->first;
+      // An in-neighbor set only changes for the merged survivor and for
+      // p's former out-neighbors (they lose p and may collapse onto the
+      // parent they already had) — those are the only re-check candidates.
+      nbrScratch.clear();
+      nbrScratch.push_back(parent);
+      for (const auto& [nbr, cnt] : merger.outNbrs(p)) {
+        (void)cnt;
+        nbrScratch.push_back(nbr);
+      }
+      std::sort(nbrScratch.begin() + 1, nbrScratch.end());  // determinism
+      // Single-parent merges cannot create cycles (an external path
+      // parent->C->p would require a second in-neighbor of p), but they
+      // still go through tryMerge for order maintenance.
+      if (merger.tryMerge(parent, p)) {
+        stats.mergesA++;
+        for (int32_t q : nbrScratch) {
+          if (!queued[static_cast<size_t>(q)]) {
+            queued[static_cast<size_t>(q)] = 1;
+            work.push_back(q);
+          }
         }
       }
     }

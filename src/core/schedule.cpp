@@ -1,6 +1,7 @@
 #include "core/schedule.h"
 
 #include <algorithm>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "obs/phase_timer.h"
@@ -111,21 +112,26 @@ CondPartSchedule buildScheduleFrom(const Netlist& nl, const Partitioning& parts,
   // in another partition. Consumers are recorded as schedule positions so
   // the engine can set activity flags directly (push-direction triggering
   // with one flag write per consumer, OR-reduced per output in the engine).
-  for (size_t node = 0; node < nl.nodes.size(); node++) {
-    int32_t myPos = posOfNode(static_cast<int32_t>(node));
-    for (int32_t sig : nl.nodeReads[node]) {
-      int32_t producer = nl.producerOf[static_cast<size_t>(sig)];
-      if (producer < 0) continue;  // sources handled via input/state triggers
-      int32_t prodPos = posOfNode(producer);
-      if (prodPos == myPos) continue;
-      auto& outs = sched.parts[static_cast<size_t>(prodPos)].outputs;
-      auto it = std::find_if(outs.begin(), outs.end(),
-                             [&](const PartOutput& o) { return o.sig == sig; });
-      if (it == outs.end()) {
-        outs.push_back(PartOutput{sig, {myPos}});
-      } else if (std::find(it->consumers.begin(), it->consumers.end(), myPos) ==
-                 it->consumers.end()) {
-        it->consumers.push_back(myPos);
+  // Grouping goes through a signal-keyed index instead of a linear scan of
+  // the producer's output list (which is quadratic for wide producers);
+  // output order stays first-encounter, and dedupSorted below canonicalizes
+  // the consumer lists.
+  {
+    std::unordered_map<int32_t, size_t> outIdxOfSig;  // sig -> index in its producer's outputs
+    for (size_t node = 0; node < nl.nodes.size(); node++) {
+      int32_t myPos = posOfNode(static_cast<int32_t>(node));
+      for (int32_t sig : nl.nodeReads[node]) {
+        int32_t producer = nl.producerOf[static_cast<size_t>(sig)];
+        if (producer < 0) continue;  // sources handled via input/state triggers
+        int32_t prodPos = posOfNode(producer);
+        if (prodPos == myPos) continue;
+        auto& outs = sched.parts[static_cast<size_t>(prodPos)].outputs;
+        auto [it, inserted] = outIdxOfSig.emplace(sig, outs.size());
+        if (inserted) {
+          outs.push_back(PartOutput{sig, {myPos}});
+        } else {
+          outs[it->second].consumers.push_back(myPos);
+        }
       }
     }
   }

@@ -206,9 +206,153 @@ std::string memBlock(const std::string& name, uint32_t depth) {
   return s;
 }
 
+// Multi-core scale-out top: numCores TinyCPU instances with private
+// memories, accelerators dealt round-robin across cores, and nocWidth
+// register-ring NoC channels threading every core. Emitted only when the
+// scale-out knobs are set; the single-core emission below is untouched so
+// the legacy presets stay byte-identical.
+std::string scaledSoCTop(const SoCConfig& cfg) {
+  const uint32_t cores = std::max(1u, cfg.numCores);
+  const uint32_t aw = log2ceil(cfg.imemDepth);
+  // Per-core MMIO decode is 4 bits; index 15 is the cycle counter.
+  const uint32_t perCoreAddressable = 15;
+
+  std::string s = strfmt("circuit %s :\n", cfg.name.c_str());
+  s += cpuModule(cfg);
+  s += accelModule(cfg);
+  s += strfmt("  module %s :\n", cfg.name.c_str());
+  s += "    input clock : Clock\n    input reset : UInt<1>\n";
+  s += "    output halted : UInt<1>\n";
+  s += "    output pc : UInt<16>\n";
+  s += "    output instret : UInt<32>\n";
+  s += "    output status : UInt<16>\n";
+
+  auto memName = [&](const char* base, uint32_t k) {
+    return k == 0 ? std::string(base) : strfmt("%s%u", base, k);
+  };
+
+  for (uint32_t k = 0; k < cores; k++) {
+    s += strfmt("    inst cpu%u of TinyCPU\n", k);
+    s += strfmt("    cpu%u.clock <= clock\n    cpu%u.reset <= reset\n", k, k);
+
+    std::string im = memName("imem", k);
+    s += memBlock(im, cfg.imemDepth);
+    s += strfmt("    %s.r.addr <= cpu%u.imem_addr\n", im.c_str(), k);
+    s += strfmt("    %s.r.en <= UInt<1>(1)\n    %s.r.clk <= clock\n", im.c_str(), im.c_str());
+    s += strfmt("    %s.w.addr <= UInt<%u>(0)\n", im.c_str(), aw);
+    s += strfmt("    %s.w.en <= UInt<1>(0)\n    %s.w.clk <= clock\n", im.c_str(), im.c_str());
+    s += strfmt("    %s.w.data <= UInt<16>(0)\n    %s.w.mask <= UInt<1>(0)\n", im.c_str(),
+                im.c_str());
+    s += strfmt("    cpu%u.imem_data <= %s.r.data\n", k, im.c_str());
+
+    std::string dm = memName("dmem", k);
+    s += memBlock(dm, cfg.dmemDepth);
+    s += strfmt("    %s.r.addr <= cpu%u.dmem_raddr\n", dm.c_str(), k);
+    s += strfmt("    %s.r.en <= UInt<1>(1)\n    %s.r.clk <= clock\n", dm.c_str(), dm.c_str());
+    s += strfmt("    %s.w.addr <= cpu%u.dmem_waddr\n", dm.c_str(), k);
+    s += strfmt("    %s.w.en <= cpu%u.dmem_wen\n    %s.w.clk <= clock\n", dm.c_str(), k,
+                dm.c_str());
+    s += strfmt("    %s.w.data <= cpu%u.dmem_wdata\n    %s.w.mask <= UInt<1>(1)\n", dm.c_str(),
+                k, dm.c_str());
+    s += strfmt("    cpu%u.dmem_rdata <= %s.r.data\n", k, dm.c_str());
+
+    s += strfmt("    node mmioIdx%u = bits(cpu%u.mmio_addr, 11, 8)\n", k, k);
+    s += strfmt("    node mmioSel%u = bits(cpu%u.mmio_addr, 3, 0)\n", k, k);
+  }
+
+  // Accelerators dealt round-robin: accel j is owned (started and read)
+  // by core j % cores at that core's MMIO index j / cores.
+  for (uint32_t j = 0; j < cfg.numAccels; j++) {
+    uint32_t owner = j % cores;
+    uint32_t idx = j / cores;
+    s += strfmt("    inst acc%u of Accel\n", j);
+    s += strfmt("    acc%u.clock <= clock\n    acc%u.reset <= reset\n", j, j);
+    if (idx < perCoreAddressable) {
+      s += strfmt(
+          "    acc%u.start <= and(cpu%u.mmio_wen, and(eq(mmioIdx%u, UInt<4>(%u)), "
+          "eq(mmioSel%u, UInt<4>(0))))\n",
+          j, owner, owner, idx, owner);
+    } else {
+      // Idle mass: present in the netlist, never started (clock-gated block).
+      s += strfmt("    acc%u.start <= UInt<1>(0)\n", j);
+    }
+    s += strfmt("    acc%u.operand <= cpu%u.mmio_wdata\n", j, owner);
+  }
+
+  // Free-running cycle counter peripheral (MMIO index 15, shared).
+  s += "    reg cycles : UInt<32>, clock with : (reset => (reset, UInt<32>(0)))\n";
+  s += "    cycles <= tail(add(cycles, UInt<32>(1)), 1)\n";
+  s += "    node counterRead = bits(cycles, 15, 0)\n";
+
+  // Per-core MMIO read mux over that core's addressable accels.
+  for (uint32_t k = 0; k < cores; k++) {
+    std::string busySel = "UInt<1>(0)", resSel = "UInt<16>(0)";
+    for (uint32_t j = k; j < cfg.numAccels; j += cores) {
+      uint32_t idx = j / cores;
+      if (idx >= perCoreAddressable) break;
+      busySel = strfmt("mux(eq(mmioIdx%u, UInt<4>(%u)), acc%u.busy, %s)", k, idx, j,
+                       busySel.c_str());
+      resSel = strfmt("mux(eq(mmioIdx%u, UInt<4>(%u)), acc%u.result, %s)", k, idx, j,
+                      resSel.c_str());
+    }
+    s += strfmt("    node busySel%u = %s\n", k, busySel.c_str());
+    s += strfmt("    node resSel%u = %s\n", k, resSel.c_str());
+    s += strfmt(
+        "    cpu%u.mmio_rdata <= mux(eq(mmioIdx%u, UInt<4>(15)), counterRead, "
+        "mux(eq(mmioSel%u, UInt<4>(1)), pad(busySel%u, 16), resSel%u))\n",
+        k, k, k, k, k);
+  }
+
+  // NoC: nocWidth independent 16-bit register rings with one station per
+  // core. Each station captures its predecessor mixed with a live per-core
+  // tap, so cross-core state flows every cycle through sequential hops —
+  // the activity-factor profile of an interconnect rather than a wire.
+  for (uint32_t c = 0; c < cfg.nocWidth; c++) {
+    for (uint32_t k = 0; k < cores; k++)
+      s += strfmt("    reg noc%u_%u : UInt<16>, clock with : (reset => (reset, UInt<16>(0)))\n",
+                  c, k);
+    for (uint32_t k = 0; k < cores; k++) {
+      uint32_t prev = (k + cores - 1) % cores;
+      s += strfmt("    node tap%u_%u = xor(cpu%u.pc_out, bits(cpu%u.mmio_addr, 15, 0))\n", c, k,
+                  k, k);
+      s += strfmt("    noc%u_%u <= tail(add(xor(noc%u_%u, tap%u_%u), UInt<16>(%u)), 1)\n", c, k,
+                  c, prev, c, k, (c * 31 + k * 7 + 1) & 0xffff);
+    }
+  }
+
+  // Status: XOR over every accelerator result (keeps the idle mass live),
+  // folded with the tail station of every NoC channel.
+  std::vector<std::string> layer;
+  for (uint32_t j = 0; j < cfg.numAccels; j++) layer.push_back(strfmt("acc%u.result", j));
+  for (uint32_t c = 0; c < cfg.nocWidth; c++) layer.push_back(strfmt("noc%u_%u", c, cores - 1));
+  uint32_t tmp = 0;
+  while (layer.size() > 1) {
+    std::vector<std::string> next;
+    for (size_t i = 0; i + 1 < layer.size(); i += 2) {
+      std::string name = strfmt("sx%u", tmp++);
+      s += strfmt("    node %s = xor(%s, %s)\n", name.c_str(), layer[i].c_str(),
+                  layer[i + 1].c_str());
+      next.push_back(name);
+    }
+    if (layer.size() % 2) next.push_back(layer.back());
+    layer = std::move(next);
+  }
+  s += strfmt("    status <= %s\n", layer.empty() ? "UInt<16>(0)" : layer[0].c_str());
+
+  // halted: every core halted. pc/instret report core 0.
+  std::string halted = "cpu0.halted";
+  for (uint32_t k = 1; k < cores; k++)
+    halted = strfmt("and(%s, cpu%u.halted)", halted.c_str(), k);
+  s += strfmt("    halted <= %s\n", halted.c_str());
+  s += "    pc <= cpu0.pc_out\n";
+  s += "    instret <= cpu0.instret\n";
+  return s;
+}
+
 }  // namespace
 
 std::string tinySoCFirrtl(const SoCConfig& cfg) {
+  if (cfg.numCores > 1 || cfg.nocWidth > 0) return scaledSoCTop(cfg);
   uint32_t aw = log2ceil(cfg.imemDepth);
   uint32_t addressable = std::min(cfg.numAccels, 15u);
 
@@ -343,6 +487,17 @@ SoCConfig socBoom() {
   cfg.numAccels = 101;
   cfg.accelLanes = 128;
   cfg.accelDuration = 64;
+  return cfg;
+}
+
+SoCConfig socScaled(uint32_t factor) {
+  uint32_t f = std::max(1u, factor);
+  SoCConfig cfg = socBoom();
+  cfg.name = strfmt("scaled%u", f);
+  cfg.numCores = std::min(8u, f);       // more cores
+  cfg.nocWidth = 2 * cfg.numCores;      // wider NoC as the core count grows
+  cfg.dmemDepth = 2048 * std::min(8u, f);  // bigger memories (dw stays < 15)
+  cfg.numAccels = 101 * f;              // idle accel mass dominates node count
   return cfg;
 }
 

@@ -38,6 +38,16 @@ struct SoCConfig {
   uint32_t numAccels = 4;     // MMIO-started accelerator blocks
   uint32_t accelLanes = 16;   // datapath lanes per accelerator
   uint32_t accelDuration = 32;  // busy cycles per accelerator start
+  // Scale-out knobs (million-node elaboration study). numCores > 1 emits
+  // that many TinyCPU instances, each with private instruction/data
+  // memories (core 0 keeps the names `imem`/`dmem` so workload loading is
+  // unchanged) and a round-robin share of the accelerators. nocWidth > 0
+  // additionally emits that many independent 16-bit register-ring NoC
+  // channels threading every core (stations capture a per-core tap, so
+  // cross-core state actually flows). Defaults reproduce the legacy
+  // single-core emission byte-for-byte.
+  uint32_t numCores = 1;
+  uint32_t nocWidth = 0;
   std::string name = "TinySoC";
 };
 
@@ -49,5 +59,10 @@ SoCConfig socR18();   // ~Rocket Chip 2018 scale
 SoCConfig socBoom();  // ~BOOM scale
 // Small configuration for unit tests (fast to build and simulate).
 SoCConfig socTiny();
+// Parameterized scale-out configuration: factor 1 lands near the boom
+// preset (~130k netlist nodes) and factor 8 crosses one million nodes —
+// more cores, a wider NoC, bigger memories, and a proportionally larger
+// idle accelerator mass. Used by the elaboration-scale bench and tests.
+SoCConfig socScaled(uint32_t factor);
 
 }  // namespace essent::designs

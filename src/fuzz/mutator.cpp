@@ -149,7 +149,7 @@ MutateSummary runMutateCampaign(const MutateConfig& config, std::FILE* log) {
         // Survivor: a short guarded simulation must also be clean. Engine
         // exceptions here (combinational loops were already rejected at
         // build) would be front-end bugs.
-        sim::FullCycleEngine eng(*ir);
+        sim::FullCycleEngine eng(sim::CompiledDesign::compile(*ir));
         support::ResourceGuard guard(config.limits);
         for (uint64_t c = 0; c < config.cycles; c++) {
           for (int32_t in : ir->inputs)

@@ -1,51 +1,79 @@
 #include "graph/graph.h"
 
 #include <algorithm>
-#include <queue>
 
 namespace essent::graph {
 
+void DiGraph::AdjStore::push(NodeId n, NodeId v) {
+  AdjRef& r = refs[static_cast<size_t>(n)];
+  if (r.count == r.cap) {
+    uint32_t newCap = r.cap == 0 ? 4 : r.cap * 2;
+    uint32_t newStart = static_cast<uint32_t>(pool.size());
+    pool.resize(pool.size() + newCap);
+    std::copy(pool.begin() + r.start, pool.begin() + r.start + r.count,
+              pool.begin() + newStart);
+    r.start = newStart;
+    r.cap = newCap;
+  }
+  pool[r.start + r.count] = v;
+  r.count++;
+}
+
 void DiGraph::resize(NodeId numNodes) {
-  out_.resize(static_cast<size_t>(numNodes));
-  in_.resize(static_cast<size_t>(numNodes));
+  out_.refs.resize(static_cast<size_t>(numNodes));
+  in_.refs.resize(static_cast<size_t>(numNodes));
+  hotFrom_.resize(static_cast<size_t>(numNodes), 0);
 }
 
 NodeId DiGraph::addNode() {
-  out_.emplace_back();
-  in_.emplace_back();
-  return static_cast<NodeId>(out_.size()) - 1;
+  out_.refs.emplace_back();
+  in_.refs.emplace_back();
+  hotFrom_.push_back(0);
+  return static_cast<NodeId>(out_.refs.size()) - 1;
 }
 
 bool DiGraph::addEdge(NodeId from, NodeId to) {
   if (from == to) return false;
-  auto& nbrs = out_[from];
-  if (std::find(nbrs.begin(), nbrs.end(), to) != nbrs.end()) return false;
-  nbrs.push_back(to);
-  in_[to].push_back(from);
+  if (hotFrom_[static_cast<size_t>(from)]) {
+    if (!hotEdges_.insert(edgeKey(from, to)).second) return false;
+  } else {
+    NeighborList nbrs = out_.view(from);
+    if (std::find(nbrs.begin(), nbrs.end(), to) != nbrs.end()) return false;
+    if (nbrs.size() >= kScanLimit) {
+      // Degree crossed the scan threshold: index this node's edges so
+      // further inserts and duplicate checks are O(1).
+      for (NodeId w : nbrs) hotEdges_.insert(edgeKey(from, w));
+      hotEdges_.insert(edgeKey(from, to));
+      hotFrom_[static_cast<size_t>(from)] = 1;
+    }
+  }
+  out_.push(from, to);
+  in_.push(to, from);
   numEdges_++;
   return true;
 }
 
 bool DiGraph::hasEdge(NodeId from, NodeId to) const {
-  const auto& nbrs = out_[from];
+  if (hotFrom_[static_cast<size_t>(from)]) return hotEdges_.count(edgeKey(from, to)) != 0;
+  NeighborList nbrs = out_.view(from);
   return std::find(nbrs.begin(), nbrs.end(), to) != nbrs.end();
 }
 
 std::optional<std::vector<NodeId>> DiGraph::topoSort() const {
   NodeId n = numNodes();
-  std::vector<int32_t> indeg(n, 0);
-  for (NodeId v = 0; v < n; v++) indeg[v] = static_cast<int32_t>(in_[v].size());
+  std::vector<int32_t> indeg(static_cast<size_t>(n), 0);
+  for (NodeId v = 0; v < n; v++) indeg[static_cast<size_t>(v)] = static_cast<int32_t>(inNeighbors(v).size());
   std::vector<NodeId> order;
-  order.reserve(n);
+  order.reserve(static_cast<size_t>(n));
   std::vector<NodeId> ready;
   for (NodeId v = 0; v < n; v++)
-    if (indeg[v] == 0) ready.push_back(v);
+    if (indeg[static_cast<size_t>(v)] == 0) ready.push_back(v);
   while (!ready.empty()) {
     NodeId v = ready.back();
     ready.pop_back();
     order.push_back(v);
-    for (NodeId w : out_[v]) {
-      if (--indeg[w] == 0) ready.push_back(w);
+    for (NodeId w : outNeighbors(v)) {
+      if (--indeg[static_cast<size_t>(w)] == 0) ready.push_back(w);
     }
   }
   if (static_cast<NodeId>(order.size()) != n) return std::nullopt;
@@ -54,16 +82,16 @@ std::optional<std::vector<NodeId>> DiGraph::topoSort() const {
 
 bool DiGraph::reachable(NodeId from, NodeId to) const {
   if (from == to) return true;
-  std::vector<bool> seen(numNodes(), false);
+  std::vector<bool> seen(static_cast<size_t>(numNodes()), false);
   std::vector<NodeId> stack = {from};
-  seen[from] = true;
+  seen[static_cast<size_t>(from)] = true;
   while (!stack.empty()) {
     NodeId v = stack.back();
     stack.pop_back();
-    for (NodeId w : out_[v]) {
+    for (NodeId w : outNeighbors(v)) {
       if (w == to) return true;
-      if (!seen[w]) {
-        seen[w] = true;
+      if (!seen[static_cast<size_t>(w)]) {
+        seen[static_cast<size_t>(w)] = true;
         stack.push_back(w);
       }
     }
@@ -72,20 +100,20 @@ bool DiGraph::reachable(NodeId from, NodeId to) const {
 }
 
 std::vector<bool> DiGraph::reachableSet(const std::vector<NodeId>& seeds) const {
-  std::vector<bool> seen(numNodes(), false);
+  std::vector<bool> seen(static_cast<size_t>(numNodes()), false);
   std::vector<NodeId> stack;
   for (NodeId s : seeds) {
-    if (!seen[s]) {
-      seen[s] = true;
+    if (!seen[static_cast<size_t>(s)]) {
+      seen[static_cast<size_t>(s)] = true;
       stack.push_back(s);
     }
   }
   while (!stack.empty()) {
     NodeId v = stack.back();
     stack.pop_back();
-    for (NodeId w : out_[v]) {
-      if (!seen[w]) {
-        seen[w] = true;
+    for (NodeId w : outNeighbors(v)) {
+      if (!seen[static_cast<size_t>(w)]) {
+        seen[static_cast<size_t>(w)] = true;
         stack.push_back(w);
       }
     }
@@ -97,7 +125,7 @@ DiGraph condense(const DiGraph& g, const std::vector<int32_t>& clusterOf, int32_
   DiGraph cg(numClusters);
   for (NodeId v = 0; v < g.numNodes(); v++) {
     for (NodeId w : g.outNeighbors(v)) {
-      int32_t cv = clusterOf[v], cw = clusterOf[w];
+      int32_t cv = clusterOf[static_cast<size_t>(v)], cw = clusterOf[static_cast<size_t>(w)];
       if (cv != cw) cg.addEdge(cv, cw);
     }
   }

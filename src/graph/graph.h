@@ -1,10 +1,20 @@
 // Generic directed-graph utilities used by the netlist representation and
 // the acyclic partitioner: adjacency storage with deduplicated edges,
 // topological sorting, and bounded reachability queries.
+//
+// Adjacency lists live in one shared 32-bit-index edge arena per direction
+// (a per-node {start, count, cap} triple into the pool) instead of a
+// vector-of-vectors: at million-node scale this removes two heap
+// allocations per node and shrinks the per-node header from 48 to 24
+// bytes. Duplicate-edge detection is degree-adaptive: a linear scan for
+// ordinary nodes, and a hash index that kicks in once a node's out-degree
+// crosses a threshold, so high-fanout producers (clock trees, broadcast
+// buses) insert in amortized O(1) instead of O(degree).
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <unordered_set>
 #include <vector>
 
 namespace essent::graph {
@@ -16,20 +26,36 @@ constexpr NodeId kNoNode = -1;
 // edges are ignored on insertion.
 class DiGraph {
  public:
+  // Lightweight view of one node's neighbors (contiguous in the edge
+  // arena). Valid until the next mutation of the graph.
+  class NeighborList {
+   public:
+    NeighborList(const NodeId* data, size_t size) : data_(data), size_(size) {}
+    const NodeId* begin() const { return data_; }
+    const NodeId* end() const { return data_ + size_; }
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    NodeId operator[](size_t i) const { return data_[i]; }
+
+   private:
+    const NodeId* data_;
+    size_t size_;
+  };
+
   DiGraph() = default;
   explicit DiGraph(NodeId numNodes) { resize(numNodes); }
 
   void resize(NodeId numNodes);
   NodeId addNode();
-  NodeId numNodes() const { return static_cast<NodeId>(out_.size()); }
+  NodeId numNodes() const { return static_cast<NodeId>(out_.refs.size()); }
   int64_t numEdges() const { return numEdges_; }
 
   // Returns true if the edge was new.
   bool addEdge(NodeId from, NodeId to);
   bool hasEdge(NodeId from, NodeId to) const;
 
-  const std::vector<NodeId>& outNeighbors(NodeId n) const { return out_[n]; }
-  const std::vector<NodeId>& inNeighbors(NodeId n) const { return in_[n]; }
+  NeighborList outNeighbors(NodeId n) const { return out_.view(n); }
+  NeighborList inNeighbors(NodeId n) const { return in_.view(n); }
 
   // Kahn topological order; returns nullopt when the graph has a cycle.
   std::optional<std::vector<NodeId>> topoSort() const;
@@ -43,8 +69,41 @@ class DiGraph {
   std::vector<bool> reachableSet(const std::vector<NodeId>& seeds) const;
 
  private:
-  std::vector<std::vector<NodeId>> out_;
-  std::vector<std::vector<NodeId>> in_;
+  // Out-degree beyond which a node's duplicate check moves from a linear
+  // scan of its adjacency to the shared hash index.
+  static constexpr uint32_t kScanLimit = 16;
+
+  struct AdjRef {
+    uint32_t start = 0;
+    uint32_t count = 0;
+    uint32_t cap = 0;
+  };
+
+  // Pooled adjacency: all lists share one arena; a list that outgrows its
+  // reservation relocates to the arena tail with doubled capacity
+  // (amortized O(1) append; abandoned slots are bounded by the geometric
+  // growth and never exceed the live edge count).
+  struct AdjStore {
+    std::vector<AdjRef> refs;
+    std::vector<NodeId> pool;
+
+    void push(NodeId n, NodeId v);
+    NeighborList view(NodeId n) const {
+      const AdjRef& r = refs[static_cast<size_t>(n)];
+      return NeighborList(pool.data() + r.start, r.count);
+    }
+  };
+
+  static uint64_t edgeKey(NodeId from, NodeId to) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(from)) << 32) |
+           static_cast<uint32_t>(to);
+  }
+
+  AdjStore out_, in_;
+  // Hash index of (from, to) pairs for nodes whose out-degree crossed
+  // kScanLimit; hotFrom_[n] records that node n's edges are indexed.
+  std::unordered_set<uint64_t> hotEdges_;
+  std::vector<uint8_t> hotFrom_;
   int64_t numEdges_ = 0;
 };
 

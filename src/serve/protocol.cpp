@@ -144,8 +144,23 @@ std::optional<Request> parseRequest(const obs::Json& doc, std::string& code,
   }
   Request r;
   bool sawOp = false;
+  bool sawProto = false;
   for (const auto& [key, value] : doc.members()) {
-    if (key == "op") {
+    if (key == "proto") {
+      if (!isUIntNumber(value)) {
+        message = strfmt("'proto' must be an integer (supported protocol versions: %u..%u)",
+                         kProtoMin, kProtoMax);
+        return std::nullopt;
+      }
+      uint64_t v = value.asUInt();
+      if (v < kProtoMin || v > kProtoMax) {
+        message = strfmt("unsupported protocol version %llu (supported: %u..%u)",
+                         static_cast<unsigned long long>(v), kProtoMin, kProtoMax);
+        return std::nullopt;
+      }
+      r.proto = static_cast<uint32_t>(v);
+      sawProto = true;
+    } else if (key == "op") {
       if (!value.isString()) {
         message = "'op' must be a string";
         return std::nullopt;
@@ -255,6 +270,11 @@ std::optional<Request> parseRequest(const obs::Json& doc, std::string& code,
       return std::nullopt;
     }
   }
+  if (!sawProto) {
+    message = strfmt("missing required field 'proto' (supported protocol versions: %u..%u)",
+                     kProtoMin, kProtoMax);
+    return std::nullopt;
+  }
   if (!sawOp) {
     message = "missing required field 'op'";
     return std::nullopt;
@@ -284,6 +304,7 @@ std::optional<Request> parseRequest(const obs::Json& doc, std::string& code,
 obs::Json okResponse(RequestOp op) {
   obs::Json doc = obs::Json::object();
   doc["ok"] = true;
+  doc["proto"] = uint64_t{kProtoMax};
   doc["op"] = requestOpName(op);
   return doc;
 }
@@ -296,6 +317,7 @@ obs::Json errorResponse(const std::string& code, const std::string& message,
   if (retryAfterMs >= 0) err["retry_after_ms"] = retryAfterMs;
   obs::Json doc = obs::Json::object();
   doc["ok"] = false;
+  doc["proto"] = uint64_t{kProtoMax};
   doc["error"] = std::move(err);
   return doc;
 }

@@ -3,10 +3,17 @@
 // catalog.
 //
 // Frame   := uint32 big-endian payload length, then that many bytes of JSON.
-// Request := {"op": "ping"|"compile"|"run"|"status"|"evict"|"shutdown", ...}
-// Response:= {"ok": true, "op": ..., ...}
-//          | {"ok": false, "error": {"code": "E06xx", "message": ...,
-//             "retry_after_ms"?: N, "diagnostics"?: [...]}}
+// Request := {"proto": 1,
+//             "op": "ping"|"compile"|"run"|"status"|"evict"|"shutdown", ...}
+// Response:= {"ok": true, "proto": 1, "op": ..., ...}
+//          | {"ok": false, "proto": 1, "error": {"code": "E06xx",
+//             "message": ..., "retry_after_ms"?: N, "diagnostics"?: [...]}}
+//
+// Every request must carry "proto", the wire-protocol version it speaks
+// (kProtoMin..kProtoMax, currently just 1). A missing or unsupported proto
+// is E0604 with a message naming the supported range, so a version-skewed
+// client learns exactly what the daemon speaks instead of tripping over an
+// arbitrary later schema error. Responses echo the daemon's version.
 //
 // Parsing is strict: unknown top-level fields, missing required fields, and
 // type mismatches are E0604 — hostile or version-skewed clients get a
@@ -38,6 +45,11 @@ inline constexpr const char* kErrDraining = "E0610";        // graceful shutdown
 inline constexpr const char* kErrUnknownDesign = "E0611";   // design_hash not in cache
 inline constexpr const char* kErrInjectedFault = "E0612";   // chaos-mode injected failure
 
+// Supported wire-protocol version range. Bump kProtoMax when the schema
+// gains a version; raise kProtoMin only when dropping support for one.
+inline constexpr uint32_t kProtoMin = 1;
+inline constexpr uint32_t kProtoMax = 1;
+
 enum class RequestOp { Ping, Compile, Run, Status, Evict, Shutdown };
 
 const char* requestOpName(RequestOp op);
@@ -57,6 +69,7 @@ struct RequestOptions {
 };
 
 struct Request {
+  uint32_t proto = kProtoMax;  // wire version the client declared
   RequestOp op = RequestOp::Ping;
   std::string designText;     // FIRRTL source ("design"); empty if by hash
   std::string designHash;     // content address ("design_hash")

@@ -13,7 +13,7 @@
 #include "core/sim_farm.h"
 #include "diag/diag.h"
 #include "obs/metrics.h"
-#include "sim/builder.h"
+#include "sim/compile.h"
 #include "sim/engine_factory.h"
 #include "support/strutil.h"
 
@@ -430,11 +430,13 @@ static DesignCache::Result resolveDesign(DesignCache& cache, const ServerOptions
       [&](const std::string& text) -> std::shared_ptr<const sim::CompiledDesign> {
         diag::DiagEngine de;
         de.setSource("<request>", text);
-        sim::BuildOptions bo;
-        if (req.options.baseline) bo.constProp = bo.cse = bo.dce = false;
-        std::optional<sim::SimIR> ir = sim::buildFromFirrtlDiag(text, bo, de, sopts.limits);
-        if (!ir) throw DesignRejected(de.toJson());
-        return sim::CompiledDesign::compile(std::move(*ir));
+        sim::CompileOptions copts;
+        if (req.options.baseline)
+          copts.build.constProp = copts.build.cse = copts.build.dce = false;
+        copts.limits = sopts.limits;
+        auto design = sim::compileDesign(text, copts, de);
+        if (!design) throw DesignRejected(de.toJson());
+        return design;
       });
   if (!res.cached)
     obs::MetricsRegistry::global().histogram("serve.compile_ns").record(elapsedNs(t0));

@@ -107,8 +107,7 @@ class Builder {
     s.kind = kind;
     ir_.signals.push_back(std::move(s));
     int32_t id = static_cast<int32_t>(ir_.signals.size()) - 1;
-    if (!ir_.signals[static_cast<size_t>(id)].name.empty())
-      ir_.byName[ir_.signals[static_cast<size_t>(id)].name] = id;
+    ir_.indexSignalName(id);
     return id;
   }
 

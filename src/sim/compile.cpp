@@ -1,0 +1,24 @@
+#include "sim/compile.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace essent::sim {
+
+std::shared_ptr<const CompiledDesign> compileDesign(const std::string& firrtlText,
+                                                    const CompileOptions& opts,
+                                                    diag::DiagEngine& diags) {
+  std::optional<SimIR> ir = buildFromFirrtlDiag(firrtlText, opts.build, diags, opts.limits);
+  if (!ir) return nullptr;
+  return CompiledDesign::compile(std::move(*ir));
+}
+
+std::shared_ptr<const CompiledDesign> compileDesign(const std::string& firrtlText,
+                                                    const CompileOptions& opts) {
+  diag::DiagEngine de;
+  auto design = compileDesign(firrtlText, opts, de);
+  if (!design) throw std::runtime_error("compileDesign failed:\n" + de.render());
+  return design;
+}
+
+}  // namespace essent::sim

@@ -1,0 +1,54 @@
+// The one-call compile pipeline: FIRRTL text -> shared CompiledDesign.
+//
+// compileDesign() runs the whole front half of the flow — parse (with
+// recovery), width inference, lowering, IR build, and the classic IR
+// optimizations — then seals the result into the immutable, shareable
+// CompiledDesign that every engine kind executes. It is the supported way
+// for tools, benches, and tests to go from text to something runnable;
+// the layer-by-layer entry points (firrtl::parse, sim::buildFromFirrtl,
+// CompiledDesign::compile) remain available through this header but are
+// implementation surface, not API.
+//
+//   #include <essent/compile.h>
+//   essent::diag::DiagEngine de;
+//   auto design = essent::sim::compileDesign(firrtlText, {}, de);
+//   if (!design) { /* de holds E0xxx diagnostics */ }
+//   auto eng = essent::sim::makeEngine(essent::sim::EngineKind::Ccss, design);
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "diag/diag.h"
+#include "firrtl/parser.h"  // re-exported: parse/AST layer (migration window)
+#include "sim/builder.h"    // re-exported: BuildOptions + IR-level entry points
+#include "sim/engine.h"
+#include "support/resource_guard.h"
+
+namespace essent::sim {
+
+// Everything the text->CompiledDesign pipeline can be configured with.
+// `build` carries the lowering/optimization knobs (paper §III-B); `limits`
+// caps IR size, estimated state bytes, and wall clock, so hostile inputs
+// fail with E05xx diagnostics instead of exhausting the host.
+struct CompileOptions {
+  BuildOptions build;
+  support::ResourceLimits limits;
+};
+
+// Compiles FIRRTL text into a shared, immutable CompiledDesign. All
+// errors — lexical (E01xx), syntax (E02xx), width (E03xx), build (E04xx),
+// resource (E05xx) — are reported through `diags`; returns nullptr when
+// any error was reported. On success the result is ready for
+// sim::makeEngine / core::SimFarm and can back any number of concurrent
+// engine instances.
+std::shared_ptr<const CompiledDesign> compileDesign(const std::string& firrtlText,
+                                                    const CompileOptions& opts,
+                                                    diag::DiagEngine& diags);
+
+// Throwing convenience for contexts without diagnostic plumbing (tests,
+// benches): throws std::runtime_error carrying the rendered diagnostics.
+std::shared_ptr<const CompiledDesign> compileDesign(const std::string& firrtlText,
+                                                    const CompileOptions& opts = {});
+
+}  // namespace essent::sim

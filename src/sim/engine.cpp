@@ -38,8 +38,6 @@ Engine::Engine(std::shared_ptr<const CompiledDesign> design)
   evalConstOps();
 }
 
-Engine::Engine(const SimIR& ir) : Engine(CompiledDesign::compile(ir)) {}
-
 Engine::Engine(std::shared_ptr<const CompiledDesign> design, ViewTag)
     : design_(std::move(design)),
       ir_(&design_->ir),

@@ -98,10 +98,6 @@ class Engine {
  public:
   // Shares a previously compiled structure; the engine owns only state.
   explicit Engine(std::shared_ptr<const CompiledDesign> design);
-  // Deprecated (kept as a thin wrapper for one release, see docs/API.md):
-  // compiles a private snapshot of `ir`. Prefer sim::makeEngine or the
-  // CompiledDesign overload so concurrent instances share one build.
-  explicit Engine(const SimIR& ir);
   virtual ~Engine() = default;
 
   Engine(const Engine&) = delete;

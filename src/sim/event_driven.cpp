@@ -79,9 +79,6 @@ EventDrivenEngine::EventDrivenEngine(std::shared_ptr<const CompiledDesign> desig
   prevInputs_.assign(layout_.totalWords, 0);
 }
 
-EventDrivenEngine::EventDrivenEngine(const SimIR& ir)
-    : EventDrivenEngine(CompiledDesign::compile(ir)) {}
-
 void EventDrivenEngine::resetState() {
   Engine::resetState();
   for (auto& b : buckets_) b.clear();

@@ -41,9 +41,6 @@ class EventDrivenEngine : public Engine {
   // Shares the compiled structure; this instance owns only its SimState
   // plus the dynamic event queue.
   explicit EventDrivenEngine(std::shared_ptr<const CompiledDesign> design);
-  // Deprecated thin wrapper (see docs/API.md): compiles a private snapshot
-  // of `ir`. Prefer sim::makeEngine or the CompiledDesign overload.
-  explicit EventDrivenEngine(const SimIR& ir);
 
   void tick() override;
   void resetState() override;

@@ -22,9 +22,6 @@ FullCycleEngine::FullCycleEngine(std::shared_ptr<const CompiledDesign> design)
       hotOps_(fc_->hotOps),
       hotSuper_(fc_->hotSuper) {}
 
-FullCycleEngine::FullCycleEngine(const SimIR& ir)
-    : FullCycleEngine(CompiledDesign::compile(ir)) {}
-
 void FullCycleEngine::resetState() {
   Engine::resetState();
   prevVals_.clear();

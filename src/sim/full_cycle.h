@@ -26,9 +26,6 @@ class FullCycleEngine : public Engine {
  public:
   // Shares the compiled structure; this instance owns only its SimState.
   explicit FullCycleEngine(std::shared_ptr<const CompiledDesign> design);
-  // Deprecated thin wrapper (see docs/API.md): compiles a private snapshot
-  // of `ir`. Prefer sim::makeEngine or the CompiledDesign overload.
-  explicit FullCycleEngine(const SimIR& ir);
 
   void tick() override;
   void resetState() override;

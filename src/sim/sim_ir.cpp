@@ -72,8 +72,48 @@ int Op::numArgs() const {
 }
 
 int32_t SimIR::findSignal(const std::string& name) const {
-  auto it = byName.find(name);
-  return it == byName.end() ? -1 : it->second;
+  if (nameSlots_.empty()) return -1;
+  size_t mask = nameSlots_.size() - 1;
+  size_t i = std::hash<std::string>{}(name)&mask;
+  while (true) {
+    int32_t id = nameSlots_[i];
+    if (id == -1) return -1;
+    if (signals[static_cast<size_t>(id)].name == name) return id;
+    i = (i + 1) & mask;
+  }
+}
+
+void SimIR::indexSignalName(int32_t id) {
+  const std::string& name = signals[static_cast<size_t>(id)].name;
+  if (name.empty()) return;
+  // Grow at 3/4 load, power-of-two sizing for mask probing.
+  if ((namedCount_ + 1) * 4 > nameSlots_.size() * 3) {
+    size_t newSize = nameSlots_.empty() ? 64 : nameSlots_.size() * 2;
+    std::vector<int32_t> old = std::move(nameSlots_);
+    nameSlots_.assign(newSize, -1);
+    size_t mask = newSize - 1;
+    for (int32_t existing : old) {
+      if (existing == -1) continue;
+      size_t i = std::hash<std::string>{}(signals[static_cast<size_t>(existing)].name) & mask;
+      while (nameSlots_[i] != -1) i = (i + 1) & mask;
+      nameSlots_[i] = existing;
+    }
+  }
+  size_t mask = nameSlots_.size() - 1;
+  size_t i = std::hash<std::string>{}(name)&mask;
+  while (true) {
+    int32_t existing = nameSlots_[i];
+    if (existing == -1) {
+      nameSlots_[i] = id;
+      namedCount_++;
+      return;
+    }
+    if (signals[static_cast<size_t>(existing)].name == name) {
+      nameSlots_[i] = id;  // same name re-registered: latest id wins
+      return;
+    }
+    i = (i + 1) & mask;
+  }
 }
 
 void SimIR::validate() const {

@@ -12,7 +12,6 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "support/bitvec.h"
@@ -147,6 +146,14 @@ struct SimIR {
   // Signal id by name; -1 when unknown.
   int32_t findSignal(const std::string& name) const;
 
+  // Registers signals[id] in the name index (no-op for unnamed signals; an
+  // existing entry with the same name is replaced). The index is an
+  // open-addressing table of signal ids that hashes and compares against
+  // the signals' own name storage — at million-signal scale this avoids
+  // duplicating every name string in a node-based map (tens of MB and one
+  // heap allocation per named signal).
+  void indexSignalName(int32_t id);
+
   // Count of ops excluding Dead-dest ops (all ops in `ops` are live; this is
   // simply ops.size(), kept as a method for reporting symmetry).
   size_t liveOpCount() const { return ops.size(); }
@@ -155,7 +162,9 @@ struct SimIR {
   // throws std::logic_error on violation. Used by tests and after passes.
   void validate() const;
 
-  std::unordered_map<std::string, int32_t> byName;
+ private:
+  std::vector<int32_t> nameSlots_;  // open-addressing; -1 = empty
+  size_t namedCount_ = 0;
 };
 
 // ---------------------------------------------------------------------------

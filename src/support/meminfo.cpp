@@ -1,0 +1,39 @@
+#include "support/meminfo.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include <cstdio>
+#include <cstring>
+
+namespace essent::support {
+
+uint64_t peakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) == 0 && ru.ru_maxrss > 0) {
+#if defined(__APPLE__)
+    return static_cast<uint64_t>(ru.ru_maxrss);  // bytes
+#else
+    return static_cast<uint64_t>(ru.ru_maxrss) * 1024;  // kilobytes
+#endif
+  }
+#endif
+  // Fallback: VmHWM from /proc/self/status (Linux without getrusage is
+  // unlikely, but the parse is cheap and keeps the function total).
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    uint64_t kb = 0;
+    while (std::fgets(line, sizeof line, f)) {
+      if (std::strncmp(line, "VmHWM:", 6) == 0 && std::sscanf(line + 6, "%llu",
+              reinterpret_cast<unsigned long long*>(&kb)) == 1)
+        break;
+    }
+    std::fclose(f);
+    return kb * 1024;
+  }
+  return 0;
+}
+
+}  // namespace essent::support

@@ -1,0 +1,15 @@
+// Process memory introspection for the scaling benches and tests.
+#pragma once
+
+#include <cstdint>
+
+namespace essent::support {
+
+// Peak resident set size of the current process in bytes (ru_maxrss;
+// kilobytes on Linux, bytes on macOS — normalized here). Monotone over the
+// process lifetime: it never decreases, so per-phase deltas require a
+// subprocess per measurement. Returns 0 when the platform offers neither
+// getrusage nor /proc/self/status.
+uint64_t peakRssBytes();
+
+}  // namespace essent::support

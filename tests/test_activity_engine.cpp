@@ -8,7 +8,7 @@
 #include "core/activity_engine.h"
 #include "designs/blocks.h"
 #include "designs/gcd.h"
-#include "sim/builder.h"
+#include "sim/compile.h"
 #include "sim/full_cycle.h"
 #include "sim/harness.h"
 
@@ -20,7 +20,7 @@ using sim::SimIR;
 
 TEST(ActivityEngine, IdleDesignCostsNoOps) {
   SimIR ir = sim::buildFromFirrtl(designs::gatedBanksFirrtl(8, 16));
-  ActivityEngine eng(ir, ScheduleOptions{});
+  ActivityEngine eng(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), ScheduleOptions{}));
   eng.poke("reset", 0);
   eng.poke("bankSel", 999);  // selects nothing
   eng.tick();                // first cycle evaluates everything
@@ -36,7 +36,7 @@ TEST(ActivityEngine, IdleDesignCostsNoOps) {
 
 TEST(ActivityEngine, InputChangeWakesOnlyItsCone) {
   SimIR ir = sim::buildFromFirrtl(designs::gatedBanksFirrtl(16, 16));
-  ActivityEngine eng(ir, ScheduleOptions{});
+  ActivityEngine eng(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), ScheduleOptions{}));
   eng.poke("reset", 0);
   eng.poke("bankSel", 999);
   eng.tick();
@@ -63,7 +63,7 @@ circuit C :
     r <= tail(add(r, UInt<16>(1)), 1)
     q <= r
 )");
-  ActivityEngine eng(ir, ScheduleOptions{});
+  ActivityEngine eng(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), ScheduleOptions{}));
   for (int i = 0; i < 100; i++) eng.tick();
   EXPECT_EQ(eng.peek("r"), 100u);
   EXPECT_EQ(eng.peek("q"), 99u);  // output reflects pre-update value
@@ -80,7 +80,7 @@ circuit S :
     r <= mux(eq(r, UInt<4>(9)), r, tail(add(r, UInt<4>(1)), 1))
     q <= r
 )");
-  ActivityEngine eng(ir, ScheduleOptions{});
+  ActivityEngine eng(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), ScheduleOptions{}));
   for (int i = 0; i < 12; i++) eng.tick();
   EXPECT_EQ(eng.peek("r"), 9u);
   uint64_t ops = eng.stats().opsEvaluated;
@@ -148,8 +148,8 @@ circuit D :
   EXPECT_EQ(sched.deferredRegs.size(), 1u);
   EXPECT_EQ(sched.elidedRegs, 0u);
 
-  ActivityEngine act(ir, sched);
-  FullCycleEngine ref(ir);
+  ActivityEngine act(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), sched));
+  FullCycleEngine ref(sim::CompiledDesign::compile(ir));
   auto mismatch = sim::compareEngines(ref, act, 60, [](sim::Engine& e, uint64_t c) {
     e.poke("in", (c * 7 + 3) & 0xff);
   });
@@ -167,7 +167,7 @@ circuit P :
     input v : UInt<4>
     printf(clock, UInt<1>(1), "%d.", v)
 )");
-  ActivityEngine eng(ir, ScheduleOptions{});
+  ActivityEngine eng(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), ScheduleOptions{}));
   eng.poke("v", 7);
   for (int i = 0; i < 4; i++) eng.tick();
   EXPECT_EQ(eng.printOutput(), "7.7.7.7.");
@@ -175,7 +175,7 @@ circuit P :
 
 TEST(ActivityEngine, CountersDecomposeSanely) {
   SimIR ir = sim::buildFromFirrtl(designs::aluArrayFirrtl(16, 16));
-  ActivityEngine eng(ir, ScheduleOptions{});
+  ActivityEngine eng(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), ScheduleOptions{}));
   eng.poke("reset", 0);
   for (int c = 0; c < 30; c++) {
     eng.poke("opa", static_cast<uint64_t>(c));
@@ -196,7 +196,7 @@ TEST(ActivityEngine, CountersDecomposeSanely) {
 
 TEST(ActivityEngine, ResetStateRestartsCleanly) {
   SimIR ir = sim::buildFromFirrtl(designs::counterFirrtl(8));
-  ActivityEngine eng(ir, ScheduleOptions{});
+  ActivityEngine eng(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), ScheduleOptions{}));
   eng.poke("reset", 0);
   eng.poke("en", 1);
   for (int i = 0; i < 7; i++) eng.tick();
@@ -238,7 +238,7 @@ circuit M :
     t.w.mask <= UInt<1>(1)
     rdata <= t.r.data
 )");
-  ActivityEngine eng(ir, ScheduleOptions{});
+  ActivityEngine eng(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), ScheduleOptions{}));
   eng.poke("wen", 1);
   eng.poke("waddr", 2);
   eng.poke("wdata", 0xab);
@@ -260,8 +260,8 @@ TEST(ActivityEngine, FineAndMonolithicDegenerateSchedulesWork) {
   for (auto mk : {&finePartitioning, &monolithicPartitioning}) {
     Partitioning p = mk(nl);
     CondPartSchedule sched = buildScheduleFrom(nl, p, true);
-    ActivityEngine act(ir, sched);
-    FullCycleEngine ref(ir);
+    ActivityEngine act(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), sched));
+    FullCycleEngine ref(sim::CompiledDesign::compile(ir));
     auto mismatch = sim::compareEngines(ref, act, 80, [](sim::Engine& e, uint64_t c) {
       e.poke("reset", 0);
       e.poke("a", 1071);

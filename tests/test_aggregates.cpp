@@ -2,10 +2,9 @@
 // (LowerTypes) pass — the Chisel-style `io` bundle surface of FIRRTL.
 #include <gtest/gtest.h>
 
-#include "firrtl/parser.h"
 #include "firrtl/passes.h"
 #include "firrtl/widths.h"
-#include "sim/builder.h"
+#include "sim/compile.h"
 #include "sim/full_cycle.h"
 
 namespace essent::firrtl {
@@ -157,7 +156,7 @@ circuit VecPipe :
     taps.1 <= s1.io.dout
     taps.2 <= s2.io.dout
 )");
-  sim::FullCycleEngine eng(ir);
+  sim::FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   eng.poke("reset", 0);
   for (int i = 1; i <= 5; i++) {
     eng.poke("din", static_cast<uint64_t>(i * 10));
@@ -188,7 +187,7 @@ circuit R :
     st.y <= st.x
     o <= st.y
 )");
-  sim::FullCycleEngine eng(ir);
+  sim::FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   eng.poke("reset", 1);
   eng.tick();
   EXPECT_EQ(eng.peek("st.x"), 3u);
@@ -217,7 +216,7 @@ circuit I :
     c.io is invalid
     o <= c.io.out
 )");
-  sim::FullCycleEngine eng(ir);
+  sim::FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   eng.tick();
   EXPECT_EQ(eng.peek("o"), 0u);  // invalidated input reads as zero
 }
@@ -234,7 +233,7 @@ circuit N :
     node alias = w
     o <= alias.q
 )");
-  sim::FullCycleEngine eng(ir);
+  sim::FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   eng.poke("a", 0b1010);
   eng.tick();
   EXPECT_EQ(eng.peek("o"), 0b0101u);

@@ -14,7 +14,7 @@
 #include "core/activity_engine.h"
 #include "designs/blocks.h"
 #include "designs/gcd.h"
-#include "sim/builder.h"
+#include "sim/compile.h"
 #include "sim/full_cycle.h"
 #include "support/strutil.h"
 
@@ -170,12 +170,90 @@ std::string compileAndRun(const std::string& code, const std::string& mainBody) 
   return ss.str();
 }
 
+// Like compileAndRun, but over a sharded emission: writes the header and
+// every unit, compiles them together with the main file, and runs.
+std::string compileAndRunSharded(const codegen::ShardedCpp& sh, const std::string& mainBody) {
+  char dirTemplate[] = "/tmp/essent_cgs_XXXXXX";
+  char* dir = mkdtemp(dirTemplate);
+  if (!dir) return "<mkdtemp failed>";
+  auto write = [&](const std::string& name, const std::string& text) {
+    std::ofstream f(std::string(dir) + "/" + name);
+    f << text;
+  };
+  write(sh.headerName, sh.header);
+  std::string srcs;
+  for (size_t k = 0; k < sh.units.size(); k++) {
+    write(sh.unitNames[k], sh.units[k]);
+    srcs += " " + std::string(dir) + "/" + sh.unitNames[k];
+  }
+  write("main.cpp", "#include \"" + sh.headerName +
+                        "\"\n#include <cstdio>\nint main() {\n  essent_gen::Simulator sim;\n" +
+                        mainBody + "\n  return 0;\n}\n");
+  std::string bin = std::string(dir) + "/sim";
+  std::string cmd = "c++ -std=c++20 -O1 -o " + bin + " " + dir + "/main.cpp" + srcs + " 2>" +
+                    dir + "/cc.log";
+  if (std::system(cmd.c_str()) != 0) {
+    std::ifstream log(std::string(dir) + "/cc.log");
+    std::stringstream ss;
+    ss << "<compile failed>\n" << log.rdbuf();
+    return ss.str();
+  }
+  std::string outFile = std::string(dir) + "/out.txt";
+  if (std::system((bin + " > " + outFile).c_str()) != 0) return "<run failed>";
+  std::ifstream out(outFile);
+  std::stringstream ss;
+  ss << out.rdbuf();
+  return ss.str();
+}
+
+// The sharded emission must behave exactly like the single-TU one in both
+// modes, while actually splitting the definitions across units.
+TEST(CodegenRun, ShardedMatchesSingleUnitBothModes) {
+  SimIR ir = sim::buildFromFirrtl(designs::gatedBanksFirrtl(8, 16));
+  CondPartSchedule sched = makeSchedule(ir);
+  const std::string mainBody = R"(
+  sim.reset = 0;
+  sim.wdata = 3;
+  for (int c = 0; c < 60; c++) {
+    sim.bankSel = (unsigned)(c % 8);
+    sim.eval();
+  }
+  std::printf("sum=%llu cycles=%llu\n", (unsigned long long)sim.sum,
+              (unsigned long long)sim.cycles_);
+)";
+  for (bool ccss : {false, true}) {
+    CodegenOptions opts;
+    opts.ccss = ccss;
+    std::string single = compileAndRun(emitCpp(ir, ccss ? &sched : nullptr, opts), mainBody);
+    codegen::ShardedCpp sh =
+        codegen::emitCppSharded(ir, ccss ? &sched : nullptr, opts, 3, "banks");
+    EXPECT_EQ(sh.headerName, "banks.h");
+    EXPECT_EQ(sh.units.size(), 3u) << (ccss ? "ccss" : "baseline");
+    EXPECT_NE(sh.header.find("struct Simulator"), std::string::npos);
+    std::string out = compileAndRunSharded(sh, mainBody);
+    EXPECT_EQ(out, single) << (ccss ? "ccss" : "baseline") << " mode:\n" << out;
+    EXPECT_NE(out.find("sum="), std::string::npos);
+  }
+}
+
+// Shard-count clamping: more shards than work functions degrades to one
+// unit per function, and 1 shard still yields the header + single unit.
+TEST(CodegenRun, ShardCountClamps) {
+  SimIR ir = sim::buildFromFirrtl(designs::counterFirrtl(8));
+  CondPartSchedule sched = makeSchedule(ir);
+  codegen::ShardedCpp many = codegen::emitCppSharded(ir, &sched, CodegenOptions{}, 64, "c");
+  EXPECT_LE(many.units.size(), sched.parts.size());
+  codegen::ShardedCpp one = codegen::emitCppSharded(ir, &sched, CodegenOptions{}, 1, "c");
+  EXPECT_EQ(one.units.size(), 1u);
+  EXPECT_EQ(one.unitNames[0], "c_0.cpp");
+}
+
 TEST(CodegenRun, CounterMatchesInterpreterBothModes) {
   SimIR ir = sim::buildFromFirrtl(designs::counterFirrtl(8));
   CondPartSchedule sched = makeSchedule(ir);
 
   // Interpreter reference: en toggles every 3rd cycle.
-  FullCycleEngine ref(ir);
+  FullCycleEngine ref(sim::CompiledDesign::compile(ir));
   ref.poke("reset", 0);
   for (int c = 0; c < 40; c++) {
     ref.poke("en", c % 3 != 0);
@@ -233,7 +311,7 @@ circuit P :
 )");
   CondPartSchedule sched = makeSchedule(ir);
 
-  FullCycleEngine ref(ir);
+  FullCycleEngine ref(sim::CompiledDesign::compile(ir));
   ref.poke("reset", 0);
   while (!ref.stopped()) ref.tick();
 
@@ -316,7 +394,7 @@ TEST(CodegenRun, RandomDesignsMatchInterpreterHash) {
     CondPartSchedule sched = makeSchedule(ir);
 
     // Interpreter side.
-    ActivityEngine ref(ir, ScheduleOptions{});
+    ActivityEngine ref(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), ScheduleOptions{}));
     uint64_t lcg = seed;
     auto lcgNext = [&lcg] {
       lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;

@@ -14,9 +14,8 @@
 
 #include "diag/diag.h"
 #include "firrtl/lexer.h"
-#include "firrtl/parser.h"
 #include "obs/json.h"
-#include "sim/builder.h"
+#include "sim/compile.h"
 
 #ifndef DIAG_CORPUS_DIR
 #error "DIAG_CORPUS_DIR must be defined by the build"

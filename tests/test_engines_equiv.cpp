@@ -11,7 +11,7 @@
 #include "designs/blocks.h"
 #include "designs/gcd.h"
 #include "designs/tinysoc.h"
-#include "sim/builder.h"
+#include "sim/compile.h"
 #include "sim/event_driven.h"
 #include "sim/full_cycle.h"
 #include "sim/harness.h"
@@ -70,22 +70,22 @@ TEST_P(RandomEquiv, AllEnginesAgree) {
   std::string text = designs::randomDesignFirrtl(seed, cfg);
   SimIR ir = sim::buildFromFirrtl(text);
 
-  FullCycleEngine ref(ir);
-  EventDrivenEngine ev(ir);
-  ActivityEngine act(ir, ScheduleOptions{});
+  FullCycleEngine ref(sim::CompiledDesign::compile(ir));
+  EventDrivenEngine ev(sim::CompiledDesign::compile(ir));
+  ActivityEngine act(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), ScheduleOptions{}));
 
   auto m1 = compareEngines(ref, ev, 120, randomStimulus(seed * 31 + 1, toggleP));
   EXPECT_FALSE(m1.has_value()) << "event-driven: " << m1->describe() << "\n" << text;
 
-  FullCycleEngine ref2(ir);
+  FullCycleEngine ref2(sim::CompiledDesign::compile(ir));
   auto m2 = compareEngines(ref2, act, 120, randomStimulus(seed * 31 + 1, toggleP));
   EXPECT_FALSE(m2.has_value()) << "ccss: " << m2->describe() << "\n" << text;
 
   // The wave-parallel engine must agree signal-for-signal too, at both a
   // narrow and a wide pool.
   for (unsigned threads : {2u, 4u}) {
-    FullCycleEngine ref3(ir);
-    ParallelActivityEngine par(ir, ScheduleOptions{}, threads);
+    FullCycleEngine ref3(sim::CompiledDesign::compile(ir));
+    ParallelActivityEngine par(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), ScheduleOptions{}), threads);
     auto m3 = compareEngines(ref3, par, 120, randomStimulus(seed * 31 + 1, toggleP));
     EXPECT_FALSE(m3.has_value()) << "ccss-par t" << threads << ": " << m3->describe() << "\n"
                                  << text;
@@ -111,17 +111,17 @@ TEST_P(CpEquiv, CcssMatchesReferenceAtEveryCp) {
   uint32_t cp = GetParam();
   for (uint64_t seed : {41ull, 42ull, 43ull}) {
     SimIR ir = sim::buildFromFirrtl(designs::randomDesignFirrtl(seed));
-    FullCycleEngine ref(ir);
+    FullCycleEngine ref(sim::CompiledDesign::compile(ir));
     ScheduleOptions opts;
     opts.partition.smallThreshold = cp;
-    ActivityEngine act(ir, opts);
+    ActivityEngine act(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), opts));
     auto m = compareEngines(ref, act, 100, randomStimulus(seed, 0.2));
     EXPECT_FALSE(m.has_value()) << "cp=" << cp << " seed=" << seed << ": " << m->describe();
 
     // Granularity changes reshape the waves; the parallel engine must stay
     // correct at every C_p, including the degenerate fine partitioning.
-    FullCycleEngine ref2(ir);
-    ParallelActivityEngine par(ir, opts, 2);
+    FullCycleEngine ref2(sim::CompiledDesign::compile(ir));
+    ParallelActivityEngine par(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), opts), 2);
     auto mp = compareEngines(ref2, par, 100, randomStimulus(seed, 0.2));
     EXPECT_FALSE(mp.has_value()) << "par cp=" << cp << " seed=" << seed << ": " << mp->describe();
   }
@@ -135,10 +135,10 @@ INSTANTIATE_TEST_SUITE_P(Granularity, CpEquiv, ::testing::Values(0u, 1u, 2u, 4u,
 TEST(AblationEquiv, ElisionOffStillCorrect) {
   for (uint64_t seed : {51ull, 52ull, 53ull, 54ull}) {
     SimIR ir = sim::buildFromFirrtl(designs::randomDesignFirrtl(seed));
-    FullCycleEngine ref(ir);
+    FullCycleEngine ref(sim::CompiledDesign::compile(ir));
     ScheduleOptions opts;
     opts.stateElision = false;
-    ActivityEngine act(ir, opts);
+    ActivityEngine act(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), opts));
     auto m = compareEngines(ref, act, 100, randomStimulus(seed, 0.3));
     EXPECT_FALSE(m.has_value()) << m->describe();
   }
@@ -154,8 +154,8 @@ TEST(AblationEquiv, BaselineIrMatchesOptimizedIr) {
     SimIR rawIr = sim::buildFromFirrtl(text, raw);
     SimIR optIr = sim::buildFromFirrtl(text);
     EXPECT_GE(rawIr.ops.size(), optIr.ops.size());
-    FullCycleEngine a(rawIr);
-    FullCycleEngine b(optIr);
+    FullCycleEngine a(sim::CompiledDesign::compile(rawIr));
+    FullCycleEngine b(sim::CompiledDesign::compile(optIr));
     auto m = compareEngines(a, b, 80, randomStimulus(seed, 0.4));
     EXPECT_FALSE(m.has_value()) << m->describe();
   }
@@ -168,8 +168,8 @@ TEST(AblationEquiv, WideValueDesigns) {
   cfg.numNodes = 50;
   for (uint64_t seed : {71ull, 72ull}) {
     SimIR ir = sim::buildFromFirrtl(designs::randomDesignFirrtl(seed, cfg));
-    FullCycleEngine ref(ir);
-    ActivityEngine act(ir, ScheduleOptions{});
+    FullCycleEngine ref(sim::CompiledDesign::compile(ir));
+    ActivityEngine act(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), ScheduleOptions{}));
     auto m = compareEngines(ref, act, 60, randomStimulus(seed, 0.3));
     EXPECT_FALSE(m.has_value()) << m->describe();
   }
@@ -177,9 +177,9 @@ TEST(AblationEquiv, WideValueDesigns) {
 
 TEST(GcdEquiv, AllEnginesComputeGcd) {
   SimIR ir = sim::buildFromFirrtl(designs::gcdFirrtl(16));
-  FullCycleEngine fc(ir);
-  EventDrivenEngine ev(ir);
-  ActivityEngine act(ir, ScheduleOptions{});
+  FullCycleEngine fc(sim::CompiledDesign::compile(ir));
+  EventDrivenEngine ev(sim::CompiledDesign::compile(ir));
+  ActivityEngine act(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), ScheduleOptions{}));
   for (Engine* e : std::initializer_list<Engine*>{&fc, &ev, &act}) {
     e->poke("reset", 0);
     e->poke("a", 1071);
@@ -198,7 +198,7 @@ TEST(GcdEquiv, AllEnginesComputeGcd) {
 
 TEST(TinySoC, DhrystoneMatchesReferenceModel) {
   SimIR ir = sim::buildFromFirrtl(designs::tinySoCFirrtl(designs::socTiny()));
-  FullCycleEngine eng(ir);
+  FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   auto prog = workloads::dhrystoneProgram(16);
   workloads::loadProgram(eng, prog);
   auto res = workloads::runWorkload(eng, 50000);
@@ -209,7 +209,7 @@ TEST(TinySoC, DhrystoneMatchesReferenceModel) {
 
 TEST(TinySoC, MatmulMatchesReferenceModel) {
   SimIR ir = sim::buildFromFirrtl(designs::tinySoCFirrtl(designs::socTiny()));
-  FullCycleEngine eng(ir);
+  FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   auto prog = workloads::matmulProgram(3, 1);
   workloads::loadProgram(eng, prog);
   auto res = workloads::runWorkload(eng, 100000);
@@ -219,7 +219,7 @@ TEST(TinySoC, MatmulMatchesReferenceModel) {
 
 TEST(TinySoC, PchaseMatchesReferenceModel) {
   SimIR ir = sim::buildFromFirrtl(designs::tinySoCFirrtl(designs::socTiny()));
-  FullCycleEngine eng(ir);
+  FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   auto prog = workloads::pchaseProgram(16, 2);
   workloads::loadProgram(eng, prog);
   auto res = workloads::runWorkload(eng, 50000);
@@ -235,10 +235,10 @@ TEST(TinySoC, AllEnginesAgreeOnWorkload) {
     workloads::loadProgram(e, prog);
     return workloads::runWorkload(e, 20000);
   };
-  FullCycleEngine fc(ir);
-  EventDrivenEngine ev(ir);
-  ActivityEngine act(ir, ScheduleOptions{});
-  ParallelActivityEngine par(ir, ScheduleOptions{}, 3);
+  FullCycleEngine fc(sim::CompiledDesign::compile(ir));
+  EventDrivenEngine ev(sim::CompiledDesign::compile(ir));
+  ActivityEngine act(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), ScheduleOptions{}));
+  ParallelActivityEngine par(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), ScheduleOptions{}), 3);
   auto r1 = run(fc), r2 = run(ev), r3 = run(act), r4 = run(par);
   EXPECT_EQ(r1.cycles, r2.cycles);
   EXPECT_EQ(r1.cycles, r3.cycles);
@@ -260,7 +260,7 @@ TEST(TinySoC, AllEnginesAgreeOnWorkload) {
 TEST(TinySoC, PchaseHasLowerEffectiveActivityThanDhrystone) {
   SimIR ir = sim::buildFromFirrtl(designs::tinySoCFirrtl(designs::socTiny()));
   auto measure = [&](const workloads::Program& p) {
-    ActivityEngine eng(ir, ScheduleOptions{});
+    ActivityEngine eng(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), ScheduleOptions{}));
     workloads::loadProgram(eng, p);
     workloads::runWorkload(eng, 60000);
     return eng.effectiveActivity();

@@ -3,11 +3,10 @@
 #include <gtest/gtest.h>
 
 #include "firrtl/lexer.h"
-#include "firrtl/parser.h"
 #include "firrtl/passes.h"
 #include "firrtl/printer.h"
 #include "firrtl/widths.h"
-#include "sim/builder.h"
+#include "sim/compile.h"
 #include "sim/full_cycle.h"
 
 namespace essent::firrtl {
@@ -404,7 +403,7 @@ circuit I :
     doubled <= add(x, x)
     o <= doubled
 )");
-  sim::FullCycleEngine eng(ir);
+  sim::FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   eng.poke("x", 30);
   eng.tick();
   EXPECT_EQ(eng.peek("o"), 60u);

@@ -8,14 +8,13 @@
 #include <fstream>
 #include <sstream>
 
-#include "firrtl/parser.h"
 #include "firrtl/printer.h"
 #include "fuzz/fuzzer.h"
 #include "fuzz/generator.h"
 #include "fuzz/oracle.h"
 #include "fuzz/shrinker.h"
 #include "fuzz/stimulus.h"
-#include "sim/builder.h"
+#include "sim/compile.h"
 #include "sim/full_cycle.h"
 
 namespace essent::fuzz {
@@ -144,8 +143,8 @@ circuit G :
 )";
   sim::SimIR irA = sim::buildFromFirrtl(good);
   sim::SimIR irB = sim::buildFromFirrtl(bad);
-  sim::FullCycleEngine a(irA);
-  sim::FullCycleEngine b(irB);
+  sim::FullCycleEngine a(sim::CompiledDesign::compile(irA));
+  sim::FullCycleEngine b(sim::CompiledDesign::compile(irB));
   Stimulus stim;
   stim.inputs = {"x"};
   stim.widths = {8};
@@ -182,8 +181,8 @@ circuit P :
 )";
   sim::SimIR irA = sim::buildFromFirrtl(quiet);
   sim::SimIR irB = sim::buildFromFirrtl(chatty);
-  sim::FullCycleEngine a(irA);
-  sim::FullCycleEngine b(irB);
+  sim::FullCycleEngine a(sim::CompiledDesign::compile(irA));
+  sim::FullCycleEngine b(sim::CompiledDesign::compile(irB));
   Stimulus stim;
   stim.inputs = {"x"};
   stim.widths = {8};
@@ -248,7 +247,7 @@ circuit DivEdge :
   EXPECT_FALSE(r.codegenSkipped) << r.codegenSkipReason;
 
   // Pin the reference semantics directly.
-  sim::FullCycleEngine eng(ir);
+  sim::FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   eng.poke("a", 200);
   eng.pokeBV("sa", BitVec::fromI64(63, -(1ll << 62)));
   eng.pokeBV("sb", BitVec::fromI64(64, INT64_MIN));
@@ -281,7 +280,7 @@ circuit R :
   OracleResult r = runOracle(fir, stim, OracleOptions{});
   EXPECT_TRUE(r.ok()) << (r.divergence ? r.divergence->describe() : r.buildError);
 
-  sim::FullCycleEngine eng(ir);
+  sim::FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   eng.pokeBV("a", BitVec::fromI64(64, INT64_MIN));
   eng.pokeBV("b", BitVec::fromI64(64, -1));
   eng.tick();

@@ -5,7 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "designs/tinysoc.h"
-#include "sim/builder.h"
+#include "sim/compile.h"
 #include "sim/full_cycle.h"
 #include "support/rng.h"
 #include "support/strutil.h"
@@ -77,7 +77,7 @@ TEST_P(IsaFuzz, RtlMatchesReferenceModel) {
   ASSERT_TRUE(ref.halted);
 
   sim::SimIR ir = sim::buildFromFirrtl(designs::tinySoCFirrtl(designs::socTiny()));
-  sim::FullCycleEngine eng(ir);
+  sim::FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   loadProgram(eng, prog);
   auto res = runWorkload(eng, 200000);
   ASSERT_TRUE(res.halted) << "RTL did not halt for seed " << seed;
@@ -111,7 +111,7 @@ TEST(IsaFuzz, ReferenceModelReportsInstret) {
   EXPECT_EQ(ref.regs[3], 8u);
 
   sim::SimIR ir = sim::buildFromFirrtl(designs::tinySoCFirrtl(designs::socTiny()));
-  sim::FullCycleEngine eng(ir);
+  sim::FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   loadProgram(eng, p);
   auto res = runWorkload(eng, 1000);
   EXPECT_EQ(res.instret, 3u);

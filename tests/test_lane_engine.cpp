@@ -17,7 +17,7 @@
 #include "core/lane_simd.h"
 #include "core/sim_farm.h"
 #include "designs/blocks.h"
-#include "sim/builder.h"
+#include "sim/compile.h"
 #include "sim/engine_factory.h"
 #include "sim/harness.h"
 

@@ -7,7 +7,7 @@
 
 #include "core/netlist.h"
 #include "designs/blocks.h"
-#include "sim/builder.h"
+#include "sim/compile.h"
 
 namespace essent::core {
 namespace {

@@ -10,7 +10,7 @@
 #include "core/obs_export.h"
 #include "designs/blocks.h"
 #include "designs/gcd.h"
-#include "sim/builder.h"
+#include "sim/compile.h"
 #include "sim/full_cycle.h"
 #include "sim/harness.h"
 
@@ -31,8 +31,8 @@ void bankStimulus(Engine& e, uint64_t c) {
 
 TEST(ObsCounters, CcssNeverEvaluatesMoreOpsThanFullCycle) {
   SimIR ir = sim::buildFromFirrtl(designs::gatedBanksFirrtl(8, 16));
-  FullCycleEngine full(ir);
-  ActivityEngine ccss(ir, ScheduleOptions{});
+  FullCycleEngine full(sim::CompiledDesign::compile(ir));
+  ActivityEngine ccss(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), ScheduleOptions{}));
   RunResult rFull = sim::runEngine(full, 300, bankStimulus);
   RunResult rCcss = sim::runEngine(ccss, 300, bankStimulus);
   ASSERT_EQ(rFull.cycles, rCcss.cycles);
@@ -44,7 +44,7 @@ TEST(ObsCounters, ActivationsBoundedByChecksAndActivityInUnitRange) {
   for (const std::string& text :
        {designs::gatedBanksFirrtl(8, 16), designs::gcdFirrtl(16), designs::pipelineFirrtl(4, 8)}) {
     SimIR ir = sim::buildFromFirrtl(text);
-    ActivityEngine eng(ir, ScheduleOptions{});
+    ActivityEngine eng(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), ScheduleOptions{}));
     sim::runEngine(eng, 200, [](Engine& e, uint64_t c) { e.poke("reset", c < 2); });
     EXPECT_LE(eng.stats().partitionActivations, eng.stats().partitionChecks) << ir.name;
     EXPECT_GE(eng.effectiveActivity(), 0.0) << ir.name;
@@ -54,7 +54,7 @@ TEST(ObsCounters, ActivationsBoundedByChecksAndActivityInUnitRange) {
 
 TEST(ObsProfile, PerPartitionCountersSumToEngineStats) {
   SimIR ir = sim::buildFromFirrtl(designs::gatedBanksFirrtl(8, 16));
-  ActivityEngine eng(ir, ScheduleOptions{});
+  ActivityEngine eng(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), ScheduleOptions{}));
   eng.setProfiling(true);
   sim::runEngine(eng, 500, bankStimulus);
 
@@ -80,8 +80,8 @@ TEST(ObsProfile, PerPartitionCountersSumToEngineStats) {
 
 TEST(ObsProfile, ProfilingDoesNotPerturbSimulation) {
   SimIR ir = sim::buildFromFirrtl(designs::gatedBanksFirrtl(8, 16));
-  ActivityEngine plain(ir, ScheduleOptions{});
-  ActivityEngine profiled(ir, ScheduleOptions{});
+  ActivityEngine plain(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), ScheduleOptions{}));
+  ActivityEngine profiled(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), ScheduleOptions{}));
   profiled.setProfiling(true);
   for (uint64_t c = 0; c < 300; c++) {
     bankStimulus(plain, c);
@@ -97,7 +97,7 @@ TEST(ObsProfile, ProfilingDoesNotPerturbSimulation) {
 
 TEST(ObsProfile, ResetStateClearsProfileWithStats) {
   SimIR ir = sim::buildFromFirrtl(designs::gcdFirrtl(16));
-  ActivityEngine eng(ir, ScheduleOptions{});
+  ActivityEngine eng(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), ScheduleOptions{}));
   eng.setProfiling(true);
   sim::runEngine(eng, 50, [](Engine& e, uint64_t c) {
     e.poke("load", c == 0);
@@ -117,7 +117,7 @@ TEST(ObsProfile, ResetStateClearsProfileWithStats) {
 
 TEST(ObsProfile, WindowSizeReshapesTimeline) {
   SimIR ir = sim::buildFromFirrtl(designs::counterFirrtl(8));
-  ActivityEngine eng(ir, ScheduleOptions{});
+  ActivityEngine eng(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), ScheduleOptions{}));
   eng.setProfileWindow(10);
   eng.setProfiling(true);
   sim::runEngine(eng, 95, [](Engine& e, uint64_t) { e.poke("en", 1); });
@@ -127,7 +127,7 @@ TEST(ObsProfile, WindowSizeReshapesTimeline) {
 
 TEST(ObsProfile, RunAndWorkloadResultsCarryStatsSnapshot) {
   SimIR ir = sim::buildFromFirrtl(designs::gatedBanksFirrtl(4, 8));
-  ActivityEngine eng(ir, ScheduleOptions{});
+  ActivityEngine eng(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), ScheduleOptions{}));
   RunResult res = sim::runEngine(eng, 100, bankStimulus);
   EXPECT_EQ(res.stats.cycles, eng.stats().cycles);
   EXPECT_EQ(res.stats.opsEvaluated, eng.stats().opsEvaluated);
@@ -137,7 +137,7 @@ TEST(ObsProfile, RunAndWorkloadResultsCarryStatsSnapshot) {
 
 TEST(ObsExport, ProfileJsonSumChecksAndHotRanking) {
   SimIR ir = sim::buildFromFirrtl(designs::gatedBanksFirrtl(8, 16));
-  ActivityEngine eng(ir, ScheduleOptions{});
+  ActivityEngine eng(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), ScheduleOptions{}));
   eng.setProfiling(true);
   sim::runEngine(eng, 400, bankStimulus);
 

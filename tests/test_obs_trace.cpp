@@ -19,7 +19,7 @@
 #include "designs/blocks.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "sim/builder.h"
+#include "sim/compile.h"
 #include "support/threadpool.h"
 
 using namespace essent;

@@ -4,7 +4,7 @@
 // elimination over registers, memories, and side-effect cones.
 #include <gtest/gtest.h>
 
-#include "sim/builder.h"
+#include "sim/compile.h"
 #include "sim/full_cycle.h"
 #include "sim/harness.h"
 
@@ -38,7 +38,7 @@ circuit M :
   EXPECT_GE(st.constsFolded, 1u);
   EXPECT_EQ(countCode(ir, OpCode::Mux), muxesBefore - 1);
   ir.validate();
-  FullCycleEngine eng(ir);
+  FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   eng.poke("a", 7);
   eng.poke("b", 9);
   eng.tick();
@@ -57,7 +57,7 @@ circuit C :
     o <= n4
 )");
   constantPropagate(ir);
-  FullCycleEngine eng(ir);
+  FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   eng.tick();
   EXPECT_EQ(eng.peek("o"), (64u ^ 255u));
   // Every arithmetic op folded away.
@@ -103,7 +103,7 @@ circuit C :
   ir.validate();
   // Only one Add remains.
   EXPECT_EQ(countCode(ir, OpCode::Add), 1u);
-  FullCycleEngine eng(ir);
+  FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   eng.poke("a", 100);
   eng.poke("b", 55);
   eng.tick();
@@ -124,7 +124,7 @@ circuit D :
 )");
   eliminateCommonSubexprs(ir);
   deadCodeEliminate(ir);
-  FullCycleEngine eng(ir);
+  FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   eng.poke("a", 0x80);
   eng.tick();
   EXPECT_EQ(eng.peek("u"), 0x80u);
@@ -188,7 +188,7 @@ circuit M :
   deadCodeEliminate(ir);
   ASSERT_EQ(ir.mems.size(), 1u);
   // Writer cone stays alive because a live read exists.
-  FullCycleEngine eng(ir);
+  FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   eng.poke("a", 42);
   eng.tick();
   eng.tick();
@@ -208,7 +208,7 @@ circuit P :
   OptStats st = deadCodeEliminate(ir);
   // The print keeps its enable/arg cone; nothing substantial removed.
   EXPECT_EQ(ir.ops.size(), before - st.opsRemoved);
-  FullCycleEngine eng(ir);
+  FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   eng.poke("v", 3);
   eng.tick();
   EXPECT_EQ(eng.printOutput(), "x=6\n");
@@ -235,7 +235,7 @@ circuit R :
   deadCodeEliminate(ir);
   EXPECT_EQ(ir.regs.size(), 3u);
   ir.validate();
-  FullCycleEngine eng(ir);
+  FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   eng.poke("d", 9);
   for (int i = 0; i < 3; i++) eng.tick();
   EXPECT_EQ(eng.peek("r3"), 9u);
@@ -257,7 +257,7 @@ circuit C :
   SimIR raw = buildRaw(text);
   SimIR opt = buildFromFirrtl(text);
   EXPECT_LE(opt.ops.size(), raw.ops.size());
-  FullCycleEngine a(raw), b(opt);
+  FullCycleEngine a(sim::CompiledDesign::compile(raw)), b(sim::CompiledDesign::compile(opt));
   auto m = compareEngines(a, b, 60, [](Engine& e, uint64_t c) {
     e.poke("reset", c < 2);
     e.poke("en", c % 2);

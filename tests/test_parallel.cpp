@@ -15,7 +15,7 @@
 #include "designs/gcd.h"
 #include "designs/systolic.h"
 #include "designs/tinysoc.h"
-#include "sim/builder.h"
+#include "sim/compile.h"
 #include "sim/full_cycle.h"
 #include "sim/harness.h"
 #include "support/rng.h"
@@ -248,8 +248,8 @@ TEST_P(ParallelEquiv, MatchesSerialSignalsAndExactCounters) {
         designs::randomDesignFirrtl(31), designs::randomDesignFirrtl(32)}) {
     SimIR ir = sim::buildFromFirrtl(text);
     CondPartSchedule sched = core::buildSchedule(core::Netlist::build(ir));
-    ActivityEngine serial(ir, sched);           // copies
-    ParallelActivityEngine par(ir, sched, threads);
+    ActivityEngine serial(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), sched));
+    ParallelActivityEngine par(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), sched), threads);
     // Effective width clamps to the placement's useful width (one lane per
     // partition) — tiny designs may expose fewer partitions than lanes.
     EXPECT_EQ(par.threadCount(),
@@ -273,8 +273,8 @@ TEST_P(ParallelEquiv, MatchesFullCycleReference) {
   const unsigned threads = GetParam();
   for (uint64_t seed : {81ull, 82ull, 83ull}) {
     SimIR ir = sim::buildFromFirrtl(designs::randomDesignFirrtl(seed));
-    FullCycleEngine ref(ir);
-    ParallelActivityEngine par(ir, ScheduleOptions{}, threads);
+    FullCycleEngine ref(sim::CompiledDesign::compile(ir));
+    ParallelActivityEngine par(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), ScheduleOptions{}), threads);
     auto m = compareEngines(ref, par, 120, randomStimulus(seed, 0.25));
     EXPECT_FALSE(m.has_value()) << "threads=" << threads << " seed=" << seed << ": "
                                 << m->describe();
@@ -287,11 +287,11 @@ TEST_P(ParallelEquiv, WorkloadRunsBitExact) {
   CondPartSchedule sched = core::buildSchedule(core::Netlist::build(ir));
   auto prog = workloads::dhrystoneProgram(8);
 
-  ActivityEngine serial(ir, sched);
+  ActivityEngine serial(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), sched));
   workloads::loadProgram(serial, prog);
   auto rs = workloads::runWorkload(serial, 20000);
 
-  ParallelActivityEngine par(ir, sched, threads);
+  ParallelActivityEngine par(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), sched), threads);
   workloads::loadProgram(par, prog);
   auto rp = workloads::runWorkload(par, 20000);
 
@@ -311,8 +311,8 @@ TEST_P(ParallelEquiv, ProfilingCountersMergeExactly) {
   SimIR ir = sim::buildFromFirrtl(designs::gatedBanksFirrtl(16, 16));
   CondPartSchedule sched = core::buildSchedule(core::Netlist::build(ir));
 
-  ParallelActivityEngine plain(ir, sched, threads);
-  ParallelActivityEngine profiled(ir, sched, threads);
+  ParallelActivityEngine plain(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), sched), threads);
+  ParallelActivityEngine profiled(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), sched), threads);
   profiled.setProfiling(true);
   for (uint64_t c = 0; c < 400; c++) {
     for (Engine* e : {static_cast<Engine*>(&plain), static_cast<Engine*>(&profiled)}) {
@@ -354,7 +354,7 @@ INSTANTIATE_TEST_SUITE_P(Threads, ParallelEquiv, ::testing::Values(2u, 4u),
 TEST(ParallelEngine, ZeroThreadsUsesDefaultCount) {
   setenv("ESSENT_THREADS", "2", 1);
   SimIR ir = sim::buildFromFirrtl(designs::gcdFirrtl(8));
-  ParallelActivityEngine eng(ir, ScheduleOptions{}, 0);
+  ParallelActivityEngine eng(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), ScheduleOptions{}), 0);
   EXPECT_EQ(eng.threadCount(), 2u);
   unsetenv("ESSENT_THREADS");
 }
@@ -362,7 +362,7 @@ TEST(ParallelEngine, ZeroThreadsUsesDefaultCount) {
 TEST(ParallelEngine, ResetStateReplaysIdentically) {
   SimIR ir = sim::buildFromFirrtl(designs::gatedBanksFirrtl(8, 16));
   CondPartSchedule sched = core::buildSchedule(core::Netlist::build(ir));
-  ParallelActivityEngine eng(ir, sched, 2);
+  ParallelActivityEngine eng(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), sched), 2);
   auto run = [&] {
     std::vector<uint64_t> trace;
     for (uint64_t c = 0; c < 60; c++) {

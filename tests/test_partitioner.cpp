@@ -13,7 +13,7 @@
 #include "core/partitioner.h"
 #include "core/schedule.h"
 #include "designs/blocks.h"
-#include "sim/builder.h"
+#include "sim/compile.h"
 #include "support/rng.h"
 
 namespace essent::core {

@@ -21,7 +21,7 @@
 #include "designs/gcd.h"
 #include "designs/systolic.h"
 #include "designs/tinysoc.h"
-#include "sim/builder.h"
+#include "sim/compile.h"
 #include "sim/harness.h"
 #include "support/rng.h"
 
@@ -273,8 +273,8 @@ TEST(PlacedEngine, ForcedPooledPathMatchesSerialBitsAndStats) {
   for (const auto& [name, text] : allDesignTexts()) {
     SimIR ir = sim::buildFromFirrtl(text);
     CondPartSchedule sched = core::buildSchedule(core::Netlist::build(ir));
-    ActivityEngine serial(ir, sched);
-    ParallelActivityEngine par(ir, sched, 4);
+    ActivityEngine serial(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), sched));
+    ParallelActivityEngine par(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), sched), 4);
     par.setSerialCutoff(0);
     ASSERT_EQ(par.serialCutoff(), 0u);
 
@@ -298,11 +298,11 @@ TEST(PlacedEngine, SerialCutoffPathSwitchIsInvisible) {
   // counter-for-counter — path selection is a pure perf decision.
   SimIR ir = sim::buildFromFirrtl(designs::gatedBanksFirrtl(16, 16));
   CondPartSchedule sched = core::buildSchedule(core::Netlist::build(ir));
-  ParallelActivityEngine pooled(ir, sched, 4);
+  ParallelActivityEngine pooled(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), sched), 4);
   pooled.setSerialCutoff(0);
-  ParallelActivityEngine inlineOnly(ir, sched, 4);
+  ParallelActivityEngine inlineOnly(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), sched), 4);
   inlineOnly.setSerialCutoff(UINT64_MAX);
-  ParallelActivityEngine mixed(ir, sched, 4);
+  ParallelActivityEngine mixed(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), sched), 4);
 
   auto stim = cyclicStimulus(777);
   for (uint64_t c = 0; c < 200; c++) {
@@ -324,7 +324,7 @@ TEST(PlacedEngine, EnginePlacementMatchesStandaloneBuild) {
   // for its effective width — tools (essentc --stats-json) rely on it.
   SimIR ir = sim::buildFromFirrtl(designs::systolicFirrtl(designs::SystolicConfig{}));
   CondPartSchedule sched = core::buildSchedule(core::Netlist::build(ir));
-  ParallelActivityEngine eng(ir, sched, 3);
+  ParallelActivityEngine eng(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), sched), 3);
   PlacementOptions opts;
   opts.threads = eng.threadCount();
   BspPlacement expect = core::buildPlacement(sched, opts);

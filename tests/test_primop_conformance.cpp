@@ -7,7 +7,7 @@
 
 #include <functional>
 
-#include "sim/builder.h"
+#include "sim/compile.h"
 #include "sim/full_cycle.h"
 #include "support/bvops.h"
 #include "support/rng.h"
@@ -55,7 +55,7 @@ TEST_P(BinaryPrimOp, MatchesReferenceAcrossWidths) {
               ty, wa, ty, wb, ow, pc.name);
           ir = sim::buildFromFirrtl(text);
         }
-        sim::FullCycleEngine eng(ir);
+        sim::FullCycleEngine eng(sim::CompiledDesign::compile(ir));
         for (int iter = 0; iter < 12; iter++) {
           BitVec va(wa), vb(wb);
           for (uint32_t i = 0; i < wa; i++) va.setBit(i, rng.nextBool());
@@ -124,7 +124,7 @@ TEST(UnaryPrimOps, MatchReferenceAcrossWidths) {
       text += strfmt("    o_tail <= tail(a, %u)\n", n);
       text += "    o_pad <= pad(a, " + std::to_string(w + 5) + ")\n";
       sim::SimIR ir = sim::buildFromFirrtl(text);
-      sim::FullCycleEngine eng(ir);
+      sim::FullCycleEngine eng(sim::CompiledDesign::compile(ir));
       for (int iter = 0; iter < 10; iter++) {
         BitVec v(w);
         for (uint32_t i = 0; i < w; i++) v.setBit(i, rng.nextBool());
@@ -161,7 +161,7 @@ TEST(DynamicShiftPrimOps, MatchReference) {
           "    l <= dshl(a, sh)\n    r <= dshr(a, sh)\n",
           ty, w, shW, ty, bvops::dshlWidth(w, shW), ty, w);
       sim::SimIR ir = sim::buildFromFirrtl(text);
-      sim::FullCycleEngine eng(ir);
+      sim::FullCycleEngine eng(sim::CompiledDesign::compile(ir));
       for (int iter = 0; iter < 16; iter++) {
         BitVec v(w);
         for (uint32_t i = 0; i < w; i++) v.setBit(i, rng.nextBool());

@@ -5,9 +5,8 @@
 
 #include "designs/gcd.h"
 #include "designs/tinysoc.h"
-#include "firrtl/parser.h"
 #include "firrtl/printer.h"
-#include "sim/builder.h"
+#include "sim/compile.h"
 #include "sim/full_cycle.h"
 #include "sim/harness.h"
 
@@ -100,7 +99,7 @@ TEST(Printer, ReparsedGcdSimulatesIdentically) {
   std::string printed = printCircuit(*c);
   sim::SimIR ir1 = sim::buildFromFirrtl(original);
   sim::SimIR ir2 = sim::buildFromFirrtl(printed);
-  sim::FullCycleEngine a(ir1), b(ir2);
+  sim::FullCycleEngine a(sim::CompiledDesign::compile(ir1)), b(sim::CompiledDesign::compile(ir2));
   auto m = sim::compareEngines(a, b, 80, [](sim::Engine& e, uint64_t c2) {
     e.poke("reset", 0);
     e.poke("a", 270);

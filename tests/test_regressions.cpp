@@ -6,7 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "core/activity_engine.h"
-#include "sim/builder.h"
+#include "sim/compile.h"
 #include "sim/event_driven.h"
 #include "sim/full_cycle.h"
 #include "sim/harness.h"
@@ -27,12 +27,12 @@ using sim::SimIR;
 uint64_t runAllEngines(const std::string& firrtl, uint64_t cycles, const sim::StimulusFn& stim,
                        const std::string& probe) {
   SimIR ir = sim::buildFromFirrtl(firrtl);
-  FullCycleEngine fc(ir);
-  EventDrivenEngine ev(ir);
-  ActivityEngine act(ir, ScheduleOptions{});
+  FullCycleEngine fc(sim::CompiledDesign::compile(ir));
+  EventDrivenEngine ev(sim::CompiledDesign::compile(ir));
+  ActivityEngine act(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), ScheduleOptions{}));
   auto m1 = sim::compareEngines(fc, ev, cycles, stim);
   EXPECT_FALSE(m1.has_value()) << "event-driven: " << m1->describe();
-  FullCycleEngine fc2(ir);
+  FullCycleEngine fc2(sim::CompiledDesign::compile(ir));
   auto m2 = sim::compareEngines(fc2, act, cycles, stim);
   EXPECT_FALSE(m2.has_value()) << "ccss: " << m2->describe();
   return fc.peek(probe);
@@ -121,7 +121,7 @@ circuit Z :
     o <= padded
     c <= eq(a, UInt<0>(0))
 )");
-  FullCycleEngine eng(ir);
+  FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   eng.tick();
   EXPECT_EQ(eng.peek("o"), 0u);  // zero-width values always read 0
   EXPECT_EQ(eng.peek("c"), 1u);
@@ -198,7 +198,7 @@ circuit S :
     divv <= div(a, SInt<8>(-1))
     remv <= rem(a, SInt<8>(3))
 )");
-  FullCycleEngine eng(ir);
+  FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   eng.pokeBV("a", BitVec::fromI64(8, -128));
   eng.tick();
   // neg(-128) widens to 9 bits: +128.
@@ -237,7 +237,7 @@ circuit Top :
     ov <= b2.y
 )";
   SimIR ir = sim::buildFromFirrtl(design);
-  FullCycleEngine eng(ir);
+  FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   eng.poke("u", 10);
   eng.poke("v", 100);
   eng.tick();
@@ -253,7 +253,7 @@ circuit M :
     output o : UInt<8>
     o <= mux(s, UInt<8>(200), UInt<3>(5))
 )");
-  FullCycleEngine eng(ir);
+  FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   eng.poke("s", 0);
   eng.tick();
   EXPECT_EQ(eng.peek("o"), 5u);
@@ -272,7 +272,7 @@ circuit S :
     when arm :
       stop(clock, go, 7)
 )");
-  FullCycleEngine eng(ir);
+  FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   eng.poke("go", 1);
   eng.poke("arm", 0);
   eng.tick();
@@ -310,7 +310,7 @@ circuit A :
     assert(clock, lt(v, UInt<8>(100)), en, "v out of range")
     o <= v
 )");
-  FullCycleEngine eng(ir);
+  FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   eng.poke("v", 50);
   eng.poke("en", 1);
   eng.tick();
@@ -339,7 +339,7 @@ circuit A :
     o <= bad
 )";
   SimIR ir = sim::buildFromFirrtl(design);
-  FullCycleEngine eng(ir);
+  FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   eng.poke("arm", 0);
   eng.poke("bad", 1);
   eng.tick();
@@ -349,8 +349,8 @@ circuit A :
   EXPECT_TRUE(eng.stopped());
   // All engines agree on assertion timing.
   SimIR ir2 = sim::buildFromFirrtl(design);
-  FullCycleEngine a(ir2);
-  ActivityEngine b(ir2, ScheduleOptions{});
+  FullCycleEngine a(sim::CompiledDesign::compile(ir2));
+  ActivityEngine b(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir2), ScheduleOptions{}));
   auto m = sim::compareEngines(a, b, 20, [](sim::Engine& e, uint64_t c) {
     e.poke("arm", c >= 5);
     e.poke("bad", c >= 8);
@@ -393,7 +393,7 @@ circuit D :
     shr <= dshr(x, sh)
 )";
   SimIR ir = sim::buildFromFirrtl(design);
-  FullCycleEngine fc(ir);
+  FullCycleEngine fc(sim::CompiledDesign::compile(ir));
   fc.poke("x", 200);
   fc.poke("sh", 9);
   fc.tick();
@@ -419,7 +419,7 @@ circuit R :
     o <= rem(a, b)
 )";
   SimIR ir = sim::buildFromFirrtl(design);
-  FullCycleEngine fc(ir);
+  FullCycleEngine fc(sim::CompiledDesign::compile(ir));
   fc.pokeBV("a", BitVec::fromI64(64, INT64_MIN));
   fc.pokeBV("b", BitVec::fromI64(64, -1));
   fc.tick();
@@ -487,7 +487,7 @@ TEST(Regression, FuzzCornerDeeplyNestedMux) {
   }, "o");
   // Direct check of the all-else path: s == 0 -> o == ((~a)+1)+2+...+11.
   SimIR ir = sim::buildFromFirrtl(design);
-  FullCycleEngine fc(ir);
+  FullCycleEngine fc(sim::CompiledDesign::compile(ir));
   fc.poke("s", 0);
   fc.poke("a", 0x5a);
   fc.tick();

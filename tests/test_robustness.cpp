@@ -22,7 +22,7 @@
 #include "fuzz/oracle.h"
 #include "fuzz/stimulus.h"
 #include "obs/json.h"
-#include "sim/builder.h"
+#include "sim/compile.h"
 #include "support/resource_guard.h"
 #include "support/subprocess.h"
 #include "support/threadpool.h"
@@ -200,7 +200,7 @@ TEST(Degradation, MakeCcssEngineFallsBackToSerialWithWarning) {
   EXPECT_EQ(eng->threadCount(), 1u);
   EXPECT_FALSE(warnings.empty());
   // And it still simulates correctly, bit-exact with a plain serial engine.
-  core::ActivityEngine ref(ir, so);
+  core::ActivityEngine ref(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), so));
   eng->poke("en", 1);
   ref.poke("en", 1);
   for (int c = 0; c < 10; c++) {

@@ -25,7 +25,7 @@
 #include "serve/design_cache.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
-#include "sim/builder.h"
+#include "sim/compile.h"
 #include "sim/engine.h"
 #include "sim/engine_factory.h"
 #include "support/resource_guard.h"
@@ -143,7 +143,7 @@ TEST(Framing, SilentPeerTimesOut) {
 
 TEST(Protocol, ParsesRunRequest) {
   obs::Json doc = obs::Json::parse(
-      R"({"op":"run","design":"circuit X :","cycles":32,"batch":4,)"
+      R"({"proto":1,"op":"run","design":"circuit X :","cycles":32,"batch":4,)"
       R"("pokes":{"en":1},"options":{"engine":"ccss","cp":16,"baseline":true}})");
   std::string code, msg;
   std::optional<serve::Request> req = serve::parseRequest(doc, code, msg);
@@ -157,17 +157,47 @@ TEST(Protocol, ParsesRunRequest) {
 }
 
 TEST(Protocol, RejectsUnknownTopLevelField) {
-  obs::Json doc = obs::Json::parse(R"({"op":"ping","flux":1})");
+  obs::Json doc = obs::Json::parse(R"({"proto":1,"op":"ping","flux":1})");
   std::string code, msg;
   EXPECT_FALSE(serve::parseRequest(doc, code, msg).has_value());
   EXPECT_EQ(code, serve::kErrBadRequest);
 }
 
 TEST(Protocol, RejectsRunWithoutCycles) {
-  obs::Json doc = obs::Json::parse(R"({"op":"run","design":"circuit X :"})");
+  obs::Json doc = obs::Json::parse(R"({"proto":1,"op":"run","design":"circuit X :"})");
   std::string code, msg;
   EXPECT_FALSE(serve::parseRequest(doc, code, msg).has_value());
   EXPECT_EQ(code, serve::kErrBadRequest);
+}
+
+TEST(Protocol, MissingProtoNamesSupportedRange) {
+  obs::Json doc = obs::Json::parse(R"({"op":"ping"})");
+  std::string code, msg;
+  EXPECT_FALSE(serve::parseRequest(doc, code, msg).has_value());
+  EXPECT_EQ(code, serve::kErrBadRequest);
+  EXPECT_NE(msg.find("proto"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("supported protocol versions: 1..1"), std::string::npos) << msg;
+}
+
+TEST(Protocol, UnsupportedProtoNamesSupportedRange) {
+  obs::Json doc = obs::Json::parse(R"({"proto":99,"op":"ping"})");
+  std::string code, msg;
+  EXPECT_FALSE(serve::parseRequest(doc, code, msg).has_value());
+  EXPECT_EQ(code, serve::kErrBadRequest);
+  EXPECT_NE(msg.find("unsupported protocol version 99"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("supported: 1..1"), std::string::npos) << msg;
+  obs::Json bad = obs::Json::parse(R"({"proto":"one","op":"ping"})");
+  EXPECT_FALSE(serve::parseRequest(bad, code, msg).has_value());
+  EXPECT_EQ(code, serve::kErrBadRequest);
+}
+
+TEST(Protocol, ResponsesEchoProtocolVersion) {
+  obs::Json ok = serve::okResponse(serve::RequestOp::Status);
+  ASSERT_NE(ok.find("proto"), nullptr);
+  EXPECT_EQ(ok.at("proto").asUInt(), serve::kProtoMax);
+  obs::Json err = serve::errorResponse(serve::kErrBadRequest, "nope");
+  ASSERT_NE(err.find("proto"), nullptr);
+  EXPECT_EQ(err.at("proto").asUInt(), serve::kProtoMax);
 }
 
 TEST(Protocol, DesignHashCoversTextAndOptions) {
@@ -324,6 +354,7 @@ serve::ResponseEnvelope envelope(const std::optional<obs::Json>& doc) {
 obs::Json runRequest(const std::string& designText, uint64_t cycles,
                      std::map<std::string, uint64_t> pokes = {}) {
   obs::Json req = obs::Json::object();
+  req["proto"] = uint64_t{serve::kProtoMax};
   req["op"] = "run";
   req["design"] = designText;
   req["cycles"] = cycles;
@@ -337,7 +368,7 @@ obs::Json runRequest(const std::string& designText, uint64_t cycles,
 
 TEST(ServerTest, PingRoundTrip) {
   TestServer ts;
-  std::optional<obs::Json> doc = rpc(ts, R"({"op":"ping"})");
+  std::optional<obs::Json> doc = rpc(ts, R"({"proto":1,"op":"ping"})");
   serve::ResponseEnvelope env = envelope(doc);
   EXPECT_TRUE(env.ok);
   ASSERT_NE(doc->find("op"), nullptr);
@@ -347,6 +378,7 @@ TEST(ServerTest, PingRoundTrip) {
 TEST(ServerTest, CompileThenRunByHashHitsCache) {
   TestServer ts;
   obs::Json creq = obs::Json::object();
+  creq["proto"] = uint64_t{serve::kProtoMax};
   creq["op"] = "compile";
   creq["design"] = gcdFir();
   std::optional<obs::Json> cresp = rpc(ts, creq.dump(0));
@@ -357,6 +389,7 @@ TEST(ServerTest, CompileThenRunByHashHitsCache) {
   EXPECT_GT(cresp->at("design").at("ir_ops").asUInt(), 0u);
 
   obs::Json rreq = obs::Json::object();
+  rreq["proto"] = uint64_t{serve::kProtoMax};
   rreq["op"] = "run";
   rreq["design_hash"] = hash;
   rreq["cycles"] = uint64_t{64};
@@ -459,7 +492,7 @@ TEST(ServerTest, WireCorpusGolden) {
     }
 
     // The daemon must survive every corpus case: a fresh request succeeds.
-    EXPECT_TRUE(envelope(rpc(ts, R"({"op":"ping"})")).ok) << "daemon died after " << name;
+    EXPECT_TRUE(envelope(rpc(ts, R"({"proto":1,"op":"ping"})")).ok) << "daemon died after " << name;
   }
   EXPECT_GE(cases, 10u) << "wire corpus went missing";
 }
@@ -475,6 +508,7 @@ TEST(ServerTest, ForgedDesignHashIsRejectedAndNeverCached) {
   EXPECT_FALSE(env.ok);
   EXPECT_EQ(env.errorCode, serve::kErrBadRequest);
   obs::Json creq = obs::Json::object();
+  creq["proto"] = uint64_t{serve::kProtoMax};
   creq["op"] = "compile";
   creq["design"] = kCounterFir;
   creq["design_hash"] = forged;
@@ -483,6 +517,7 @@ TEST(ServerTest, ForgedDesignHashIsRejectedAndNeverCached) {
   // The poisoning attempt populated nothing: the forged key still misses,
   // so a victim whose design legitimately hashes there would compile fresh.
   obs::Json byHash = obs::Json::object();
+  byHash["proto"] = uint64_t{serve::kProtoMax};
   byHash["op"] = "run";
   byHash["design_hash"] = forged;
   byHash["cycles"] = uint64_t{8};
@@ -553,6 +588,7 @@ TEST(ServerTest, PerRequestErrorIsolationOnOneConnection) {
 
   // A rejected design renders as E0605 with front-end diagnostics...
   obs::Json bad = obs::Json::object();
+  bad["proto"] = uint64_t{serve::kProtoMax};
   bad["op"] = "compile";
   bad["design"] = "circuit Broken :\n  module Broken :\n    output o : UInt<8>\n    o <= q\n";
   std::optional<obs::Json> r1 = rpcOn(conn, bad.dump(0));
@@ -563,7 +599,7 @@ TEST(ServerTest, PerRequestErrorIsolationOnOneConnection) {
   EXPECT_GT(r1->at("error").at("diagnostics").size(), 0u);
 
   // ...and poisons neither the connection nor the worker.
-  EXPECT_TRUE(envelope(rpcOn(conn, R"({"op":"ping"})")).ok);
+  EXPECT_TRUE(envelope(rpcOn(conn, R"({"proto":1,"op":"ping"})")).ok);
   std::optional<obs::Json> r3 = rpcOn(conn, runRequest(kCounterFir, 16).dump(0));
   EXPECT_TRUE(envelope(r3).ok);
 }
@@ -581,7 +617,7 @@ TEST(ServerTest, DeadlineRendersAsE0607) {
   EXPECT_EQ(env.errorCode, serve::kErrDeadline);
   EXPECT_LT(msSince(t0), 20'000);  // cut off promptly, not after 50M cycles
   // The worker survived the kill.
-  EXPECT_TRUE(envelope(rpc(ts, R"({"op":"ping"})")).ok);
+  EXPECT_TRUE(envelope(rpc(ts, R"({"proto":1,"op":"ping"})")).ok);
 }
 
 TEST(ServerTest, CycleCeilingRendersAsE0606) {
@@ -609,17 +645,17 @@ TEST(ServerTest, FullQueueShedsWithRetryHint) {
 
   // Occupy the only worker...
   support::Socket busy = support::connectUnix(ts.sock);
-  ASSERT_TRUE(support::writeFrame(busy.fd(), R"({"op":"ping","sleep_ms":1500})"));
+  ASSERT_TRUE(support::writeFrame(busy.fd(), R"({"proto":1,"op":"ping","sleep_ms":1500})"));
   std::this_thread::sleep_for(std::chrono::milliseconds(200));
   // ...fill the queue behind it...
   support::Socket queued = support::connectUnix(ts.sock);
-  ASSERT_TRUE(support::writeFrame(queued.fd(), R"({"op":"ping"})"));
+  ASSERT_TRUE(support::writeFrame(queued.fd(), R"({"proto":1,"op":"ping"})"));
   std::this_thread::sleep_for(std::chrono::milliseconds(100));
 
   // ...and every further connection is shed at the door with E0609.
   int shed = 0;
   for (int i = 0; i < 3; i++) {
-    std::optional<obs::Json> resp = rpc(ts, R"({"op":"ping"})");
+    std::optional<obs::Json> resp = rpc(ts, R"({"proto":1,"op":"ping"})");
     serve::ResponseEnvelope env = envelope(resp);
     EXPECT_FALSE(env.ok);
     EXPECT_EQ(env.errorCode, serve::kErrOverloaded);
@@ -647,11 +683,11 @@ TEST(ServerTest, DrainFinishesInFlightAndRejectsQueued) {
 
   // In-flight request: holds the worker well past the drain signal.
   support::Socket inflight = support::connectUnix(ts.sock);
-  ASSERT_TRUE(support::writeFrame(inflight.fd(), R"({"op":"ping","sleep_ms":2000})"));
+  ASSERT_TRUE(support::writeFrame(inflight.fd(), R"({"proto":1,"op":"ping","sleep_ms":2000})"));
   std::this_thread::sleep_for(std::chrono::milliseconds(150));
   // Queued-but-unserved connection: must be answered, not abandoned.
   support::Socket queued = support::connectUnix(ts.sock);
-  ASSERT_TRUE(support::writeFrame(queued.fd(), R"({"op":"ping"})"));
+  ASSERT_TRUE(support::writeFrame(queued.fd(), R"({"proto":1,"op":"ping"})"));
   std::this_thread::sleep_for(std::chrono::milliseconds(50));
 
   Clock::time_point t0 = Clock::now();
@@ -680,7 +716,7 @@ TEST(ServerTest, DrainFinishesInFlightAndRejectsQueued) {
 TEST(ServerTest, RemoteShutdownGatedByOption) {
   {
     TestServer ts;  // default: shutdown disabled
-    serve::ResponseEnvelope env = envelope(rpc(ts, R"({"op":"shutdown"})"));
+    serve::ResponseEnvelope env = envelope(rpc(ts, R"({"proto":1,"op":"shutdown"})"));
     EXPECT_FALSE(env.ok);
     EXPECT_EQ(env.errorCode, serve::kErrBadRequest);
     EXPECT_FALSE(ts.server->draining());
@@ -689,7 +725,7 @@ TEST(ServerTest, RemoteShutdownGatedByOption) {
     serve::ServerOptions opts;
     opts.allowRemoteShutdown = true;
     TestServer ts(opts);
-    serve::ResponseEnvelope env = envelope(rpc(ts, R"({"op":"shutdown"})"));
+    serve::ResponseEnvelope env = envelope(rpc(ts, R"({"proto":1,"op":"shutdown"})"));
     EXPECT_TRUE(env.ok);
     ts.server->waitDrained();
     EXPECT_TRUE(ts.server->draining());
@@ -702,6 +738,7 @@ TEST(ServerTest, EvictionMakesHashUnknown) {
   TestServer ts(opts);
 
   obs::Json creq = obs::Json::object();
+  creq["proto"] = uint64_t{serve::kProtoMax};
   creq["op"] = "compile";
   creq["design"] = kCounterFir;
   std::optional<obs::Json> c1 = rpc(ts, creq.dump(0));
@@ -712,6 +749,7 @@ TEST(ServerTest, EvictionMakesHashUnknown) {
   creq["design"] = gcdFir();
   ASSERT_TRUE(envelope(rpc(ts, creq.dump(0))).ok);
   obs::Json rreq = obs::Json::object();
+  rreq["proto"] = uint64_t{serve::kProtoMax};
   rreq["op"] = "run";
   rreq["design_hash"] = counterHash;
   rreq["cycles"] = uint64_t{8};
@@ -722,6 +760,7 @@ TEST(ServerTest, EvictionMakesHashUnknown) {
   // ...and an explicit evict does the same for the survivor.
   std::string gcdHash = serve::designHash(gcdFir(), serve::RequestOptions{});
   obs::Json ereq = obs::Json::object();
+  ereq["proto"] = uint64_t{serve::kProtoMax};
   ereq["op"] = "evict";
   ereq["design_hash"] = gcdHash;
   std::optional<obs::Json> eresp = rpc(ts, ereq.dump(0));
@@ -737,8 +776,8 @@ TEST(ServerTest, StatusReportsConfigurationAndStats) {
   opts.workers = 3;
   opts.queueCapacity = 7;
   TestServer ts(opts);
-  ASSERT_TRUE(envelope(rpc(ts, R"({"op":"ping"})")).ok);
-  std::optional<obs::Json> resp = rpc(ts, R"({"op":"status"})");
+  ASSERT_TRUE(envelope(rpc(ts, R"({"proto":1,"op":"ping"})")).ok);
+  std::optional<obs::Json> resp = rpc(ts, R"({"proto":1,"op":"status"})");
   ASSERT_TRUE(envelope(resp).ok);
   EXPECT_FALSE(resp->at("draining").asBool());
   EXPECT_EQ(resp->at("workers").asUInt(), 3u);
@@ -766,11 +805,11 @@ TEST(ChaosTest, CampaignYieldsOnlyStructuredResponsesOrCleanCuts) {
   for (int i = 0; i < kCases; i++) {
     std::string payload;
     switch (i % 5) {
-      case 0: payload = R"({"op":"ping"})"; break;
+      case 0: payload = R"({"proto":1,"op":"ping"})"; break;
       case 1: payload = runRequest(kCounterFir, 64, {{"en", 1}}).dump(0); break;
-      case 2: payload = R"({"op":"status"})"; break;
-      case 3: payload = R"({"op": not json)"; break;
-      case 4: payload = R"({"op":"run","design_hash":"00112233445566778899aabbccddeeff","cycles":4})"; break;
+      case 2: payload = R"({"proto":1,"op":"status"})"; break;
+      case 3: payload = R"({"proto":1,"op": not json)"; break;
+      case 4: payload = R"({"proto":1,"op":"run","design_hash":"00112233445566778899aabbccddeeff","cycles":4})"; break;
     }
     std::optional<obs::Json> resp = rpc(ts, payload);
     if (!resp) {
@@ -788,7 +827,7 @@ TEST(ChaosTest, CampaignYieldsOnlyStructuredResponsesOrCleanCuts) {
   // Survival: the daemon still answers clean traffic (retry through drops).
   bool alive = false;
   for (int attempt = 0; attempt < 10 && !alive; attempt++) {
-    std::optional<obs::Json> resp = rpc(ts, R"({"op":"ping"})");
+    std::optional<obs::Json> resp = rpc(ts, R"({"proto":1,"op":"ping"})");
     if (resp) {
       std::optional<serve::ResponseEnvelope> env = serve::parseResponseEnvelope(*resp);
       alive = env && env->ok;
@@ -810,7 +849,7 @@ TEST(ChaosTest, PinnedSeedReplaysIdenticalFaultSchedule) {
     TestServer ts(opts);
     std::string sig;
     for (int i = 0; i < 40; i++) {
-      std::optional<obs::Json> resp = rpc(ts, R"({"op":"ping"})");
+      std::optional<obs::Json> resp = rpc(ts, R"({"proto":1,"op":"ping"})");
       if (!resp) {
         sig += 'C';  // cut
       } else {

@@ -2,7 +2,7 @@
 // event-driven engines on hand-written designs.
 #include <gtest/gtest.h>
 
-#include "sim/builder.h"
+#include "sim/compile.h"
 #include "sim/event_driven.h"
 #include "sim/full_cycle.h"
 #include "sim/harness.h"
@@ -49,7 +49,7 @@ TEST(Builder, BaselineDisablesOptimizations) {
 
 TEST(FullCycle, CounterCounts) {
   SimIR ir = buildFromFirrtl(kCounter);
-  FullCycleEngine eng(ir);
+  FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   eng.poke("reset", 1);
   eng.poke("en", 0);
   eng.tick();
@@ -65,7 +65,7 @@ TEST(FullCycle, CounterCounts) {
 
 TEST(FullCycle, CounterWrapsAt256) {
   SimIR ir = buildFromFirrtl(kCounter);
-  FullCycleEngine eng(ir);
+  FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   eng.poke("reset", 0);
   eng.poke("en", 1);
   for (int i = 0; i < 260; i++) eng.tick();
@@ -99,7 +99,7 @@ circuit GCD :
 
 TEST(FullCycle, GcdComputes) {
   SimIR ir = buildFromFirrtl(kGcd);
-  FullCycleEngine eng(ir);
+  FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   eng.poke("reset", 0);
   eng.poke("a", 48);
   eng.poke("b", 36);
@@ -142,7 +142,7 @@ circuit Scratch :
 
 TEST(FullCycle, MemoryWriteThenRead) {
   SimIR ir = buildFromFirrtl(kMemDesign);
-  FullCycleEngine eng(ir);
+  FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   eng.poke("wen", 1);
   eng.poke("waddr", 5);
   eng.poke("wdata", 0xdeadbeef);
@@ -162,7 +162,7 @@ TEST(FullCycle, MemoryLatencyOneRead) {
   std::string design = kMemDesign;
   design.replace(design.find("read-latency => 0"), 17, "read-latency => 1");
   SimIR ir = buildFromFirrtl(design);
-  FullCycleEngine eng(ir);
+  FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   eng.poke("wen", 1);
   eng.poke("waddr", 3);
   eng.poke("wdata", 77);
@@ -183,7 +183,7 @@ circuit P :
     input v : UInt<8>
     printf(clock, en, "v=%d x=%x b=%b\n", v, v, v)
 )");
-  FullCycleEngine eng(ir);
+  FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   eng.poke("en", 0);
   eng.poke("v", 5);
   eng.tick();
@@ -204,7 +204,7 @@ circuit S :
     cnt <= tail(add(cnt, UInt<4>(1)), 1)
     stop(clock, eq(cnt, UInt<4>(7)), 3)
 )");
-  FullCycleEngine eng(ir);
+  FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   eng.poke("reset", 0);
   RunResult res = runEngine(eng, 100);
   EXPECT_TRUE(res.stopped);
@@ -225,7 +225,7 @@ circuit C :
 )", opts);
   // After explicit constProp, the output-driving op chain is constant.
   constantPropagate(ir);
-  FullCycleEngine eng(ir);
+  FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   eng.tick();
   EXPECT_EQ(eng.peek("o"), 14u);
   // Every op became Const or Copy-of-const.
@@ -254,7 +254,7 @@ circuit D :
   deadCodeEliminate(ir);
   EXPECT_LT(ir.ops.size(), before);
   ir.validate();
-  FullCycleEngine eng(ir);
+  FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   eng.poke("a", 200);
   eng.poke("b", 100);
   eng.tick();
@@ -280,7 +280,7 @@ circuit E :
   EXPECT_GT(st.opsRemoved, 0u);
   EXPECT_TRUE(ir.regs.empty());  // deadreg feeds nothing
   ir.validate();
-  FullCycleEngine eng(ir);
+  FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   eng.poke("a", 42);
   eng.tick();
   EXPECT_EQ(eng.peek("o"), 42u);
@@ -314,7 +314,7 @@ circuit S :
     prod <= mul(a, b)
     lt_out <= lt(a, b)
 )");
-  FullCycleEngine eng(ir);
+  FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   eng.pokeBV("a", BitVec::fromI64(8, -5));
   eng.pokeBV("b", BitVec::fromI64(8, 3));
   eng.tick();
@@ -336,7 +336,7 @@ circuit W :
     wide <= catted
     top <= bits(catted, 127, 64)
 )");
-  FullCycleEngine eng(ir);
+  FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   eng.poke("a", 0xdeadbeefcafebabeULL);
   eng.poke("b", 0x0123456789abcdefULL);
   eng.tick();
@@ -346,8 +346,8 @@ circuit W :
 
 TEST(EventDriven, MatchesFullCycleOnCounter) {
   SimIR ir = buildFromFirrtl(kCounter);
-  FullCycleEngine a(ir);
-  EventDrivenEngine b(ir);
+  FullCycleEngine a(sim::CompiledDesign::compile(ir));
+  EventDrivenEngine b(sim::CompiledDesign::compile(ir));
   auto stim = [](Engine& e, uint64_t c) {
     e.poke("reset", c < 2 ? 1 : 0);
     e.poke("en", c % 3 != 0 ? 1 : 0);
@@ -358,7 +358,7 @@ TEST(EventDriven, MatchesFullCycleOnCounter) {
 
 TEST(EventDriven, SkipsWorkWhenIdle) {
   SimIR ir = buildFromFirrtl(kCounter);
-  EventDrivenEngine eng(ir);
+  EventDrivenEngine eng(sim::CompiledDesign::compile(ir));
   eng.poke("reset", 0);
   eng.poke("en", 0);
   for (int i = 0; i < 10; i++) eng.tick();
@@ -370,7 +370,7 @@ TEST(EventDriven, SkipsWorkWhenIdle) {
 
 TEST(Vcd, EmitsHeaderAndChangesOnly) {
   SimIR ir = buildFromFirrtl(kCounter);
-  FullCycleEngine eng(ir);
+  FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   std::ostringstream out;
   VcdWriter vcd(out, eng);
   eng.poke("reset", 0);
@@ -401,7 +401,7 @@ circuit S :
     input go : UInt<1>
     stop(clock, go, 1)
 )");
-  FullCycleEngine eng(ir);
+  FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   RunResult res = runEngine(eng, 100, [](Engine& e, uint64_t c) { e.poke("go", c == 4); });
   EXPECT_TRUE(res.stopped);
   EXPECT_EQ(res.cycles, 5u);

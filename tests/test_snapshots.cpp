@@ -6,7 +6,7 @@
 #include "core/activity_engine.h"
 #include "designs/blocks.h"
 #include "designs/gcd.h"
-#include "sim/builder.h"
+#include "sim/compile.h"
 #include "sim/event_driven.h"
 #include "sim/full_cycle.h"
 #include "sim/harness.h"
@@ -23,15 +23,15 @@ using sim::SimIR;
 
 TEST(Randomize, DeterministicAcrossEngines) {
   SimIR ir = sim::buildFromFirrtl(designs::gcdFirrtl(16));
-  FullCycleEngine a(ir);
-  EventDrivenEngine b(ir);
-  ActivityEngine c(ir, ScheduleOptions{});
+  FullCycleEngine a(sim::CompiledDesign::compile(ir));
+  EventDrivenEngine b(sim::CompiledDesign::compile(ir));
+  ActivityEngine c(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), ScheduleOptions{}));
   for (Engine* e : std::initializer_list<Engine*>{&a, &b, &c}) e->randomizeState(1234);
   EXPECT_EQ(a.peek("x"), b.peek("x"));
   EXPECT_EQ(a.peek("x"), c.peek("x"));
   EXPECT_EQ(a.peek("y"), c.peek("y"));
   // Different seed -> (almost certainly) different state.
-  FullCycleEngine d(ir);
+  FullCycleEngine d(sim::CompiledDesign::compile(ir));
   d.randomizeState(99);
   EXPECT_NE(a.peek("x") ^ (a.peek("y") << 16), d.peek("x") ^ (d.peek("y") << 16));
 }
@@ -46,7 +46,7 @@ circuit R :
     tiny <= tiny
     o <= orr(tiny)
 )");
-  FullCycleEngine eng(ir);
+  FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   eng.randomizeState(7);
   EXPECT_LE(eng.peek("tiny"), 7u);  // masked to 3 bits
 }
@@ -54,8 +54,8 @@ circuit R :
 TEST(Randomize, EnginesStayEquivalentAfterRandomize) {
   for (uint64_t seed : {5ull, 6ull}) {
     SimIR ir = sim::buildFromFirrtl(designs::randomDesignFirrtl(seed));
-    FullCycleEngine ref(ir);
-    ActivityEngine act(ir, ScheduleOptions{});
+    FullCycleEngine ref(sim::CompiledDesign::compile(ir));
+    ActivityEngine act(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), ScheduleOptions{}));
     ref.randomizeState(seed * 3);
     act.randomizeState(seed * 3);
     auto mismatch = sim::compareEngines(ref, act, 60, [seed](Engine& e, uint64_t c) {
@@ -71,7 +71,7 @@ TEST(Randomize, EnginesStayEquivalentAfterRandomize) {
 
 TEST(Randomize, ResetClearsRandomizedState) {
   SimIR ir = sim::buildFromFirrtl(designs::counterFirrtl(8));
-  ActivityEngine eng(ir, ScheduleOptions{});
+  ActivityEngine eng(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), ScheduleOptions{}));
   eng.randomizeState(42);
   eng.poke("reset", 1);
   eng.poke("en", 1);
@@ -81,7 +81,7 @@ TEST(Randomize, ResetClearsRandomizedState) {
 
 TEST(Snapshot, RoundTripsState) {
   SimIR ir = sim::buildFromFirrtl(designs::gcdFirrtl(16));
-  ActivityEngine eng(ir, ScheduleOptions{});
+  ActivityEngine eng(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), ScheduleOptions{}));
   eng.poke("reset", 0);
   eng.poke("a", 1071);
   eng.poke("b", 462);
@@ -109,7 +109,7 @@ TEST(Snapshot, RestoreRearmsConditionalEngines) {
   // After a restore the CCSS engine must re-evaluate everything, not trust
   // stale activity flags.
   SimIR ir = sim::buildFromFirrtl(designs::counterFirrtl(8));
-  ActivityEngine eng(ir, ScheduleOptions{});
+  ActivityEngine eng(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), ScheduleOptions{}));
   eng.poke("reset", 0);
   eng.poke("en", 1);
   for (int i = 0; i < 5; i++) eng.tick();
@@ -148,7 +148,7 @@ circuit M :
     t.w.mask <= UInt<1>(1)
     rdata <= t.r.data
 )");
-  FullCycleEngine eng(ir);
+  FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   eng.poke("wen", 1);
   eng.poke("addr", 4);
   eng.poke("wdata", 77);
@@ -164,8 +164,8 @@ circuit M :
 TEST(Snapshot, MismatchedDesignRejected) {
   SimIR a = sim::buildFromFirrtl(designs::counterFirrtl(8));
   SimIR b = sim::buildFromFirrtl(designs::gcdFirrtl(16));
-  FullCycleEngine ea(a);
-  FullCycleEngine eb(b);
+  FullCycleEngine ea(sim::CompiledDesign::compile(a));
+  FullCycleEngine eb(sim::CompiledDesign::compile(b));
   auto snap = ea.saveState();
   EXPECT_THROW(eb.restoreState(snap), std::invalid_argument);
 }

@@ -7,7 +7,7 @@
 #include "codegen/emitter.h"
 #include "core/activity_engine.h"
 #include "core/netlist.h"
-#include "sim/builder.h"
+#include "sim/compile.h"
 #include "sim/event_driven.h"
 #include "sim/full_cycle.h"
 #include "sim/harness.h"
@@ -65,7 +65,7 @@ TEST(SuperNodes, BuilderMarksContiguousSupers) {
 
 TEST(SuperNodes, SrLatchSetsAndHolds) {
   SimIR ir = sim::buildFromFirrtl(kSrLatch, withLoops());
-  FullCycleEngine eng(ir);
+  FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   // Set.
   eng.poke("s", 1);
   eng.poke("r", 0);
@@ -95,12 +95,12 @@ TEST(SuperNodes, AllEnginesAgreeOnLatch) {
     e.poke("s", c % 8 == 1);
     e.poke("r", c % 8 == 5);
   };
-  FullCycleEngine fc(ir);
-  EventDrivenEngine ev(ir);
+  FullCycleEngine fc(sim::CompiledDesign::compile(ir));
+  EventDrivenEngine ev(sim::CompiledDesign::compile(ir));
   auto m1 = sim::compareEngines(fc, ev, 40, stim);
   EXPECT_FALSE(m1.has_value()) << m1->describe();
-  FullCycleEngine fc2(ir);
-  ActivityEngine act(ir, ScheduleOptions{});
+  FullCycleEngine fc2(sim::CompiledDesign::compile(ir));
+  ActivityEngine act(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), ScheduleOptions{}));
   auto m2 = sim::compareEngines(fc2, act, 40, stim);
   EXPECT_FALSE(m2.has_value()) << m2->describe();
 }
@@ -139,7 +139,7 @@ circuit O :
     q <= w
 )",
                                   withLoops());
-  FullCycleEngine eng(ir);
+  FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   EXPECT_THROW(eng.tick(), std::runtime_error);
 }
 
@@ -162,8 +162,8 @@ circuit LR :
     o <= cnt
 )",
                                   withLoops());
-  FullCycleEngine fc(ir);
-  ActivityEngine act(ir, ScheduleOptions{});
+  FullCycleEngine fc(sim::CompiledDesign::compile(ir));
+  ActivityEngine act(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), ScheduleOptions{}));
   auto m = sim::compareEngines(fc, act, 40, [](sim::Engine& e, uint64_t c) {
     e.poke("en", (c / 5) % 2);
   });
@@ -201,7 +201,7 @@ circuit D :
                                   withLoops());
   ir.validate();
   ASSERT_EQ(ir.supers.size(), 1u);
-  FullCycleEngine eng(ir);
+  FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   eng.poke("s", 1);
   eng.poke("r", 0);
   eng.tick();

@@ -10,7 +10,7 @@
 #include "core/netlist.h"
 #include "core/partitioner.h"
 #include "designs/systolic.h"
-#include "sim/builder.h"
+#include "sim/compile.h"
 #include "sim/event_driven.h"
 #include "sim/full_cycle.h"
 #include "sim/harness.h"
@@ -66,7 +66,7 @@ TEST(Systolic, MirrorModelMatchesRtl) {
   cfg.rows = 3;
   cfg.cols = 4;
   SimIR ir = sim::buildFromFirrtl(designs::systolicFirrtl(cfg));
-  FullCycleEngine eng(ir);
+  FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   Mirror mir(cfg);
   Rng rng(99);
   eng.poke("reset", 0);
@@ -102,7 +102,7 @@ TEST(Systolic, ComputesMatrixProductWithSkewedFeed) {
   uint64_t B[N][N] = {{9, 8, 7}, {6, 5, 4}, {3, 2, 1}};
 
   SimIR ir = sim::buildFromFirrtl(designs::systolicFirrtl(cfg));
-  FullCycleEngine eng(ir);
+  FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   eng.poke("reset", 0);
   eng.poke("en", 1);
   for (uint32_t t = 0; t < N + 2 * N; t++) {
@@ -131,7 +131,7 @@ TEST(Systolic, SelectorAndChecksumOutputs) {
   cfg.rows = 2;
   cfg.cols = 2;
   SimIR ir = sim::buildFromFirrtl(designs::systolicFirrtl(cfg));
-  FullCycleEngine eng(ir);
+  FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   eng.poke("reset", 0);
   eng.poke("en", 1);
   eng.poke("a0", 3);
@@ -164,8 +164,8 @@ TEST(Systolic, EnginesAgreeAndPartitionerScales) {
   // The regular grid must coarsen well below one partition per node.
   EXPECT_LT(p.numPartitions(), static_cast<size_t>(nl.g.numNodes()) / 3);
 
-  FullCycleEngine fc(ir);
-  sim::EventDrivenEngine ev(ir);
+  FullCycleEngine fc(sim::CompiledDesign::compile(ir));
+  sim::EventDrivenEngine ev(sim::CompiledDesign::compile(ir));
   auto stim = [](sim::Engine& e, uint64_t c) {
     Rng draw(c * 2654435761ull + 5);
     e.poke("reset", c < 1);
@@ -176,8 +176,8 @@ TEST(Systolic, EnginesAgreeAndPartitionerScales) {
   };
   auto m1 = sim::compareEngines(fc, ev, 60, stim);
   EXPECT_FALSE(m1.has_value()) << m1->describe();
-  FullCycleEngine fc2(ir);
-  core::ActivityEngine act(ir, core::ScheduleOptions{});
+  FullCycleEngine fc2(sim::CompiledDesign::compile(ir));
+  core::ActivityEngine act(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), core::ScheduleOptions{}));
   auto m2 = sim::compareEngines(fc2, act, 60, stim);
   EXPECT_FALSE(m2.has_value()) << m2->describe();
 }
@@ -187,7 +187,7 @@ TEST(Systolic, IdleGridSleepsUnderCcss) {
   cfg.rows = 6;
   cfg.cols = 6;
   SimIR ir = sim::buildFromFirrtl(designs::systolicFirrtl(cfg));
-  core::ActivityEngine eng(ir, core::ScheduleOptions{});
+  core::ActivityEngine eng(core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), core::ScheduleOptions{}));
   eng.poke("reset", 0);
   eng.poke("en", 0);
   eng.tick();

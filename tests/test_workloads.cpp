@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "designs/tinysoc.h"
-#include "sim/builder.h"
+#include "sim/compile.h"
 #include "sim/full_cycle.h"
 #include "workloads/assembler.h"
 #include "workloads/driver.h"
@@ -68,7 +68,7 @@ TEST(Assembler, LiBuildsFullConstants) {
     a.sw(1, 0, 21);
     a.halt();
     Program p{"li", "", a.assemble(), {}};
-    sim::FullCycleEngine eng(ir);
+    sim::FullCycleEngine eng(sim::CompiledDesign::compile(ir));
     loadProgram(eng, p);
     auto res = runWorkload(eng, 2000);
     ASSERT_TRUE(res.halted);
@@ -108,7 +108,7 @@ TEST(Programs, ExpectedValuesAreStable) {
 
 TEST(Driver, ReportsInstretAndCycles) {
   sim::SimIR ir = sim::buildFromFirrtl(designs::tinySoCFirrtl(designs::socTiny()));
-  sim::FullCycleEngine eng(ir);
+  sim::FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   auto prog = pchaseProgram(8, 1);
   loadProgram(eng, prog);
   auto res = runWorkload(eng, 10000);
@@ -124,7 +124,7 @@ TEST(Driver, WorkloadCycleCountsOrderLikeTable2) {
   // dhrystone < matmul < pchase for comparable "iteration" scales.
   sim::SimIR ir = sim::buildFromFirrtl(designs::tinySoCFirrtl(designs::socTiny()));
   auto cyclesOf = [&](const Program& p) {
-    sim::FullCycleEngine eng(ir);
+    sim::FullCycleEngine eng(sim::CompiledDesign::compile(ir));
     loadProgram(eng, p);
     return runWorkload(eng, 2000000).cycles;
   };
@@ -137,7 +137,7 @@ TEST(Driver, WorkloadCycleCountsOrderLikeTable2) {
 
 TEST(Driver, MmioStartsAccelerator) {
   sim::SimIR ir = sim::buildFromFirrtl(designs::tinySoCFirrtl(designs::socTiny()));
-  sim::FullCycleEngine eng(ir);
+  sim::FullCycleEngine eng(sim::CompiledDesign::compile(ir));
   Asm a;
   a.li(6, 0x8000);
   a.li(1, 0x1234);

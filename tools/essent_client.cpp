@@ -215,6 +215,7 @@ std::string readFileOrDie(const std::string& path) {
 
 obs::Json buildRequest(const Args& a) {
   obs::Json doc = obs::Json::object();
+  doc["proto"] = uint64_t{serve::kProtoMax};
   doc["op"] = a.op;
   if (!a.designFile.empty()) doc["design"] = readFileOrDie(a.designFile);
   if (!a.designHash.empty()) doc["design_hash"] = a.designHash;
@@ -290,12 +291,14 @@ int runCampaign(const Args& a) {
     switch (nextRand(rng) % 10) {
       case 0: {  // valid ping
         obs::Json doc = obs::Json::object();
+        doc["proto"] = uint64_t{serve::kProtoMax};
         doc["op"] = "ping";
         if (!structuredProbe(doc)) transportCuts++;
         break;
       }
       case 1: {  // valid run (cached after the first compile)
         obs::Json doc = obs::Json::object();
+        doc["proto"] = uint64_t{serve::kProtoMax};
         doc["op"] = "run";
         doc["design"] = design;
         doc["cycles"] = 16 + (nextRand(rng) % 64);
@@ -307,6 +310,7 @@ int runCampaign(const Args& a) {
       }
       case 2: {  // valid compile
         obs::Json doc = obs::Json::object();
+        doc["proto"] = uint64_t{serve::kProtoMax};
         doc["op"] = "compile";
         doc["design"] = design;
         if (!structuredProbe(doc)) transportCuts++;
@@ -314,6 +318,7 @@ int runCampaign(const Args& a) {
       }
       case 3: {  // status
         obs::Json doc = obs::Json::object();
+        doc["proto"] = uint64_t{serve::kProtoMax};
         doc["op"] = "status";
         if (!structuredProbe(doc)) transportCuts++;
         break;
@@ -361,6 +366,7 @@ int runCampaign(const Args& a) {
       }
       case 8: {  // run by bogus hash
         obs::Json doc = obs::Json::object();
+        doc["proto"] = uint64_t{serve::kProtoMax};
         doc["op"] = "run";
         doc["design_hash"] = "00000000000000000000000000000000";
         doc["cycles"] = uint64_t{8};
@@ -369,6 +375,7 @@ int runCampaign(const Args& a) {
       }
       default: {  // mid-stream disconnect: send half a valid frame and bail
         obs::Json doc = obs::Json::object();
+        doc["proto"] = uint64_t{serve::kProtoMax};
         doc["op"] = "ping";
         std::string payload = doc.dump(0);
         uint32_t len = static_cast<uint32_t>(payload.size());
@@ -391,6 +398,7 @@ int runCampaign(const Args& a) {
   // Survival proof: after the whole campaign the daemon must still answer a
   // structured ping (retries absorb chaos drops).
   obs::Json ping = obs::Json::object();
+  ping["proto"] = uint64_t{serve::kProtoMax};
   ping["op"] = "ping";
   if (!structuredProbe(ping)) {
     std::fprintf(stderr, "essent_client: campaign: daemon unreachable after %llu cases\n",

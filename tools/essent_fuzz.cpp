@@ -31,7 +31,7 @@
 
 #include "fuzz/fuzzer.h"
 #include "fuzz/mutator.h"
-#include "sim/builder.h"
+#include "sim/compile.h"
 #include "support/strutil.h"
 
 using namespace essent;

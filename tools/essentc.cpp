@@ -21,6 +21,11 @@
 //   --baseline            emit/run with all optimizations disabled
 //   --no-hints            disable branch hints in generated code
 //   --cp N                partitioner small threshold C_p (default 8)
+//   --scale N             elaborate the generated socScaled(N) TinySoC
+//                         instead of reading a design file (N=1 ~130k
+//                         netlist nodes, N=8 crosses one million); for
+//                         the million-node elaboration study, see
+//                         docs/SCALING.md
 //   --poke NAME=VALUE     drive an input for the whole --run (repeatable)
 //   --vcd FILE            dump a VCD waveform during --run
 //   --profile FILE        write a JSON runtime profile after --run
@@ -92,13 +97,14 @@
 #include "core/placement.h"
 #include "core/obs_export.h"
 #include "core/sim_farm.h"
+#include "designs/tinysoc.h"
 #include "diag/diag.h"
 #include "fuzz/stimulus.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/phase_timer.h"
 #include "obs/trace.h"
-#include "sim/builder.h"
+#include "sim/compile.h"
 #include "sim/engine_factory.h"
 #include "sim/vcd.h"
 #include "support/resource_guard.h"
@@ -137,6 +143,8 @@ struct Args {
   std::string stimulusDir;
   int64_t timeoutMs = 0;  // --compile-run subprocess watchdog; 0 = off
   bool injectHang = false;  // undocumented: watchdog self-test hook
+  uint32_t shards = 1;      // --emit-cpp: split output into N translation units
+  uint32_t scale = 0;       // --scale: generate socScaled(N) instead of reading a file
   support::ResourceLimits limits;
 };
 
@@ -144,7 +152,7 @@ struct Args {
   if (msg) std::fprintf(stderr, "essentc: %s\n", msg);
   std::fprintf(stderr,
                "usage: essentc [--stats | --emit-cpp | --run N | --compile-run N | --dot]\n"
-               "               [-o FILE] [--allow-comb-loops]\n"
+               "               [-o FILE] [--shards N] [--allow-comb-loops]\n"
                "               [--engine full|event|ccss|par|lane] [--baseline] [--no-hints]\n"
                "               [--cp N] [--poke NAME=VALUE]... [--vcd FILE]\n"
                "               [--profile FILE] [--profile-window N] [--threads N]\n"
@@ -153,7 +161,8 @@ struct Args {
                "               [--trace FILE] [--trace-detail phase|wave|partition]\n"
                "               [--trace-ring-kb N] [--trace-summary]\n"
                "               [--timeout-ms N] [--max-ir-ops N] [--max-sim-mem BYTES]\n"
-               "               [--max-cycles N] [--deadline-ms N] design.fir\n"
+               "               [--max-cycles N] [--deadline-ms N]\n"
+               "               (design.fir | --scale N)\n"
                "exit codes: 0 success; 1 input rejected with diagnostics;\n"
                "            2 usage or internal error; 124 wall-clock timeout;\n"
                "            128+N interrupted by signal N during --compile-run\n");
@@ -184,6 +193,8 @@ Args parseArgs(int argc, char** argv) {
         usage(("unknown engine '" + token + "' (expected " + sim::engineKindList() + ")").c_str());
     }
     else if (arg == "--baseline") a.baseline = true;
+    else if (arg == "--shards")
+      a.shards = static_cast<uint32_t>(std::strtoul(next().c_str(), nullptr, 0));
     else if (arg == "--allow-comb-loops") a.allowCombLoops = true;
     else if (arg == "--no-hints") a.hints = false;
     else if (arg == "--cp") a.cp = static_cast<uint32_t>(std::strtoul(next().c_str(), nullptr, 0));
@@ -224,6 +235,10 @@ Args parseArgs(int argc, char** argv) {
       if (a.lanes == 0 || a.lanes > 64) usage("--lanes expects a count in [1, 64]");
     }
     else if (arg == "--stimulus-dir") a.stimulusDir = next();
+    else if (arg == "--scale") {
+      a.scale = static_cast<uint32_t>(std::strtoul(next().c_str(), nullptr, 0));
+      if (a.scale == 0) usage("--scale expects a positive factor");
+    }
     else if (arg == "--timeout-ms") a.timeoutMs = std::strtoll(next().c_str(), nullptr, 0);
     else if (arg == "--max-ir-ops") a.limits.maxIrOps = std::strtoull(next().c_str(), nullptr, 0);
     else if (arg == "--max-sim-mem")
@@ -237,7 +252,9 @@ Args parseArgs(int argc, char** argv) {
     else if (a.inputPath.empty()) a.inputPath = arg;
     else usage("multiple input files");
   }
-  if (a.inputPath.empty()) usage("no input file");
+  if (a.inputPath.empty() && a.scale == 0) usage("no input file (or use --scale N)");
+  if (!a.inputPath.empty() && a.scale > 0)
+    usage("--scale generates its own design; drop the input file");
   // --lanes selects the SIMD lane engine: with the default ccss kind it
   // upgrades the kind (like --threads upgrades ccss to par); an explicit
   // non-CCSS kind conflicts.
@@ -303,6 +320,39 @@ void writeOut(const Args& a, const std::string& text) {
     std::fprintf(stderr, "essentc: wrote %zu bytes to %s\n", text.size(),
                  a.outputPath.c_str());
   }
+}
+
+// --emit-cpp --shards N: writes <base>.h plus <base>_<k>.cpp next to the
+// -o path (whose .cpp/.h extension, if any, is stripped to form the base).
+int writeSharded(const Args& a, const sim::SimIR& ir, const core::CondPartSchedule* sched,
+                 const codegen::CodegenOptions& co) {
+  if (a.outputPath.empty()) {
+    std::fprintf(stderr, "essentc: --shards requires -o FILE (one file per unit)\n");
+    return 2;
+  }
+  std::string base = a.outputPath;
+  for (const char* ext : {".cpp", ".cc", ".h"}) {
+    size_t n = std::strlen(ext);
+    if (base.size() > n && base.compare(base.size() - n, n, ext) == 0) {
+      base.resize(base.size() - n);
+      break;
+    }
+  }
+  // The stem names the generated files and the units' #include line; the
+  // directory part of -o only decides where they are written.
+  size_t dirEnd = base.find_last_of('/');
+  std::string dir = dirEnd == std::string::npos ? "" : base.substr(0, dirEnd + 1);
+  std::string stem = dirEnd == std::string::npos ? base : base.substr(dirEnd + 1);
+  codegen::ShardedCpp sh = codegen::emitCppSharded(ir, sched, co, a.shards, stem);
+  auto writeFile = [&](const std::string& name, const std::string& text) {
+    std::string path = dir + name;
+    std::ofstream f(path);
+    f << text;
+    std::fprintf(stderr, "essentc: wrote %zu bytes to %s\n", text.size(), path.c_str());
+  };
+  writeFile(sh.headerName, sh.header);
+  for (size_t k = 0; k < sh.units.size(); k++) writeFile(sh.unitNames[k], sh.units[k]);
+  return 0;
 }
 
 // Assembles the --stats-json document. The partitioning sections are
@@ -404,8 +454,9 @@ int runStats(const Args& a, const sim::SimIR& ir) {
   return 0;
 }
 
-int runSim(const Args& a, const sim::SimIR& ir, diag::DiagEngine& de,
-           const support::ResourceGuard& guard) {
+int runSim(const Args& a, std::shared_ptr<const sim::CompiledDesign> design,
+           diag::DiagEngine& de, const support::ResourceGuard& guard) {
+  const sim::SimIR& ir = design->ir;
   guard.checkCycles(a.runCycles);
   // Single construction path: the factory resolves the kind, builds (or
   // reuses) the kind-specific compiled structure, and applies the profiling
@@ -419,7 +470,7 @@ int runSim(const Args& a, const sim::SimIR& ir, diag::DiagEngine& de,
   eo.profileWindow = a.profileWindow;
   std::vector<std::string> warnings;
   eo.warnings = &warnings;
-  std::unique_ptr<sim::Engine> eng = sim::makeEngine(a.engineKind, ir, eo);
+  std::unique_ptr<sim::Engine> eng = sim::makeEngine(a.engineKind, std::move(design), eo);
   for (const std::string& w : warnings) de.warning("W0601", w, {});
 
   for (const auto& [name, value] : a.pokes) eng->poke(name, value);
@@ -490,8 +541,9 @@ int runSim(const Args& a, const sim::SimIR& ir, diag::DiagEngine& de,
 // --stimulus-dir assigns instance i the i-th (sorted, wrapping) stimulus
 // file. Prints the aggregate farm throughput plus one line per instance;
 // --stats-json gains a "farm" section (core::farmReportJson).
-int runBatch(const Args& a, const sim::SimIR& ir, diag::DiagEngine& de,
-             const support::ResourceGuard& guard) {
+int runBatch(const Args& a, std::shared_ptr<const sim::CompiledDesign> design,
+             diag::DiagEngine& de, const support::ResourceGuard& guard) {
+  const sim::SimIR& ir = design->ir;
   // The cycle budget covers the whole batch (saturating multiply).
   uint64_t total = a.runCycles;
   if (a.runCycles != 0 && a.batch > UINT64_MAX / a.runCycles) total = UINT64_MAX;
@@ -555,7 +607,7 @@ int runBatch(const Args& a, const sim::SimIR& ir, diag::DiagEngine& de,
     }
   }
 
-  core::SimFarm farm(sim::CompiledDesign::compile(ir), fo);
+  core::SimFarm farm(std::move(design), fo);
   core::FarmReport report = farm.run(jobs);
   guard.checkDeadline();
   for (const std::string& w : report.warnings) de.warning("W0601", w, {});
@@ -598,7 +650,9 @@ int runBatch(const Args& a, const sim::SimIR& ir, diag::DiagEngine& de,
 // it for the requested cycles with the pokes applied, and cross-checks
 // every output port against the in-process interpreter. Both subprocesses
 // run under the --timeout-ms watchdog; a timeout exits 124.
-int runCompileRun(const Args& a, const sim::SimIR& ir, const support::ResourceGuard& guard) {
+int runCompileRun(const Args& a, std::shared_ptr<const sim::CompiledDesign> design,
+                  const support::ResourceGuard& guard) {
+  const sim::SimIR& ir = design->ir;
   guard.checkCycles(a.runCycles);
   // Ctrl-C / SIGTERM during the subprocess phases must kill the compiler or
   // generated-simulator process group AND still unwind through this frame so
@@ -684,8 +738,7 @@ int runCompileRun(const Args& a, const sim::SimIR& ir, const support::ResourceGu
   }
 
   // Interpreter cross-check.
-  core::ActivityEngine eng(
-      core::CompiledCcss::compile(sim::CompiledDesign::compile(ir), so));
+  core::ActivityEngine eng(core::CompiledCcss::compile(std::move(design), so));
   for (const auto& [name2, value] : a.pokes) eng.poke(name2, value);
   for (uint64_t c = 0; c < a.runCycles && !eng.stopped(); c++) {
     eng.tick();
@@ -788,44 +841,55 @@ int main(int argc, char** argv) {
   }
   int rc = 0;
   try {
-    std::string text = readFile(a.inputPath);
-    de.setSource(a.inputPath, text);
+    std::string text;
+    if (a.scale > 0) {
+      text = designs::tinySoCFirrtl(designs::socScaled(a.scale));
+      de.setSource(strfmt("<socScaled(%u)>", a.scale), text);
+    } else {
+      text = readFile(a.inputPath);
+      de.setSource(a.inputPath, text);
+    }
     // The deadline clock starts here and covers elaboration + simulation.
     support::ResourceGuard guard(a.limits);
-    sim::BuildOptions bo;
-    if (a.baseline) bo.constProp = bo.cse = bo.dce = false;
-    bo.allowCombLoops = a.allowCombLoops;
-    std::optional<sim::SimIR> ir = sim::buildFromFirrtlDiag(text, bo, de, a.limits);
-    if (!ir) {
+    sim::CompileOptions copts;
+    if (a.baseline) copts.build.constProp = copts.build.cse = copts.build.dce = false;
+    copts.build.allowCombLoops = a.allowCombLoops;
+    copts.limits = a.limits;
+    std::shared_ptr<const sim::CompiledDesign> design = sim::compileDesign(text, copts, de);
+    if (!design) {
       rc = 1;
     } else {
+      const sim::SimIR& ir = design->ir;
       switch (a.mode) {
         case Args::Mode::Stats:
-          rc = runStats(a, *ir);
+          rc = runStats(a, ir);
           break;
         case Args::Mode::Run:
-          rc = a.batch > 0 ? runBatch(a, *ir, de, guard) : runSim(a, *ir, de, guard);
+          rc = a.batch > 0 ? runBatch(a, std::move(design), de, guard)
+                           : runSim(a, std::move(design), de, guard);
           break;
         case Args::Mode::CompileRun:
-          rc = runCompileRun(a, *ir, guard);
+          rc = runCompileRun(a, std::move(design), guard);
           break;
         case Args::Mode::Dot:
-          rc = runDot(a, *ir);
+          rc = runDot(a, ir);
           break;
         case Args::Mode::EmitCpp: {
           codegen::CodegenOptions co;
           co.ccss = !a.baseline;
           co.branchHints = a.hints;
+          core::CondPartSchedule sched;
           if (co.ccss) {
             core::ScheduleOptions so;
             so.partition.smallThreshold = a.cp;
-            core::CondPartSchedule sched =
-                core::buildSchedule(core::Netlist::build(*ir), so);
-            writeOut(a, codegen::emitCpp(*ir, &sched, co));
-          } else {
-            writeOut(a, codegen::emitCpp(*ir, nullptr, co));
+            sched = core::buildSchedule(core::Netlist::build(ir), so);
           }
-          rc = 0;
+          if (a.shards > 1) {
+            rc = writeSharded(a, ir, co.ccss ? &sched : nullptr, co);
+          } else {
+            writeOut(a, codegen::emitCpp(ir, co.ccss ? &sched : nullptr, co));
+            rc = 0;
+          }
           break;
         }
       }
